@@ -1,0 +1,19 @@
+"""Ablation — sensitivity to the host:ASU power ratio c (paper simulates
+c = 4 and c = 8; Figure 9 plots c = 8)."""
+
+from conftest import bench_n
+
+from repro.bench import sweep_c
+
+
+def test_ablation_c(once):
+    n = bench_n(quick=1 << 16, full=1 << 18)
+    result = once(sweep_c, n_records=n)
+    print()
+    print(result.render())
+
+    c4, c8 = result.series["c=4"], result.series["c=8"]
+    # Twice-as-strong ASUs (c=4) give at least the c=8 speedup everywhere,
+    # and strictly more where the ASUs are the bottleneck (few ASUs).
+    assert all(a >= b - 0.05 for a, b in zip(c4, c8))
+    assert c4[0] > c8[0]

@@ -1,0 +1,20 @@
+"""Ablation — the merge split γ1·γ2 = γ between ASUs and hosts (§4.3:
+"The merge is divided between hosts and ASUs, so that γ1γ2 = γ")."""
+
+from conftest import bench_n
+
+from repro.bench import sweep_gamma_split
+
+
+def test_ablation_gamma_split(once):
+    n = bench_n(quick=1 << 15, full=1 << 17)
+    result = once(sweep_gamma_split, n_records=n)
+    print()
+    print(result.render())
+
+    makespans = result.series["pass2 makespan(s)"]
+    # Offloading some of the merge fan-in to the ASUs (gamma1 > 1) must beat
+    # a host-only merge (gamma1 = 1) on this host-bottlenecked platform.
+    host_only = makespans[result.xs.index(1)]
+    best = min(makespans)
+    assert best < host_only

@@ -1,0 +1,27 @@
+"""Ablation — routing policies under skew (§3.3: "Different load balancing
+methods can be used, depending on the amount of information available")."""
+
+from conftest import bench_n
+
+from repro.bench import sweep_routing
+
+
+def test_ablation_routing(once):
+    n = bench_n(quick=1 << 16, full=1 << 18)
+    result = once(sweep_routing, n_records=n)
+    print()
+    print(result.render())
+
+    by = dict(zip(result.xs, zip(result.series["makespan(s)"],
+                                 result.series["imbalance(max/mean)"])))
+    # Static is the worst policy under skew; every balancing policy beats it.
+    for policy in ("round_robin", "sr", "rc", "jsq", "adaptive_switch"):
+        assert by[policy][0] < by["static"][0], policy
+        assert by[policy][1] < by["static"][1], policy
+    # SR, RC and JSQ all keep the split near-perfect.
+    assert by["sr"][1] < 1.1
+    assert by["rc"][1] < 1.1
+    assert by["jsq"][1] < 1.1
+    # The mid-run switcher pays for its static start but still recovers most
+    # of the gap to the always-balanced policies.
+    assert by["adaptive_switch"][1] < by["static"][1]

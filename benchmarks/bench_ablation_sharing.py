@@ -1,0 +1,52 @@
+"""Ablation — ASUs as shared storage (§1, §3.3 / future work).
+
+"Network storage is a shared resource, and storage-based computation should
+not occur if it interferes with storage access for other applications" and
+"the load distribution is difficult to determine statically when ASUs are
+shared by multiple applications."
+
+A competing application takes (with strict priority) a fraction of every
+ASU's CPU.  A configuration chosen for the *idle* platform keeps shipping
+work to ASUs that no longer have capacity; the load manager's derated solver
+picks a lower α and recovers.
+"""
+
+from conftest import bench_n
+
+from repro.bench.fig9 import fig9_params
+from repro.core import ConfigSolver
+from repro.dsmsort import DsmSortJob
+
+
+def test_ablation_shared_asus(once):
+    n = bench_n(quick=1 << 16, full=1 << 18)
+    params = fig9_params(n_asus=16)
+    solver = ConfigSolver(params, gamma=64)
+    duty = 0.6
+
+    cfg_stale = solver.choose(n)                           # assumes idle ASUs
+    cfg_aware = solver.derate_for_sharing(duty).choose(n)  # sees the load
+
+    def run_both():
+        t_stale = DsmSortJob(
+            params, cfg_stale, seed=1, background_asu_duty=duty
+        ).run_pass1().makespan
+        t_aware = DsmSortJob(
+            params, cfg_aware, seed=1, background_asu_duty=duty
+        ).run_pass1().makespan
+        t_idle = DsmSortJob(params, cfg_stale, seed=1).run_pass1().makespan
+        return t_stale, t_aware, t_idle
+
+    t_stale, t_aware, t_idle = once(run_both)
+
+    print()
+    print(f"ASU sharing (16 ASUs, {duty:.0%} of each ASU taken by a competitor)")
+    print(f"  idle platform, idle-chosen config (alpha={cfg_stale.alpha}): {t_idle:.3f}s")
+    print(f"  shared platform, stale config     (alpha={cfg_stale.alpha}): {t_stale:.3f}s")
+    print(f"  shared platform, load-aware config (alpha={cfg_aware.alpha}): {t_aware:.3f}s")
+
+    # Sharing hurts, reconfiguration recovers part of the loss, and the
+    # load-aware solver shifts work off the loaded ASUs (lower alpha).
+    assert t_stale > t_idle
+    assert t_aware < t_stale
+    assert cfg_aware.alpha < cfg_stale.alpha

@@ -1,0 +1,75 @@
+"""Ablation — the external-sort substrate's I/O complexity (§2.1).
+
+Checks that the pass structure follows the Aggarwal–Vitter shape: the number
+of merge passes is ceil(log_fanin(N/M)), and total block I/O grows linearly
+with passes.  Also times the local DSM-Sort against NumPy's in-memory sort
+(the emulator-free lower bound).
+"""
+
+import numpy as np
+from conftest import bench_n
+
+from repro.bte import MemoryBTE
+from repro.containers import RecordStream
+from repro.core import DSMConfig
+from repro.dsmsort import dsm_sort_local
+from repro.tpie import external_sort
+from repro.util.distributions import make_workload
+from repro.util.rng import RngRegistry
+from repro.util.validation import check_sorted_permutation
+
+
+def test_external_sort_io_complexity(once):
+    n = bench_n(quick=1 << 15, full=1 << 18)
+    rng = RngRegistry(1).get("w")
+    data = make_workload(rng, n, "uniform")
+
+    rows = []
+    for fan_in in (2, 4, 16):
+        bte = MemoryBTE()
+        bte.write_all("in", data)
+        before = bte.stats.total_ios
+        out, stats = external_sort(
+            bte, bte.open("in"), "out", memory_records=n // 64, fan_in=fan_in
+        )
+        ios = bte.stats.total_ios - before
+        check_sorted_permutation(data, bte.read_all(out))
+        assert stats.n_merge_passes == stats.expected_merge_passes()
+        rows.append((fan_in, stats.n_merge_passes, ios))
+
+    print()
+    print("fan-in  merge-passes  block-IOs")
+    for fan_in, passes, ios in rows:
+        print(f"{fan_in:6d}  {passes:12d}  {ios:9d}")
+
+    # Fewer passes at higher fan-in, and I/O volume shrinks with passes.
+    passes = [r[1] for r in rows]
+    ios = [r[2] for r in rows]
+    assert passes[0] > passes[1] > passes[2] >= 1
+    assert ios[0] > ios[2]
+
+    def run():
+        bte = MemoryBTE()
+        bte.write_all("bench_in", data)
+        external_sort(bte, bte.open("bench_in"), "bench_out",
+                      memory_records=n // 64, fan_in=8)
+
+    once(run)
+
+
+def test_dsm_local_vs_numpy(once):
+    n = bench_n(quick=1 << 15, full=1 << 18)
+    rng = RngRegistry(2).get("w")
+    data = make_workload(rng, n, "uniform")
+    cfg = DSMConfig.for_n(n, alpha=16, gamma=16)
+
+    def run_dsm():
+        bte = MemoryBTE()
+        src = RecordStream("in", bte=bte)
+        src.append(data)
+        out, _ = dsm_sort_local(src, cfg, block_records=4096)
+        return out.read_all()
+
+    result = once(run_dsm)
+    expect = np.sort(data, order="key", kind="stable")
+    assert np.array_equal(result["key"], expect["key"])

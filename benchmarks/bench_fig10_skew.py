@@ -1,0 +1,37 @@
+"""Figure 10 — effect of skew with and without load management (paper §6).
+
+Two hosts, 16 ASUs, DSM-Sort sort phase; first half of the input uniform,
+second half exponential.  Static bucket ownership unbalances the hosts; the
+SR load-managed run keeps utilizations nearly identical and finishes earlier.
+"""
+
+import numpy as np
+from conftest import bench_n
+
+from repro.bench import run_figure10
+
+
+def test_figure10_skew(once):
+    n = bench_n(quick=1 << 17, full=1 << 20)
+    result = once(run_figure10, n_records=n)
+    print()
+    print(result.render())
+
+    # (1) Load management finishes earlier.
+    assert result.makespan_managed < result.makespan_static
+    # (2) The static run routes most records to one host.
+    assert result.imbalance_static > 1.3
+    # (3) SR keeps the split balanced.
+    assert result.imbalance_managed < 1.1
+
+    # (4) In the managed run the two hosts' traces are nearly identical
+    #     while work remains; in the static run they diverge.
+    m0 = np.array(result.series["managed.host0"])
+    m1 = np.array(result.series["managed.host1"])
+    s0 = np.array(result.series["static.host0"])
+    s1 = np.array(result.series["static.host1"])
+    active = m0 + m1 > 0.5  # samples where the managed run is still working
+    managed_gap = np.abs(m0[active] - m1[active]).mean()
+    static_gap = np.abs(s0 - s1).mean()
+    assert managed_gap < 0.15
+    assert static_gap > 2 * managed_gap

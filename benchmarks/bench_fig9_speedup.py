@@ -1,0 +1,42 @@
+"""Figure 9 — DSM-Sort pass-1 speedup vs number of ASUs (paper §6, Fig 9).
+
+Regenerates the full sweep: α ∈ {1, 4, 16, 64, 256} plus adaptive, ASU
+counts 2..64, one host, c = 8, speedup relative to a passive-storage
+baseline.  Prints the series table and plot; asserts the qualitative shape
+the paper reports.
+"""
+
+from conftest import bench_n
+
+from repro.bench import run_figure9
+
+
+def test_figure9_speedup(once):
+    n = bench_n(quick=1 << 16, full=1 << 19)
+    result = once(run_figure9, n_records=n)
+    print()
+    print(result.render())
+
+    s = result.speedup
+    d_index = {d: i for i, d in enumerate(result.asu_counts)}
+
+    # Shape assertions from the paper:
+    # (1) high-alpha configs are SLOWER than passive storage with few ASUs;
+    assert s["256"][d_index[2]] < 1.0
+    assert s["64"][d_index[2]] < 1.0
+    # (2) alpha=1 stays near 1x everywhere (same host work as the baseline);
+    assert all(0.8 < v < 1.3 for v in s["1"])
+    # (3) with many ASUs, higher alpha wins;
+    assert s["256"][d_index[64]] > s["16"][d_index[64]] > s["1"][d_index[64]]
+    # (4) the best active configuration clearly beats passive storage;
+    assert s["256"][d_index[64]] > 1.5
+    # (5) each series is (weakly) increasing until its saturation plateau;
+    for name in ("1", "4", "16", "64", "256"):
+        vals = s[name]
+        peak = vals.index(max(vals))
+        for i in range(peak):
+            assert vals[i] <= vals[i + 1] + 0.05, (name, vals)
+    # (6) adaptive tracks the upper envelope of all fixed configurations.
+    for i, d in enumerate(result.asu_counts):
+        envelope = max(s[str(a)][i] for a in (1, 4, 16, 64, 256))
+        assert s["adaptive"][i] >= envelope - 0.1, (d, s["adaptive"][i], envelope)

@@ -1,0 +1,48 @@
+"""Extension — direct ASU-to-ASU exchange (§5's noted alternative [1, 32]).
+
+Fully offloaded run formation: ASUs distribute and sort among themselves with
+no host in the loop.  Each record crosses the interconnect once instead of
+twice; with enough ASUs the offloaded sort beats the host-based pipeline
+because the single host no longer caps throughput.
+"""
+
+from conftest import bench_n
+
+from repro.bench.fig9 import fig9_params
+from repro.core import DSMConfig
+from repro.dsmsort import DsmSortJob, OffloadedDsmSort
+
+
+def test_offloaded_vs_host_based(once):
+    n = bench_n(quick=1 << 16, full=1 << 18)
+    cfg = DSMConfig.for_n(n, alpha=64, gamma=64)
+
+    def run_all():
+        rows = []
+        for d in (4, 8, 32, 64):
+            params = fig9_params(n_asus=d)
+            off = OffloadedDsmSort(params, cfg, seed=1)
+            r_off = off.run_pass1()
+            off.verify()
+            r_host = DsmSortJob(params, cfg, seed=1).run_pass1()
+            rows.append((d, r_off, r_host))
+        return rows
+
+    rows = once(run_all)
+
+    print()
+    print(f"{'ASUs':>5s} {'offloaded(s)':>13s} {'host-based(s)':>14s} "
+          f"{'off net MiB':>12s} {'host net MiB':>13s}")
+    for d, r_off, r_host in rows:
+        print(f"{d:5d} {r_off.makespan:13.3f} {r_host.makespan:14.3f} "
+              f"{r_off.net_bytes / (1 << 20):12.1f} {r_host.net_bytes / (1 << 20):13.1f}")
+
+    by_d = {d: (r_off, r_host) for d, r_off, r_host in rows}
+    # (1) Interconnect traffic roughly halves (one crossing, minus local hits).
+    for d, (r_off, r_host) in by_d.items():
+        assert r_off.net_bytes < 0.6 * r_host.net_bytes, d
+    # (2) Hosts are idle in the offloaded mode.
+    assert all(u == 0.0 for r_off, _ in by_d.values() for u in r_off.host_util)
+    # (3) Few ASUs: host-based wins; many ASUs: offloaded wins.
+    assert by_d[4][1].makespan < by_d[4][0].makespan
+    assert by_d[64][0].makespan < by_d[64][1].makespan

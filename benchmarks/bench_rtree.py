@@ -1,0 +1,53 @@
+"""Ablation — Figure-5 R-tree organisations: partition vs stripe (§4.2).
+
+"Because the latter option stripes leaves across ASUs, every query executes
+in parallel on all of the ASUs, which is useful to bound search latency.  The
+former option distributes the searches across the ASUs, which is useful in
+server applications with many concurrent searches."
+"""
+
+import numpy as np
+from conftest import bench_n
+
+from repro.apps.rtree import DistributedRTree, random_points, window_queries
+from repro.emulator.params import SystemParams
+from repro.util.rng import RngRegistry
+
+
+def test_rtree_partition_vs_stripe(once):
+    n = bench_n(quick=8000, full=64000)
+    rng = RngRegistry(9).get("spatial")
+    pts = random_points(rng, n)
+    params = SystemParams(n_hosts=1, n_asus=8)
+
+    part = DistributedRTree(pts, params, "partition", page=16)
+    stripe = DistributedRTree(pts, params, "stripe", page=16)
+
+    single = window_queries(rng, 1, window=300.0)
+    batch = window_queries(rng, 64, window=30.0)
+
+    def run_all():
+        return {
+            "partition.single": part.run_queries(single),
+            "stripe.single": stripe.run_queries(single),
+            "partition.batch": part.run_queries(batch),
+            "stripe.batch": stripe.run_queries(batch),
+        }
+
+    stats = once(run_all)
+
+    print()
+    print(f"R-tree organisations (n={n} points, 8 ASUs)")
+    print(f"{'case':18s} {'latency(ms)':>12s} {'throughput(q/s)':>16s} {'fanout':>7s}")
+    for name, s in stats.items():
+        print(
+            f"{name:18s} {s.max_latency * 1e3:12.3f} {s.throughput:16.1f} "
+            f"{s.mean_fanout:7.2f}"
+        )
+
+    # Stripe bounds single-query latency; partition wins batch throughput.
+    assert stats["stripe.single"].max_latency < stats["partition.single"].max_latency
+    assert stats["partition.batch"].throughput > stats["stripe.batch"].throughput
+    # Stripe contacts every ASU; partition a subset.
+    assert stats["stripe.batch"].mean_fanout == 8.0
+    assert stats["partition.batch"].mean_fanout < 8.0

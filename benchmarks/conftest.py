@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark harness.
+
+Set ``REPRO_BENCH_SCALE=full`` for paper-scale runs (slower); the default
+``quick`` scale keeps the whole suite a few minutes while preserving every
+qualitative shape.
+"""
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def bench_n(quick: int, full: int) -> int:
+    return full if SCALE == "full" else quick
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (emulations are deterministic)."""
+    benchmark.pedantic  # ensure plugin present
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+    return run

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Active filtering at the storage: the paper's §2 bandwidth argument.
+
+A selective scan ("keep records with keys in the bottom 10%") runs either at
+the host (passive storage streams everything over the interconnect) or at
+the ASUs (only survivors cross the wire).  The example prints the traffic
+and time for both placements and verifies both produce the same records.
+
+Run:  python examples/active_filter.py
+"""
+
+from repro.apps.filterscan import FilterScanJob
+from repro.bench.fig9 import fig9_params
+from repro.util.units import fmt_bytes, fmt_time
+
+
+def main() -> None:
+    n = 1 << 17
+    threshold = int((2**32 - 1) * 0.10)   # ~10% selectivity
+    job = FilterScanJob(
+        fig9_params(n_asus=16),
+        n_records=n,
+        predicate=lambda b: b["key"] < threshold,
+        seed=3,
+    )
+
+    print(f"scanning {n} records for keys in the bottom 10% (16 ASUs)\n")
+    print(f"{'placement':>10s} {'makespan':>10s} {'interconnect':>13s} "
+          f"{'host util':>10s} {'selected':>9s}")
+    results = {}
+    for active in (False, True):
+        stats, out = job.run(active=active)
+        job.verify(out)
+        name = "ASU" if active else "host"
+        results[name] = stats
+        print(f"{name:>10s} {fmt_time(stats.makespan):>10s} "
+              f"{fmt_bytes(stats.net_bytes):>13s} {stats.host_util:>9.0%} "
+              f"{stats.n_selected:>9d}")
+
+    saved = 1 - results["ASU"].net_bytes / results["host"].net_bytes
+    print(f"\nfiltering at the storage removed {saved:.0%} of the "
+          f"interconnect traffic — the paper's §2 claim, verified on "
+          f"identical outputs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Compose and place a functor pipeline with the generic executor.
+
+Builds the dataflow  SOURCE -> normalize (map) -> keep (filter) -> SINK,
+then runs it twice: with the functors placed on the 8 ASUs (active storage)
+and with everything at the host (passive storage).  Identical outputs,
+very different traffic and host load — placement is a *system* decision,
+which is the paper's whole point.
+
+Run:  python examples/dataflow_pipeline.py
+"""
+
+import numpy as np
+
+from repro.bench.fig9 import fig9_params
+from repro.core import Placement, PipelineJob
+from repro.functors import Dataflow, FilterFunctor, MapFunctor
+from repro.util.distributions import make_workload
+from repro.util.records import make_records
+from repro.util.rng import RngRegistry
+from repro.util.units import fmt_bytes, fmt_time
+
+
+def main() -> None:
+    params = fig9_params(n_asus=8)
+    rngs = RngRegistry(8)
+    n = 1 << 16
+    data = [
+        make_workload(rngs.get(f"w.{d}"), n // 8, "uniform", params.schema)
+        for d in range(8)
+    ]
+
+    def normalize(batch):
+        # Fold keys into a 16-bit bucket id (a cheap feature extraction).
+        return make_records((batch["key"] >> 16).astype(np.uint32), params.schema)
+
+    def build_graph():
+        g = Dataflow()
+        g.add_stage("normalize", MapFunctor(normalize, compares=1), replicas=8)
+        g.add_stage("keep", FilterFunctor(lambda b: b["key"] < 6554), replicas=8)  # ~10%
+        g.connect(Dataflow.SOURCE, "normalize", kind="set")
+        g.connect("normalize", "keep", kind="set")
+        g.connect("keep", Dataflow.SINK, kind="set")
+        return g
+
+    def run(node_class):
+        g = build_graph()
+        p = Placement()
+        instances = list(range(8)) if node_class == "asu" else [0]
+        if node_class == "host":
+            g.stages["normalize"].replicas = 1
+            g.stages["keep"].replicas = 1
+        p.assign("normalize", node_class, instances)
+        p.assign("keep", node_class, instances)
+        return PipelineJob(params, g, p, data, seed=1).run()
+
+    print(f"pipeline: normalize -> keep (10% selective), {n} records, 8 ASUs\n")
+    print(f"{'placement':>10s} {'makespan':>10s} {'interconnect':>13s} {'host util':>10s}")
+    outs = {}
+    for node_class in ("host", "asu"):
+        res = run(node_class)
+        outs[node_class] = np.sort(res.output["key"])
+        print(f"{node_class:>10s} {fmt_time(res.makespan):>10s} "
+              f"{fmt_bytes(res.net_bytes):>13s} {res.host_util[0]:>9.0%}")
+
+    assert np.array_equal(outs["host"], outs["asu"])
+    print(f"\nidentical outputs ({outs['host'].shape[0]} records); only the "
+          f"mapping of functors to processing elements changed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Regenerate the paper's Figure 10 (host utilization under skew).
+
+Run:  python examples/figure10.py [n_records_log2]
+"""
+
+import sys
+
+from repro.bench import run_figure10
+
+
+def main() -> None:
+    log_n = int(sys.argv[1]) if len(sys.argv) > 1 else 17
+    result = run_figure10(n_records=1 << log_n)
+    print(result.render())
+
+
+if __name__ == "__main__":
+    main()

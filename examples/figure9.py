@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Regenerate the paper's Figure 9 (speedup vs number of ASUs).
+
+Run:  python examples/figure9.py [n_records_log2]
+"""
+
+import sys
+
+from repro.bench import run_figure9
+
+
+def main() -> None:
+    log_n = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    result = run_figure9(n_records=1 << log_n)
+    print(result.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""TerraFlow: watershed analysis of a synthetic terrain (paper §4.1).
+
+Generates a rolling DEM with carved depressions, runs the three-step
+TerraFlow pipeline (restructure -> external sort by elevation -> watershed
+colouring by time-forward processing), prints an ASCII map of the watersheds,
+and reports which steps active storage can accelerate.
+
+Run:  python examples/terraflow_demo.py
+"""
+
+import numpy as np
+
+from repro.apps.terraflow import step_speedups, synthetic_dem, terraflow_pipeline
+from repro.bench.fig9 import fig9_params
+from repro.util.rng import RngRegistry
+
+
+def ascii_map(labels: np.ndarray) -> str:
+    glyphs = ".:+*#%@&oxABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    return "\n".join(
+        "".join(glyphs[v % len(glyphs)] for v in row) for row in labels
+    )
+
+
+def main() -> None:
+    rng = RngRegistry(4).get("dem")
+    grid = synthetic_dem(28, 56, rng, n_pits=6)
+
+    out = terraflow_pipeline(grid)
+    ws = out.watershed
+    print(f"terrain {grid.shape[0]}x{grid.shape[1]}: "
+          f"{ws.n_watersheds} watersheds, "
+          f"{ws.n_messages} time-forward messages "
+          f"({ws.pq_spilled_runs} external PQ spills), "
+          f"{out.sort_io_blocks} sort I/O blocks")
+    print()
+    print(ascii_map(ws.label_grid(grid)))
+    print()
+
+    peak = np.unravel_index(out.flow.accumulation.argmax(), grid.shape)
+    print(f"largest upstream area: {out.flow.accumulation.max()} cells "
+          f"draining through cell {peak}")
+
+    params = fig9_params(n_asus=16)
+    speedups = step_speedups(params, n_cells=1 << 17)
+    print("\nactive-storage speedup per step (16 ASUs):")
+    for step, s in speedups.items():
+        note = "easily distributed" if s > 1.5 else "order-dependent, stays on host"
+        print(f"  {step:12s} {s:5.2f}x   ({note})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""repro — reproduction of *Distributed Computing with Load-Managed Active
+Storage* (Wickremesinghe, Chase, Vitter; HPDC 2002).
+
+The package is organised like the paper's system stack:
+
+* :mod:`repro.sim` — deterministic discrete-event kernel (the emulator's
+  event queue, §5);
+* :mod:`repro.emulator` — timing-accurate emulation of hosts, ASUs, disks,
+  and the interconnect (§5, Figure 8);
+* :mod:`repro.bte` / :mod:`repro.containers` — TPIE's Block Transfer Engines
+  and the stream/set/array/packet containers (§3.1–3.2);
+* :mod:`repro.functors` — bounded-cost streaming primitives and dataflow
+  composition (§3.1);
+* :mod:`repro.tpie` — I/O-efficient external sort, k-way merge, priority
+  queue (§2.1);
+* :mod:`repro.core` — **the contribution**: cost bounds, pipeline
+  prediction, configuration solving, routing, placement, load management
+  (§3.3);
+* :mod:`repro.dsmsort` — the configurable distribute/sort/merge sort (§4.3);
+* :mod:`repro.apps` — TerraFlow terrain analysis and distributed R-trees
+  (§4.1–4.2);
+* :mod:`repro.bench` — regenerates Figures 9 and 10 plus ablations (§6).
+
+Quickstart::
+
+    from repro import SystemParams, DSMConfig, DsmSortJob
+
+    params = SystemParams(n_hosts=1, n_asus=16)            # the platform
+    config = DSMConfig.for_n(1 << 18, alpha=64, gamma=64)  # the plan
+    job = DsmSortJob(params, config, policy="sr")
+    result = job.run_pass1()                               # emulate pass 1
+    job.run_pass2()
+    job.verify()                                           # really sorted
+"""
+
+from .containers import Packet, RecordArray, RecordSet, RecordStream
+from .core import (
+    ConfigSolver,
+    DSMConfig,
+    LoadManager,
+    Placement,
+    PlacementSolver,
+    predict_pass1,
+    predict_speedup,
+)
+from .dsmsort import DsmSortJob, adaptive_config, dsm_sort_local, run_adaptive
+from .emulator import ActivePlatform, SystemParams, TimingMode
+from .util import DEFAULT_SCHEMA, RecordSchema, RngRegistry, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Packet",
+    "RecordArray",
+    "RecordSet",
+    "RecordStream",
+    "ConfigSolver",
+    "DSMConfig",
+    "LoadManager",
+    "Placement",
+    "PlacementSolver",
+    "predict_pass1",
+    "predict_speedup",
+    "DsmSortJob",
+    "adaptive_config",
+    "dsm_sort_local",
+    "run_adaptive",
+    "ActivePlatform",
+    "SystemParams",
+    "TimingMode",
+    "DEFAULT_SCHEMA",
+    "RecordSchema",
+    "RngRegistry",
+    "make_workload",
+    "__version__",
+]

@@ -1,0 +1,70 @@
+"""Command-line entry point: regenerate the paper's figures and ablations.
+
+Usage::
+
+    python -m repro fig9   [--n LOG2] [--c RATIO]
+    python -m repro fig10  [--n LOG2]
+    python -m repro sweep-c | sweep-routing | sweep-gamma
+    python -m repro all    [--n LOG2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures from 'Distributed Computing with "
+        "Load-Managed Active Storage' (HPDC 2002).",
+    )
+    parser.add_argument(
+        "target",
+        choices=["fig9", "fig10", "sweep-c", "sweep-routing", "sweep-gamma", "all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--n", type=int, default=17, metavar="LOG2",
+        help="log2 of the record count (default 17)",
+    )
+    parser.add_argument(
+        "--c", type=float, default=8.0,
+        help="host:ASU CPU power ratio for fig9 (default 8)",
+    )
+    args = parser.parse_args(argv)
+    n = 1 << args.n
+
+    from .bench import (
+        run_figure9,
+        run_figure10,
+        sweep_c,
+        sweep_gamma_split,
+        sweep_routing,
+    )
+
+    def fig9():
+        print(run_figure9(n_records=n, c=args.c).render())
+
+    def fig10():
+        print(run_figure10(n_records=n).render())
+
+    runners = {
+        "fig9": fig9,
+        "fig10": fig10,
+        "sweep-c": lambda: print(sweep_c(n_records=min(n, 1 << 17)).render()),
+        "sweep-routing": lambda: print(sweep_routing(n_records=min(n, 1 << 17)).render()),
+        "sweep-gamma": lambda: print(sweep_gamma_split(n_records=min(n, 1 << 16)).render()),
+    }
+    if args.target == "all":
+        for name, fn in runners.items():
+            print(f"=== {name} ===")
+            fn()
+    else:
+        runners[args.target]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

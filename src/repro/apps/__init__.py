@@ -1,0 +1,1 @@
+"""Example application domains: GIS terrain analysis and spatial indexing (§4)."""

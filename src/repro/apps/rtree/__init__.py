@@ -1,0 +1,34 @@
+"""Distributed R-trees on active storage (§4.2, Figure 5)."""
+
+from .distributed import DistributedRTree, QueryStats
+from .online import MaintenanceReport, OnlineDistributedRTree
+from .geometry import (
+    area,
+    contains_points,
+    intersects,
+    make_rects,
+    point_rects,
+    rects_valid,
+    union_mbr,
+)
+from .rtree import RTree, str_pack_order
+from .workload import clustered_points, random_points, window_queries
+
+__all__ = [
+    "DistributedRTree",
+    "QueryStats",
+    "MaintenanceReport",
+    "OnlineDistributedRTree",
+    "area",
+    "contains_points",
+    "intersects",
+    "make_rects",
+    "point_rects",
+    "rects_valid",
+    "union_mbr",
+    "RTree",
+    "str_pack_order",
+    "clustered_points",
+    "random_points",
+    "window_queries",
+]

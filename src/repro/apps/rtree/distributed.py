@@ -1,0 +1,233 @@
+"""Distributed R-tree organisations on ASUs (§4.2, Figure 5).
+
+Two ways to split the index between a host and D ASUs:
+
+* **partition** — "build a tree over all the data at each ASU, and treat each
+  as a leaf of the host tree".  The host keeps a small top tree whose leaves
+  are ASU subtree MBRs; a query descends the host tree and is forwarded only
+  to overlapping ASUs.  Searches distribute across ASUs — good throughput for
+  many concurrent queries.
+* **stripe** — "stripe a host leaf across all of the ASUs".  Data is dealt
+  round-robin; every query executes in parallel on all ASUs, each scanning
+  1/D of the work — bounded latency for a single query.
+* **hybrid** — "hybrid solutions using a subset of the ASUs or replicating
+  subtrees on multiple ASUs are also possible": the space is partitioned into
+  D/k regions and each region's subtree is replicated on k ASUs; queries go
+  to the least-recently-used replica, trading storage for concurrency within
+  hot regions.
+
+The emulated query engine charges each ASU ``visits x page-cost`` CPU for its
+local search (real searches produce the visit counts) plus message costs, and
+reports per-query latency and batch throughput for either organisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...emulator.params import SystemParams
+from ...emulator.platform import ActivePlatform
+from .geometry import union_mbr
+from .rtree import RTree
+
+__all__ = ["DistributedRTree", "QueryStats"]
+
+#: CPU cycles to inspect one R-tree node page (scan + compares)
+CYCLES_PER_VISIT = 20_000.0
+#: bytes per forwarded query / reply message header
+QUERY_MSG_BYTES = 64
+
+
+@dataclass
+class QueryStats:
+    """Result of an emulated query batch."""
+
+    organisation: str
+    n_queries: int
+    makespan: float
+    mean_latency: float
+    max_latency: float
+    total_asu_visits: int
+    #: ASUs contacted per query (average)
+    mean_fanout: float
+
+    @property
+    def throughput(self) -> float:
+        return self.n_queries / self.makespan if self.makespan > 0 else 0.0
+
+
+class DistributedRTree:
+    """An R-tree split across ASUs in either Figure-5 organisation."""
+
+    def __init__(
+        self,
+        rects: np.ndarray,
+        params: SystemParams,
+        organisation: str = "partition",
+        page: int = 64,
+        replication: int = 2,
+    ):
+        if organisation not in ("partition", "stripe", "hybrid"):
+            raise ValueError("organisation must be 'partition', 'stripe' or 'hybrid'")
+        self.params = params
+        self.organisation = organisation
+        self.page = page
+        self.rects = np.atleast_2d(np.asarray(rects, dtype=np.float64))
+        D = params.n_asus
+        n = self.rects.shape[0]
+        self.replication = 1
+        #: per-group round-robin cursor over that group's replicas
+        self._replica_rr: dict[int, int] = {}
+
+        if organisation == "partition":
+            # Spatial partition: pack all rects, deal contiguous chunks so
+            # each ASU owns a compact region.
+            base = RTree(self.rects, page=page)
+            packed_ids = base.order
+            chunks = np.array_split(packed_ids, D)
+        elif organisation == "hybrid":
+            if not 1 <= replication <= D:
+                raise ValueError(f"replication must be in [1, {D}]")
+            self.replication = int(replication)
+            n_groups = max(1, D // self.replication)
+            base = RTree(self.rects, page=page)
+            group_chunks = np.array_split(base.order, n_groups)
+            # ASU d serves group d % n_groups: each group gets >= replication
+            # replicas spread across the ASU population.
+            chunks = [group_chunks[d % n_groups] for d in range(D)]
+            self._n_groups = n_groups
+        else:
+            # Stripe: deal round-robin so every ASU sees every region.
+            chunks = [np.arange(d, n, D, dtype=np.int64) for d in range(D)]
+
+        #: per-ASU (global ids, local subtree)
+        self.asu_ids: list[np.ndarray] = []
+        self.asu_trees: list[RTree] = []
+        for chunk in chunks:
+            self.asu_ids.append(np.asarray(chunk, dtype=np.int64))
+            self.asu_trees.append(RTree(self.rects[chunk], page=page))
+        #: host-level MBR per ASU subtree (the "host tree" leaves)
+        self.host_mbrs = np.stack(
+            [
+                union_mbr(self.rects[ids]) if ids.shape[0] else
+                np.array([np.inf, np.inf, -np.inf, -np.inf])
+                for ids in self.asu_ids
+            ]
+        )
+
+    # -- logical search ------------------------------------------------------
+    def asus_for(self, window: np.ndarray) -> list[int]:
+        """Which ASUs a query must visit.
+
+        For the hybrid organisation this *rotates* among a group's replicas,
+        so repeated calls for the same window may return different (equally
+        correct) replica choices — by design, that is the load spreading.
+        """
+        from .geometry import intersects
+
+        D = self.params.n_asus
+        if self.organisation == "stripe":
+            return list(range(D))
+        mask = intersects(self.host_mbrs, np.asarray(window, dtype=np.float64))
+        hits = [int(i) for i in np.nonzero(mask)[0]]
+        if self.organisation != "hybrid":
+            return hits
+        # One replica per distinct group, chosen round-robin per group.
+        groups = sorted({d % self._n_groups for d in hits})
+        out = []
+        for group in groups:
+            replicas = [d for d in range(D) if d % self._n_groups == group]
+            cursor = self._replica_rr.get(group, 0)
+            out.append(replicas[cursor % len(replicas)])
+            self._replica_rr[group] = cursor + 1
+        return out
+
+    def query_local(self, window: np.ndarray) -> np.ndarray:
+        """Pure (non-emulated) distributed query, for correctness checks."""
+        out = []
+        for d in self.asus_for(window):
+            local_ids, _v = self.asu_trees[d].query(window)
+            if local_ids.shape[0]:
+                out.append(self.asu_ids[d][local_ids])
+        ids = np.concatenate(out) if out else np.empty(0, dtype=np.int64)
+        return np.sort(ids)
+
+    # -- emulated execution ------------------------------------------------------
+    def run_queries(self, windows: np.ndarray, seed: int = 0) -> QueryStats:
+        """Emulate a batch of concurrent window queries.
+
+        The host dispatches every query at t=0 (a server handling concurrent
+        search requests); each contacted ASU searches its subtree for real,
+        charging visit costs; the host collects all replies.
+        """
+        windows = np.atleast_2d(np.asarray(windows, dtype=np.float64))
+        plat = ActivePlatform(self.params)
+        host = plat.hosts[0]
+        latencies: dict[int, float] = {}
+        issue_time: dict[int, float] = {}
+        total_visits = 0
+
+        # Resolve targets once: the hybrid organisation's replica rotation is
+        # stateful, so every participant must see the same decision.
+        targets_per_query = [self.asus_for(w) for w in windows]
+        fanouts = [len(t) for t in targets_per_query]
+        n_replies_expected = sum(fanouts)
+
+        def host_proc():
+            # Dispatch: small CPU cost per query to route through host tree.
+            for qi, w in enumerate(windows):
+                targets = targets_per_query[qi]
+                issue_time[qi] = plat.sim.now
+                yield from host.cpu.execute(
+                    cycles=CYCLES_PER_VISIT * max(1, len(self.host_mbrs)) / self.page
+                )
+                if not targets:
+                    # No ASU subtree overlaps: the host tree answers alone.
+                    latencies[qi] = plat.sim.now - issue_time[qi]
+                for d in targets:
+                    yield from host.send_async(
+                        plat.asus[d], ("query", qi, w), QUERY_MSG_BYTES, tag="q"
+                    )
+            # Collect replies.
+            outstanding = {qi: len(t) for qi, t in enumerate(targets_per_query)}
+            received = 0
+            while received < n_replies_expected:
+                msg = yield from host.recv()
+                _kind, qi, _ids = msg.payload
+                received += 1
+                outstanding[qi] -= 1
+                if outstanding[qi] == 0:
+                    latencies[qi] = plat.sim.now - issue_time[qi]
+
+        def asu_proc(d):
+            nonlocal total_visits
+            asu = plat.asus[d]
+            expected = sum(1 for t in targets_per_query if d in t)
+            for _ in range(expected):
+                msg = yield from asu.recv()
+                _kind, qi, w = msg.payload
+                local_ids, visits = self.asu_trees[d].query(w)
+                total_visits += visits
+                # Leaf pages stream off the local disk.
+                yield from asu.disk.read(visits * self.page * 32)
+                yield from asu.cpu.execute(cycles=visits * CYCLES_PER_VISIT)
+                ids = self.asu_ids[d][local_ids] if local_ids.shape[0] else local_ids
+                nbytes = QUERY_MSG_BYTES + ids.shape[0] * 8
+                yield from asu.send_async(host, ("reply", qi, ids), nbytes, tag="r")
+
+        procs = [plat.spawn(host_proc(), name="host")]
+        procs += [plat.spawn(asu_proc(d), name=f"asu{d}") for d in range(self.params.n_asus)]
+        plat.run(wait_for=procs)
+
+        lat = np.array([latencies[qi] for qi in range(windows.shape[0])])
+        return QueryStats(
+            organisation=self.organisation,
+            n_queries=windows.shape[0],
+            makespan=plat.sim.now,
+            mean_latency=float(lat.mean()),
+            max_latency=float(lat.max()),
+            total_asu_visits=total_visits,
+            mean_fanout=float(np.mean(fanouts)),
+        )

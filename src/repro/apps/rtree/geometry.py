@@ -1,0 +1,75 @@
+"""Rectangle geometry for spatial indexing (§4.2).
+
+Rectangles are stored as ``(N, 4)`` float64 arrays of ``[xmin, ymin, xmax,
+ymax]`` so intersection tests vectorise over whole node pages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "make_rects",
+    "rects_valid",
+    "intersects",
+    "contains_points",
+    "union_mbr",
+    "area",
+    "point_rects",
+]
+
+
+def make_rects(xmin, ymin, xmax, ymax) -> np.ndarray:
+    """Stack coordinate arrays into an (N, 4) rect array."""
+    return np.stack(
+        [
+            np.asarray(xmin, dtype=np.float64),
+            np.asarray(ymin, dtype=np.float64),
+            np.asarray(xmax, dtype=np.float64),
+            np.asarray(ymax, dtype=np.float64),
+        ],
+        axis=-1,
+    )
+
+
+def point_rects(x, y) -> np.ndarray:
+    """Degenerate rectangles for points."""
+    return make_rects(x, y, x, y)
+
+
+def rects_valid(rects: np.ndarray) -> bool:
+    r = np.atleast_2d(rects)
+    return bool(np.all(r[:, 0] <= r[:, 2]) and np.all(r[:, 1] <= r[:, 3]))
+
+
+def intersects(rects: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Boolean mask: which rects overlap the query rect (borders touch)."""
+    r = np.atleast_2d(rects)
+    q = np.asarray(query, dtype=np.float64)
+    return (
+        (r[:, 0] <= q[2])
+        & (r[:, 2] >= q[0])
+        & (r[:, 1] <= q[3])
+        & (r[:, 3] >= q[1])
+    )
+
+
+def contains_points(query: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    q = np.asarray(query, dtype=np.float64)
+    return (x >= q[0]) & (x <= q[2]) & (y >= q[1]) & (y <= q[3])
+
+
+def union_mbr(rects: np.ndarray) -> np.ndarray:
+    """Minimum bounding rectangle of a set of rects."""
+    r = np.atleast_2d(rects)
+    if r.shape[0] == 0:
+        raise ValueError("union of zero rectangles")
+    return np.array(
+        [r[:, 0].min(), r[:, 1].min(), r[:, 2].max(), r[:, 3].max()],
+        dtype=np.float64,
+    )
+
+
+def area(rects: np.ndarray) -> np.ndarray:
+    r = np.atleast_2d(rects)
+    return (r[:, 2] - r[:, 0]) * (r[:, 3] - r[:, 1])

@@ -1,0 +1,156 @@
+"""A packed R-tree with STR bulk loading (§4.2).
+
+Built bottom-up with the Sort-Tile-Recursive method: leaves are filled with
+spatially adjacent entries, then each level's MBRs are packed the same way
+until a single root remains.  Nodes are arrays, queries are vectorised, and
+the search counts node visits — the cost measure the distributed
+organisations charge to the emulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .geometry import intersects, union_mbr
+
+__all__ = ["RTree", "str_pack_order"]
+
+
+def str_pack_order(rects: np.ndarray, page: int) -> np.ndarray:
+    """Sort-Tile-Recursive ordering: x-slabs, then y within each slab."""
+    n = rects.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    cx = (rects[:, 0] + rects[:, 2]) / 2.0
+    cy = (rects[:, 1] + rects[:, 3]) / 2.0
+    n_pages = math.ceil(n / page)
+    n_slabs = max(1, math.ceil(math.sqrt(n_pages)))
+    slab_size = math.ceil(n / n_slabs)
+    by_x = np.lexsort((np.arange(n), cx))
+    order = []
+    for s in range(0, n, slab_size):
+        slab = by_x[s : s + slab_size]
+        slab_sorted = slab[np.lexsort((slab, cy[slab]))]
+        order.append(slab_sorted)
+    return np.concatenate(order)
+
+
+@dataclass
+class _Level:
+    """One tree level: each node spans a contiguous child range below."""
+
+    mbrs: np.ndarray          # (n_nodes, 4)
+    child_start: np.ndarray   # first child index in the level below
+    child_count: np.ndarray
+
+
+@dataclass
+class RTree:
+    """Packed R-tree over data rectangles (ids are positions in ``rects``)."""
+
+    rects: np.ndarray
+    page: int = 64
+    #: levels[0] is the leaf level; levels[-1] has a single root node
+    levels: list[_Level] = field(default_factory=list, repr=False)
+    #: permutation applied to the input: data slot i holds input rects[order[i]]
+    order: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.page < 2:
+            raise ValueError("page size must be >= 2")
+        self.rects = np.atleast_2d(np.asarray(self.rects, dtype=np.float64))
+        if self.rects.shape[0] and self.rects.shape[1] != 4:
+            raise ValueError("rects must be (N, 4)")
+        self._build()
+
+    # -- construction ---------------------------------------------------------
+    def _build(self) -> None:
+        n = self.rects.shape[0]
+        self.order = str_pack_order(self.rects, self.page) if n else np.empty(0, np.int64)
+        data = self.rects[self.order] if n else self.rects
+        self._data = data
+        if n == 0:
+            self.levels = []
+            return
+        # Leaf level: group the packed data into pages.
+        levels = []
+        starts = np.arange(0, n, self.page)
+        counts = np.minimum(self.page, n - starts)
+        mbrs = np.stack([union_mbr(data[s : s + c]) for s, c in zip(starts, counts)])
+        levels.append(_Level(mbrs, starts, counts))
+        # Upper levels pack the level below.
+        while levels[-1].mbrs.shape[0] > 1:
+            below = levels[-1].mbrs
+            m = below.shape[0]
+            order = str_pack_order(below, self.page)
+            below_sorted = below[order]
+            # Permute the level below into packed order so parents span
+            # contiguous ranges.
+            levels[-1] = _Level(
+                below_sorted,
+                levels[-1].child_start[order],
+                levels[-1].child_count[order],
+            )
+            starts = np.arange(0, m, self.page)
+            counts = np.minimum(self.page, m - starts)
+            mbrs = np.stack(
+                [union_mbr(below_sorted[s : s + c]) for s, c in zip(starts, counts)]
+            )
+            levels.append(_Level(mbrs, starts, counts))
+        self.levels = levels
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        return len(self.levels)
+
+    @property
+    def n_items(self) -> int:
+        return int(self.rects.shape[0])
+
+    def query(self, window: np.ndarray) -> tuple[np.ndarray, int]:
+        """Ids of data rects intersecting the window, plus nodes visited.
+
+        Node visits include the leaf pages scanned; the visit count is the
+        I/O-and-CPU cost measure for the distributed organisations.
+        """
+        if not self.levels:
+            return np.empty(0, dtype=np.int64), 0
+        window = np.asarray(window, dtype=np.float64)
+        visits = 0
+        # Walk down from the root.
+        frontier = np.array([0], dtype=np.int64)  # node indices at top level
+        for li in range(len(self.levels) - 1, 0, -1):
+            level = self.levels[li]
+            visits += frontier.shape[0]
+            next_frontier = []
+            for node in frontier:
+                if intersects(level.mbrs[node : node + 1], window)[0]:
+                    s = level.child_start[node]
+                    c = level.child_count[node]
+                    hits = np.nonzero(
+                        intersects(self.levels[li - 1].mbrs[s : s + c], window)
+                    )[0]
+                    next_frontier.append(s + hits)
+            frontier = (
+                np.concatenate(next_frontier) if next_frontier else np.empty(0, np.int64)
+            )
+        # Leaf pages: scan matching data entries.
+        leaves = self.levels[0]
+        visits += frontier.shape[0]
+        out = []
+        for node in frontier:
+            s = leaves.child_start[node]
+            c = leaves.child_count[node]
+            hits = np.nonzero(intersects(self._data[s : s + c], window))[0]
+            if hits.shape[0]:
+                out.append(self.order[s + hits])
+        ids = np.concatenate(out) if out else np.empty(0, dtype=np.int64)
+        return np.sort(ids), visits
+
+    def query_brute(self, window: np.ndarray) -> np.ndarray:
+        """Reference linear scan."""
+        return np.sort(np.nonzero(intersects(self.rects, window))[0])

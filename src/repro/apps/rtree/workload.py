@@ -1,0 +1,43 @@
+"""Spatial workload generators for the R-tree experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .geometry import make_rects
+
+__all__ = ["random_points", "clustered_points", "window_queries"]
+
+
+def random_points(rng: np.random.Generator, n: int, extent: float = 1000.0) -> np.ndarray:
+    """Uniform point rectangles in [0, extent)^2."""
+    x = rng.random(n) * extent
+    y = rng.random(n) * extent
+    return make_rects(x, y, x, y)
+
+
+def clustered_points(
+    rng: np.random.Generator,
+    n: int,
+    n_clusters: int = 8,
+    extent: float = 1000.0,
+    spread: float = 20.0,
+) -> np.ndarray:
+    """Gaussian clusters — the skewed spatial distribution."""
+    centers = rng.random((n_clusters, 2)) * extent
+    which = rng.integers(0, n_clusters, size=n)
+    pts = centers[which] + rng.normal(0.0, spread, size=(n, 2))
+    pts = np.clip(pts, 0.0, extent)
+    return make_rects(pts[:, 0], pts[:, 1], pts[:, 0], pts[:, 1])
+
+
+def window_queries(
+    rng: np.random.Generator,
+    n: int,
+    extent: float = 1000.0,
+    window: float = 50.0,
+) -> np.ndarray:
+    """Square window queries of side ``window`` placed uniformly."""
+    x = rng.random(n) * (extent - window)
+    y = rng.random(n) * (extent - window)
+    return make_rects(x, y, x + window, y + window)

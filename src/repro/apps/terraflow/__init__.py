@@ -1,0 +1,54 @@
+"""TerraFlow: I/O-efficient terrain analysis (watershed + flow, §4.1)."""
+
+from .flow import (
+    FlowResult,
+    d8_directions,
+    flow_accumulation,
+    flow_accumulation_reference,
+)
+from .grid import NEIGHBOR_OFFSETS, TerrainGrid, cone_dem, synthetic_dem
+from .pipeline import (
+    StepPhaseJob,
+    distributed_elevation_sort,
+    TerraflowOutput,
+    sortable_f64_key,
+    step_speedups,
+    terraflow_emulated,
+    TerraflowEmulation,
+    terraflow_pipeline,
+)
+from .restructure import (
+    CELL_DTYPE,
+    CELL_SCHEMA,
+    cells_as_set,
+    restructure,
+    restructure_blocked,
+)
+from .watershed import WatershedResult, watershed_labels, watershed_reference
+
+__all__ = [
+    "FlowResult",
+    "d8_directions",
+    "flow_accumulation",
+    "flow_accumulation_reference",
+    "NEIGHBOR_OFFSETS",
+    "TerrainGrid",
+    "cone_dem",
+    "synthetic_dem",
+    "StepPhaseJob",
+    "distributed_elevation_sort",
+    "TerraflowOutput",
+    "sortable_f64_key",
+    "step_speedups",
+    "terraflow_emulated",
+    "TerraflowEmulation",
+    "terraflow_pipeline",
+    "CELL_DTYPE",
+    "CELL_SCHEMA",
+    "cells_as_set",
+    "restructure",
+    "restructure_blocked",
+    "WatershedResult",
+    "watershed_labels",
+    "watershed_reference",
+]

@@ -1,0 +1,345 @@
+"""The TerraFlow pipeline (§4.1) and its per-step distribution analysis.
+
+Steps, exactly as the paper describes the watershed computation:
+
+1. **Restructure** the grid into self-contained cell records (stream → set;
+   easily distributed by blocking);
+2. **External sort** the records by elevation (DSM-Sort's domain);
+3. **Watershed colouring** by time-forward processing (hard to parallelise:
+   relies on ordering).
+
+:func:`terraflow_pipeline` runs the real computation end-to-end over a BTE.
+:class:`StepPhaseJob` emulates the *distribution* of a phase on the active
+platform — it demonstrates the paper's claim that "data parallelism in ASUs
+may improve the first two steps considerably while offering limited
+improvement of the final step".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...bte.base import BTE
+from ...bte.memory import MemoryBTE
+from ...core.costs import RecordCosts
+from ...emulator.params import SystemParams
+from ...emulator.platform import ActivePlatform
+from ...tpie.external_sort import external_sort
+from ...util.records import RecordSchema
+from .flow import FlowResult, flow_accumulation
+from .grid import TerrainGrid
+from .restructure import CELL_DTYPE, restructure
+from .watershed import WatershedResult, watershed_labels
+
+__all__ = [
+    "distributed_elevation_sort",
+    "terraflow_emulated",
+    "TerraflowEmulation",
+    "sortable_f64_key",
+    "terraflow_pipeline",
+    "TerraflowOutput",
+    "StepPhaseJob",
+    "step_speedups",
+]
+
+#: sort records: elevation key (order-preserving u64) + cell id payload
+SORT_SCHEMA = RecordSchema(record_size=16, key_dtype="<u8")
+
+
+def sortable_f64_key(x: np.ndarray) -> np.ndarray:
+    """Map float64 to uint64 preserving order (IEEE-754 total order trick)."""
+    bits = np.asarray(x, dtype=np.float64).view(np.int64)
+    flipped = np.where(bits >= 0, bits ^ np.int64(-0x8000000000000000), ~bits)
+    return flipped.view(np.uint64)
+
+
+@dataclass
+class TerraflowOutput:
+    """Everything the pipeline produced, plus per-step accounting."""
+
+    watershed: WatershedResult
+    flow: FlowResult
+    sort_io_blocks: int
+    elevation_order: np.ndarray
+    step_records: dict[str, int] = field(default_factory=dict)
+
+
+def terraflow_pipeline(
+    grid: TerrainGrid,
+    bte: BTE | None = None,
+    memory_records: int = 1 << 14,
+    fan_in: int = 8,
+) -> TerraflowOutput:
+    """Run restructure → external sort → watershed (+ flow accumulation)."""
+    bte = bte if bte is not None else MemoryBTE(SORT_SCHEMA)
+
+    # -- step 1: restructure (the real cell records) -------------------------
+    cells = restructure(grid)
+
+    # -- step 2: external sort by elevation -----------------------------------
+    sort_in = np.empty(grid.n_cells, dtype=SORT_SCHEMA.dtype)
+    sort_in["key"] = sortable_f64_key(cells["elev"])
+    # Payload carries the cell id (little-endian bytes of the int64).
+    sort_in["payload"] = cells["cell"].astype("<i8").view("V8")
+    bte.write_all("tf.sort_in", sort_in)
+    before = bte.stats.total_ios
+    out_handle, _stats = external_sort(
+        bte, bte.open("tf.sort_in"), "tf.sort_out",
+        memory_records=memory_records, fan_in=fan_in,
+    )
+    sort_io = bte.stats.total_ios - before
+    sorted_records = bte.read_all(out_handle)
+    keys = sorted_records["key"]
+    ids = sorted_records["payload"].view("<i8").ravel()
+    # Canonical tie order: equal elevations process in cell-id order.  The
+    # merge is not stable across runs, so re-rank ties explicitly.
+    order = ids[np.lexsort((ids, keys))].astype(np.int64)
+
+    expected = grid.elevation_order()
+    if not np.array_equal(order, expected):
+        raise AssertionError("external sort order disagrees with elevation order")
+
+    # -- step 3: watershed colouring (time-forward processing) ----------------
+    ws = watershed_labels(grid)
+
+    # -- bonus index: flow accumulation ---------------------------------------
+    fl = flow_accumulation(grid)
+
+    return TerraflowOutput(
+        watershed=ws,
+        flow=fl,
+        sort_io_blocks=sort_io,
+        elevation_order=order,
+        step_records={
+            "restructure": int(cells.shape[0]),
+            "sort": int(sorted_records.shape[0]),
+            "watershed": int(ws.labels.shape[0]),
+        },
+    )
+
+
+def distributed_elevation_sort(
+    grid: TerrainGrid,
+    params: SystemParams,
+    alpha: int = 16,
+    gamma: int = 16,
+    seed: int = 0,
+):
+    """Run TerraFlow's step 2 through the *emulated* DSM-Sort.
+
+    The grid's cells become 16-byte sort records (order-preserving uint64
+    elevation key + cell id payload), pre-distributed across the ASUs by row
+    band — exactly the data layout step 1 leaves behind.  Returns the
+    finished :class:`~repro.dsmsort.runtime.DsmSortJob` (verified) and the
+    canonical elevation order recovered from its output.
+    """
+    from ...core.config import DSMConfig
+    from ...dsmsort.runtime import DsmSortJob
+
+    sort_params = params.with_(schema=SORT_SCHEMA)
+    n = grid.n_cells
+    keys = sortable_f64_key(grid.elev.ravel())
+    records = np.empty(n, dtype=SORT_SCHEMA.dtype)
+    records["key"] = keys
+    records["payload"] = np.arange(n, dtype="<i8").view("V8")
+    bounds = np.linspace(0, n, sort_params.n_asus + 1).astype(int)
+    asu_data = [records[lo:hi] for lo, hi in zip(bounds, bounds[1:])]
+
+    cfg = DSMConfig.for_n(max(n, 1), alpha=alpha, gamma=gamma)
+    job = DsmSortJob(sort_params, cfg, policy="sr", seed=seed, asu_data=asu_data)
+    job.run_pass1()
+    job.run_pass2()
+    job.verify()
+
+    out = job.collected_output()
+    ids = out["payload"].view("<i8").ravel()
+    order = ids[np.lexsort((ids, out["key"]))].astype(np.int64)
+    return job, order
+
+
+@dataclass
+class TerraflowEmulation:
+    """End-to-end emulated TerraFlow run: per-step makespans + real outputs."""
+
+    makespans: dict[str, float]
+    watershed: WatershedResult
+    elevation_order: np.ndarray
+
+    @property
+    def total_makespan(self) -> float:
+        return sum(self.makespans.values())
+
+
+def terraflow_emulated(
+    grid: TerrainGrid,
+    params: SystemParams,
+    alpha: int = 8,
+    gamma: int = 16,
+    seed: int = 0,
+) -> TerraflowEmulation:
+    """Run the whole watershed computation on the emulated platform.
+
+    * step 1 (restructure) executes as a distributable map phase on the ASUs;
+    * step 2 (sort by elevation) runs through the emulated DSM-Sort on the
+      real cell keys and is verified against the grid's canonical order;
+    * step 3 (watershed colouring) is order-dependent: its records stream to
+      one host, where the time-forward processing really runs.
+
+    The per-step makespans quantify §4.1's claim — steps 1–2 benefit from
+    the ASUs, step 3 does not.
+    """
+    import math
+
+    n = grid.n_cells
+    logn = max(1.0, math.log2(max(n, 2)))
+
+    # Step 1 on ASUs (distributable).
+    t1 = StepPhaseJob(params, n, compares_per_record=8.0, distributable=True).run(
+        active=True
+    )
+
+    # Step 2 through the emulated DSM-Sort (really sorts; verified inside).
+    job, order = distributed_elevation_sort(
+        grid, params, alpha=alpha, gamma=gamma, seed=seed
+    )
+    t2 = job.run_pass1().makespan + job.run_pass2().makespan
+
+    # Step 3 at one host (order-dependent): emulated streaming time plus the
+    # real computation.
+    t3 = StepPhaseJob(
+        params, n, compares_per_record=2.0 * logn, distributable=False
+    ).run(active=True)
+    ws = watershed_labels(grid)
+
+    return TerraflowEmulation(
+        makespans={"restructure": t1, "sort": t2, "watershed": t3},
+        watershed=ws,
+        elevation_order=order,
+    )
+
+
+class StepPhaseJob:
+    """Emulate one TerraFlow phase on the active platform.
+
+    A phase is characterised by its per-record comparison cost and whether it
+    is *distributable* (step 1: blocked map, runs where the data lives) or
+    *order-dependent* (step 3: must run on one host in a global order).
+
+    Distributable + active: each ASU reads its blocks, computes in place,
+    writes results back — no interconnect traffic at all.
+    Distributable + passive: blocks stream to the host, which computes and
+    streams results back.
+    Order-dependent: data streams to one host in both modes; ASU processing
+    cannot help because the global order serialises the computation (§4.1).
+    """
+
+    def __init__(
+        self,
+        params: SystemParams,
+        n_records: int,
+        compares_per_record: float,
+        distributable: bool,
+        record_size: int = 80,
+    ):
+        self.params = params
+        self.n = int(n_records)
+        self.cpr = float(compares_per_record)
+        self.distributable = distributable
+        self.rs = int(record_size)
+        self.costs = RecordCosts(params)
+
+    def _cycles(self, n: int) -> float:
+        return n * (
+            self.cpr * self.params.cycles_per_compare
+            + self.params.cycles_per_record
+        )
+
+    def run(self, active: bool) -> float:
+        """Makespan of the phase under the given placement."""
+        plat = ActivePlatform(self.params)
+        D = self.params.n_asus
+        blk = self.params.block_records
+        per_asu = self.n // D
+        rs = self.rs
+        host = plat.hosts[0]
+        io_c = rs * self.params.cycles_per_io_byte
+        net_c = rs * self.params.cycles_per_net_byte
+
+        def asu_local(d):
+            """Active distributable phase: read, compute, write, all local."""
+            asu = plat.asus[d]
+            remaining = per_asu
+            pending = plat.spawn(asu.disk.read(min(blk, remaining) * rs)) if remaining else None
+            while remaining > 0:
+                n = min(blk, remaining)
+                remaining -= n
+                yield pending
+                if remaining:
+                    pending = plat.spawn(asu.disk.read(min(blk, remaining) * rs))
+                yield from asu.cpu.execute(cycles=n * io_c + self._cycles(n))
+                yield from asu.disk_write(n * rs)
+            yield from asu.disk.drain()
+
+        def asu_stream(d, charge_cpu):
+            """Stream blocks to the host (passive or order-dependent)."""
+            asu = plat.asus[d]
+            remaining = per_asu
+            pending = plat.spawn(asu.disk.read(min(blk, remaining) * rs)) if remaining else None
+            while remaining > 0:
+                n = min(blk, remaining)
+                remaining -= n
+                yield pending
+                if remaining:
+                    pending = plat.spawn(asu.disk.read(min(blk, remaining) * rs))
+                if charge_cpu:
+                    yield from asu.cpu.execute(cycles=n * (io_c + net_c))
+                plat.network.post(asu.node_id, host.node_id, n, n * rs)
+            plat.network.post(asu.node_id, host.node_id, None, 16)
+
+        def host_sink():
+            """Host computes on every streamed block."""
+            eofs = 0
+            while eofs < D:
+                msg = yield host.mailbox.get()
+                if msg.payload is None:
+                    eofs += 1
+                    continue
+                n = msg.payload
+                yield from host.cpu.execute(
+                    cycles=n * net_c + self._cycles(n) + n * net_c
+                )
+
+        procs = []
+        if active and self.distributable:
+            procs += [plat.spawn(asu_local(d)) for d in range(D)]
+        else:
+            charge = active  # active ASUs pay their own streaming CPU
+            procs += [plat.spawn(asu_stream(d, charge)) for d in range(D)]
+            procs.append(plat.spawn(host_sink()))
+        plat.run(wait_for=procs)
+        return plat.sim.now
+
+
+def step_speedups(params: SystemParams, n_cells: int) -> dict[str, float]:
+    """Active-vs-passive speedup per TerraFlow step (the §4.1 claim).
+
+    Step costs (compares/record): restructure ≈ 8 (one visit per neighbour),
+    sort ≈ log2(n), watershed ≈ 2·log2(n) (PQ push+pop) but order-dependent.
+    """
+    import math
+
+    logn = max(1.0, math.log2(max(n_cells, 2)))
+    steps = {
+        "restructure": (8.0, True),
+        "sort": (logn, True),
+        "watershed": (2.0 * logn, False),
+    }
+    out = {}
+    for name, (cpr, distributable) in steps.items():
+        job = StepPhaseJob(params, n_cells, cpr, distributable)
+        t_passive = job.run(active=False)
+        t_active = job.run(active=True)
+        out[name] = t_passive / t_active
+    return out

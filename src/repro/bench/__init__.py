@@ -1,0 +1,24 @@
+"""Bench harness: regenerates every evaluation figure plus ablations."""
+
+from .fig9 import FIG9_ALPHAS, FIG9_ASU_COUNTS, Figure9Result, fig9_params, run_figure9
+from .fig10 import Figure10Result, fig10_params, run_figure10
+from .report import ascii_plot, render_series_table, render_table
+from .sweeps import SweepResult, sweep_c, sweep_gamma_split, sweep_routing
+
+__all__ = [
+    "FIG9_ALPHAS",
+    "FIG9_ASU_COUNTS",
+    "Figure9Result",
+    "fig9_params",
+    "run_figure9",
+    "Figure10Result",
+    "fig10_params",
+    "run_figure10",
+    "ascii_plot",
+    "render_series_table",
+    "render_table",
+    "SweepResult",
+    "sweep_c",
+    "sweep_gamma_split",
+    "sweep_routing",
+]

@@ -1,0 +1,89 @@
+"""Plain-text report rendering for the bench harness.
+
+The paper's figures are line charts; we emit the underlying series as aligned
+tables (one row per x value, one column per series) plus simple ASCII sparkline
+plots, so `pytest benchmarks/ --benchmark-only` output can be compared to the
+paper's figures directly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_table", "render_series_table", "ascii_plot"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Fixed-width table with right-aligned numeric cells."""
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            return f"{v:.3f}"
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_series_table(
+    x_label: str,
+    xs: Sequence,
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """Table with x in the first column and one column per named series."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x, *(vals[i] for vals in series.values())])
+    return render_table(headers, rows, title=title)
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Crude multi-series scatter plot for terminals."""
+    marks = "ox+*#@%&"
+    all_vals = [v for vals in series.values() for v in vals]
+    if not all_vals or not xs:
+        return f"{title} (no data)"
+    ymin, ymax = min(all_vals + [0.0]), max(all_vals)
+    if ymax == ymin:
+        ymax = ymin + 1.0
+    xmin, xmax = min(xs), max(xs)
+    if xmax == xmin:
+        xmax = xmin + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, vals) in enumerate(series.items()):
+        m = marks[si % len(marks)]
+        for x, v in zip(xs, vals):
+            col = int((x - xmin) / (xmax - xmin) * (width - 1))
+            row = int((v - ymin) / (ymax - ymin) * (height - 1))
+            grid[height - 1 - row][col] = m
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{ymax:8.2f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 9 + "|" + "".join(row))
+    lines.append(f"{ymin:8.2f} +" + "-" * width)
+    lines.append(" " * 10 + f"{xmin:<10.4g}{' ' * max(0, width - 20)}{xmax:>10.4g}")
+    legend = "   ".join(
+        f"{marks[i % len(marks)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

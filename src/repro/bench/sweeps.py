@@ -1,0 +1,141 @@
+"""Ablation sweeps for the design choices DESIGN.md calls out.
+
+* ``sweep_c`` — sensitivity to the host:ASU power ratio c (paper simulates
+  c = 4 and c = 8, §6);
+* ``sweep_routing`` — routing policies under the Figure-10 skew workload;
+* ``sweep_gamma_split`` — pass-2 merge fan-in split γ1·γ2 = γ between ASUs
+  and hosts (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import ConfigSolver, DSMConfig
+from ..dsmsort.runtime import DsmSortJob
+from .fig9 import BASELINE_ALPHA, fig9_params
+from .report import render_series_table, render_table
+
+__all__ = ["sweep_c", "sweep_routing", "sweep_gamma_split", "SweepResult"]
+
+
+@dataclass
+class SweepResult:
+    title: str
+    x_label: str
+    xs: list = field(default_factory=list)
+    series: dict[str, list[float]] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        out = render_series_table(self.x_label, self.xs, self.series, title=self.title)
+        if self.notes:
+            out += f"\n{self.notes}"
+        return out + "\n"
+
+
+def sweep_c(
+    n_records: int = 1 << 17,
+    asu_counts=(2, 8, 32),
+    cs=(4.0, 8.0),
+    alpha: int = 64,
+    gamma: int = 64,
+    seed: int = 42,
+) -> SweepResult:
+    """Speedup vs D for c = 4 and c = 8 — stronger ASUs help everywhere."""
+    res = SweepResult(
+        title=f"Ablation — ASU power ratio c (alpha={alpha}, n={n_records})",
+        x_label="ASUs",
+        xs=list(asu_counts),
+        notes="speedup vs passive baseline; c=4 ASUs are twice as strong as c=8",
+    )
+    for c in cs:
+        vals = []
+        for D in asu_counts:
+            params = fig9_params(D, c=c)
+            solver = ConfigSolver(params, gamma=gamma)
+            cfg = solver.config_for_alpha(n_records, alpha)
+            base = solver.config_for_alpha(n_records, BASELINE_ALPHA)
+            t_b = DsmSortJob(params, base, active=False, seed=seed).run_pass1().makespan
+            t_a = DsmSortJob(params, cfg, active=True, seed=seed).run_pass1().makespan
+            vals.append(t_b / t_a)
+        res.series[f"c={c:g}"] = vals
+    return res
+
+
+def sweep_routing(
+    n_records: int = 1 << 17,
+    policies=("static", "round_robin", "sr", "rc", "jsq", "adaptive_switch"),
+    alpha: int = 16,
+    gamma: int = 64,
+    seed: int = 42,
+) -> SweepResult:
+    """Makespan and imbalance per routing policy under the skew workload."""
+    params = fig9_params(n_asus=16, n_hosts=2)
+    cfg = ConfigSolver(params, gamma=gamma).config_for_alpha(n_records, alpha)
+    res = SweepResult(
+        title=(
+            f"Ablation — routing policy under skew "
+            f"(2 hosts, 16 ASUs, alpha={alpha}, half-uniform/half-exponential)"
+        ),
+        x_label="policy",
+        xs=list(policies),
+    )
+    makespans, imbalances = [], []
+    for policy in policies:
+        job = DsmSortJob(
+            params, cfg, policy=policy,
+            workload="half_uniform_half_exponential", seed=seed,
+        )
+        r = job.run_pass1()
+        makespans.append(r.makespan)
+        imbalances.append(r.imbalance)
+    res.series["makespan(s)"] = makespans
+    res.series["imbalance(max/mean)"] = imbalances
+    return res
+
+
+def sweep_gamma_split(
+    n_records: int = 1 << 16,
+    gamma: int = 64,
+    gamma1s=(1, 2, 4),
+    alpha: int = 8,
+    n_asus: int = 16,
+    seed: int = 42,
+) -> SweepResult:
+    """Pass-2 makespan vs the ASU-side share γ1 of the merge fan-in.
+
+    Offloading merge fan-in to ASUs pays only when the aggregate ASU capacity
+    is large (many ASUs) and each ASU holds several runs per bucket: with
+    γ = 64 runs per bucket over 16 ASUs, each ASU can pre-merge groups of up
+    to 4.  On a host-bottlenecked platform that trims the host's per-record
+    merge cost from log2(γ) to log2(γ/γ1) compares.
+    """
+    params = fig9_params(n_asus=n_asus, n_hosts=1)
+    res = SweepResult(
+        title=(
+            f"Ablation — merge split gamma1 x gamma2 = {gamma} "
+            f"({n_asus} ASUs, 1 host, n={n_records})"
+        ),
+        x_label="gamma1",
+        xs=list(gamma1s),
+        notes="gamma1 = ASU-side pre-merge fan-in; gamma2 = host-side fan-in",
+    )
+    makespans, host_util = [], []
+    for g1 in gamma1s:
+        cfg = DSMConfig(
+            n_records=n_records,
+            alpha=alpha,
+            beta=max(1, n_records // (alpha * gamma)),
+            gamma=gamma,
+            gamma1=g1,
+        )
+        job = DsmSortJob(params, cfg, seed=seed)
+        job.run_pass1()
+        r2 = job.run_pass2()
+        job.verify()
+        makespans.append(r2.makespan)
+        host_util.append(r2.host_util[0])
+    res.series["pass2 makespan(s)"] = makespans
+    res.series["host util"] = host_util
+    return res

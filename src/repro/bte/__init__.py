@@ -1,0 +1,16 @@
+"""Block Transfer Engines: pluggable stream storage (TPIE's BTE, §3.1)."""
+
+from .base import BTE, BteError, BteStats, StreamHandle
+from .emulated import EmulatedBTE
+from .file import FileBTE
+from .memory import MemoryBTE
+
+__all__ = [
+    "BTE",
+    "BteError",
+    "BteStats",
+    "StreamHandle",
+    "EmulatedBTE",
+    "FileBTE",
+    "MemoryBTE",
+]

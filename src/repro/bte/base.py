@@ -1,0 +1,142 @@
+"""Block Transfer Engine (BTE) abstraction.
+
+TPIE's pluggable BTE "abstracts the underlying storage system block access
+operations, facilitating portability to various storage and access models"
+(§3.1).  A BTE stores named *streams* of fixed-size records and moves them in
+blocks; containers and the external-memory algorithms sit on top and never
+touch the storage directly.
+
+Implementations: :class:`~repro.bte.memory.MemoryBTE` (RAM),
+:class:`~repro.bte.file.FileBTE` (on-disk), and
+:class:`~repro.bte.emulated.EmulatedBTE` (charges virtual disk time inside
+the emulator).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..util.records import DEFAULT_SCHEMA, RecordSchema
+
+__all__ = ["BTE", "StreamHandle", "BteStats", "BteError"]
+
+
+class BteError(RuntimeError):
+    """Raised on misuse of a BTE (unknown stream, closed handle, ...)."""
+
+
+@dataclass
+class BteStats:
+    """Logical-block I/O accounting (the I/O-complexity measure of §2.1)."""
+
+    block_size: int = 256 * 1024
+    blocks_read: int = 0
+    blocks_written: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def record_read(self, nbytes: int) -> None:
+        self.bytes_read += int(nbytes)
+        self.blocks_read += -(-int(nbytes) // self.block_size)  # ceil div
+
+    def record_write(self, nbytes: int) -> None:
+        self.bytes_written += int(nbytes)
+        self.blocks_written += -(-int(nbytes) // self.block_size)
+
+    @property
+    def total_ios(self) -> int:
+        return self.blocks_read + self.blocks_written
+
+
+@dataclass
+class StreamHandle:
+    """An open stream: name, schema, and a read cursor."""
+
+    name: str
+    schema: RecordSchema
+    bte: "BTE"
+    cursor: int = 0
+    closed: bool = False
+    _extra: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return self.bte.length(self)
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise BteError(f"stream {self.name!r} handle is closed")
+
+
+class BTE(abc.ABC):
+    """Abstract stream store.  All sizes are in records unless noted."""
+
+    def __init__(self, schema: RecordSchema = DEFAULT_SCHEMA, block_size: int = 256 * 1024):
+        self.schema = schema
+        self.stats = BteStats(block_size=block_size)
+
+    # -- lifecycle -----------------------------------------------------------
+    @abc.abstractmethod
+    def create(self, name: str, schema: RecordSchema | None = None) -> StreamHandle:
+        """Create an empty stream (error if it exists)."""
+
+    @abc.abstractmethod
+    def open(self, name: str) -> StreamHandle:
+        """Open an existing stream with the cursor at record 0."""
+
+    @abc.abstractmethod
+    def delete(self, name: str) -> None:
+        """Remove a stream and release its storage."""
+
+    @abc.abstractmethod
+    def exists(self, name: str) -> bool: ...
+
+    @abc.abstractmethod
+    def list_streams(self) -> list[str]: ...
+
+    # -- data ------------------------------------------------------------------
+    @abc.abstractmethod
+    def append(self, handle: StreamHandle, batch: np.ndarray) -> None:
+        """Append a record batch to the end of the stream."""
+
+    @abc.abstractmethod
+    def read_at(self, handle: StreamHandle, start: int, count: int) -> np.ndarray:
+        """Read up to ``count`` records beginning at record ``start``."""
+
+    @abc.abstractmethod
+    def length(self, handle: StreamHandle) -> int:
+        """Number of records currently in the stream."""
+
+    @abc.abstractmethod
+    def truncate_front(self, handle: StreamHandle, count: int) -> None:
+        """Release the first ``count`` records (destructive-scan support).
+
+        Record numbering is preserved: record ``i`` keeps its index, the
+        storage for records below ``count`` is simply freed.
+        """
+
+    # -- conveniences built on the primitives ------------------------------
+    def read_next(self, handle: StreamHandle, count: int) -> np.ndarray:
+        """Sequential read at the handle's cursor; advances the cursor."""
+        handle._check_open()
+        batch = self.read_at(handle, handle.cursor, count)
+        handle.cursor += batch.shape[0]
+        return batch
+
+    def at_end(self, handle: StreamHandle) -> bool:
+        return handle.cursor >= self.length(handle)
+
+    def write_all(self, name: str, batch: np.ndarray) -> StreamHandle:
+        """Create a stream holding exactly ``batch``."""
+        h = self.create(name)
+        self.append(h, batch)
+        return h
+
+    def read_all(self, handle: StreamHandle) -> np.ndarray:
+        """Read the whole stream regardless of cursor position."""
+        return self.read_at(handle, 0, self.length(handle))
+
+    def close(self, handle: StreamHandle) -> None:
+        handle.closed = True

@@ -1,0 +1,53 @@
+"""Emulated BTE: a MemoryBTE whose transfers charge virtual disk time.
+
+Inside the emulator, data stored "on an ASU" lives in RAM (so functors can
+really process it) while every append/read charges the ASU's disk timeline,
+making I/O time visible to the simulation.  Because disk operations must
+happen inside a process coroutine, this BTE exposes *generator* variants
+(``append_g`` / ``read_next_g``) alongside the plain BTE interface (which
+performs the data movement without charging time — useful for setup).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..emulator.node import Asu
+from ..util.records import RecordSchema
+from .base import StreamHandle
+from .memory import MemoryBTE
+
+__all__ = ["EmulatedBTE"]
+
+
+class EmulatedBTE(MemoryBTE):
+    """Stream store bound to one ASU's disk."""
+
+    def __init__(self, asu: Asu, block_size: int = 256 * 1024):
+        super().__init__(asu.params.schema, block_size)
+        self.asu = asu
+
+    # -- timed variants (process generators) --------------------------------
+    def append_g(self, handle: StreamHandle, batch: np.ndarray):
+        """Append and charge disk write time (write-behind semantics)."""
+        self.append(handle, batch)
+        if batch.shape[0]:
+            yield from self.asu.disk_write(int(batch.nbytes))
+
+    def read_next_g(self, handle: StreamHandle, count: int):
+        """Sequential read charging disk streaming time; returns the batch."""
+        batch = self.read_next(handle, count)
+        if batch.shape[0]:
+            yield from self.asu.disk_read(int(batch.nbytes))
+        return batch
+
+    def read_at_g(self, handle: StreamHandle, start: int, count: int):
+        """Positioned read charging disk streaming time."""
+        batch = self.read_at(handle, start, count)
+        if batch.shape[0]:
+            yield from self.asu.disk_read(int(batch.nbytes))
+        return batch
+
+    def drain_g(self):
+        """Wait for outstanding (write-behind) transfers to hit the platter."""
+        yield from self.asu.disk.drain()

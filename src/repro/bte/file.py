@@ -1,0 +1,151 @@
+"""File-backed BTE: streams as flat binary files in a directory.
+
+This is the substrate for genuinely out-of-core runs of the TPIE layer (the
+external sort and priority queue work unchanged over it).  Each stream is one
+file of packed records; ``truncate_front`` is logical (a front pointer in a
+sidecar), since hole-punching is not portable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+
+import numpy as np
+
+from ..util.records import DEFAULT_SCHEMA, RecordSchema
+from .base import BTE, BteError, StreamHandle
+
+__all__ = ["FileBTE"]
+
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9_.-]")
+
+
+def _fs_name(name: str) -> str:
+    return _SAFE_NAME.sub("_", name)
+
+
+class FileBTE(BTE):
+    """Directory-of-files stream store."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        schema: RecordSchema = DEFAULT_SCHEMA,
+        block_size: int = 256 * 1024,
+    ):
+        super().__init__(schema, block_size)
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: name -> (path, schema, n_freed)
+        self._meta: dict[str, dict] = {}
+        self._load_existing()
+
+    def _load_existing(self) -> None:
+        for meta_path in self.root.glob("*.meta.json"):
+            info = json.loads(meta_path.read_text())
+            self._meta[info["name"]] = info
+
+    def _paths(self, name: str) -> tuple[Path, Path]:
+        base = _fs_name(name)
+        return self.root / f"{base}.dat", self.root / f"{base}.meta.json"
+
+    def _save_meta(self, info: dict) -> None:
+        _, meta_path = self._paths(info["name"])
+        meta_path.write_text(json.dumps(info))
+
+    def _dtype(self, name: str) -> np.dtype:
+        info = self._meta[name]
+        return RecordSchema(info["record_size"], info["key_dtype"]).dtype
+
+    # -- lifecycle ------------------------------------------------------------
+    def create(self, name: str, schema: RecordSchema | None = None) -> StreamHandle:
+        if name in self._meta:
+            raise BteError(f"stream {name!r} already exists")
+        schema = schema or self.schema
+        data_path, _ = self._paths(name)
+        data_path.write_bytes(b"")
+        info = {
+            "name": name,
+            "record_size": schema.record_size,
+            "key_dtype": schema.key_dtype,
+            "n_freed": 0,
+        }
+        self._meta[name] = info
+        self._save_meta(info)
+        return StreamHandle(name=name, schema=schema, bte=self)
+
+    def open(self, name: str) -> StreamHandle:
+        info = self._get(name)
+        schema = RecordSchema(info["record_size"], info["key_dtype"])
+        return StreamHandle(name=name, schema=schema, bte=self)
+
+    def delete(self, name: str) -> None:
+        self._get(name)
+        data_path, meta_path = self._paths(name)
+        data_path.unlink(missing_ok=True)
+        meta_path.unlink(missing_ok=True)
+        del self._meta[name]
+
+    def exists(self, name: str) -> bool:
+        return name in self._meta
+
+    def list_streams(self) -> list[str]:
+        return sorted(self._meta)
+
+    # -- data ---------------------------------------------------------------------
+    def append(self, handle: StreamHandle, batch: np.ndarray) -> None:
+        handle._check_open()
+        info = self._get(handle.name)
+        dtype = self._dtype(handle.name)
+        if batch.dtype != dtype:
+            raise BteError(
+                f"batch dtype {batch.dtype} does not match stream schema {dtype}"
+            )
+        if batch.shape[0] == 0:
+            return
+        data_path, _ = self._paths(handle.name)
+        with open(data_path, "ab") as f:
+            f.write(np.ascontiguousarray(batch).tobytes())
+        self.stats.record_write(batch.nbytes)
+
+    def read_at(self, handle: StreamHandle, start: int, count: int) -> np.ndarray:
+        handle._check_open()
+        info = self._get(handle.name)
+        dtype = self._dtype(handle.name)
+        if start < info["n_freed"]:
+            raise BteError(
+                f"read at {start} but records below {info['n_freed']} were freed"
+            )
+        total = self.length(handle)
+        end = min(start + max(count, 0), total)
+        if end <= start:
+            return np.empty(0, dtype=dtype)
+        data_path, _ = self._paths(handle.name)
+        itemsize = dtype.itemsize
+        with open(data_path, "rb") as f:
+            f.seek(start * itemsize)
+            raw = f.read((end - start) * itemsize)
+        out = np.frombuffer(raw, dtype=dtype).copy()
+        self.stats.record_read(out.nbytes)
+        return out
+
+    def length(self, handle: StreamHandle) -> int:
+        self._get(handle.name)
+        data_path, _ = self._paths(handle.name)
+        return os.path.getsize(data_path) // self._dtype(handle.name).itemsize
+
+    def truncate_front(self, handle: StreamHandle, count: int) -> None:
+        handle._check_open()
+        info = self._get(handle.name)
+        info["n_freed"] = max(info["n_freed"], min(count, self.length(handle)))
+        self._save_meta(info)
+
+    # -- internals ---------------------------------------------------------------
+    def _get(self, name: str) -> dict:
+        try:
+            return self._meta[name]
+        except KeyError:
+            raise BteError(f"stream {name!r} does not exist") from None

@@ -1,0 +1,131 @@
+"""In-memory BTE: the default substrate for tests and emulated runs.
+
+Stores each stream as a list of appended chunks; reads materialise slices
+across chunk boundaries.  ``truncate_front`` swaps freed chunks for a
+zero-length placeholder so record numbering is stable while storage is
+released — the semantics destructive scans rely on (§3.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util.records import DEFAULT_SCHEMA, RecordSchema
+from .base import BTE, BteError, StreamHandle
+
+__all__ = ["MemoryBTE"]
+
+
+class _MemStream:
+    __slots__ = ("schema", "chunks", "starts", "n_records", "n_freed")
+
+    def __init__(self, schema: RecordSchema):
+        self.schema = schema
+        self.chunks: list[np.ndarray] = []
+        #: global record index of each chunk's first record
+        self.starts: list[int] = []
+        self.n_records = 0
+        #: records logically freed from the front
+        self.n_freed = 0
+
+
+class MemoryBTE(BTE):
+    """RAM-backed stream store."""
+
+    def __init__(self, schema: RecordSchema = DEFAULT_SCHEMA, block_size: int = 256 * 1024):
+        super().__init__(schema, block_size)
+        self._streams: dict[str, _MemStream] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+    def create(self, name: str, schema: RecordSchema | None = None) -> StreamHandle:
+        if name in self._streams:
+            raise BteError(f"stream {name!r} already exists")
+        schema = schema or self.schema
+        self._streams[name] = _MemStream(schema)
+        return StreamHandle(name=name, schema=schema, bte=self)
+
+    def open(self, name: str) -> StreamHandle:
+        st = self._get(name)
+        return StreamHandle(name=name, schema=st.schema, bte=self)
+
+    def delete(self, name: str) -> None:
+        if name not in self._streams:
+            raise BteError(f"stream {name!r} does not exist")
+        del self._streams[name]
+
+    def exists(self, name: str) -> bool:
+        return name in self._streams
+
+    def list_streams(self) -> list[str]:
+        return sorted(self._streams)
+
+    # -- data ------------------------------------------------------------------
+    def append(self, handle: StreamHandle, batch: np.ndarray) -> None:
+        handle._check_open()
+        st = self._get(handle.name)
+        if batch.dtype != st.schema.dtype:
+            raise BteError(
+                f"batch dtype {batch.dtype} does not match stream schema "
+                f"{st.schema.dtype}"
+            )
+        if batch.shape[0] == 0:
+            return
+        st.chunks.append(batch)
+        st.starts.append(st.n_records)
+        st.n_records += batch.shape[0]
+        self.stats.record_write(batch.nbytes)
+
+    def read_at(self, handle: StreamHandle, start: int, count: int) -> np.ndarray:
+        handle._check_open()
+        st = self._get(handle.name)
+        if start < st.n_freed:
+            raise BteError(
+                f"read at {start} but records below {st.n_freed} were freed"
+            )
+        end = min(start + max(count, 0), st.n_records)
+        if end <= start:
+            return np.empty(0, dtype=st.schema.dtype)
+        pieces = []
+        # Locate overlapping chunks (linear scan is fine: chunk counts are
+        # small; bisect would need starts of freed chunks kept consistent).
+        for cstart, chunk in zip(st.starts, st.chunks):
+            cend = cstart + chunk.shape[0]
+            if cend <= start or cstart >= end:
+                continue
+            lo = max(start - cstart, 0)
+            hi = min(end - cstart, chunk.shape[0])
+            pieces.append(chunk[lo:hi])
+        out = pieces[0].copy() if len(pieces) == 1 else np.concatenate(pieces)
+        self.stats.record_read(out.nbytes)
+        return out
+
+    def length(self, handle: StreamHandle) -> int:
+        return self._get(handle.name).n_records
+
+    def truncate_front(self, handle: StreamHandle, count: int) -> None:
+        handle._check_open()
+        st = self._get(handle.name)
+        count = min(count, st.n_records)
+        if count <= st.n_freed:
+            return
+        keep_chunks, keep_starts = [], []
+        for cstart, chunk in zip(st.starts, st.chunks):
+            if cstart + chunk.shape[0] <= count:
+                continue  # wholly freed
+            keep_chunks.append(chunk)
+            keep_starts.append(cstart)
+        st.chunks = keep_chunks
+        st.starts = keep_starts
+        st.n_freed = count
+
+    # -- internals ----------------------------------------------------------
+    def _get(self, name: str) -> _MemStream:
+        try:
+            return self._streams[name]
+        except KeyError:
+            raise BteError(f"stream {name!r} does not exist") from None
+
+    def nbytes_live(self, name: str) -> int:
+        """Bytes currently held for a stream (shrinks under truncate_front)."""
+        st = self._get(name)
+        return sum(c.nbytes for c in st.chunks)

@@ -1,0 +1,8 @@
+"""Data containers of the programming model: streams, sets, arrays, packets (§3.2)."""
+
+from .array import RecordArray
+from .packet import Packet
+from .set_ import RecordSet
+from .stream import RecordStream
+
+__all__ = ["RecordArray", "Packet", "RecordSet", "RecordStream"]

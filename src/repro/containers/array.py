@@ -1,0 +1,114 @@
+"""Record arrays: the random-access container (§3.2).
+
+"Arrays allow arbitrary accesses to structured collections of records.  This
+model is useful for supporting external indexes over collections of records,
+such as the spatial indexes outlined in Section 4.1."
+
+Backed by a BTE stream; reads and writes address records by index.  The
+distributed R-tree keeps its leaf pages in record arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..bte.base import BTE, StreamHandle
+from ..bte.memory import MemoryBTE
+from ..util.records import DEFAULT_SCHEMA, RecordSchema
+
+__all__ = ["RecordArray"]
+
+
+class RecordArray:
+    """Fixed-length random-access record collection."""
+
+    kind = "array"
+    ordered = False
+
+    def __init__(
+        self,
+        name: str,
+        length: int,
+        bte: Optional[BTE] = None,
+        schema: RecordSchema = DEFAULT_SCHEMA,
+    ):
+        if length < 0:
+            raise ValueError("length must be nonnegative")
+        self.bte = bte if bte is not None else MemoryBTE(schema)
+        self.name = name
+        self.schema = schema
+        self.length = int(length)
+        if self.bte.exists(name):
+            self.handle: StreamHandle = self.bte.open(name)
+            if self.bte.length(self.handle) != length:
+                raise ValueError(
+                    f"existing stream {name!r} has {self.bte.length(self.handle)} "
+                    f"records, expected {length}"
+                )
+        else:
+            self.handle = self.bte.create(name, schema)
+            zeros = np.zeros(length, dtype=schema.dtype)
+            if length:
+                self.bte.append(self.handle, zeros)
+        self.n_random_reads = 0
+
+    def __len__(self) -> int:
+        return self.length
+
+    def _check_range(self, start: int, count: int) -> None:
+        if start < 0 or count < 0 or start + count > self.length:
+            raise IndexError(
+                f"range [{start}, {start + count}) outside array of {self.length}"
+            )
+
+    def read(self, start: int, count: int) -> np.ndarray:
+        """Read ``count`` records beginning at index ``start``."""
+        self._check_range(start, count)
+        self.n_random_reads += 1
+        return self.bte.read_at(self.handle, start, count)
+
+    def __getitem__(self, idx: int) -> np.void:
+        batch = self.read(int(idx), 1)
+        return batch[0]
+
+    def read_all(self) -> np.ndarray:
+        return self.bte.read_all(self.handle)
+
+    def write(self, start: int, batch: np.ndarray) -> None:
+        """Overwrite records [start, start+len(batch)).
+
+        BTE streams are append-only, so this is implemented read-modify-write
+        at whole-array granularity only when needed; for the common bulk-load
+        pattern prefer constructing the array from a full batch.
+        """
+        self._check_range(start, batch.shape[0])
+        full = self.bte.read_all(self.handle)
+        full[start : start + batch.shape[0]] = batch
+        self.bte.delete(self.handle.name)
+        self.handle = self.bte.create(self.name, self.schema)
+        self.bte.append(self.handle, full)
+
+    @classmethod
+    def from_batch(
+        cls,
+        name: str,
+        batch: np.ndarray,
+        bte: Optional[BTE] = None,
+        schema: RecordSchema = DEFAULT_SCHEMA,
+    ) -> "RecordArray":
+        """Bulk-load an array from an existing batch (no zero-fill pass)."""
+        arr = cls.__new__(cls)
+        arr.bte = bte if bte is not None else MemoryBTE(schema)
+        arr.name = name
+        arr.schema = schema
+        arr.length = int(batch.shape[0])
+        arr.handle = arr.bte.create(name, schema)
+        if arr.length:
+            arr.bte.append(arr.handle, batch)
+        arr.n_random_reads = 0
+        return arr
+
+    def __repr__(self) -> str:
+        return f"<RecordArray {self.name!r} n={self.length}>"

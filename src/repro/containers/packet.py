@@ -1,0 +1,71 @@
+"""Packets: groups of records processed as a whole (§3.2, Figure 4).
+
+A packet imposes a partial order on the records of a set: its records stay
+together as they move through later phases, so a property established inside
+it (e.g. "locally sorted" after a pre-sort functor) survives routing.  The
+``meta`` mapping carries such properties; ``seq`` gives packets a stable
+identity for deterministic tie-breaking.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+import numpy as np
+
+from ..util.validation import is_sorted
+
+__all__ = ["Packet"]
+
+_seq_counter = itertools.count()
+
+
+class Packet:
+    """An indivisible group of records."""
+
+    __slots__ = ("batch", "seq", "meta")
+
+    def __init__(self, batch: np.ndarray, meta: Optional[dict[str, Any]] = None, seq: Optional[int] = None):
+        self.batch = batch
+        self.seq = next(_seq_counter) if seq is None else seq
+        self.meta: dict[str, Any] = dict(meta) if meta else {}
+
+    @property
+    def n_records(self) -> int:
+        return int(self.batch.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.batch.nbytes)
+
+    @property
+    def sorted(self) -> bool:
+        """Whether this packet is marked (and verified at mark time) sorted."""
+        return bool(self.meta.get("sorted", False))
+
+    def mark_sorted(self, verify: bool = False) -> "Packet":
+        """Record the locally-sorted property (Figure 4's pre-sort output)."""
+        if verify and not is_sorted(self.batch):
+            raise AssertionError("packet marked sorted but records are not")
+        self.meta["sorted"] = True
+        return self
+
+    def split(self, max_records: int) -> list["Packet"]:
+        """Split into packets of at most ``max_records`` (metadata copied).
+
+        Used when a downstream functor's memory bound is smaller than the
+        packet; the sorted property is preserved because splits keep order.
+        """
+        if max_records < 1:
+            raise ValueError("max_records must be >= 1")
+        if self.n_records <= max_records:
+            return [self]
+        return [
+            Packet(self.batch[i : i + max_records], meta=self.meta)
+            for i in range(0, self.n_records, max_records)
+        ]
+
+    def __repr__(self) -> str:
+        tags = ",".join(f"{k}={v}" for k, v in sorted(self.meta.items()))
+        return f"<Packet #{self.seq} n={self.n_records} {tags}>"

@@ -1,0 +1,117 @@
+"""Record sets: the unordered container (§3.2).
+
+"Sets are data containers that do not define the order of records returned in
+satisfying read operations.  This allows the system to provide records in any
+order that is convenient, and spread them arbitrarily across replicated
+functors."
+
+A :class:`RecordSet` holds :class:`~repro.containers.packet.Packet` groups.
+Records are marked *pending* or *completed* per scan; a destructive scan
+releases packets as they complete.  Multiple consumers may take packets
+concurrently — this is exactly the hook the load manager uses to balance
+replicated functor instances (§3.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..util.records import DEFAULT_SCHEMA, RecordSchema, concat_records
+from .packet import Packet
+
+__all__ = ["RecordSet"]
+
+
+class RecordSet:
+    """Unordered collection of packets with pending/completed tracking."""
+
+    kind = "set"
+    ordered = False
+
+    def __init__(self, name: str, schema: RecordSchema = DEFAULT_SCHEMA):
+        self.name = name
+        self.schema = schema
+        self._pending: deque[Packet] = deque()
+        self._completed: list[Packet] = []
+        self.n_records_total = 0
+
+    # -- writing ---------------------------------------------------------------
+    def add_packet(self, packet: Packet) -> None:
+        if packet.batch.dtype != self.schema.dtype:
+            raise ValueError(
+                f"packet dtype {packet.batch.dtype} does not match set schema"
+            )
+        self._pending.append(packet)
+        self.n_records_total += packet.n_records
+
+    def add_records(self, batch: np.ndarray, packet_records: Optional[int] = None) -> None:
+        """Add records, grouping them into packets of ``packet_records``."""
+        if packet_records is None:
+            self.add_packet(Packet(batch))
+            return
+        for p in Packet(batch).split(packet_records):
+            self.add_packet(p)
+
+    # -- state ------------------------------------------------------------------
+    @property
+    def n_pending(self) -> int:
+        return sum(p.n_records for p in self._pending)
+
+    @property
+    def n_completed(self) -> int:
+        return sum(p.n_records for p in self._completed)
+
+    @property
+    def n_pending_packets(self) -> int:
+        return len(self._pending)
+
+    def __len__(self) -> int:
+        return self.n_records_total
+
+    # -- reading -------------------------------------------------------------
+    def take(self, destructive: bool = False) -> Optional[Packet]:
+        """Take any pending packet (None when the scan is complete).
+
+        The order in which packets are handed out is an implementation detail
+        the application must not rely on; the system exploits this freedom to
+        route packets to whichever functor instance is least loaded.
+        """
+        if not self._pending:
+            return None
+        pkt = self._pending.popleft()
+        if not destructive:
+            self._completed.append(pkt)
+        else:
+            self.n_records_total -= pkt.n_records
+        return pkt
+
+    def scan(self, destructive: bool = False) -> Iterator[Packet]:
+        """Consume every pending packet."""
+        while True:
+            pkt = self.take(destructive=destructive)
+            if pkt is None:
+                return
+            yield pkt
+
+    def reset_scan(self) -> None:
+        """Mark all records pending again (start a new scan of the set)."""
+        self._pending.extend(self._completed)
+        self._completed.clear()
+
+    def read_all(self) -> np.ndarray:
+        """Materialise all records (pending first, then completed).
+
+        Order is unspecified by contract; this concatenation is for
+        validation and tests.
+        """
+        batches = [p.batch for p in self._pending] + [p.batch for p in self._completed]
+        return concat_records(batches, self.schema)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RecordSet {self.name!r} pending={self.n_pending} "
+            f"completed={self.n_completed}>"
+        )

@@ -1,0 +1,93 @@
+"""Record streams: the ordered container (§3.2).
+
+"A read on stream always delivers the next unconsumed record in a defined
+sequence, even if this is less efficient."  Streams are scanned in their
+entirety; a *destructive* scan releases storage for completed records as they
+are consumed, so only pending records remain.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..bte.base import BTE, BteError, StreamHandle
+from ..bte.memory import MemoryBTE
+from ..util.records import DEFAULT_SCHEMA, RecordSchema
+
+__all__ = ["RecordStream"]
+
+
+class RecordStream:
+    """Ordered record collection over a BTE stream."""
+
+    #: container kind tag used by the dataflow graph validator
+    kind = "stream"
+    ordered = True
+
+    def __init__(
+        self,
+        name: str,
+        bte: Optional[BTE] = None,
+        schema: RecordSchema = DEFAULT_SCHEMA,
+    ):
+        self.bte = bte if bte is not None else MemoryBTE(schema)
+        self.name = name
+        if self.bte.exists(name):
+            self.handle: StreamHandle = self.bte.open(name)
+        else:
+            self.handle = self.bte.create(name, schema)
+        self.schema = self.handle.schema
+        #: records consumed by the current scan
+        self.consumed = 0
+        #: records released by destructive scans (rewind floor)
+        self._freed = 0
+
+    # -- writing -----------------------------------------------------------
+    def append(self, batch: np.ndarray) -> None:
+        self.bte.append(self.handle, batch)
+
+    def extend(self, batches) -> None:
+        for b in batches:
+            self.append(b)
+
+    # -- reading ------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.bte.length(self.handle)
+
+    @property
+    def pending(self) -> int:
+        """Records not yet consumed by the current scan."""
+        return len(self) - self.consumed
+
+    def read(self, count: int, destructive: bool = False) -> np.ndarray:
+        """Deliver the next ``count`` unconsumed records, in order."""
+        batch = self.bte.read_at(self.handle, self.consumed, count)
+        self.consumed += batch.shape[0]
+        if destructive and batch.shape[0]:
+            self.bte.truncate_front(self.handle, self.consumed)
+            self._freed = self.consumed
+        return batch
+
+    def scan(self, block_records: int, destructive: bool = False) -> Iterator[np.ndarray]:
+        """Iterate the whole stream from the current position, in order."""
+        if block_records < 1:
+            raise ValueError("block_records must be >= 1")
+        while self.pending > 0:
+            yield self.read(block_records, destructive=destructive)
+
+    def rewind(self) -> None:
+        """Restart scanning from the first non-freed record."""
+        self.consumed = self._freed
+
+    def read_all(self) -> np.ndarray:
+        """The whole stream content (ignores scan position)."""
+        return self.bte.read_all(self.handle)
+
+    def delete(self) -> None:
+        self.bte.delete(self.handle.name)
+        self.handle.closed = True
+
+    def __repr__(self) -> str:
+        return f"<RecordStream {self.name!r} n={len(self)} consumed={self.consumed}>"

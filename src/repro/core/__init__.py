@@ -1,0 +1,47 @@
+"""Load-managed active storage: the paper's primary contribution (§3)."""
+
+from .config import BUCKET_BUFFER_BYTES, ConfigSolver, DSMConfig
+from .costs import RecordCosts, StepCosts
+from .executor import PipelineJob, PipelineResult
+from .load_manager import InstanceStats, LoadManager
+from .placement import Placement, PlacementSolver, StagePlacement
+from .predict import PipelinePrediction, predict_pass1, predict_pass2, predict_speedup
+from .routing import (
+    AdaptiveSwitch,
+    JoinShortestQueue,
+    RandomizedCycling,
+    RoundRobin,
+    Router,
+    SimpleRandomization,
+    StaticPartition,
+    WeightedCapacity,
+    make_router,
+)
+
+__all__ = [
+    "BUCKET_BUFFER_BYTES",
+    "ConfigSolver",
+    "DSMConfig",
+    "RecordCosts",
+    "StepCosts",
+    "PipelineJob",
+    "PipelineResult",
+    "InstanceStats",
+    "LoadManager",
+    "Placement",
+    "PlacementSolver",
+    "StagePlacement",
+    "PipelinePrediction",
+    "predict_pass1",
+    "predict_pass2",
+    "predict_speedup",
+    "AdaptiveSwitch",
+    "JoinShortestQueue",
+    "RandomizedCycling",
+    "RoundRobin",
+    "Router",
+    "SimpleRandomization",
+    "StaticPartition",
+    "WeightedCapacity",
+    "make_router",
+]

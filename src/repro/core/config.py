@@ -1,0 +1,187 @@
+"""DSM-Sort configuration: the (α, β, γ) parameter solver (§4.3).
+
+"DSM-Sort can adaptively reconfigure to match varying parameters of the
+active storage systems.  Choosing the distribution, sort, and merge
+parameters appropriately allows us to balance computation at ASUs and hosts,
+as well as conform to memory constraints on the ASUs."
+
+Constraints honoured by the solver:
+
+* α · β · γ = n  (total work n·log(αβγ) = n·log n, §4.3);
+* α bounded by ASU buffer space (α bucket buffers must fit ASU memory);
+* γ bounded by ASU buffer space (γ merge buffers must fit);
+* β bounded by host memory (one run must fit in RAM);
+* the merge split γ = γ1 · γ2 divides fan-in between ASUs and hosts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..emulator.params import SystemParams
+from .predict import predict_pass1, predict_speedup
+
+__all__ = ["DSMConfig", "ConfigSolver", "BUCKET_BUFFER_BYTES"]
+
+#: per-bucket staging buffer an ASU needs while distributing (bounds α)
+BUCKET_BUFFER_BYTES = 32 * 1024
+#: per-run merge buffer an ASU needs during the merge phase (bounds γ)
+MERGE_BUFFER_BYTES = 64 * 1024
+
+
+@dataclass(frozen=True)
+class DSMConfig:
+    """One concrete DSM-Sort configuration."""
+
+    n_records: int
+    alpha: int   # distribute order
+    beta: int    # block-sort run length
+    gamma: int   # total merge fan-in
+    gamma1: int = 1  # ASU-side share of the merge fan-in
+    gamma2: int = 0  # host-side share (0 = derive as gamma / gamma1)
+
+    def __post_init__(self) -> None:
+        for name in ("alpha", "beta", "gamma"):
+            v = getattr(self, name)
+            if v < 1:
+                raise ValueError(f"{name} must be >= 1, got {v}")
+        if self.gamma % max(self.gamma1, 1) != 0:
+            raise ValueError(
+                f"gamma1={self.gamma1} must divide gamma={self.gamma}"
+            )
+        g2 = self.gamma2 or self.gamma // self.gamma1
+        if self.gamma1 * g2 != self.gamma:
+            raise ValueError(
+                f"gamma1*gamma2 = {self.gamma1}*{g2} != gamma = {self.gamma}"
+            )
+
+    @property
+    def merge_host_fan_in(self) -> int:
+        return self.gamma2 or self.gamma // self.gamma1
+
+    @property
+    def work_per_record_log(self) -> float:
+        """log2(αβγ) — total compares per record across all phases (§4.3)."""
+        return math.log2(self.alpha * self.beta * self.gamma)
+
+    def describe(self) -> str:
+        return (
+            f"n={self.n_records} alpha={self.alpha} beta={self.beta} "
+            f"gamma={self.gamma} (gamma1={self.gamma1} x gamma2={self.merge_host_fan_in})"
+        )
+
+    @classmethod
+    def for_n(cls, n_records: int, alpha: int, gamma: int, gamma1: int = 1) -> "DSMConfig":
+        """Derive β from the α·β·γ = n identity (rounded up to >= 1)."""
+        if n_records < 1:
+            raise ValueError("n_records must be >= 1")
+        beta = max(1, round(n_records / (alpha * gamma)))
+        return cls(
+            n_records=n_records, alpha=alpha, beta=beta, gamma=gamma, gamma1=gamma1
+        )
+
+
+class ConfigSolver:
+    """Chooses the configuration the load manager predicts to be fastest.
+
+    This is the "adaptive" series in Figure 9: for each platform, sweep the
+    feasible α values (powers of two within the ASU memory bound) and keep
+    the one with the best predicted pass-1 rate.
+    """
+
+    def __init__(self, params: SystemParams, gamma: int = 64):
+        self.params = params
+        self.gamma = int(gamma)
+
+    def max_alpha(self) -> int:
+        """Largest power-of-two α whose bucket buffers fit ASU memory."""
+        cap = max(1, self.params.asu_mem // BUCKET_BUFFER_BYTES)
+        return 1 << (cap.bit_length() - 1)
+
+    def max_gamma(self) -> int:
+        """Largest power-of-two merge fan-in fitting ASU merge buffers."""
+        cap = max(2, self.params.asu_mem // MERGE_BUFFER_BYTES)
+        return 1 << (cap.bit_length() - 1)
+
+    def feasible_alphas(self) -> list[int]:
+        out = []
+        a = 1
+        top = self.max_alpha()
+        while a <= top:
+            out.append(a)
+            a *= 2
+        return out
+
+    def beta_for(self, n_records: int, alpha: int) -> int:
+        beta = max(1, round(n_records / (alpha * self.gamma)))
+        # β is also bounded by host memory (a run must fit in RAM).
+        mem_bound = max(1, self.params.host_mem // self.params.schema.record_size)
+        return min(beta, mem_bound)
+
+    def config_for_alpha(self, n_records: int, alpha: int) -> DSMConfig:
+        return DSMConfig(
+            n_records=n_records,
+            alpha=alpha,
+            beta=self.beta_for(n_records, alpha),
+            gamma=min(self.gamma, self.max_gamma()),
+        )
+
+    def choose(self, n_records: int) -> DSMConfig:
+        """The adaptive configuration: argmax of predicted pass-1 rate."""
+        best = None
+        best_rate = -1.0
+        for alpha in self.feasible_alphas():
+            cfg = self.config_for_alpha(n_records, alpha)
+            rate = predict_pass1(self.params, cfg.alpha, cfg.beta).bottleneck_rate
+            if rate > best_rate:
+                best, best_rate = cfg, rate
+        assert best is not None
+        return best
+
+    def choose_gamma_split(self, gamma: int | None = None) -> tuple[int, int]:
+        """Pick (γ1, γ2) with γ1·γ2 = γ maximising predicted pass-2 rate.
+
+        The second adaptation axis of §4.3: "the fan-in of merge functors and
+        the fan-out of distribution functors may vary to adjust the balance
+        of load between sort pipeline phases executing on ASUs and hosts."
+        """
+        from .predict import predict_pass2
+
+        g = gamma if gamma is not None else min(self.gamma, self.max_gamma())
+        # A pre-merge of fan-in γ1 is only realisable if each ASU actually
+        # holds γ1 runs of a bucket: runs are striped, so each ASU gets about
+        # γ / D per bucket.  Larger γ1 would merge fewer runs than charged
+        # and leave the host a multi-pass completion.
+        g1_cap = max(1, g // self.params.n_asus)
+        best = (1, g)
+        best_rate = -1.0
+        g1 = 1
+        while g1 <= g1_cap:
+            if g % g1 == 0:
+                rate = predict_pass2(self.params, g1, g // g1).bottleneck_rate
+                if rate > best_rate:
+                    best, best_rate = (g1, g // g1), rate
+            g1 *= 2
+        return best
+
+    def derate_for_sharing(self, asu_duty: float) -> "ConfigSolver":
+        """A solver that sees only the ASU capacity left by competitors.
+
+        ASUs are shared network storage (§1); when a competing application
+        consumes ``asu_duty`` of every ASU's CPU, the effective power ratio
+        rises to c / (1 - duty).  Choosing the configuration against the
+        derated platform is how the load manager adapts to load conditions.
+        """
+        if not 0.0 <= asu_duty < 1.0:
+            raise ValueError("asu_duty must be in [0, 1)")
+        eff = self.params.with_(
+            asu_ratio=self.params.asu_ratio / (1.0 - asu_duty)
+        )
+        return ConfigSolver(eff, gamma=self.gamma)
+
+    def predicted_speedup(self, cfg: DSMConfig, baseline_alpha: int = 64) -> float:
+        base_beta = self.beta_for(cfg.n_records, baseline_alpha)
+        return predict_speedup(
+            self.params, cfg.alpha, cfg.beta, baseline_alpha, base_beta
+        )

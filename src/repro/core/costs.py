@@ -1,0 +1,99 @@
+"""Per-record cost accounting shared by the predictor and the emulated runtime.
+
+The load manager can only place functors sensibly because every step's cost
+per record is a known bound (§3.3).  This module centralises those bounds so
+the analytic predictor (:mod:`repro.core.predict`) and the emulated DSM-Sort
+runtime (:mod:`repro.dsmsort.runtime`) charge *exactly* the same cycles —
+the property that makes prediction-driven configuration valid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..emulator.params import SystemParams
+
+__all__ = ["RecordCosts", "StepCosts"]
+
+
+@dataclass(frozen=True)
+class StepCosts:
+    """Cycles per record for each primitive step on a given node kind."""
+
+    disk_stage: float   # staging one record's bytes to/from disk buffers
+    net_xfer: float     # copying one record's bytes through the NIC
+    touch: float        # fixed per-record handling (cycles_per_record)
+    compare: float      # one key comparison
+
+
+class RecordCosts:
+    """Derives per-record step costs from :class:`SystemParams`."""
+
+    def __init__(self, params: SystemParams):
+        self.params = params
+        rs = params.schema.record_size
+        self.steps = StepCosts(
+            disk_stage=rs * params.cycles_per_io_byte,
+            net_xfer=rs * params.cycles_per_net_byte,
+            touch=params.cycles_per_record,
+            compare=params.cycles_per_compare,
+        )
+
+    # -- functor work ---------------------------------------------------------
+    def distribute_cycles(self, alpha: int) -> float:
+        """Distribute: log2(α) compares + touch, per record."""
+        cmp = math.log2(alpha) if alpha > 1 else 0.0
+        return cmp * self.steps.compare + self.steps.touch
+
+    def blocksort_cycles(self, beta: int) -> float:
+        """Block sort: log2(β) compares + touch, per record."""
+        cmp = math.log2(beta) if beta > 1 else 0.0
+        return cmp * self.steps.compare + self.steps.touch
+
+    def merge_cycles(self, gamma: int) -> float:
+        """γ-way merge: log2(γ) compares + touch, per record."""
+        cmp = math.log2(gamma) if gamma > 1 else 0.0
+        return cmp * self.steps.compare + self.steps.touch
+
+    # -- composite per-record node work for DSM-Sort pass 1 ------------------
+    def asu_pass1_cycles(self, alpha: int, active: bool) -> float:
+        """ASU CPU work per record in pass 1.
+
+        Active: stage off disk, distribute, send; then receive the sorted run
+        and stage it to disk.  Passive (baseline): the storage unit charges no
+        CPU at all — it is a conventional disk behind a network port.
+        """
+        if not active:
+            return 0.0
+        s = self.steps
+        return (
+            s.disk_stage          # read staging
+            + self.distribute_cycles(alpha)
+            + s.net_xfer          # send fragments
+            + s.net_xfer          # receive sorted runs
+            + s.disk_stage        # write staging
+        )
+
+    def host_pass1_cycles(self, alpha: int, beta: int, active: bool) -> float:
+        """Host CPU work per record in pass 1.
+
+        Active: receive fragments, block-sort, send runs back.  Baseline also
+        performs the distribute, since the passive storage cannot.
+        """
+        s = self.steps
+        w = s.net_xfer + self.blocksort_cycles(beta) + s.net_xfer
+        if not active:
+            w += self.distribute_cycles(alpha)
+        return w
+
+    # -- device rates ------------------------------------------------------------
+    def disk_records_per_sec(self, passes: int = 2) -> float:
+        """Disk record rate when each record crosses the platter ``passes``
+        times per phase (read in + write out = 2 for DSM pass 1)."""
+        rs = self.params.schema.record_size
+        return self.params.disk_rate / (rs * passes)
+
+    def net_records_per_sec(self) -> float:
+        rs = self.params.schema.record_size
+        return self.params.net_bandwidth / rs

@@ -1,0 +1,282 @@
+"""Generic emulated executor for functor pipelines.
+
+"Functors ... are composed to build complete programs that process data as it
+moves from stored input to output" (§3.1).  :class:`PipelineJob` takes a
+linear :class:`~repro.functors.graph.Dataflow` (single-output stages), a
+:class:`~repro.core.placement.Placement`, and ASU-resident input data, and
+executes the whole network on the emulated platform:
+
+* every stage instance is a process on its placed node (host or ASU);
+* producers route each packet to a downstream instance through the stage's
+  router (free routing on ``set`` edges; ``stream`` edges are pinned to a
+  single instance, preserving order);
+* packets crossing nodes pay NIC copy cycles and wire time; co-located
+  hand-offs are free;
+* functors really transform the record batches — the sink's output is
+  checked against direct evaluation in the tests.
+
+Multi-input/multi-output functors (distribute, merge) have their own
+purpose-built runtime in :mod:`repro.dsmsort`; this executor covers the
+scan/map/filter/aggregate class plus the block-sort (1-in/1-out per packet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..emulator.net import Message
+from ..emulator.params import SystemParams
+from ..emulator.platform import ActivePlatform
+from ..functors.base import FunctorError
+from ..functors.graph import Dataflow
+from ..util.records import concat_records
+from ..util.rng import RngRegistry
+from .placement import Placement, PlacementSolver
+from .routing import make_router
+
+__all__ = ["PipelineJob", "PipelineResult"]
+
+_EOF = object()
+
+
+@dataclass
+class PipelineResult:
+    makespan: float
+    output: np.ndarray
+    host_util: list[float]
+    asu_cpu_util: list[float]
+    net_bytes: int
+    #: records processed per stage instance: {stage: [n per instance]}
+    records_per_instance: dict[str, list[int]] = field(default_factory=dict)
+
+
+class PipelineJob:
+    """Run a linear functor pipeline over ASU-resident input records."""
+
+    def __init__(
+        self,
+        params: SystemParams,
+        graph: Dataflow,
+        placement: Placement,
+        asu_data: list[np.ndarray],
+        routing: str = "sr",
+        seed: int = 0,
+    ):
+        if len(asu_data) != params.n_asus:
+            raise ValueError(
+                f"asu_data has {len(asu_data)} entries for {params.n_asus} ASUs"
+            )
+        graph.validate()
+        PlacementSolver(params).validate(graph, placement)
+        self._check_linear(graph)
+        self.params = params
+        self.graph = graph
+        self.placement = placement
+        self.asu_data = asu_data
+        self.routing = routing
+        self.rngs = RngRegistry(seed)
+
+    @staticmethod
+    def _check_linear(graph: Dataflow) -> None:
+        order = graph.topological_order()
+        for name in order:
+            st = graph.stages[name]
+            if st.functor.n_outputs != 1:
+                raise FunctorError(
+                    f"PipelineJob handles single-output functors; stage "
+                    f"{name!r} has {st.functor.n_outputs} outputs "
+                    "(use repro.dsmsort for distribute/merge networks)"
+                )
+            if len(graph.out_edges(name)) > 1 or len(graph.in_edges(name)) > 1:
+                raise FunctorError(
+                    f"stage {name!r} is not on a linear chain"
+                )
+
+    # -- wiring ---------------------------------------------------------------
+    def _instance_addr(self, stage: str, idx: int) -> str:
+        return f"pipe.{stage}.{idx}"
+
+    def run(self) -> PipelineResult:
+        params = self.params
+        plat = ActivePlatform(params)
+        graph = self.graph
+        order = graph.topological_order()
+        rs = params.schema.record_size
+        blk = params.block_records
+
+        # Register one mailbox per stage instance.
+        inst_nodes: dict[str, list] = {}
+        for name in order:
+            sp = self.placement.of(name)
+            nodes = [
+                (plat.asus if sp.node_class == "asu" else plat.hosts)[i]
+                for i in sp.instances
+            ]
+            inst_nodes[name] = nodes
+            for k in range(len(nodes)):
+                plat.network.register(self._instance_addr(name, k))
+
+        # Router per stage (chooses which downstream instance gets a packet).
+        routers = {}
+        for name in order:
+            n_inst = len(inst_nodes[name])
+            in_edges = graph.in_edges(name)
+            pinned = any(e.kind == "stream" for e in in_edges)
+            policy = "static" if (pinned or n_inst == 1) else self.routing
+            routers[name] = make_router(
+                policy, n_inst, n_buckets=1, rng=self.rngs.get(f"route.{name}")
+            )
+
+        collected: list[np.ndarray] = []
+        records_per_instance = {
+            name: [0] * len(inst_nodes[name]) for name in order
+        }
+
+        # The sink is a collector on host 0 (results return to the
+        # application); its traffic is charged like any other hand-off.
+        sink_addr = "pipe.__sink__"
+        plat.network.register(sink_addr)
+        sink_node = plat.hosts[0]
+
+        def deliver_addr(src_node, payload, nbytes, addr, dst_node):
+            """Hand a payload to a mailbox, charging NIC/wire unless local."""
+            if dst_node is src_node:
+                plat.network.mailbox(addr).put(
+                    Message(src_node.node_id, addr, payload, 0)
+                )
+                return
+            overhead = nbytes * params.cycles_per_net_byte
+            if overhead:
+                yield from src_node.cpu.execute(cycles=overhead)
+            plat.network.post(src_node.node_id, addr, payload, nbytes)
+
+        def deliver(src_node, payload, nbytes, dst_stage, dst_idx):
+            yield from deliver_addr(
+                src_node, payload, nbytes,
+                self._instance_addr(dst_stage, dst_idx),
+                inst_nodes[dst_stage][dst_idx],
+            )
+
+        def pick_instance(src_node, dst_stage, n_records):
+            """Locality-affine choice: stay on this node when possible."""
+            for k, node in enumerate(inst_nodes[dst_stage]):
+                if node is src_node:
+                    routers[dst_stage].on_sent(k, n_records)
+                    return k
+            k = routers[dst_stage].choose(0, n_records)
+            routers[dst_stage].on_sent(k, n_records)
+            return k
+
+        def route_out(src_node, stage_name, batch):
+            """Send a batch to the next stage (or ship it to the sink)."""
+            outs = graph.out_edges(stage_name)
+            if not outs or outs[0].dst == Dataflow.SINK:
+                yield from deliver_addr(
+                    src_node, batch, batch.shape[0] * rs, sink_addr, sink_node
+                )
+                return
+            dst = outs[0].dst
+            k = pick_instance(src_node, dst, batch.shape[0])
+            yield from deliver(src_node, batch, batch.shape[0] * rs, dst, k)
+
+        def send_eofs(src_node, stage_name):
+            outs = graph.out_edges(stage_name)
+            if not outs or outs[0].dst == Dataflow.SINK:
+                yield from deliver_addr(src_node, _EOF, 16, sink_addr, sink_node)
+                return
+            dst = outs[0].dst
+            for k in range(len(inst_nodes[dst])):
+                yield from deliver(src_node, _EOF, 16, dst, k)
+
+        # -- source: each ASU streams its share into the first stage --------
+        # pick_instance gives locality affinity: when the first stage has an
+        # instance on this very ASU, data is processed where it lives —
+        # functors are "stacked on stored data collections to process data as
+        # a side effect of I/O operations" (§3.1).
+        first = order[0]
+
+        def source(d):
+            from ..emulator.readahead import ReadAhead
+
+            asu = plat.asus[d]
+            data = self.asu_data[d]
+            blocks = [data[s : s + blk] for s in range(0, data.shape[0], blk)]
+            ra = ReadAhead(plat, asu, [b.shape[0] * rs for b in blocks])
+            for i, block in enumerate(blocks):
+                yield ra.wait_next()
+                staging = block.shape[0] * rs * params.cycles_per_io_byte
+                if staging:
+                    yield from asu.cpu.execute(cycles=staging)
+                k = pick_instance(asu, first, block.shape[0])
+                yield from deliver(asu, block, block.shape[0] * rs, first, k)
+            yield from (send_to_first_eof(asu))
+
+        def send_to_first_eof(asu):
+            for k in range(len(inst_nodes[first])):
+                yield from deliver(asu, _EOF, 16, first, k)
+
+        # -- stage instances --------------------------------------------------
+        def instance(stage_name, k):
+            node = inst_nodes[stage_name][k]
+            functor = graph.stages[stage_name].functor
+            box = plat.network.mailbox(self._instance_addr(stage_name, k))
+            in_edges = graph.in_edges(stage_name)
+            upstream = in_edges[0].src if in_edges else Dataflow.SOURCE
+            n_producers = (
+                params.n_asus if upstream == Dataflow.SOURCE
+                else len(inst_nodes[upstream])
+            )
+            n_eof = 0
+            while n_eof < n_producers:
+                msg = yield box.get()
+                if msg.nbytes:
+                    overhead = msg.nbytes * params.cycles_per_net_byte
+                    yield from node.cpu.execute(cycles=overhead)
+                if msg.payload is _EOF:
+                    n_eof += 1
+                    continue
+                batch = msg.payload
+                out = yield from node.compute(
+                    cycles=functor.cost_cycles(batch.shape[0], params),
+                    fn=lambda b: functor.apply(b)[0],
+                    args=(batch,),
+                )
+                records_per_instance[stage_name][k] += int(batch.shape[0])
+                if out.shape[0]:
+                    yield from route_out(node, stage_name, out)
+            yield from send_eofs(node, stage_name)
+
+        def sink():
+            """Collect results at host 0 (charging the receive copy)."""
+            last = order[-1]
+            n_eof = 0
+            box = plat.network.mailbox(sink_addr)
+            while n_eof < len(inst_nodes[last]):
+                msg = yield box.get()
+                if msg.nbytes:
+                    yield from sink_node.cpu.execute(
+                        cycles=msg.nbytes * params.cycles_per_net_byte
+                    )
+                if msg.payload is _EOF:
+                    n_eof += 1
+                else:
+                    collected.append(msg.payload)
+
+        procs = [plat.spawn(source(d), name=f"src{d}") for d in range(params.n_asus)]
+        for name in order:
+            for k in range(len(inst_nodes[name])):
+                procs.append(plat.spawn(instance(name, k), name=f"{name}#{k}"))
+        procs.append(plat.spawn(sink(), name="sink"))
+        plat.run(wait_for=procs)
+
+        return PipelineResult(
+            makespan=plat.sim.now,
+            output=concat_records(collected, params.schema),
+            host_util=[h.cpu.utilization(plat.sim.now) for h in plat.hosts],
+            asu_cpu_util=[a.cpu.utilization(plat.sim.now) for a in plat.asus],
+            net_bytes=plat.network.bytes_total,
+            records_per_instance=records_per_instance,
+        )

@@ -1,0 +1,99 @@
+"""The dynamic load manager: runtime feedback driving routing decisions.
+
+"Dynamic changes in load at different points of the system can cause
+imbalances ... the load distribution is difficult to determine statically
+when ASUs are shared by multiple applications or if nodes have heterogeneous
+performance characteristics.  Moreover, many data-intensive applications are
+data-dependent; static partitioning of work does not yield a predictably
+balanced distribution." (§3.3)
+
+The :class:`LoadManager` ties the pieces together: it owns a
+:class:`~repro.core.routing.Router`, keeps per-instance progress counters fed
+by the runtime, exposes imbalance metrics, and (between runs) consults the
+:class:`~repro.core.config.ConfigSolver` to re-pick the DSM configuration —
+the two adaptation axes the paper demonstrates (Figures 9 and 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..emulator.params import SystemParams
+from .config import ConfigSolver, DSMConfig
+from .routing import Router, make_router
+
+__all__ = ["LoadManager", "InstanceStats"]
+
+
+@dataclass
+class InstanceStats:
+    """Progress counters for one functor instance."""
+
+    records_routed: int = 0
+    records_completed: int = 0
+    busy_cycles: float = 0.0
+
+    @property
+    def backlog(self) -> int:
+        return self.records_routed - self.records_completed
+
+
+class LoadManager:
+    """Routing + reconfiguration authority for one application run."""
+
+    def __init__(
+        self,
+        params: SystemParams,
+        n_instances: int,
+        n_buckets: int,
+        policy: str = "sr",
+        rng: Optional[np.random.Generator] = None,
+        weights=None,
+    ):
+        self.params = params
+        self.policy = policy
+        self.router: Router = make_router(
+            policy, n_instances, n_buckets=n_buckets, rng=rng, weights=weights
+        )
+        self.instances = [InstanceStats() for _ in range(n_instances)]
+        self.n_buckets = n_buckets
+
+    # -- routing path --------------------------------------------------------
+    def route(self, bucket: int, n_records: int) -> int:
+        """Pick the instance for a fragment and record the decision."""
+        inst = self.router.choose(bucket, n_records)
+        self.router.on_sent(inst, n_records)
+        self.instances[inst].records_routed += n_records
+        return inst
+
+    def complete(self, instance: int, n_records: int, busy_cycles: float = 0.0) -> None:
+        """Runtime feedback: an instance finished processing records."""
+        self.router.on_completed(instance, n_records)
+        st = self.instances[instance]
+        st.records_completed += n_records
+        st.busy_cycles += busy_cycles
+
+    # -- diagnostics ---------------------------------------------------------
+    def imbalance(self) -> float:
+        """max/mean of records routed (1.0 = perfect balance)."""
+        routed = np.array([s.records_routed for s in self.instances], dtype=np.float64)
+        total = routed.sum()
+        if total == 0:
+            return 1.0
+        return float(routed.max() / (total / len(routed)))
+
+    def backlogs(self) -> list[int]:
+        return [s.backlog for s in self.instances]
+
+    # -- reconfiguration -----------------------------------------------------
+    def reconfigure(self, n_records: int, gamma: int = 64) -> DSMConfig:
+        """Pick the DSM configuration for the *next* run on this platform.
+
+        This is the between-runs adaptation of Figure 9 ("adaptive" series):
+        functors themselves are reparameterised — compute migrates without
+        moving application objects (§3.3).
+        """
+        return ConfigSolver(self.params, gamma=gamma).choose(n_records)

@@ -1,0 +1,123 @@
+"""Functor placement: mapping stages of a dataflow to hosts and ASUs.
+
+"A key goal of our approach is to enable the system to control the mapping of
+computational workload to processing units in order to maximize global system
+performance" (§8).  A :class:`Placement` assigns each dataflow stage a node
+class (host / ASU) and replica set; the solver checks ASU eligibility
+(bounded cost and state, §3.1) before allowing storage-side execution, and
+estimates the load split its assignment implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..emulator.params import SystemParams
+from ..functors.base import Functor, FunctorError, asu_eligible
+from ..functors.graph import Dataflow
+
+__all__ = ["Placement", "StagePlacement", "PlacementSolver"]
+
+NODE_CLASSES = ("host", "asu")
+
+
+@dataclass
+class StagePlacement:
+    """Where one stage runs."""
+
+    stage: str
+    node_class: str          # "host" or "asu"
+    instances: list[int]     # node indices within the class
+
+    def __post_init__(self) -> None:
+        if self.node_class not in NODE_CLASSES:
+            raise FunctorError(f"unknown node class {self.node_class!r}")
+        if not self.instances:
+            raise FunctorError(f"stage {self.stage!r} placed on zero instances")
+
+
+@dataclass
+class Placement:
+    """A complete stage -> nodes assignment."""
+
+    assignments: dict[str, StagePlacement] = field(default_factory=dict)
+
+    def assign(self, stage: str, node_class: str, instances: list[int]) -> None:
+        self.assignments[stage] = StagePlacement(stage, node_class, list(instances))
+
+    def of(self, stage: str) -> StagePlacement:
+        try:
+            return self.assignments[stage]
+        except KeyError:
+            raise FunctorError(f"stage {stage!r} has no placement") from None
+
+    def stages_on(self, node_class: str) -> list[str]:
+        return [s for s, p in self.assignments.items() if p.node_class == node_class]
+
+
+class PlacementSolver:
+    """Validates and scores placements against a dataflow and platform."""
+
+    def __init__(self, params: SystemParams):
+        self.params = params
+
+    def validate(self, graph: Dataflow, placement: Placement) -> None:
+        """Reject unsafe placements.
+
+        * every stage must be placed;
+        * ASU-placed functors must pass the eligibility test (§3.1);
+        * replica counts must match the graph's declared replication, which
+          itself was validated against edge kinds (set vs stream).
+        """
+        graph.validate()
+        for name, stage in graph.stages.items():
+            sp = placement.of(name)
+            if sp.node_class == "asu":
+                ok, reason = asu_eligible(stage.functor, self.params.asu_mem)
+                if not ok:
+                    raise FunctorError(
+                        f"stage {name!r} cannot run on ASUs: {reason}"
+                    )
+                for idx in sp.instances:
+                    if not 0 <= idx < self.params.n_asus:
+                        raise FunctorError(
+                            f"stage {name!r}: ASU index {idx} out of range"
+                        )
+            else:
+                for idx in sp.instances:
+                    if not 0 <= idx < self.params.n_hosts:
+                        raise FunctorError(
+                            f"stage {name!r}: host index {idx} out of range"
+                        )
+            if len(sp.instances) > 1 and stage.replicas == 1:
+                raise FunctorError(
+                    f"stage {name!r} placed on {len(sp.instances)} nodes but "
+                    "the dataflow declares a single instance"
+                )
+
+    def load_split(self, graph: Dataflow, placement: Placement) -> dict[str, float]:
+        """Estimated cycles landing on each node class (the §2.2 balance check)."""
+        split = {"host": 0.0, "asu": 0.0}
+        for name, stage in graph.stages.items():
+            sp = placement.of(name)
+            split[sp.node_class] += stage.est_cycles(self.params)
+        return split
+
+    def balance_score(self, graph: Dataflow, placement: Placement) -> float:
+        """How well the placement matches hardware capacity.
+
+        1.0 = the compute assigned to each class is exactly proportional to
+        that class's share of total processing power ("if half the total
+        processing power is at the hosts, the application should place half
+        the computation there", §2.2).  Lower is worse.
+        """
+        split = self.load_split(graph, placement)
+        total = split["host"] + split["asu"]
+        if total == 0:
+            return 1.0
+        want_host = self.params.host_compute_fraction
+        got_host = split["host"] / total
+        # Ratio of the slower side's relative finishing time.
+        t_host = got_host / max(want_host, 1e-12)
+        t_asu = (1 - got_host) / max(1 - want_host, 1e-12)
+        return min(t_host, t_asu) / max(t_host, t_asu) if max(t_host, t_asu) > 0 else 1.0

@@ -1,0 +1,131 @@
+"""Analytic pipeline-throughput predictor for DSM-Sort configurations.
+
+"Our approach ... allows the system to predict the effects of offloading
+computation to ASUs so that it may configure the application to match
+hardware capabilities and load conditions" (§1).  The predictor models pass 1
+(run formation) as a two-stage pipeline — ASU side (disk + distribute + NIC)
+feeding the host side (NIC + block sort + NIC) — whose steady-state rate is
+the bottleneck stage's rate.  The adaptive configuration in Figure 9 is the
+α maximising this prediction.
+
+The emulator charges the same per-record costs
+(:class:`~repro.core.costs.RecordCosts`), so prediction and emulation agree
+to within pipeline fill/drain effects; a test asserts that agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..emulator.params import SystemParams
+from .costs import RecordCosts
+
+__all__ = ["PipelinePrediction", "predict_pass1", "predict_pass2", "predict_speedup"]
+
+
+@dataclass(frozen=True)
+class PipelinePrediction:
+    """Predicted steady-state rates (records/second) for one configuration."""
+
+    asu_cpu_rate: float      # aggregate across D ASUs (inf for passive)
+    asu_disk_rate: float     # aggregate disk streaming rate
+    host_cpu_rate: float     # aggregate across H hosts
+    net_rate: float          # aggregate link rate
+
+    @property
+    def bottleneck_rate(self) -> float:
+        return min(
+            self.asu_cpu_rate, self.asu_disk_rate, self.host_cpu_rate, self.net_rate
+        )
+
+    @property
+    def bottleneck(self) -> str:
+        rates = {
+            "asu_cpu": self.asu_cpu_rate,
+            "asu_disk": self.asu_disk_rate,
+            "host_cpu": self.host_cpu_rate,
+            "net": self.net_rate,
+        }
+        return min(rates, key=rates.get)
+
+    def time_for(self, n_records: int) -> float:
+        return n_records / self.bottleneck_rate
+
+
+def predict_pass1(
+    params: SystemParams, alpha: int, beta: int, active: bool = True
+) -> PipelinePrediction:
+    """Steady-state pass-1 rates for a DSM-Sort configuration.
+
+    ``active=False`` models the Figure-9 baseline: conventional storage with
+    all functor computation at the host.
+    """
+    costs = RecordCosts(params)
+    D, H = params.n_asus, params.n_hosts
+
+    w_asu = costs.asu_pass1_cycles(alpha, active)
+    asu_cpu_rate = (
+        D * params.asu_clock_hz / w_asu if w_asu > 0 else float("inf")
+    )
+
+    w_host = costs.host_pass1_cycles(alpha, beta, active)
+    host_cpu_rate = params.total_host_clock_hz / w_host
+
+    # Each record crosses its ASU's disk twice (read in, run written back).
+    asu_disk_rate = D * costs.disk_records_per_sec(passes=2)
+
+    # Each record crosses the interconnect twice (to host, run back); every
+    # ASU has its own link pair.
+    net_rate = D * costs.net_records_per_sec() / 2.0
+
+    return PipelinePrediction(
+        asu_cpu_rate=asu_cpu_rate,
+        asu_disk_rate=asu_disk_rate,
+        host_cpu_rate=host_cpu_rate,
+        net_rate=net_rate,
+    )
+
+
+def predict_pass2(
+    params: SystemParams, gamma1: int, gamma2: int
+) -> PipelinePrediction:
+    """Steady-state rates for the final merge pass (γ1 on ASUs, γ2 on hosts).
+
+    ASU side per record: disk staging in, γ1-way pre-merge, NIC copy out.
+    Host side per record: NIC copy in, γ2-way merge completion.
+    """
+    costs = RecordCosts(params)
+    s = costs.steps
+    D = params.n_asus
+
+    w_asu = s.disk_stage + s.net_xfer
+    if gamma1 > 1:
+        w_asu += costs.merge_cycles(gamma1)
+    asu_cpu_rate = D * params.asu_clock_hz / w_asu
+
+    w_host = s.net_xfer + costs.merge_cycles(max(gamma2, 1))
+    host_cpu_rate = params.total_host_clock_hz / w_host
+
+    # Pass 2 reads each record off the ASU disks once.
+    asu_disk_rate = D * costs.disk_records_per_sec(passes=1)
+    net_rate = D * costs.net_records_per_sec()
+
+    return PipelinePrediction(
+        asu_cpu_rate=asu_cpu_rate,
+        asu_disk_rate=asu_disk_rate,
+        host_cpu_rate=host_cpu_rate,
+        net_rate=net_rate,
+    )
+
+
+def predict_speedup(
+    params: SystemParams,
+    alpha: int,
+    beta: int,
+    baseline_alpha: int,
+    baseline_beta: int,
+) -> float:
+    """Predicted Figure-9 speedup: active(α, β) vs passive baseline."""
+    act = predict_pass1(params, alpha, beta, active=True)
+    base = predict_pass1(params, baseline_alpha, baseline_beta, active=False)
+    return act.bottleneck_rate / base.bottleneck_rate

@@ -1,0 +1,259 @@
+"""Routing policies: how records of a set are spread across functor instances.
+
+"The routing of records across functor instances may be responsive to dynamic
+load conditions visible to the system.  In some cases, randomized routing
+techniques like simple randomization (SR) may reduce data dependencies and
+interference ...  Routing policies may also consider static information about
+node capacity to handle heterogeneous processing rates." (§3.3)
+
+Policies route *(bucket, fragment)* pairs produced by the distribute phase to
+host instances of the block-sort functor:
+
+* :class:`StaticPartition` — Figure 10's baseline: bucket b is owned by host
+  b·H/α forever.  Skewed keys ⇒ skewed hosts.
+* :class:`RoundRobin` — rotate hosts per fragment.
+* :class:`SimpleRandomization` — SR of [35]: each fragment goes to a host
+  drawn uniformly at random, preserving balance in expectation regardless of
+  bucket skew.
+* :class:`JoinShortestQueue` — dynamic: send to the host with the least
+  outstanding work (the load feedback loop).
+* :class:`WeightedCapacity` — static capacity-aware split for heterogeneous
+  hosts.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Router",
+    "StaticPartition",
+    "RoundRobin",
+    "SimpleRandomization",
+    "RandomizedCycling",
+    "JoinShortestQueue",
+    "WeightedCapacity",
+    "AdaptiveSwitch",
+    "make_router",
+]
+
+
+class Router(abc.ABC):
+    """Chooses a destination instance for each fragment of a set."""
+
+    name = "router"
+    #: True if the policy consumes dynamic load feedback
+    dynamic = False
+
+    def __init__(self, n_instances: int):
+        if n_instances < 1:
+            raise ValueError("need at least one instance")
+        self.n_instances = int(n_instances)
+        #: outstanding records per instance (fed back by the runtime)
+        self.outstanding = np.zeros(self.n_instances, dtype=np.int64)
+        self.sent = np.zeros(self.n_instances, dtype=np.int64)
+
+    @abc.abstractmethod
+    def choose(self, bucket: int, n_records: int) -> int:
+        """Destination instance for a fragment of ``n_records`` of ``bucket``."""
+
+    # -- feedback from the runtime -----------------------------------------
+    def on_sent(self, instance: int, n_records: int) -> None:
+        self.outstanding[instance] += n_records
+        self.sent[instance] += n_records
+
+    def on_completed(self, instance: int, n_records: int) -> None:
+        self.outstanding[instance] -= n_records
+
+    # -- diagnostics -----------------------------------------------------------
+    def imbalance(self) -> float:
+        """max/mean ratio of records sent (1.0 = perfectly balanced)."""
+        total = self.sent.sum()
+        if total == 0:
+            return 1.0
+        return float(self.sent.max() / (total / self.n_instances))
+
+
+class StaticPartition(Router):
+    """Bucket ranges statically assigned to instances (Fig 10 baseline)."""
+
+    name = "static"
+
+    def __init__(self, n_instances: int, n_buckets: int):
+        super().__init__(n_instances)
+        if n_buckets < 1:
+            raise ValueError("need at least one bucket")
+        self.n_buckets = int(n_buckets)
+
+    def choose(self, bucket: int, n_records: int) -> int:
+        if not 0 <= bucket < self.n_buckets:
+            raise ValueError(f"bucket {bucket} out of range [0, {self.n_buckets})")
+        return bucket * self.n_instances // self.n_buckets
+
+
+class RoundRobin(Router):
+    """Rotate instances regardless of bucket."""
+
+    name = "round_robin"
+
+    def __init__(self, n_instances: int):
+        super().__init__(n_instances)
+        self._next = 0
+
+    def choose(self, bucket: int, n_records: int) -> int:
+        i = self._next
+        self._next = (self._next + 1) % self.n_instances
+        return i
+
+
+class SimpleRandomization(Router):
+    """SR: uniform random instance per fragment (Vitter & Hutchinson [35])."""
+
+    name = "sr"
+
+    def __init__(self, n_instances: int, rng: Optional[np.random.Generator] = None):
+        super().__init__(n_instances)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def choose(self, bucket: int, n_records: int) -> int:
+        return int(self.rng.integers(0, self.n_instances))
+
+
+class RandomizedCycling(Router):
+    """RC of Vitter & Hutchinson [35]: per-bucket random cyclic order.
+
+    Each bucket gets an independent random permutation of the instances and
+    cycles through it, so consecutive fragments of one bucket never collide
+    on one instance while buckets stay decorrelated — the refinement of SR
+    the paper cites for distribution sort.
+    """
+
+    name = "rc"
+
+    def __init__(self, n_instances: int, n_buckets: int, rng: Optional[np.random.Generator] = None):
+        super().__init__(n_instances)
+        if n_buckets < 1:
+            raise ValueError("need at least one bucket")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.n_buckets = int(n_buckets)
+        self._perm = np.stack(
+            [rng.permutation(n_instances) for _ in range(self.n_buckets)]
+        )
+        self._pos = np.zeros(self.n_buckets, dtype=np.int64)
+
+    def choose(self, bucket: int, n_records: int) -> int:
+        if not 0 <= bucket < self.n_buckets:
+            raise ValueError(f"bucket {bucket} out of range [0, {self.n_buckets})")
+        i = int(self._perm[bucket, self._pos[bucket] % self.n_instances])
+        self._pos[bucket] += 1
+        return i
+
+
+class JoinShortestQueue(Router):
+    """Send to the instance with the fewest outstanding records."""
+
+    name = "jsq"
+    dynamic = True
+
+    def choose(self, bucket: int, n_records: int) -> int:
+        return int(np.argmin(self.outstanding))
+
+
+class WeightedCapacity(Router):
+    """Deterministic proportional split by static capacity weights.
+
+    Routes so that cumulative records per instance track the weight vector —
+    the "static information about node capacity" policy for heterogeneous
+    hosts (§3.3).
+    """
+
+    name = "weighted"
+
+    def __init__(self, weights: Sequence[float]):
+        super().__init__(len(weights))
+        w = np.asarray(weights, dtype=np.float64)
+        if np.any(w <= 0):
+            raise ValueError("weights must be positive")
+        self.weights = w / w.sum()
+
+    def choose(self, bucket: int, n_records: int) -> int:
+        total = self.sent.sum() + 1.0
+        deficit = self.weights - self.sent / total
+        return int(np.argmax(deficit))
+
+
+class AdaptiveSwitch(Router):
+    """Starts with static ownership, migrates to SR when imbalance appears.
+
+    Implements §3.3's dynamic adaptation *within* a run: the load manager
+    watches the record split and, once the max/mean ratio crosses
+    ``threshold``, re-routes subsequent fragments with simple randomization.
+    Records already routed are not moved — this is function(-load) migration,
+    not data migration, exactly the paper's "migration of compute load
+    without moving application objects".
+    """
+
+    name = "adaptive_switch"
+    dynamic = True
+
+    def __init__(
+        self,
+        n_instances: int,
+        n_buckets: int,
+        threshold: float = 1.15,
+        min_records: int = 1024,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(n_instances)
+        self._static = StaticPartition(n_instances, n_buckets)
+        self._sr = SimpleRandomization(n_instances, rng)
+        self.threshold = float(threshold)
+        self.min_records = int(min_records)
+        #: simulated records routed before the switch happened (-1 = never)
+        self.switched_after: int = -1
+
+    @property
+    def switched(self) -> bool:
+        return self.switched_after >= 0
+
+    def choose(self, bucket: int, n_records: int) -> int:
+        if not self.switched:
+            total = int(self.sent.sum())
+            if total >= self.min_records and self.imbalance() > self.threshold:
+                self.switched_after = total
+        if self.switched:
+            return self._sr.choose(bucket, n_records)
+        return self._static.choose(bucket, n_records)
+
+
+def make_router(
+    policy: str,
+    n_instances: int,
+    n_buckets: int = 1,
+    rng: Optional[np.random.Generator] = None,
+    weights: Optional[Sequence[float]] = None,
+) -> Router:
+    """Factory by policy name (the bench harness sweeps these)."""
+    if policy == "static":
+        return StaticPartition(n_instances, n_buckets)
+    if policy == "round_robin":
+        return RoundRobin(n_instances)
+    if policy == "sr":
+        return SimpleRandomization(n_instances, rng)
+    if policy == "rc":
+        return RandomizedCycling(n_instances, n_buckets, rng)
+    if policy == "jsq":
+        return JoinShortestQueue(n_instances)
+    if policy == "adaptive_switch":
+        return AdaptiveSwitch(n_instances, n_buckets, rng=rng)
+    if policy == "weighted":
+        if weights is None:
+            raise ValueError("weighted policy needs weights")
+        return WeightedCapacity(weights)
+    raise ValueError(
+        f"unknown routing policy {policy!r}; choose from "
+        "static/round_robin/sr/rc/jsq/adaptive_switch/weighted"
+    )

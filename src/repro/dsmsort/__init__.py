@@ -1,0 +1,18 @@
+"""DSM-Sort: the configurable distribute/sort/merge sort (§4.3)."""
+
+from .adaptive import adaptive_config, run_adaptive
+from .local import LocalSortTrace, dsm_sort_local
+from .offload import OffloadedDsmSort, OffloadResult
+from .runtime import DsmSortJob, Pass1Result, Pass2Result
+
+__all__ = [
+    "adaptive_config",
+    "run_adaptive",
+    "LocalSortTrace",
+    "dsm_sort_local",
+    "OffloadedDsmSort",
+    "OffloadResult",
+    "DsmSortJob",
+    "Pass1Result",
+    "Pass2Result",
+]

@@ -1,0 +1,46 @@
+"""Adaptive DSM-Sort: configuration chosen by the load manager (Figure 9).
+
+"DSM-Sort can adaptively reconfigure to match varying parameters of the
+active storage systems" (§4.3).  :func:`adaptive_config` asks the
+:class:`~repro.core.config.ConfigSolver` for the predicted-best α on the
+given platform; :func:`run_adaptive` then executes that configuration on the
+emulator.  This is the "adaptive" series of Figure 9.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.config import ConfigSolver, DSMConfig
+from ..emulator.params import SystemParams
+from .runtime import DsmSortJob, Pass1Result
+
+__all__ = ["adaptive_config", "run_adaptive"]
+
+
+def adaptive_config(
+    params: SystemParams, n_records: int, gamma: int = 64
+) -> DSMConfig:
+    """The configuration the system predicts to be fastest on this platform."""
+    return ConfigSolver(params, gamma=gamma).choose(n_records)
+
+
+def run_adaptive(
+    params: SystemParams,
+    n_records: int,
+    gamma: int = 64,
+    policy: str = "sr",
+    workload: str = "uniform",
+    seed: int = 0,
+    verify: bool = False,
+) -> tuple[DSMConfig, Pass1Result, Optional[DsmSortJob]]:
+    """Pick the adaptive configuration and run pass 1 with it."""
+    cfg = adaptive_config(params, n_records, gamma)
+    job = DsmSortJob(
+        params, cfg, policy=policy, workload=workload, seed=seed, active=True
+    )
+    res = job.run_pass1()
+    if verify:
+        job.run_pass2()
+        job.verify()
+    return cfg, res, job

@@ -1,0 +1,115 @@
+"""In-process DSM-Sort: the distribute/sort/merge algorithm itself (§4.3).
+
+This is the algorithm of Figure 6 run locally over a BTE — no emulation, no
+timing — used (a) to validate the emulated runtime's data path against a
+simple reference, and (b) as a genuinely usable external sort whose work
+profile is configurable through :class:`~repro.core.config.DSMConfig`.
+
+Phases:
+
+1. α-way distribute into bucket streams (independent subproblems);
+2. per bucket, β-record run formation (N/β sorted runs total);
+3. per bucket, γ-way merge of the runs (multi-pass if needed);
+4. concatenation of sorted buckets (bucket ranges are disjoint and ordered).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bte.base import BTE
+from ..bte.memory import MemoryBTE
+from ..containers.stream import RecordStream
+from ..core.config import DSMConfig
+from ..functors.blocksort import BlockSortFunctor
+from ..functors.distribute import DistributeFunctor, sample_splitters
+from ..tpie.kmerge import kway_merge_streams
+from ..tpie.stream_ops import distribution_sweep
+from ..util.records import DEFAULT_SCHEMA
+
+__all__ = ["dsm_sort_local", "LocalSortTrace"]
+
+
+@dataclass
+class LocalSortTrace:
+    """What the sort did, per phase (compared against config expectations)."""
+
+    n_records: int = 0
+    bucket_sizes: list[int] = field(default_factory=list)
+    n_runs: int = 0
+    merge_passes_per_bucket: list[int] = field(default_factory=list)
+
+    @property
+    def max_bucket_skew(self) -> float:
+        if not self.bucket_sizes or self.n_records == 0:
+            return 1.0
+        mean = self.n_records / len(self.bucket_sizes)
+        return max(self.bucket_sizes) / mean if mean else 1.0
+
+
+def dsm_sort_local(
+    src: RecordStream,
+    config: DSMConfig,
+    bte: BTE | None = None,
+    out_name: str = "dsm_out",
+    block_records: int = 4096,
+    sampled_splitters: bool = False,
+    rng: np.random.Generator | None = None,
+) -> tuple[RecordStream, LocalSortTrace]:
+    """Sort ``src`` into a new stream using the DSM plan in ``config``."""
+    bte = bte if bte is not None else src.bte
+    trace = LocalSortTrace(n_records=len(src))
+
+    # -- phase 1: distribute -------------------------------------------------
+    if sampled_splitters and len(src) > 0:
+        sample = src.read_all()["key"]
+        dist = DistributeFunctor(sample_splitters(sample, config.alpha, rng))
+    else:
+        dist = DistributeFunctor.uniform(config.alpha, src.schema)
+    buckets = distribution_sweep(src, dist, bte, f"{out_name}.bucket", block_records)
+    trace.bucket_sizes = [len(b) for b in buckets]
+
+    # -- phases 2+3: per-bucket run formation and merge ------------------------
+    out = RecordStream(out_name, bte=bte, schema=src.schema)
+    sorter = BlockSortFunctor(config.beta)
+    for bi, bucket in enumerate(buckets):
+        run_names: list[str] = []
+        bucket.rewind()
+        for block in bucket.scan(max(config.beta, block_records)):
+            for pkt in sorter.run_packets(block):
+                name = f"{out_name}.b{bi}.run{len(run_names)}"
+                bte.write_all(name, pkt.batch)
+                run_names.append(name)
+        trace.n_runs += len(run_names)
+
+        # γ-way merge passes until a single run remains.
+        passes = 0
+        level = 0
+        while len(run_names) > 1:
+            passes += 1
+            level += 1
+            nxt: list[str] = []
+            for gi in range(0, len(run_names), config.gamma):
+                group = run_names[gi : gi + config.gamma]
+                merged = f"{out_name}.b{bi}.m{level}.{len(nxt)}"
+                kway_merge_streams(
+                    bte, [bte.open(n) for n in group], merged,
+                    buffer_records=block_records,
+                )
+                for n in group:
+                    bte.delete(n)
+                nxt.append(merged)
+            run_names = nxt
+        trace.merge_passes_per_bucket.append(passes)
+
+        # -- phase 4: emit the sorted bucket -------------------------------
+        if run_names:
+            h = bte.open(run_names[0])
+            while not bte.at_end(h):
+                out.append(bte.read_next(h, block_records))
+            bte.delete(run_names[0])
+        bucket.delete()
+
+    return out, trace

@@ -1,0 +1,207 @@
+"""Fully-offloaded DSM-Sort: direct ASU-to-ASU exchange (extension).
+
+The paper's network model "uses only host-ASU communication", but it notes
+that "if the interconnect bandwidth is limited, direct ASU-ASU communication
+may be required [1, 32]" (§5).  This module implements that alternative for
+pass 1: every ASU distributes its local data and ships each bucket fragment
+*directly to the ASU that owns the bucket*; the owner forms and sorts the
+β-record runs on its own CPU and stores them locally.  Hosts are idle.
+
+Trade-offs this variant exposes (benchmarked in
+``benchmarks/bench_offload.py``):
+
+* each record crosses the interconnect **once** instead of twice
+  (ASU→host→ASU), halving network traffic — the bandwidth argument;
+* all comparison work lands on the slow ASU CPUs, so with few ASUs the
+  host-based pipeline is faster; with many ASUs the offloaded sort wins
+  because the single host no longer caps throughput.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import DSMConfig
+from ..core.costs import RecordCosts
+from ..emulator.params import SystemParams
+from ..emulator.platform import ActivePlatform
+from ..functors.distribute import DistributeFunctor
+from ..util.distributions import make_workload
+from ..util.records import concat_records
+from ..util.rng import RngRegistry
+from ..util.validation import check_sorted_permutation
+from .runtime import _EOF
+
+__all__ = ["OffloadedDsmSort", "OffloadResult"]
+
+
+def _local_deliver(plat: ActivePlatform, d: int, payload) -> None:
+    """Put a zero-cost message directly into ASU d's own mailbox."""
+    from ..emulator.net import Message
+
+    node_id = plat.asus[d].node_id
+    plat.network.mailbox(node_id).put(Message(node_id, node_id, payload, 0))
+
+
+@dataclass
+class OffloadResult:
+    makespan: float
+    asu_cpu_util: list[float]
+    asu_disk_util: list[float]
+    host_util: list[float]
+    n_runs: int
+    net_bytes: int
+
+
+class OffloadedDsmSort:
+    """Pass-1 run formation executed entirely on the ASUs."""
+
+    def __init__(
+        self,
+        params: SystemParams,
+        config: DSMConfig,
+        workload: str = "uniform",
+        seed: int = 0,
+    ):
+        self.params = params
+        self.config = config
+        self.costs = RecordCosts(params)
+        self.rngs = RngRegistry(seed)
+        self.dist = DistributeFunctor.uniform(config.alpha, params.schema)
+        per_asu = config.n_records // params.n_asus
+        self.asu_data = [
+            make_workload(self.rngs.get(f"workload.{d}"), per_asu, workload, params.schema)
+            for d in range(params.n_asus)
+        ]
+        self.runs_on_asu: list[list[tuple[int, np.ndarray]]] = [
+            [] for _ in range(params.n_asus)
+        ]
+
+    def owner_of(self, bucket: int) -> int:
+        """Static bucket -> ASU ownership (range partition)."""
+        return bucket * self.params.n_asus // self.config.alpha
+
+    def run_pass1(self) -> OffloadResult:
+        self.runs_on_asu = [[] for _ in range(self.params.n_asus)]
+        plat = ActivePlatform(self.params)
+        self.platform = plat
+        D = self.params.n_asus
+        blk = self.params.block_records
+        rs = self.params.schema.record_size
+        beta = self.config.beta
+        sort_cpr = self.costs.blocksort_cycles(beta)
+
+        def producer(d):
+            from ..emulator.readahead import ReadAhead
+
+            asu = plat.asus[d]
+            data = self.asu_data[d]
+            blocks = [data[s : s + blk] for s in range(0, data.shape[0], blk)]
+            ra = ReadAhead(plat, asu, [b.shape[0] * rs for b in blocks])
+            for i, block in enumerate(blocks):
+                yield ra.wait_next()
+                staging = block.shape[0] * rs * self.params.cycles_per_io_byte
+                if staging:
+                    yield from asu.cpu.execute(cycles=staging)
+                pieces = yield from asu.compute(
+                    cycles=self.dist.cost_cycles(block.shape[0], self.params),
+                    fn=self.dist.apply,
+                    args=(block,),
+                )
+                # Group fragments by owner ASU; one message per (block, owner).
+                per_owner: dict[int, list[tuple[int, np.ndarray]]] = defaultdict(list)
+                for bucket, piece in enumerate(pieces):
+                    if piece.shape[0]:
+                        per_owner[self.owner_of(bucket)].append((bucket, piece))
+                for o, frags in per_owner.items():
+                    n = sum(p.shape[0] for _b, p in frags)
+                    if o == d:
+                        # Local fragments bypass the interconnect entirely:
+                        # deliver straight into our own mailbox (zero wire
+                        # time, zero NIC copy cost, no byte accounting).
+                        _local_deliver(plat, d, ("frags", d, frags))
+                        continue
+                    yield from asu.send_async(
+                        plat.asus[o], ("frags", d, frags), n * rs, tag="frags"
+                    )
+            for o in range(D):
+                if o == d:
+                    _local_deliver(plat, d, (_EOF, d, None))
+                else:
+                    yield from asu.send_async(plat.asus[o], (_EOF, d, None), 16, tag="eof")
+
+        def sorter(d):
+            asu = plat.asus[d]
+            buffers: dict[int, list[np.ndarray]] = defaultdict(list)
+            buffered: dict[int, int] = defaultdict(int)
+            n_eof = 0
+            while n_eof < D:
+                msg = yield asu.mailbox.get()
+                kind, _src, payload = msg.payload
+                if getattr(msg, "nbytes", 0) and kind != _EOF:
+                    # NIC copy cost only for fragments that crossed the wire.
+                    yield from asu.cpu.execute(
+                        cycles=msg.nbytes * self.params.cycles_per_net_byte
+                    )
+                if kind == _EOF:
+                    n_eof += 1
+                else:
+                    for bucket, piece in payload:
+                        buffers[bucket].append(piece)
+                        buffered[bucket] += piece.shape[0]
+                # Form and sort complete runs as data arrives.
+                for bucket in list(buffers):
+                    while buffered[bucket] >= beta:
+                        batch = concat_records(buffers[bucket], self.params.schema)
+                        run_src, rest = batch[:beta], batch[beta:]
+                        buffers[bucket] = [rest] if rest.shape[0] else []
+                        buffered[bucket] = rest.shape[0]
+                        yield from self._sort_and_store(asu, d, bucket, run_src, sort_cpr, rs)
+            # Flush partials.
+            for bucket in sorted(buffers):
+                if buffered[bucket]:
+                    batch = concat_records(buffers[bucket], self.params.schema)
+                    yield from self._sort_and_store(asu, d, bucket, batch, sort_cpr, rs)
+            yield from asu.disk.drain()
+
+        procs = [plat.spawn(producer(d), name=f"p{d}") for d in range(D)]
+        procs += [plat.spawn(sorter(d), name=f"s{d}") for d in range(D)]
+        plat.run(wait_for=procs)
+        t = plat.sim.now
+        return OffloadResult(
+            makespan=t,
+            asu_cpu_util=[a.cpu.utilization(t) for a in plat.asus],
+            asu_disk_util=[a.disk.utilization(t) for a in plat.asus],
+            host_util=[h.cpu.utilization(t) for h in plat.hosts],
+            n_runs=sum(len(r) for r in self.runs_on_asu),
+            net_bytes=plat.network.bytes_total,
+        )
+
+    def _sort_and_store(self, asu, d, bucket, batch, sort_cpr, rs):
+        run = yield from asu.compute(
+            cycles=batch.shape[0] * sort_cpr,
+            fn=lambda b: np.sort(b, order="key", kind="stable"),
+            args=(batch,),
+        )
+        yield from asu.disk_write(run.shape[0] * rs)
+        self.runs_on_asu[d].append((bucket, run))
+
+    # -- verification --------------------------------------------------------
+    def verify(self) -> None:
+        """Merge all runs per bucket and check the global sorted permutation."""
+        all_in = concat_records(list(self.asu_data), self.params.schema)
+        pieces = []
+        per_bucket: dict[int, list[np.ndarray]] = defaultdict(list)
+        for d in range(self.params.n_asus):
+            for bucket, run in self.runs_on_asu[d]:
+                # Ownership invariant: runs live on the bucket's owner.
+                assert self.owner_of(bucket) == d, (bucket, d)
+                per_bucket[bucket].append(run)
+        for bucket in sorted(per_bucket):
+            joined = concat_records(per_bucket[bucket], self.params.schema)
+            pieces.append(np.sort(joined, order="key", kind="stable"))
+        out = concat_records(pieces, self.params.schema)
+        check_sorted_permutation(all_in, out)

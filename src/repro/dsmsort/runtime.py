@@ -1,0 +1,514 @@
+"""Emulated distributed DSM-Sort (§4.3, Figures 6–7) on the active platform.
+
+Pass 1 (run formation — what Figure 9 times):
+
+* each ASU streams its share of the input off disk, runs the α-way
+  **distribute** functor (when active), and ships bucket fragments to hosts;
+* a **router** (the load-management hook) decides which host instance of the
+  block-sort functor receives each fragment — static bucket ownership,
+  simple randomization (SR), round-robin, or join-shortest-queue;
+* hosts accumulate per-bucket buffers, cut them into β-record runs, really
+  sort each run, and stripe the sorted runs back across the ASUs;
+* ASUs write incoming runs to disk (write-behind) — pass 1 ends when every
+  run is durable.
+
+In the **passive baseline** ("conventional storage units with no integrated
+processing", §6) the storage units charge no CPU at all: raw blocks stream to
+their host, which performs the distribute as well as the sort.
+
+Pass 2 (final merge): ASUs pre-merge their local runs per bucket with fan-in
+γ1, hosts complete each bucket with γ2-way merges (γ1·γ2 = γ).
+
+Every phase really transforms the records; :meth:`DsmSortJob.verify` checks
+the final output is a sorted permutation of the input.  Timing comes from the
+same per-record cost bounds the predictor uses (:mod:`repro.core.costs`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.config import DSMConfig
+from ..core.costs import RecordCosts
+from ..core.load_manager import LoadManager
+from ..emulator.params import SystemParams
+from ..emulator.platform import ActivePlatform
+from ..functors.blocksort import BlockSortFunctor
+from ..functors.distribute import DistributeFunctor
+from ..functors.merge import MergeFunctor, merge_sorted_batches
+from ..util.distributions import make_workload
+from ..util.records import concat_records
+from ..util.rng import RngRegistry
+from ..util.validation import check_sorted_permutation
+
+__all__ = ["DsmSortJob", "Pass1Result", "Pass2Result"]
+
+_EOF = "__eof__"
+
+
+@dataclass
+class Pass1Result:
+    """Outcome of the run-formation pass."""
+
+    makespan: float
+    host_util: list[float]
+    asu_cpu_util: list[float]
+    asu_disk_util: list[float]
+    n_runs: int
+    net_bytes: int
+    imbalance: float
+    #: (time, utilization) samples per host — the Figure-10 traces
+    host_util_series: list[list[tuple[float, float]]] = field(default_factory=list)
+
+
+@dataclass
+class Pass2Result:
+    makespan: float
+    host_util: list[float]
+    asu_cpu_util: list[float]
+    n_partial_runs: int
+
+
+class DsmSortJob:
+    """One emulated DSM-Sort execution on a given platform configuration."""
+
+    def __init__(
+        self,
+        params: SystemParams,
+        config: DSMConfig,
+        policy: str = "static",
+        workload: str = "uniform",
+        active: bool = True,
+        seed: int = 0,
+        workload_kwargs: Optional[dict] = None,
+        background_asu_duty: float = 0.0,
+        asu_data: Optional[list[np.ndarray]] = None,
+    ):
+        if not 0.0 <= background_asu_duty < 1.0:
+            raise ValueError("background_asu_duty must be in [0, 1)")
+        self.params = params
+        self.config = config
+        self.policy = policy
+        self.active = active
+        #: fraction of every ASU's CPU consumed by a competing application.
+        #: ASUs are *shared* network storage and the competitor has strict
+        #: priority (§1: storage-side computation must not interfere with
+        #: other applications' storage access), so the sort's functors see
+        #: only the leftover (1 - duty) of each ASU's cycles.
+        self.background_asu_duty = background_asu_duty
+        self.costs = RecordCosts(params)
+        self.rngs = RngRegistry(seed)
+        self.dist = DistributeFunctor.uniform(config.alpha, params.schema)
+        self.sorter = BlockSortFunctor(config.beta)
+        # Capacity-aware routing ("static information about node capacity",
+        # §3.3): the weighted policy splits records in proportion to each
+        # host's clock.
+        self._host_weights = (
+            [params.host_clock_of(h) for h in range(params.n_hosts)]
+            if policy == "weighted"
+            else None
+        )
+        self.load_manager = LoadManager(
+            params,
+            n_instances=params.n_hosts,
+            n_buckets=config.alpha,
+            policy=policy,
+            rng=self.rngs.get("routing"),
+            weights=self._host_weights,
+        )
+        # Input: either supplied by the caller (pre-distributed application
+        # data, e.g. TerraFlow cell records keyed by elevation) or generated
+        # — n_records split evenly across the D ASUs, each ASU's share drawn
+        # independently from the workload so temporal structure (the Fig-10
+        # half-uniform/half-exponential switch) appears at every ASU.
+        if asu_data is not None:
+            if len(asu_data) != params.n_asus:
+                raise ValueError(
+                    f"asu_data has {len(asu_data)} entries for "
+                    f"{params.n_asus} ASUs"
+                )
+            for batch in asu_data:
+                if batch.dtype != params.schema.dtype:
+                    raise ValueError(
+                        f"asu_data dtype {batch.dtype} does not match the "
+                        f"platform schema {params.schema.dtype}"
+                    )
+            self.asu_data = list(asu_data)
+        else:
+            per_asu = config.n_records // params.n_asus
+            kw = workload_kwargs or {}
+            self.asu_data = [
+                make_workload(
+                    self.rngs.get(f"workload.{d}"), per_asu, workload,
+                    params.schema, **kw
+                )
+                for d in range(params.n_asus)
+            ]
+        #: runs written back, per ASU: list of (bucket, batch)
+        self.runs_on_asu: list[list[tuple[int, np.ndarray]]] = [
+            [] for _ in range(params.n_asus)
+        ]
+        self._pass1_done = False
+
+    # ------------------------------------------------------------------ pass 1
+    def run_pass1(self, util_dt: float = 0.1) -> Pass1Result:
+        # Re-runnable: clear per-run state (runs, router counters, RNG).
+        self.runs_on_asu = [[] for _ in range(self.params.n_asus)]
+        self._pass1_done = False
+        self.load_manager = LoadManager(
+            self.params,
+            n_instances=self.params.n_hosts,
+            n_buckets=self.config.alpha,
+            policy=self.policy,
+            rng=RngRegistry(self.rngs.seed).get("routing"),
+            weights=self._host_weights,
+        )
+        plat_params = self.params
+        if self.background_asu_duty > 0.0:
+            # Strict-priority competitor: ASUs deliver (1 - duty) capacity.
+            plat_params = plat_params.with_(
+                asu_ratio=plat_params.asu_ratio / (1.0 - self.background_asu_duty)
+            )
+        plat = ActivePlatform(plat_params)
+        self.platform = plat
+        D, H = self.params.n_asus, self.params.n_hosts
+        blk = self.params.block_records
+        rs = self.params.schema.record_size
+        sort_cpr = self.costs.blocksort_cycles(self.config.beta)
+
+        producers = [
+            plat.spawn(self._asu_producer(plat, d, blk, rs), name=f"prod{d}")
+            for d in range(D)
+        ]
+        hosts = [
+            plat.spawn(self._host_pass1(plat, h, rs, sort_cpr), name=f"host{h}")
+            for h in range(H)
+        ]
+        consumers = [
+            plat.spawn(self._asu_consumer(plat, d, rs), name=f"cons{d}")
+            for d in range(D)
+        ]
+        all_procs = [*producers, *hosts, *consumers]
+        # Stop the clock the moment the job's own processes finish (keeps
+        # makespans exact even if auxiliary processes are still queued).
+        done = plat.sim.all_of(all_procs)
+
+        def _on_done(ev):
+            if not ev.ok:
+                raise ev.value  # a process crashed: surface its exception
+            plat.sim.stop()
+
+        done.callbacks.append(_on_done)
+        plat.sim.run()
+        pendings = [p for p in all_procs if not p.triggered]
+        if pendings:
+            raise RuntimeError(f"pass 1 deadlocked; {len(pendings)} processes stuck")
+        makespan = plat.sim.now
+        self._pass1_done = True
+        n_runs = sum(len(r) for r in self.runs_on_asu)
+        return Pass1Result(
+            makespan=makespan,
+            host_util=[h.cpu.utilization(makespan) for h in plat.hosts],
+            asu_cpu_util=[a.cpu.utilization(makespan) for a in plat.asus],
+            asu_disk_util=[a.disk.utilization(makespan) for a in plat.asus],
+            n_runs=n_runs,
+            net_bytes=plat.network.bytes_total,
+            imbalance=self.load_manager.imbalance(),
+            host_util_series=[
+                h.cpu.busy.utilization_series(makespan, dt=util_dt)
+                for h in plat.hosts
+            ],
+        )
+
+    def _asu_producer(self, plat: ActivePlatform, d: int, blk: int, rs: int):
+        from ..emulator.readahead import ReadAhead
+
+        asu = plat.asus[d]
+        data = self.asu_data[d]
+        H = self.params.n_hosts
+        blocks = [data[s : s + blk] for s in range(0, data.shape[0], blk)]
+        ra = ReadAhead(plat, asu, [b.shape[0] * rs for b in blocks])
+        for i, block in enumerate(blocks):
+            yield ra.wait_next()
+            if self.active:
+                # Buffer-staging CPU cost of the read, then the distribute.
+                staging = block.shape[0] * rs * self.params.cycles_per_io_byte
+                if staging:
+                    yield from asu.cpu.execute(cycles=staging)
+                pieces = yield from asu.compute(
+                    cycles=self.dist.cost_cycles(block.shape[0], self.params),
+                    fn=self.dist.apply,
+                    args=(block,),
+                )
+                # Route each bucket fragment; group fragments by destination
+                # host so each (block, host) pair is one message.
+                per_host: dict[int, list[tuple[int, np.ndarray]]] = defaultdict(list)
+                for bucket, piece in enumerate(pieces):
+                    if piece.shape[0] == 0:
+                        continue
+                    h = self.load_manager.route(bucket, piece.shape[0])
+                    per_host[h].append((bucket, piece))
+                for h, frags in per_host.items():
+                    n = sum(p.shape[0] for _b, p in frags)
+                    yield from asu.send_async(
+                        plat.hosts[h], payload=("frags", d, frags), nbytes=n * rs,
+                        tag="frags",
+                    )
+            else:
+                # Passive storage: stream raw blocks, zero CPU charged.
+                h = d % H
+                plat.network.post(
+                    asu.node_id, plat.hosts[h].node_id,
+                    ("raw", d, block), block.shape[0] * rs, tag="raw",
+                )
+        # End of stream: tell every host.
+        for h in range(H):
+            if self.active:
+                yield from asu.send_async(
+                    plat.hosts[h], (_EOF, d, None), nbytes=16, tag="eof"
+                )
+            else:
+                plat.network.post(
+                    asu.node_id, plat.hosts[h].node_id, (_EOF, d, None), 16, tag="eof"
+                )
+
+    def _host_pass1(self, plat: ActivePlatform, h: int, rs: int, sort_cpr: float):
+        host = plat.hosts[h]
+        D = self.params.n_asus
+        beta = self.config.beta
+        buffers: dict[int, list[np.ndarray]] = defaultdict(list)
+        buffered: dict[int, int] = defaultdict(int)
+        next_asu = h  # stripe runs across ASUs, offset by host index
+        n_eof = 0
+        while n_eof < D:
+            msg = yield from host.recv()
+            kind, src_d, payload = msg.payload
+            if kind == _EOF:
+                n_eof += 1
+                continue
+            if kind == "raw":
+                # Baseline: host performs the distribute itself.
+                block = payload
+                pieces = yield from host.compute(
+                    cycles=self.dist.cost_cycles(block.shape[0], self.params),
+                    fn=self.dist.apply,
+                    args=(block,),
+                )
+                frags = [
+                    (b, p) for b, p in enumerate(pieces) if p.shape[0] > 0
+                ]
+            else:
+                frags = payload
+            for bucket, piece in frags:
+                buffers[bucket].append(piece)
+                buffered[bucket] += piece.shape[0]
+                while buffered[bucket] >= beta:
+                    batch = concat_records(buffers[bucket], self.params.schema)
+                    run_src, rest = batch[:beta], batch[beta:]
+                    buffers[bucket] = [rest] if rest.shape[0] else []
+                    buffered[bucket] = rest.shape[0]
+                    next_asu = yield from self._emit_run(
+                        plat, host, h, bucket, run_src, next_asu, rs, sort_cpr
+                    )
+        # Flush partial runs.
+        for bucket in sorted(buffers):
+            if buffered[bucket]:
+                batch = concat_records(buffers[bucket], self.params.schema)
+                next_asu = yield from self._emit_run(
+                    plat, host, h, bucket, batch, next_asu, rs, sort_cpr
+                )
+        for d in range(D):
+            yield from host.send_async(plat.asus[d], (_EOF, h, None), nbytes=16, tag="eof")
+
+    def _emit_run(self, plat, host, h, bucket, batch, next_asu, rs, sort_cpr):
+        """Really sort one run on the host CPU and stripe it to an ASU."""
+        run = yield from host.compute(
+            cycles=batch.shape[0] * sort_cpr,
+            fn=lambda b: np.sort(b, order="key", kind="stable"),
+            args=(batch,),
+        )
+        self.load_manager.complete(h, batch.shape[0])
+        d = next_asu % self.params.n_asus
+        # Host pays the NIC copy in both modes; wire time is off the CPU.
+        yield from host.send_async(
+            plat.asus[d], ("run", bucket, run), nbytes=run.shape[0] * rs, tag="run"
+        )
+        return next_asu + 1
+
+    def _asu_consumer(self, plat: ActivePlatform, d: int, rs: int):
+        asu = plat.asus[d]
+        H = self.params.n_hosts
+        n_eof = 0
+        while n_eof < H:
+            if self.active:
+                msg = yield from asu.recv()
+            else:
+                msg = yield from plat.network.recv(asu.node_id)
+            kind, bucket, payload = msg.payload
+            if kind == _EOF:
+                n_eof += 1
+                continue
+            nbytes = payload.shape[0] * rs
+            if self.active:
+                yield from asu.disk_write(nbytes)
+            else:
+                yield from asu.disk.write(nbytes)
+            self.runs_on_asu[d].append((bucket, payload))
+        yield from asu.disk.drain()
+
+    # ------------------------------------------------------------------ pass 2
+    def run_pass2(self) -> Pass2Result:
+        """Final merge: γ1-way pre-merge on ASUs, γ2-way completion on hosts."""
+        if not self._pass1_done:
+            raise RuntimeError("run_pass1 first")
+        params = self.params
+        plat = ActivePlatform(params)
+        D, H = params.n_asus, params.n_hosts
+        rs = params.schema.record_size
+        g1 = self.config.gamma1
+        g2 = self.config.merge_host_fan_in
+        pre_cpr = self.costs.merge_cycles(g1)
+        fin_cpr = self.costs.merge_cycles(g2)
+        merger1 = MergeFunctor(g1)
+
+        self.final_buckets: dict[int, list[np.ndarray]] = defaultdict(list)
+        n_partial = 0
+
+        def plan_groups(d):
+            """(bucket, runs-or-None) items in bucket order; None = done marker.
+
+            Every ASU visits every bucket in order (empty ones included) so
+            the host can count D "bucket done" markers per bucket and start
+            merging a bucket while later buckets are still streaming in —
+            the pipelined-phases execution of §3.3.
+            """
+            by_bucket: dict[int, list[np.ndarray]] = defaultdict(list)
+            for bucket, run in self.runs_on_asu[d]:
+                by_bucket[bucket].append(run)
+            items: list[tuple[int, Optional[list[np.ndarray]]]] = []
+            for bucket in range(self.config.alpha):
+                runs = by_bucket.get(bucket, [])
+                for gi in range(0, len(runs), g1):
+                    items.append((bucket, runs[gi : gi + g1]))
+                items.append((bucket, None))
+            return items
+
+        def asu_reader(d, items, buf):
+            """Stream run groups off the disk ahead of the merge worker."""
+            asu = plat.asus[d]
+            for bucket, group in items:
+                if group is not None:
+                    n = sum(r.shape[0] for r in group)
+                    yield from asu.disk.read(n * rs)
+                yield buf.put((bucket, group))
+
+        def asu_merge(d, buf, n_items):
+            nonlocal n_partial
+            asu = plat.asus[d]
+            for _ in range(n_items):
+                bucket, group = yield buf.get()
+                h = bucket * H // self.config.alpha
+                if group is None:
+                    yield from asu.send_async(
+                        plat.hosts[h], ("bucket_done", bucket, None), 16, tag="done"
+                    )
+                    continue
+                n = sum(r.shape[0] for r in group)
+                staging = n * rs * self.params.cycles_per_io_byte
+                if staging:
+                    yield from asu.cpu.execute(cycles=staging)
+                if g1 > 1 and len(group) > 1:
+                    merged = yield from asu.compute(
+                        cycles=n * pre_cpr, fn=merger1.merge, args=(group,)
+                    )
+                else:
+                    merged = group[0] if len(group) == 1 else merge_sorted_batches(group)
+                n_partial += 1
+                yield from asu.send_async(
+                    plat.hosts[h], ("partial", bucket, merged),
+                    nbytes=merged.shape[0] * rs, tag="partial",
+                )
+
+        def host_merge(h):
+            host = plat.hosts[h]
+            partials: dict[int, list[np.ndarray]] = defaultdict(list)
+            done_count: dict[int, int] = defaultdict(int)
+            my_buckets = [
+                b for b in range(self.config.alpha)
+                if b * H // self.config.alpha == h
+            ]
+            n_finished = 0
+
+            def complete_bucket(bucket):
+                runs = partials.pop(bucket, [])
+                fan = max(g2, 2)
+                # Reduce to <= fan runs by folding the *smallest* runs first
+                # (the tiny pass-1 flush runs), so the overflow work is
+                # proportional to the tail records, not the whole bucket.
+                while len(runs) > fan:
+                    runs.sort(key=lambda r: r.shape[0])
+                    k = min(len(runs) - fan + 1, fan)
+                    group, runs = runs[:k], runs[k:]
+                    n = sum(r.shape[0] for r in group)
+                    merged = yield from host.compute(
+                        cycles=n * fin_cpr, fn=merge_sorted_batches, args=(group,)
+                    )
+                    runs.append(merged)
+                if len(runs) > 1:
+                    n = sum(r.shape[0] for r in runs)
+                    merged = yield from host.compute(
+                        cycles=n * fin_cpr, fn=merge_sorted_batches, args=(runs,)
+                    )
+                    runs = [merged]
+                if runs:
+                    self.final_buckets[bucket].append(runs[0])
+
+            while n_finished < len(my_buckets):
+                msg = yield from host.recv()
+                kind, bucket, payload = msg.payload
+                if kind == "bucket_done":
+                    done_count[bucket] += 1
+                    if done_count[bucket] == D:
+                        yield from complete_bucket(bucket)
+                        n_finished += 1
+                else:
+                    partials[bucket].append(payload)
+
+        from ..sim import Store
+
+        procs = []
+        for d in range(D):
+            items = plan_groups(d)
+            buf = Store(plat.sim, capacity=2, name=f"ra2.{d}")  # double buffer
+            procs.append(plat.spawn(asu_reader(d, items, buf), name=f"r{d}"))
+            procs.append(plat.spawn(asu_merge(d, buf, len(items)), name=f"m{d}"))
+        procs += [plat.spawn(host_merge(h), name=f"hm{h}") for h in range(H)]
+        plat.run(wait_for=procs)
+        makespan = plat.sim.now
+        return Pass2Result(
+            makespan=makespan,
+            host_util=[x.cpu.utilization(makespan) for x in plat.hosts],
+            asu_cpu_util=[a.cpu.utilization(makespan) for a in plat.asus],
+            n_partial_runs=n_partial,
+        )
+
+    # ------------------------------------------------------------------ checks
+    def input_records(self) -> np.ndarray:
+        return concat_records(list(self.asu_data), self.params.schema)
+
+    def collected_output(self) -> np.ndarray:
+        """Final sorted output: buckets in splitter order, concatenated."""
+        if not hasattr(self, "final_buckets"):
+            raise RuntimeError("run_pass2 first")
+        pieces = []
+        for bucket in sorted(self.final_buckets):
+            pieces.extend(self.final_buckets[bucket])
+        return concat_records(pieces, self.params.schema)
+
+    def verify(self) -> None:
+        """Assert the emulated sort really sorted the data."""
+        check_sorted_permutation(self.input_records(), self.collected_output())

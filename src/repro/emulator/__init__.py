@@ -1,0 +1,27 @@
+"""Timing-accurate emulator for active-storage systems (paper §5)."""
+
+from .cpu import Cpu
+from .disk import Disk, DiskStats
+from .net import Link, Message, Network
+from .node import Asu, Host, Node
+from .params import SystemParams, TimingMode
+from .platform import ActivePlatform, RunReport
+from .readahead import DEFAULT_DEPTH, ReadAhead
+
+__all__ = [
+    "Cpu",
+    "Disk",
+    "DiskStats",
+    "Link",
+    "Message",
+    "Network",
+    "Asu",
+    "Host",
+    "Node",
+    "SystemParams",
+    "TimingMode",
+    "ActivePlatform",
+    "RunReport",
+    "DEFAULT_DEPTH",
+    "ReadAhead",
+]

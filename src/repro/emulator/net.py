@@ -1,0 +1,179 @@
+"""Network model: host <-> ASU links with latency and bandwidth.
+
+Per §5, "the network model for the emulation uses only host-ASU communication,
+and assumes that the processor saturates before the individual network links".
+Each (node, node) pair communicates over a dedicated full-duplex link; a
+message of ``s`` bytes is delivered ``latency + s/bandwidth`` after the link
+accepts it, and each direction of a link serialises its messages.
+
+Messages land in the destination node's mailbox (a :class:`~repro.sim.Store`),
+so receiving is ordinary channel consumption.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional
+
+from ..sim import Simulator, Store
+
+__all__ = ["Link", "Network", "Message"]
+
+
+class Message:
+    """A network message: payload plus size accounting."""
+
+    __slots__ = ("src", "dst", "payload", "nbytes", "tag")
+
+    def __init__(self, src: Hashable, dst: Hashable, payload: Any, nbytes: int, tag: str = ""):
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.nbytes = int(nbytes)
+        self.tag = tag
+
+    def __repr__(self) -> str:
+        return f"<Message {self.src}->{self.dst} {self.nbytes}B {self.tag!r}>"
+
+
+class Link:
+    """One direction of a point-to-point link (timeline server)."""
+
+    __slots__ = ("sim", "bandwidth", "latency", "_free_at", "bytes_sent", "n_messages")
+
+    def __init__(self, sim: Simulator, bandwidth: float, latency: float):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency < 0:
+            raise ValueError("latency must be nonnegative")
+        self.sim = sim
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self._free_at = 0.0
+        self.bytes_sent = 0
+        self.n_messages = 0
+
+    def reserve(self, nbytes: int) -> tuple[float, float]:
+        """Reserve transmission; returns (tx_done, delivery_time)."""
+        start = max(self.sim.now, self._free_at)
+        tx_done = start + nbytes / self.bandwidth
+        self._free_at = tx_done
+        self.bytes_sent += int(nbytes)
+        self.n_messages += 1
+        return tx_done, tx_done + self.latency
+
+
+class Network:
+    """All links plus per-node mailboxes.
+
+    ``send`` blocks the sender for the transmission time (the wire is a shared
+    resource); delivery into the destination mailbox happens one latency
+    later.  Mailboxes are unbounded by default — bounded mailboxes (receiver
+    backpressure) can be requested per node.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float,
+        latency: float,
+        backplane_bandwidth: Optional[float] = None,
+    ):
+        self.sim = sim
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self._links: dict[tuple[Hashable, Hashable], Link] = {}
+        self._mailboxes: dict[Hashable, Store] = {}
+        #: optional aggregate capacity every message also passes through (a
+        #: SAN backplane); point-to-point links stop being independent once
+        #: their sum exceeds it.
+        self._backplane: Optional[Link] = (
+            Link(sim, backplane_bandwidth, 0.0)
+            if backplane_bandwidth is not None
+            else None
+        )
+        self.bytes_total = 0
+        self.n_messages = 0
+
+    # -- topology -----------------------------------------------------------
+    def register(self, node_id: Hashable, mailbox_capacity: Optional[int] = None) -> Store:
+        """Create (or return) the mailbox for a node."""
+        box = self._mailboxes.get(node_id)
+        if box is None:
+            box = Store(self.sim, capacity=mailbox_capacity, name=f"mbox:{node_id}")
+            self._mailboxes[node_id] = box
+        return box
+
+    def mailbox(self, node_id: Hashable) -> Store:
+        try:
+            return self._mailboxes[node_id]
+        except KeyError:
+            raise KeyError(f"node {node_id!r} not registered with the network") from None
+
+    def link(self, src: Hashable, dst: Hashable) -> Link:
+        """The directed link src -> dst (created on first use)."""
+        key = (src, dst)
+        ln = self._links.get(key)
+        if ln is None:
+            ln = Link(self.sim, self.bandwidth, self.latency)
+            self._links[key] = ln
+        return ln
+
+
+    def _reserve_path(self, src: Hashable, dst: Hashable, nbytes: int) -> tuple[float, float]:
+        """Reserve link (and backplane) capacity; returns (tx_done, deliver_at)."""
+        ln = self.link(src, dst)
+        tx_done, deliver_at = ln.reserve(nbytes)
+        if self._backplane is not None:
+            bp_done, _ = self._backplane.reserve(nbytes)
+            tx_done = max(tx_done, bp_done)
+            deliver_at = max(deliver_at, bp_done + self.latency)
+        return tx_done, deliver_at
+
+    # -- operations -----------------------------------------------------------
+    def send(self, src: Hashable, dst: Hashable, payload: Any, nbytes: int, tag: str = ""):
+        """Process generator: transmit a message; returns after tx completes.
+
+        Delivery into ``dst``'s mailbox occurs at tx_done + latency via a
+        scheduled callback, so the sender does not wait for the propagation
+        delay (standard cut-through accounting).
+        """
+        if dst not in self._mailboxes:
+            raise KeyError(f"destination {dst!r} not registered")
+        msg = Message(src, dst, payload, nbytes, tag)
+        tx_done, deliver_at = self._reserve_path(src, dst, nbytes)
+        self.bytes_total += msg.nbytes
+        self.n_messages += 1
+        box = self._mailboxes[dst]
+        self.sim.schedule_callback(
+            lambda m=msg: box.put(m), delay=deliver_at - self.sim.now
+        )
+        if tx_done > self.sim.now:
+            yield self.sim.timeout(tx_done - self.sim.now)
+        return msg
+
+    def post(self, src: Hashable, dst: Hashable, payload: Any, nbytes: int, tag: str = "") -> Message:
+        """Non-blocking send: reserve the link now, deliver later.
+
+        The sender does not wait for transmission — the paper's model assumes
+        "the processor saturates before the individual network links" (§5),
+        so senders are charged only their CPU copy cost (see
+        :meth:`~repro.emulator.node.Node.send_async`).  Link serialisation is
+        still modelled: messages posted to the same link queue behind each
+        other and arrive in order.
+        """
+        if dst not in self._mailboxes:
+            raise KeyError(f"destination {dst!r} not registered")
+        msg = Message(src, dst, payload, nbytes, tag)
+        _tx_done, deliver_at = self._reserve_path(src, dst, nbytes)
+        self.bytes_total += msg.nbytes
+        self.n_messages += 1
+        box = self._mailboxes[dst]
+        self.sim.schedule_callback(
+            lambda m=msg: box.put(m), delay=deliver_at - self.sim.now
+        )
+        return msg
+
+    def recv(self, node_id: Hashable):
+        """Process generator: receive the next message for ``node_id``."""
+        msg = yield self.mailbox(node_id).get()
+        return msg

@@ -1,0 +1,128 @@
+"""Nodes of the emulated system: hosts and Active Storage Units.
+
+Per the model in §2.2 / Figure 2: hosts have large memories and powerful
+processors; ASUs combine a (slower) processor with disk storage.  Both kinds
+exchange messages through the network and run functor code on their CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Simulator, Store
+from .cpu import Cpu
+from .disk import Disk
+from .net import Network
+from .params import SystemParams
+
+__all__ = ["Node", "Host", "Asu"]
+
+
+class Node:
+    """Base node: identity, CPU, mailbox."""
+
+    kind = "node"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        params: SystemParams,
+        index: int,
+        clock_hz: float,
+        mem_bytes: int,
+    ):
+        self.sim = sim
+        self.network = network
+        self.params = params
+        self.index = index
+        self.node_id = f"{self.kind}{index}"
+        self.cpu = Cpu(sim, clock_hz, params, name=f"{self.node_id}.cpu")
+        self.mem_bytes = int(mem_bytes)
+        self.mailbox: Store = network.register(self.node_id)
+
+    # -- communication helpers (charge NIC CPU overhead, §1) ---------------
+    def send(self, dst: "Node | str", payload, nbytes: int, tag: str = ""):
+        """Process generator: CPU-charge the copy, then transmit."""
+        dst_id = dst.node_id if isinstance(dst, Node) else dst
+        overhead = nbytes * self.params.cycles_per_net_byte
+        if overhead:
+            yield from self.cpu.execute(cycles=overhead)
+        msg = yield from self.network.send(self.node_id, dst_id, payload, nbytes, tag)
+        return msg
+
+    def send_async(self, dst: "Node | str", payload, nbytes: int, tag: str = ""):
+        """Process generator: charge the CPU copy, post without waiting for tx.
+
+        Matches the paper's assumption that processors saturate before links:
+        the sender pays the per-byte memory/NIC copy cost but does not stall
+        for wire time.
+        """
+        dst_id = dst.node_id if isinstance(dst, Node) else dst
+        overhead = nbytes * self.params.cycles_per_net_byte
+        if overhead:
+            yield from self.cpu.execute(cycles=overhead)
+        return self.network.post(self.node_id, dst_id, payload, nbytes, tag)
+
+    def recv(self):
+        """Process generator: receive the next message, charging copy cost."""
+        msg = yield self.mailbox.get()
+        overhead = msg.nbytes * self.params.cycles_per_net_byte
+        if overhead:
+            yield from self.cpu.execute(cycles=overhead)
+        return msg
+
+    def compute(self, cycles: Optional[float] = None, fn=None, args=()):
+        """Process generator: run an execution segment on this node's CPU."""
+        result = yield from self.cpu.execute(cycles=cycles, fn=fn, args=args)
+        return result
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.node_id}>"
+
+
+class Host(Node):
+    """A dedicated application host: fast CPU, large memory, no local disk."""
+
+    kind = "host"
+
+    def __init__(self, sim: Simulator, network: Network, params: SystemParams, index: int):
+        super().__init__(
+            sim, network, params, index,
+            clock_hz=params.host_clock_of(index),
+            mem_bytes=params.host_mem,
+        )
+
+
+class Asu(Node):
+    """An Active Storage Unit: disk plus a processor ``c`` times slower."""
+
+    kind = "asu"
+
+    def __init__(self, sim: Simulator, network: Network, params: SystemParams, index: int):
+        super().__init__(
+            sim, network, params, index,
+            clock_hz=params.asu_clock_hz,
+            mem_bytes=params.asu_mem,
+        )
+        self.disk = Disk(sim, params.disk_rate, name=f"{self.node_id}.disk")
+
+    def disk_read(self, nbytes: int):
+        """Process generator: stream ``nbytes`` off the local disk.
+
+        Charges the (small) per-byte buffer-staging CPU cost in addition to
+        the disk transfer time.
+        """
+        overhead = nbytes * self.params.cycles_per_io_byte
+        if overhead:
+            yield from self.cpu.execute(cycles=overhead)
+        n = yield from self.disk.read(nbytes)
+        return n
+
+    def disk_write(self, nbytes: int):
+        """Process generator: write ``nbytes`` (write-behind semantics)."""
+        overhead = nbytes * self.params.cycles_per_io_byte
+        if overhead:
+            yield from self.cpu.execute(cycles=overhead)
+        n = yield from self.disk.write(nbytes)
+        return n

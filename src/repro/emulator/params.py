@@ -1,0 +1,156 @@
+"""System parameters of the emulated active-storage platform.
+
+Mirrors §2.2 and §5 of the paper: ``D`` ASUs and ``H`` hosts, the host:ASU
+CPU-power ratio ``c``, disk I/O properties, and network latency/bandwidth.
+Defaults approximate the paper's testbed (750 MHz P-III emulation host,
+sequential-I/O disks, gigabit-class host↔ASU links).
+
+CPU work is expressed in **cycles**: a functor that performs ``k`` comparisons
+per record costs ``k * cycles_per_compare`` cycles per record, so Figure 9's
+"number of compares per key is log(parameter)" is literal in the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..util.records import DEFAULT_SCHEMA, RecordSchema
+from ..util.units import GHZ, KB, MB, MHZ
+
+__all__ = ["SystemParams", "TimingMode"]
+
+
+class TimingMode:
+    """How execution-segment time is charged (DESIGN §4.2).
+
+    * ``MODELED`` — analytic: declared cycles / clock.  Deterministic.
+    * ``MEASURED`` — the paper's method: wall-clock the real segment with the
+      fine-grained counter, scale by the emulated processor's relative speed.
+    """
+
+    MODELED = "modeled"
+    MEASURED = "measured"
+
+    ALL = (MODELED, MEASURED)
+
+
+@dataclass(frozen=True)
+class SystemParams:
+    """Complete description of an emulated configuration."""
+
+    #: number of hosts (H in the model)
+    n_hosts: int = 1
+    #: number of active storage units (D in the model)
+    n_asus: int = 8
+    #: host CPU clock (the paper's emulation host: 750 MHz P-III)
+    host_clock_hz: float = 750 * MHZ
+    #: per-host clock multipliers for heterogeneous hosts (§3.3: "nodes have
+    #: heterogeneous performance characteristics"); None = all hosts equal
+    host_clock_multipliers: tuple = None  # type: ignore[assignment]
+    #: host:ASU processing-power ratio c (paper simulates c = 4 and 8)
+    asu_ratio: float = 8.0
+    #: aggregate sequential disk transfer rate per ASU
+    disk_rate: float = 25 * MB
+    #: per-link network bandwidth (host <-> ASU)
+    net_bandwidth: float = 125 * MB
+    #: per-message network latency
+    net_latency: float = 100e-6
+    #: optional aggregate interconnect capacity shared by ALL links (a SAN
+    #: backplane).  None = only per-link limits apply.  Models §2's
+    #: "bandwidth limitations" that ASU-side filtering/aggregation relieves.
+    backplane_bandwidth: float = None  # type: ignore[assignment]
+    #: ASU buffer memory (bounds alpha and gamma in DSM-Sort)
+    asu_mem: int = 8 * MB
+    #: host memory (bounds beta, the block-sort run length)
+    host_mem: int = 256 * MB
+    #: record layout
+    schema: RecordSchema = field(default_factory=lambda: DEFAULT_SCHEMA)
+    #: emulation granularity: records per block event
+    block_records: int = 4096
+    #: CPU cost of one key comparison, in cycles
+    cycles_per_compare: float = 40.0
+    #: fixed per-record handling cost (copy/iterate), in cycles
+    cycles_per_record: float = 60.0
+    #: per-byte CPU cost of moving data through a NIC (host-memory drain, §1)
+    cycles_per_net_byte: float = 0.4
+    #: per-byte CPU cost of staging data to/from disk buffers
+    cycles_per_io_byte: float = 0.05
+    #: timing mode: TimingMode.MODELED or TimingMode.MEASURED
+    timing_mode: str = TimingMode.MODELED
+    #: cycles/second the *emulation platform* (this Python process) is deemed
+    #: to deliver, used to convert measured wall time into emulated cycles
+    measured_reference_hz: float = 2.0 * GHZ
+
+    def __post_init__(self) -> None:
+        if self.n_hosts < 1:
+            raise ValueError("need at least one host")
+        if self.n_asus < 1:
+            raise ValueError("need at least one ASU")
+        if self.asu_ratio <= 0:
+            raise ValueError("asu_ratio (c) must be positive")
+        if self.timing_mode not in TimingMode.ALL:
+            raise ValueError(f"unknown timing mode {self.timing_mode!r}")
+        for name in ("disk_rate", "net_bandwidth", "host_clock_hz"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.backplane_bandwidth is not None and self.backplane_bandwidth <= 0:
+            raise ValueError("backplane_bandwidth must be positive")
+        if self.block_records < 1:
+            raise ValueError("block_records must be >= 1")
+        if self.host_clock_multipliers is not None:
+            m = tuple(self.host_clock_multipliers)
+            if len(m) != self.n_hosts:
+                raise ValueError(
+                    f"host_clock_multipliers has {len(m)} entries for "
+                    f"{self.n_hosts} hosts"
+                )
+            if any(x <= 0 for x in m):
+                raise ValueError("host clock multipliers must be positive")
+            object.__setattr__(self, "host_clock_multipliers", m)
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def asu_clock_hz(self) -> float:
+        """ASU clock: host clock divided by the power ratio c."""
+        return self.host_clock_hz / self.asu_ratio
+
+    def host_clock_of(self, index: int) -> float:
+        """Clock of host ``index`` (heterogeneity-aware)."""
+        if self.host_clock_multipliers is None:
+            return self.host_clock_hz
+        return self.host_clock_hz * self.host_clock_multipliers[index]
+
+    @property
+    def total_host_clock_hz(self) -> float:
+        """Aggregate host cycles/second across possibly unequal hosts."""
+        if self.host_clock_multipliers is None:
+            return self.n_hosts * self.host_clock_hz
+        return self.host_clock_hz * sum(self.host_clock_multipliers)
+
+    @property
+    def block_bytes(self) -> int:
+        return self.schema.nbytes(self.block_records)
+
+    @property
+    def total_compute_hz(self) -> float:
+        """Aggregate cycles/second in the whole system."""
+        return self.total_host_clock_hz + self.n_asus * self.asu_clock_hz
+
+    @property
+    def host_compute_fraction(self) -> float:
+        """Fraction of total processing power residing at hosts (§2.2)."""
+        return self.total_host_clock_hz / self.total_compute_hz
+
+    def with_(self, **changes) -> "SystemParams":
+        """Return a copy with fields replaced (convenience for sweeps)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        return (
+            f"H={self.n_hosts} D={self.n_asus} c={self.asu_ratio:g} "
+            f"host={self.host_clock_hz / MHZ:.0f}MHz "
+            f"disk={self.disk_rate / MB:.0f}MiB/s "
+            f"net={self.net_bandwidth / MB:.0f}MiB/s "
+            f"rec={self.schema.record_size}B blk={self.block_records}"
+        )

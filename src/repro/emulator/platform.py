@@ -1,0 +1,157 @@
+"""The emulated platform: wiring of hosts, ASUs, network, and reporting.
+
+:class:`ActivePlatform` is what applications program against (Figure 8): it
+owns the simulator, builds the node population from a
+:class:`~repro.emulator.params.SystemParams`, runs process coroutines, and
+produces the utilization/runtime report the paper's instrumentation layer
+emits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from ..sim import Process, Simulator
+from .net import Network
+from .node import Asu, Host, Node
+from .params import SystemParams
+
+__all__ = ["ActivePlatform", "RunReport"]
+
+
+class RunReport:
+    """Summary of one emulated run: makespan plus per-device utilization."""
+
+    def __init__(
+        self,
+        params: SystemParams,
+        makespan: float,
+        host_util: list[float],
+        asu_cpu_util: list[float],
+        asu_disk_util: list[float],
+        net_bytes: int,
+        n_events: int,
+        result: Any = None,
+    ):
+        self.params = params
+        self.makespan = makespan
+        self.host_util = host_util
+        self.asu_cpu_util = asu_cpu_util
+        self.asu_disk_util = asu_disk_util
+        self.net_bytes = net_bytes
+        self.n_events = n_events
+        self.result = result
+
+    def as_dict(self) -> dict:
+        return {
+            "makespan": self.makespan,
+            "host_util": self.host_util,
+            "asu_cpu_util": self.asu_cpu_util,
+            "asu_disk_util": self.asu_disk_util,
+            "net_bytes": self.net_bytes,
+            "n_events": self.n_events,
+        }
+
+    def __repr__(self) -> str:
+        hu = ",".join(f"{u:.2f}" for u in self.host_util)
+        return f"<RunReport makespan={self.makespan:.3f}s host_util=[{hu}]>"
+
+    def render(self) -> str:
+        """Human-readable utilization report (the §5 instrumentation output)."""
+        from ..util.units import fmt_bytes, fmt_time
+
+        lines = [
+            f"makespan {fmt_time(self.makespan)}   "
+            f"net {fmt_bytes(self.net_bytes)}   "
+            f"events {self.n_events}",
+            f"{'node':>8s} {'cpu util':>9s} {'disk util':>10s}",
+        ]
+        for i, u in enumerate(self.host_util):
+            lines.append(f"{'host' + str(i):>8s} {u:9.2f} {'-':>10s}")
+        for i, (uc, ud) in enumerate(zip(self.asu_cpu_util, self.asu_disk_util)):
+            lines.append(f"{'asu' + str(i):>8s} {uc:9.2f} {ud:10.2f}")
+        return "\n".join(lines)
+
+
+class ActivePlatform:
+    """An emulated system of H hosts and D ASUs."""
+
+    def __init__(self, params: SystemParams):
+        self.params = params
+        self.sim = Simulator()
+        self.network = Network(
+            self.sim,
+            bandwidth=params.net_bandwidth,
+            latency=params.net_latency,
+            backplane_bandwidth=params.backplane_bandwidth,
+        )
+        self.hosts: list[Host] = [
+            Host(self.sim, self.network, params, i) for i in range(params.n_hosts)
+        ]
+        self.asus: list[Asu] = [
+            Asu(self.sim, self.network, params, i) for i in range(params.n_asus)
+        ]
+        self._procs: list[Process] = []
+
+    # -- node lookup --------------------------------------------------------
+    @property
+    def nodes(self) -> list[Node]:
+        return [*self.hosts, *self.asus]
+
+    def node(self, node_id: str) -> Node:
+        for n in self.nodes:
+            if n.node_id == node_id:
+                return n
+        raise KeyError(f"no node {node_id!r}")
+
+    # -- process management ---------------------------------------------------
+    def spawn(self, generator, name: str = "") -> Process:
+        """Start a process coroutine on the platform."""
+        p = self.sim.process(generator, name=name)
+        self._procs.append(p)
+        return p
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        wait_for: Optional[Iterable[Process]] = None,
+    ) -> RunReport:
+        """Run the simulation and return the instrumentation report.
+
+        If ``wait_for`` is given, the makespan is the completion time of the
+        last of those processes; otherwise it is the time the event queue
+        drained.
+        """
+        self.sim.run(until=until)
+        makespan = self.sim.now
+        if wait_for is not None:
+            pending = [p for p in wait_for if not p.triggered]
+            if pending:
+                raise RuntimeError(
+                    f"{len(pending)} awaited process(es) never finished "
+                    f"(deadlock or missing input): {pending[:3]}"
+                )
+        return self.report(makespan)
+
+    def report(self, makespan: Optional[float] = None, result: Any = None) -> RunReport:
+        t = self.sim.now if makespan is None else makespan
+        return RunReport(
+            params=self.params,
+            makespan=t,
+            host_util=[h.cpu.utilization(t) for h in self.hosts],
+            asu_cpu_util=[a.cpu.utilization(t) for a in self.asus],
+            asu_disk_util=[a.disk.utilization(t) for a in self.asus],
+            net_bytes=self.network.bytes_total,
+            n_events=self.sim.n_events_processed,
+            result=result,
+        )
+
+    # -- convenience -----------------------------------------------------------
+    def run_to_completion(self, main: Callable[["ActivePlatform"], Any]) -> RunReport:
+        """Spawn ``main(self)`` (a generator function) and run until it finishes."""
+        p = self.spawn(main(self), name="main")
+        self.sim.run()
+        if not p.triggered:
+            raise RuntimeError("main process never finished (deadlock?)")
+        rep = self.report(result=p.value)
+        return rep

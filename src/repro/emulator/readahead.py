@@ -1,0 +1,74 @@
+"""Read-ahead: keep an ASU disk streaming while the CPU works (§5).
+
+"The disk simulation ... assum[es] read-ahead and write caching for
+sequential I/O: the disk initiates the next I/O automatically."  The service
+timeline in :class:`~repro.emulator.disk.Disk` provides the back-to-back
+*service*; this helper provides the *issuance*: it keeps ``depth`` block
+reads outstanding so the platter never waits on the consuming process.
+
+Usage inside a process coroutine::
+
+    ra = ReadAhead(plat, asu, [b.shape[0] * rs for b in blocks])
+    for block in blocks:
+        yield ra.wait_next()     # block's transfer has completed
+        ... process block ...
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from .node import Asu
+from .platform import ActivePlatform
+
+__all__ = ["ReadAhead", "DEFAULT_DEPTH"]
+
+DEFAULT_DEPTH = 4
+
+
+class ReadAhead:
+    """A sliding window of outstanding sequential reads on one ASU disk."""
+
+    def __init__(
+        self,
+        plat: ActivePlatform,
+        asu: Asu,
+        sizes: Sequence[int],
+        depth: int = DEFAULT_DEPTH,
+    ):
+        if depth < 1:
+            raise ValueError("read-ahead depth must be >= 1")
+        self.plat = plat
+        self.asu = asu
+        self.sizes = list(sizes)
+        self.depth = int(depth)
+        self._next_issue = 0
+        self._outstanding: deque = deque()
+        for _ in range(min(self.depth, len(self.sizes))):
+            self._issue()
+
+    def _issue(self) -> None:
+        nbytes = self.sizes[self._next_issue]
+        self._next_issue += 1
+        self._outstanding.append(
+            self.plat.spawn(
+                self.asu.disk.read(nbytes), name=f"ra.{self.asu.node_id}"
+            )
+        )
+
+    @property
+    def exhausted(self) -> bool:
+        return not self._outstanding
+
+    def wait_next(self):
+        """Event for the oldest outstanding read; issues the next one.
+
+        Yield the returned process from the calling coroutine.
+        """
+        if not self._outstanding:
+            raise RuntimeError("read-ahead exhausted: more waits than blocks")
+        ev = self._outstanding.popleft()
+        if self._next_issue < len(self.sizes):
+            self._issue()
+        return ev

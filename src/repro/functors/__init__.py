@@ -1,0 +1,27 @@
+"""Functors: bounded-cost streaming primitives and their composition (§3.1)."""
+
+from .base import Functor, FunctorError, asu_eligible
+from .basic import AggregateFunctor, FilterFunctor, MapFunctor, ScanFunctor
+from .blocksort import BlockSortFunctor
+from .distribute import DistributeFunctor, sample_splitters, uniform_splitters
+from .graph import Dataflow, Edge, Stage
+from .merge import MergeFunctor, merge_sorted_batches
+
+__all__ = [
+    "Functor",
+    "FunctorError",
+    "asu_eligible",
+    "AggregateFunctor",
+    "FilterFunctor",
+    "MapFunctor",
+    "ScanFunctor",
+    "BlockSortFunctor",
+    "DistributeFunctor",
+    "sample_splitters",
+    "uniform_splitters",
+    "Dataflow",
+    "Edge",
+    "Stage",
+    "MergeFunctor",
+    "merge_sorted_batches",
+]

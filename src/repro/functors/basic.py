@@ -1,0 +1,157 @@
+"""Simple streaming functors: scan, map, filter, aggregate.
+
+These are the "short code sequences whose execution behavior is statically
+determinable" (§3.1) — the simplest class of ASU-eligible functors, used for
+filtering and aggregation directly at the storage (§2's bandwidth-reduction
+argument).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .base import Functor, FunctorError
+
+__all__ = ["ScanFunctor", "MapFunctor", "FilterFunctor", "AggregateFunctor"]
+
+
+class ScanFunctor(Functor):
+    """Identity pass-through (pure data movement; cost is the touch cost)."""
+
+    name = "scan"
+    replicable = True
+    verified_kernel = True
+
+    def compares_per_record(self) -> float:
+        return 0.0
+
+    def apply(self, batch: np.ndarray) -> list[np.ndarray]:
+        return [batch]
+
+
+class MapFunctor(Functor):
+    """Applies a per-record transformation with a declared cost.
+
+    ``fn`` maps a batch to a batch of equal length.  ``compares`` declares the
+    per-record cost bound the system schedules against.
+    """
+
+    name = "map"
+    replicable = True
+
+    def __init__(self, fn: Callable[[np.ndarray], np.ndarray], compares: float = 1.0, name: str = "map"):
+        if compares < 0:
+            raise FunctorError("compares must be nonnegative")
+        self.fn = fn
+        self._compares = float(compares)
+        self.name = name
+
+    def compares_per_record(self) -> float:
+        return self._compares
+
+    def apply(self, batch: np.ndarray) -> list[np.ndarray]:
+        out = self.fn(batch)
+        if out.shape[0] != batch.shape[0]:
+            raise FunctorError(
+                f"map {self.name!r} changed batch length "
+                f"{batch.shape[0]} -> {out.shape[0]}"
+            )
+        return [out]
+
+
+class FilterFunctor(Functor):
+    """Keeps records matching a predicate — the canonical active-disk filter.
+
+    Output volume <= input volume, which is what lets ASU-side filtering
+    reduce interconnect traffic (§2).
+    """
+
+    name = "filter"
+    replicable = True
+
+    def __init__(self, predicate: Callable[[np.ndarray], np.ndarray], compares: float = 1.0, name: str = "filter"):
+        self.predicate = predicate
+        self._compares = float(compares)
+        self.name = name
+
+    def compares_per_record(self) -> float:
+        return self._compares
+
+    def apply(self, batch: np.ndarray) -> list[np.ndarray]:
+        mask = np.asarray(self.predicate(batch), dtype=bool)
+        if mask.shape[0] != batch.shape[0]:
+            raise FunctorError("predicate mask length mismatch")
+        return [batch[mask]]
+
+    def selectivity(self, batch: np.ndarray) -> float:
+        """Fraction of records passing (for traffic estimation)."""
+        if batch.shape[0] == 0:
+            return 0.0
+        mask = np.asarray(self.predicate(batch), dtype=bool)
+        return float(mask.sum()) / batch.shape[0]
+
+
+class AggregateFunctor(Functor):
+    """Streaming reduction (count/sum/min/max over keys).
+
+    Commutative and associative, hence replicable: partial aggregates from
+    ASU-resident instances combine at a host.  State is a handful of scalars
+    — trivially within any ASU memory bound.
+    """
+
+    name = "aggregate"
+    replicable = True
+    verified_kernel = True
+    OPS = ("count", "sum", "min", "max")
+
+    def __init__(self, op: str = "count"):
+        if op not in self.OPS:
+            raise FunctorError(f"unknown aggregate op {op!r}; choose from {self.OPS}")
+        self.op = op
+        self.name = f"aggregate:{op}"
+        self.reset()
+
+    def reset(self) -> None:
+        self._count = 0
+        self._sum = 0
+        self._min: Optional[int] = None
+        self._max: Optional[int] = None
+
+    def compares_per_record(self) -> float:
+        return 1.0
+
+    def state_bytes(self) -> float:
+        return 64.0
+
+    def apply(self, batch: np.ndarray) -> list[np.ndarray]:
+        keys = batch["key"]
+        self._count += batch.shape[0]
+        if batch.shape[0]:
+            self._sum += int(keys.sum(dtype=np.uint64))
+            bmin, bmax = int(keys.min()), int(keys.max())
+            self._min = bmin if self._min is None else min(self._min, bmin)
+            self._max = bmax if self._max is None else max(self._max, bmax)
+        return [batch[:0]]  # aggregates emit no per-record output
+
+    @property
+    def value(self):
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+        }[self.op]
+
+    def combine(self, other: "AggregateFunctor") -> "AggregateFunctor":
+        """Merge another instance's partial state into this one."""
+        if other.op != self.op:
+            raise FunctorError("cannot combine different aggregate ops")
+        self._count += other._count
+        self._sum += other._sum
+        for attr, pick in (("_min", min), ("_max", max)):
+            a, b = getattr(self, attr), getattr(other, attr)
+            if b is not None:
+                setattr(self, attr, b if a is None else pick(a, b))
+        return self

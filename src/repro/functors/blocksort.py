@@ -1,0 +1,79 @@
+"""The β-record block-sort functor (DSM-Sort step 2, §4.3).
+
+"For each block of β records in each subset, we use a suitable fast internal
+sort to form a total of N/β sorted runs.  The available memory size limits
+the run length."  Cost: log2(β) comparisons per record.  Output packets carry
+the sorted mark so later phases can rely on it (Figure 4).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..containers.packet import Packet
+from .base import Functor, FunctorError
+
+__all__ = ["BlockSortFunctor"]
+
+
+class BlockSortFunctor(Functor):
+    """Sorts fixed-size blocks of records into runs."""
+
+    name = "blocksort"
+    verified_kernel = True  # sorting is the flagship "verified kernel" (§3.1)
+    replicable = True       # runs are independent; any instance may form one
+
+    def __init__(self, beta: int):
+        if beta < 1:
+            raise FunctorError("beta must be >= 1")
+        self.beta = int(beta)
+        self.name = f"blocksort:{self.beta}"
+        self._carry: np.ndarray | None = None
+
+    def compares_per_record(self) -> float:
+        return math.log2(self.beta) if self.beta > 1 else 0.0
+
+    def state_bytes(self) -> float:
+        # One block of β records buffered at a time.
+        return float(self.beta) * 128.0
+
+    def apply(self, batch: np.ndarray) -> list[np.ndarray]:
+        """Sort one batch as a single run (batch length is the run length)."""
+        return [np.sort(batch, order="key", kind="stable")]
+
+    def run_packets(self, batch: np.ndarray) -> list[Packet]:
+        """Split a batch into β-record runs, each really sorted and marked.
+
+        This is the emulation entry point: each returned packet is one run.
+        """
+        out = []
+        for start in range(0, batch.shape[0], self.beta):
+            block = batch[start : start + self.beta]
+            run = np.sort(block, order="key", kind="stable")
+            out.append(Packet(run, meta={"sorted": True, "run_len": run.shape[0]}))
+        return out
+
+    def feed(self, batch: np.ndarray) -> list[Packet]:
+        """Streaming entry point: buffers a partial block between calls.
+
+        Emits a packet for every complete β-block; call :meth:`flush` at
+        end-of-stream for the tail.
+        """
+        if self._carry is not None and self._carry.shape[0]:
+            batch = np.concatenate([self._carry, batch])
+            self._carry = None
+        n_full = (batch.shape[0] // self.beta) * self.beta
+        self._carry = batch[n_full:]
+        if n_full == 0:
+            return []
+        return self.run_packets(batch[:n_full])
+
+    def flush(self) -> list[Packet]:
+        """Emit the final partial run, if any."""
+        if self._carry is None or self._carry.shape[0] == 0:
+            self._carry = None
+            return []
+        tail, self._carry = self._carry, None
+        return self.run_packets(tail)

@@ -1,0 +1,158 @@
+"""Dataflow graphs: functors composed over typed collection edges.
+
+"Functors may have multiple inputs and outputs, and are composed to build
+complete programs that process data as it moves from stored input to output"
+(§3.1).  The graph records, for every edge, which container type carries the
+records — because that is what the system needs to know to manage load:
+
+* ``set`` edges permit replication of the consumer and free routing;
+* ``stream`` edges impose ordering, pinning the consumer to one instance;
+* ``array`` edges mark random access (no streaming optimisation).
+
+The graph exposes exactly the structure the load manager (§3.3) uses: stage
+costs, replication freedom, and ordering constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..emulator.params import SystemParams
+from .base import Functor, FunctorError
+
+__all__ = ["Dataflow", "Stage", "Edge", "EDGE_KINDS"]
+
+EDGE_KINDS = ("set", "stream", "array")
+
+
+@dataclass
+class Stage:
+    """A functor stage: one logical step, possibly replicated at runtime."""
+
+    name: str
+    functor: Functor
+    #: requested replication degree (validated against edge kinds)
+    replicas: int = 1
+    #: estimated records flowing through this stage (for cost prediction)
+    est_records: int = 0
+
+    def est_cycles(self, params: SystemParams) -> float:
+        return self.functor.cost_cycles(self.est_records, params)
+
+
+@dataclass
+class Edge:
+    """A typed connection between two stages (or an endpoint container)."""
+
+    src: str
+    dst: str
+    kind: str = "set"
+    #: estimated records crossing this edge
+    est_records: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EDGE_KINDS:
+            raise FunctorError(
+                f"edge kind {self.kind!r} not one of {EDGE_KINDS}"
+            )
+
+
+class Dataflow:
+    """A DAG of functor stages with typed edges."""
+
+    SOURCE = "__source__"
+    SINK = "__sink__"
+
+    def __init__(self) -> None:
+        self.stages: dict[str, Stage] = {}
+        self.edges: list[Edge] = []
+
+    # -- construction ----------------------------------------------------------
+    def add_stage(
+        self,
+        name: str,
+        functor: Functor,
+        replicas: int = 1,
+        est_records: int = 0,
+    ) -> Stage:
+        if name in self.stages or name in (self.SOURCE, self.SINK):
+            raise FunctorError(f"duplicate stage name {name!r}")
+        if replicas < 1:
+            raise FunctorError("replicas must be >= 1")
+        st = Stage(name=name, functor=functor, replicas=replicas, est_records=est_records)
+        self.stages[name] = st
+        return st
+
+    def connect(self, src: str, dst: str, kind: str = "set", est_records: int = 0) -> Edge:
+        for end in (src, dst):
+            if end not in self.stages and end not in (self.SOURCE, self.SINK):
+                raise FunctorError(f"unknown stage {end!r}")
+        e = Edge(src=src, dst=dst, kind=kind, est_records=est_records)
+        self.edges.append(e)
+        return e
+
+    # -- queries ------------------------------------------------------------------
+    def in_edges(self, name: str) -> list[Edge]:
+        return [e for e in self.edges if e.dst == name]
+
+    def out_edges(self, name: str) -> list[Edge]:
+        return [e for e in self.edges if e.src == name]
+
+    def topological_order(self) -> list[str]:
+        """Stage names in dependency order (cycle detection included)."""
+        indeg = {n: 0 for n in self.stages}
+        for e in self.edges:
+            if e.dst in indeg and e.src in self.stages:
+                indeg[e.dst] += 1
+        ready = sorted(n for n, d in indeg.items() if d == 0)
+        order: list[str] = []
+        while ready:
+            n = ready.pop(0)
+            order.append(n)
+            for e in self.out_edges(n):
+                if e.dst in indeg:
+                    indeg[e.dst] -= 1
+                    if indeg[e.dst] == 0:
+                        ready.append(e.dst)
+            ready.sort()
+        if len(order) != len(self.stages):
+            raise FunctorError("dataflow graph has a cycle")
+        return order
+
+    # -- validation ---------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the structural safety rules of the model.
+
+        1. Replicated stages must be marked replicable.
+        2. Replicated stages may only consume ``set`` edges — routing records
+           of an ordered stream across instances would violate ordering.
+        3. The graph must be acyclic.
+        """
+        self.topological_order()
+        for st in self.stages.values():
+            if st.replicas > 1:
+                if not st.functor.replicable:
+                    raise FunctorError(
+                        f"stage {st.name!r}: functor {st.functor.name!r} is "
+                        "not commutative/associative; replication would "
+                        "change results"
+                    )
+                for e in self.in_edges(st.name):
+                    if e.kind != "set":
+                        raise FunctorError(
+                            f"stage {st.name!r} is replicated but consumes a "
+                            f"{e.kind!r} edge from {e.src!r}; only set edges "
+                            "may feed replicated functors (§3.2)"
+                        )
+
+    # -- cost model --------------------------------------------------------------
+    def stage_costs(self, params: SystemParams) -> dict[str, float]:
+        """Estimated cycles per stage (the load manager's planning input)."""
+        return {n: st.est_cycles(params) for n, st in self.stages.items()}
+
+    def total_cycles(self, params: SystemParams) -> float:
+        return sum(self.stage_costs(params).values())
+
+    def __repr__(self) -> str:
+        return f"<Dataflow stages={list(self.stages)} edges={len(self.edges)}>"

@@ -1,0 +1,101 @@
+"""The γ-way merge functor (DSM-Sort step 3, §4.3).
+
+"Use a γ-way merge to form sorted runs striped across the ASUs.  The ASU
+buffer space restricts γ."  Cost: log2(γ) comparisons per record (a loser
+tree / heap of γ run heads).  The merge may be split between hosts and ASUs
+so that γ1·γ2 = γ.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..containers.packet import Packet
+from ..util.records import DEFAULT_SCHEMA
+from ..util.validation import check_sorted
+from .base import Functor, FunctorError
+
+__all__ = ["MergeFunctor", "merge_sorted_batches"]
+
+
+def merge_sorted_batches(batches: Sequence[np.ndarray], verify: bool = False) -> np.ndarray:
+    """K-way merge of sorted record batches into one sorted batch.
+
+    Implemented as a stable mergesort over the concatenation — O(n log k)
+    comparisons like a loser tree, and genuinely produces the merged order
+    (NumPy's mergesort on nearly-sorted concatenations does the run-merging
+    internally).  ``verify`` asserts input runs are sorted first.
+    """
+    batches = [b for b in batches if b.shape[0]]
+    if not batches:
+        return np.empty(0, dtype=DEFAULT_SCHEMA.dtype)
+    if verify:
+        for i, b in enumerate(batches):
+            check_sorted(b, what=f"merge input run {i}")
+    if len(batches) == 1:
+        return batches[0]
+    joined = np.concatenate(batches)
+    return np.sort(joined, order="key", kind="stable")
+
+
+class MergeFunctor(Functor):
+    """Merges up to γ sorted inputs into one sorted output."""
+
+    name = "merge"
+    verified_kernel = True
+    replicable = False  # a single merge owns a total order; instances cannot
+                        # share one output without violating ordering
+
+    def __init__(self, gamma: int, buffer_records: int | None = None):
+        if gamma < 1:
+            raise FunctorError("gamma must be >= 1")
+        self.gamma = int(gamma)
+        self.buffer_records = buffer_records
+        self.name = f"merge:{self.gamma}"
+
+    @property
+    def n_inputs(self) -> int:  # type: ignore[override]
+        return self.gamma
+
+    def compares_per_record(self) -> float:
+        return math.log2(self.gamma) if self.gamma > 1 else 0.0
+
+    def state_bytes(self) -> float:
+        # γ input buffers of one block each (the ASU-memory bound on γ).
+        per_buf = self.buffer_records if self.buffer_records else 1024
+        return float(self.gamma * per_buf * 128)
+
+    def apply(self, batch: np.ndarray) -> list[np.ndarray]:
+        """Single-input degenerate case: pass through (already sorted)."""
+        return [batch]
+
+    def merge(self, runs: Sequence[np.ndarray], verify: bool = False) -> np.ndarray:
+        """Merge up to γ sorted runs; raises if handed more than γ."""
+        if len(runs) > self.gamma:
+            raise FunctorError(
+                f"merge:{self.gamma} handed {len(runs)} runs; split the merge "
+                f"into passes (γ1·γ2 = γ)"
+            )
+        return merge_sorted_batches(runs, verify=verify)
+
+    def merge_packets(self, packets: Sequence[Packet], verify: bool = False) -> Packet:
+        """Merge sorted packets into one sorted packet (mark preserved)."""
+        for p in packets:
+            if verify and not p.sorted:
+                raise FunctorError(f"packet {p!r} not marked sorted")
+        out = self.merge([p.batch for p in packets], verify=verify)
+        return Packet(out, meta={"sorted": True})
+
+    def plan_passes(self, n_runs: int) -> int:
+        """Number of merge passes needed for ``n_runs`` at fan-in γ.
+
+        Matches the ceil(log_γ N/M) term of the I/O sorting bound (§2.1).
+        """
+        if n_runs <= 1:
+            return 0
+        if self.gamma < 2:
+            raise FunctorError("cannot reduce runs with fan-in < 2")
+        return max(1, math.ceil(math.log(n_runs, self.gamma)))

@@ -1,0 +1,25 @@
+"""Deterministic discrete-event simulation kernel (the emulator's event queue)."""
+
+from .core import AllOf, AnyOf, Event, Simulator, Timeout
+from .errors import Interrupt, SimError, StopSimulation
+from .monitor import BusyTracker, ProgressCounter
+from .process import Process
+from .resource import Resource
+from .store import PriorityStore, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Simulator",
+    "Timeout",
+    "Interrupt",
+    "SimError",
+    "StopSimulation",
+    "BusyTracker",
+    "ProgressCounter",
+    "Process",
+    "Resource",
+    "PriorityStore",
+    "Store",
+]

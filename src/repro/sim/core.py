@@ -1,0 +1,265 @@
+"""Deterministic discrete-event simulation core.
+
+This is the event queue at the heart of the paper's emulator (§5): it keeps a
+global virtual clock, orders all events in temporal (causal) order, and drives
+process coroutines.  Determinism is guaranteed by breaking time ties with a
+monotonically increasing sequence number, so two runs with the same seed
+produce identical schedules.
+
+The design follows the familiar generator-coroutine style (as in SimPy):
+processes are Python generators that ``yield`` events; the kernel resumes a
+process when the event it waits on fires.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+from .errors import SimError, StopSimulation
+
+__all__ = ["Event", "Timeout", "AnyOf", "AllOf", "Simulator"]
+
+# Sentinel for "event has no value yet".
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    An event is *triggered* once :meth:`succeed` or :meth:`fail` is called
+    (scheduling its callbacks), and *processed* after the kernel has run the
+    callbacks.  Processes wait on events by yielding them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        #: Callables invoked with this event when it is processed.  ``None``
+        #: once processed (guards against double-trigger).
+        self.callbacks: Optional[list[Callable[[Event], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self.name = name
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimError(f"event {self!r} not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimError(f"event {self!r} has no value yet")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimError(f"event {self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._post(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to be thrown into waiters."""
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        if self._value is not _PENDING:
+            raise SimError(f"event {self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._post(self)
+        return self
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self.processed else
+            "triggered" if self.triggered else "pending"
+        )
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None, name: str = ""):
+        if delay < 0:
+            raise SimError(f"negative timeout delay {delay}")
+        super().__init__(sim, name)
+        self._ok = True
+        self._value = value
+        sim._post(self, delay=delay)
+
+
+class _CompositeEvent(Event):
+    """Base for AnyOf / AllOf condition events."""
+
+    __slots__ = ("events", "_n_fired")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._n_fired = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                # Already-processed events count immediately via a callback
+                # posted through the queue to preserve ordering.  (A merely
+                # *triggered* event — e.g. a fresh Timeout — is still queued
+                # and will invoke our callback when its time comes.)
+                self.sim.schedule_callback(lambda e=ev: self._on_fire(e))
+            else:
+                ev.callbacks.append(self._on_fire)
+
+    def _done_value(self) -> dict:
+        # Only *processed* events have actually occurred in virtual time;
+        # a pending Timeout carries its value from construction but has not
+        # fired yet.
+        return {
+            ev: ev.value
+            for ev in self.events
+            if ev.callbacks is None and ev.ok
+        }
+
+    def _on_fire(self, ev: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_CompositeEvent):
+    """Fires when any constituent event fires (value: dict of fired events)."""
+
+    __slots__ = ()
+
+    def _on_fire(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+        else:
+            self.succeed(self._done_value())
+
+
+class AllOf(_CompositeEvent):
+    """Fires when all constituent events have fired."""
+
+    __slots__ = ()
+
+    def _on_fire(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._n_fired += 1
+        if self._n_fired == len(self.events):
+            self.succeed(self._done_value())
+
+
+class Simulator:
+    """The event loop: a clock plus a priority queue of triggered events."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0  # tie-break: FIFO among same-time events
+        self._running = False
+        self.n_events_processed = 0
+
+    # -- event construction helpers ---------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        return Timeout(self, delay, value, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def process(self, generator, name: str = ""):
+        """Spawn a process coroutine (imported lazily to avoid a cycle)."""
+        from .process import Process
+
+        return Process(self, generator, name=name)
+
+    def schedule_callback(self, fn: Callable[[], None], delay: float = 0.0) -> Event:
+        """Run ``fn`` at ``now + delay`` as a bare scheduled call."""
+        ev = Event(self)
+        ev.callbacks.append(lambda _ev: fn())
+        ev._ok = True
+        ev._value = None
+        self._post(ev, delay=delay)
+        return ev
+
+    # -- queue internals ---------------------------------------------------
+    def _post(self, event: Event, delay: float = 0.0) -> None:
+        """Enqueue a triggered event for processing at ``now + delay``."""
+        if event.callbacks is None:
+            raise SimError(f"event {event!r} already processed")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    # -- execution ----------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next event, or +inf if the queue is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process one event: advance the clock and run its callbacks."""
+        t, _seq, event = heapq.heappop(self._heap)
+        if t < self.now:
+            raise SimError("time went backwards (corrupt event queue)")
+        self.now = t
+        callbacks = event.callbacks
+        event.callbacks = None
+        self.n_events_processed += 1
+        for cb in callbacks:
+            cb(event)
+
+    def run(self, until: Optional[float] = None) -> Any:
+        """Run until the queue drains or the clock passes ``until``.
+
+        Returns the value of a :class:`StopSimulation` if one was raised
+        (e.g. by :meth:`stop`), else ``None``.
+        """
+        if self._running:
+            raise SimError("simulator is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    self.now = until
+                    break
+                try:
+                    self.step()
+                except StopSimulation as stop:
+                    return stop.value
+        finally:
+            self._running = False
+        return None
+
+    def stop(self, value: Any = None) -> None:
+        """Halt :meth:`run` after the current event (callable from callbacks)."""
+        raise StopSimulation(value)

@@ -1,0 +1,29 @@
+"""Exceptions raised by the simulation kernel."""
+
+from __future__ import annotations
+
+__all__ = ["SimError", "Interrupt", "StopSimulation"]
+
+
+class SimError(RuntimeError):
+    """Base class for simulation-kernel errors (misuse, double-trigger, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.process.Process.interrupt`.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Simulator.run` early."""
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value

@@ -1,0 +1,73 @@
+"""Progress and utilization monitoring hooks for the simulation.
+
+The paper's emulator "is instrumented to report application progress, overall
+runtime, and resource utilization for each host and ASU" (§5).  A
+:class:`BusyTracker` records busy intervals on a device; a
+:class:`ProgressCounter` counts records through a stage.
+"""
+
+from __future__ import annotations
+
+from ..util.stats import IntervalAccumulator, TimeSeries
+from .core import Simulator
+
+__all__ = ["BusyTracker", "ProgressCounter"]
+
+
+class BusyTracker:
+    """Records busy intervals of a device for utilization reporting."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.intervals = IntervalAccumulator()
+        self._busy_since: float | None = None
+
+    def begin(self) -> None:
+        if self._busy_since is not None:
+            raise RuntimeError(f"{self.name}: begin() while already busy")
+        self._busy_since = self.sim.now
+
+    def end(self) -> None:
+        if self._busy_since is None:
+            raise RuntimeError(f"{self.name}: end() while not busy")
+        self.intervals.add(self._busy_since, self.sim.now)
+        self._busy_since = None
+
+    def add_span(self, duration: float) -> None:
+        """Record a busy span ending now (for modelled, non-reentrant work)."""
+        self.intervals.add(self.sim.now - duration, self.sim.now)
+
+    @property
+    def total_busy(self) -> float:
+        extra = (self.sim.now - self._busy_since) if self._busy_since is not None else 0.0
+        return self.intervals.total_busy + extra
+
+    def utilization(self, t_end: float | None = None) -> float:
+        t_end = self.sim.now if t_end is None else t_end
+        if t_end <= 0:
+            return 0.0
+        return self.total_busy / t_end
+
+    def utilization_series(self, t_end: float | None = None, dt: float = 0.1):
+        """Windowed utilization samples — the Figure-10 trace data."""
+        t_end = self.sim.now if t_end is None else t_end
+        return self.intervals.utilization_series(t_end, dt)
+
+
+class ProgressCounter:
+    """Counts records (or bytes) flowing through a point, with a time series."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.total = 0
+        self.series = TimeSeries()
+
+    def add(self, n: int) -> None:
+        self.total += int(n)
+        self.series.append(self.sim.now, self.total)
+
+    def rate(self) -> float:
+        """Average rate since t=0."""
+        return self.total / self.sim.now if self.sim.now > 0 else 0.0

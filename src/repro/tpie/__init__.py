@@ -1,0 +1,26 @@
+"""Mini-TPIE: I/O-efficient external-memory primitives (§2.1, §3.1)."""
+
+from .distribution_sort import DistSortStats, distribution_sort
+from .external_sort import SortStats, external_sort
+from .kmerge import KMergeCursor, kway_merge_streams
+from .pqueue import ExternalPriorityQueue
+from .stream_ops import (
+    count_records,
+    distribution_sweep,
+    scan_apply,
+    stream_filter,
+)
+
+__all__ = [
+    "DistSortStats",
+    "distribution_sort",
+    "SortStats",
+    "external_sort",
+    "KMergeCursor",
+    "kway_merge_streams",
+    "ExternalPriorityQueue",
+    "count_records",
+    "distribution_sweep",
+    "scan_apply",
+    "stream_filter",
+]

@@ -1,0 +1,163 @@
+"""External-memory priority queue for time-forward processing.
+
+TerraFlow's watershed step "uses time-forward processing and relies on
+ordering for correctness" (§4.1): a cell processed at time t sends messages
+to neighbours processed at later times through a priority queue keyed by
+processing time.  For massive grids the queue itself must be external; this
+implementation keeps a bounded in-memory insertion heap and spills sorted
+runs to a BTE, merging run frontiers on extraction — the standard
+buffer-and-merge design of I/O-efficient priority queues.
+
+Entries are (priority, data) pairs of 64-bit integers; ties pop in insertion
+order (stability matters for deterministic label propagation).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+import numpy as np
+
+from ..bte.base import BTE
+from ..bte.memory import MemoryBTE
+from ..util.records import RecordSchema
+
+__all__ = ["ExternalPriorityQueue"]
+
+#: storage schema for spilled runs: priority + sequence + payload
+_ENTRY_DTYPE = np.dtype([("key", "<u8"), ("seq", "<u8"), ("data", "<i8")])
+_ENTRY_SCHEMA = RecordSchema(record_size=24, key_dtype="<u8")
+
+
+class _RunCursor:
+    """Buffered frontier over one spilled sorted run."""
+
+    __slots__ = ("bte", "handle", "buf", "pos")
+
+    def __init__(self, bte: BTE, handle, buffer_entries: int):
+        self.bte = bte
+        self.handle = handle
+        self.buf: np.ndarray | None = None
+        self.pos = 0
+        self.refill(buffer_entries)
+
+    def refill(self, buffer_entries: int) -> None:
+        if self.buf is None or self.pos >= self.buf.shape[0]:
+            raw = self.bte.read_next(self.handle, buffer_entries)
+            if raw.shape[0] == 0:
+                self.buf = None
+            else:
+                self.buf = raw.view(_ENTRY_DTYPE) if raw.dtype != _ENTRY_DTYPE else raw
+                self.pos = 0
+
+    @property
+    def active(self) -> bool:
+        return self.buf is not None
+
+    def head(self) -> tuple[int, int, int]:
+        e = self.buf[self.pos]
+        return int(e["key"]), int(e["seq"]), int(e["data"])
+
+
+class ExternalPriorityQueue:
+    """Min-priority queue with bounded memory and BTE spill runs."""
+
+    def __init__(
+        self,
+        bte: Optional[BTE] = None,
+        memory_entries: int = 1 << 16,
+        buffer_entries: int = 4096,
+        name: str = "pq",
+    ):
+        if memory_entries < 2:
+            raise ValueError("memory_entries must be >= 2")
+        self.bte = bte if bte is not None else MemoryBTE(_ENTRY_SCHEMA)
+        self.memory_entries = int(memory_entries)
+        self.buffer_entries = int(min(buffer_entries, memory_entries))
+        self.name = name
+        #: in-memory insertion buffer: (priority, seq, data)
+        self._heap: list[tuple[int, int, int]] = []
+        self._cursors: list[_RunCursor] = []
+        self._seq = 0
+        self._n_spills = 0
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    @property
+    def n_spilled_runs(self) -> int:
+        return self._n_spills
+
+    # -- insertion ------------------------------------------------------------
+    def push(self, priority: int, data: int = 0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (int(priority), self._seq, int(data)))
+        self._len += 1
+        if len(self._heap) >= self.memory_entries:
+            self._spill()
+
+    def _spill(self) -> None:
+        """Write the insertion heap out as one sorted run."""
+        entries = np.empty(len(self._heap), dtype=_ENTRY_DTYPE)
+        items = sorted(self._heap)
+        for i, (p, s, d) in enumerate(items):
+            entries[i] = (p, s, d)
+        self._heap.clear()
+        run_name = f"{self.name}.run{self._n_spills}"
+        self._n_spills += 1
+        handle = self.bte.create(run_name, schema=_ENTRY_SCHEMA)
+        self.bte.append(handle, entries.view(_ENTRY_SCHEMA.dtype))
+        self._cursors.append(_RunCursor(self.bte, handle, self.buffer_entries))
+
+    # -- extraction ----------------------------------------------------------
+    def _min_source(self):
+        """(key tuple, source) of the global minimum, or None if empty."""
+        best = None
+        best_src = None
+        if self._heap:
+            best = self._heap[0]
+            best_src = "heap"
+        for c in self._cursors:
+            if not c.active:
+                continue
+            h = c.head()
+            if best is None or h < best:
+                best = h
+                best_src = c
+        return best, best_src
+
+    def peek(self) -> Optional[tuple[int, int]]:
+        """(priority, data) of the minimum without removing it."""
+        best, _src = self._min_source()
+        if best is None:
+            return None
+        return best[0], best[2]
+
+    def pop(self) -> tuple[int, int]:
+        """Remove and return the minimum (priority, data)."""
+        best, src = self._min_source()
+        if best is None:
+            raise IndexError("pop from empty priority queue")
+        if src == "heap":
+            heapq.heappop(self._heap)
+        else:
+            src.pos += 1
+            src.refill(self.buffer_entries)
+        self._cursors = [c for c in self._cursors if c.active]
+        self._len -= 1
+        return best[0], best[2]
+
+    def pop_all_at(self, priority: int) -> list[int]:
+        """Pop every entry with exactly this priority; returns their data.
+
+        Time-forward processing consumes all messages addressed to the
+        current time step at once.
+        """
+        out = []
+        while True:
+            head = self.peek()
+            if head is None or head[0] != priority:
+                return out
+            out.append(self.pop()[1])

@@ -1,0 +1,89 @@
+"""Stream-level operations: scan, map-through, and the distribution sweep.
+
+These are the TPIE primitives (§3.1: "sorting, merging, and distribution")
+expressed over :class:`~repro.containers.stream.RecordStream`.  Each real
+operation also returns I/O-free summaries so callers can check the work done.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..bte.base import BTE
+from ..containers.stream import RecordStream
+from ..functors.base import Functor
+from ..functors.distribute import DistributeFunctor
+
+__all__ = ["scan_apply", "distribution_sweep", "stream_filter", "count_records"]
+
+
+def scan_apply(
+    src: RecordStream,
+    functor: Functor,
+    dst: Optional[RecordStream] = None,
+    block_records: int = 4096,
+    destructive: bool = False,
+) -> Optional[RecordStream]:
+    """Scan ``src`` in order, applying a 1-in/1-out functor to each block.
+
+    Output records append to ``dst`` (if given).  Returns ``dst``.
+    """
+    if functor.n_outputs != 1:
+        raise ValueError(
+            f"scan_apply needs a single-output functor, got {functor.n_outputs}"
+        )
+    src.rewind()
+    for block in src.scan(block_records, destructive=destructive):
+        out = functor.apply(block)[0]
+        if dst is not None and out.shape[0]:
+            dst.append(out)
+    return dst
+
+
+def stream_filter(
+    src: RecordStream,
+    predicate: Callable[[np.ndarray], np.ndarray],
+    dst: RecordStream,
+    block_records: int = 4096,
+) -> RecordStream:
+    """Filter ``src`` into ``dst`` (order preserved)."""
+    src.rewind()
+    for block in src.scan(block_records):
+        mask = np.asarray(predicate(block), dtype=bool)
+        kept = block[mask]
+        if kept.shape[0]:
+            dst.append(kept)
+    return dst
+
+
+def count_records(src: RecordStream, block_records: int = 65536) -> int:
+    """Full-scan record count (exercises the scan path; len() is O(1))."""
+    src.rewind()
+    return sum(b.shape[0] for b in src.scan(block_records))
+
+
+def distribution_sweep(
+    src: RecordStream,
+    distribute: DistributeFunctor,
+    bte: BTE,
+    out_prefix: str,
+    block_records: int = 4096,
+) -> list[RecordStream]:
+    """The external distribute: partition a stream into α bucket streams.
+
+    One sequential read pass, α sequential write cursors — the I/O pattern of
+    the distribution step in distribution sort (§2.1).
+    """
+    buckets = [
+        RecordStream(f"{out_prefix}.{i}", bte=bte, schema=src.schema)
+        for i in range(distribute.alpha)
+    ]
+    src.rewind()
+    for block in src.scan(block_records):
+        pieces = distribute.apply(block)
+        for stream, piece in zip(buckets, pieces):
+            if piece.shape[0]:
+                stream.append(piece)
+    return buckets

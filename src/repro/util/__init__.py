@@ -1,0 +1,41 @@
+"""Shared utilities: records, workloads, stats, units, deterministic RNG."""
+
+from .records import (
+    DEFAULT_SCHEMA,
+    RecordSchema,
+    concat_records,
+    empty_records,
+    make_records,
+    records_nbytes,
+)
+from .distributions import KEY_DISTRIBUTIONS, make_workload
+from .rng import RngRegistry, derive_seed
+from .stats import IntervalAccumulator, OnlineStats, TimeSeries
+from .validation import (
+    check_permutation,
+    check_sorted,
+    check_sorted_permutation,
+    is_sorted,
+    key_histogram,
+)
+
+__all__ = [
+    "DEFAULT_SCHEMA",
+    "RecordSchema",
+    "concat_records",
+    "empty_records",
+    "make_records",
+    "records_nbytes",
+    "KEY_DISTRIBUTIONS",
+    "make_workload",
+    "RngRegistry",
+    "derive_seed",
+    "IntervalAccumulator",
+    "OnlineStats",
+    "TimeSeries",
+    "check_permutation",
+    "check_sorted",
+    "check_sorted_permutation",
+    "is_sorted",
+    "key_histogram",
+]

@@ -1,0 +1,123 @@
+"""Key-distribution workload generators.
+
+Figure 10's experiment draws the first half of the input from a uniform
+distribution and the second half from an exponential distribution, producing
+skew that unbalances a statically partitioned distribute phase (§6).  These
+generators produce integer keys in the full key range of a
+:class:`~repro.util.records.RecordSchema` so the same α-way splitters can be
+used regardless of distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .records import DEFAULT_SCHEMA, RecordSchema, make_records
+
+__all__ = [
+    "uniform_keys",
+    "exponential_keys",
+    "zipf_keys",
+    "gaussian_keys",
+    "half_uniform_half_exponential",
+    "make_workload",
+    "KEY_DISTRIBUTIONS",
+]
+
+
+def uniform_keys(
+    rng: np.random.Generator, n: int, schema: RecordSchema = DEFAULT_SCHEMA
+) -> np.ndarray:
+    """Keys uniform over the full key range."""
+    return rng.integers(0, schema.key_max, size=n, dtype=np.uint64).astype(
+        schema.key_dtype
+    )
+
+
+def exponential_keys(
+    rng: np.random.Generator,
+    n: int,
+    schema: RecordSchema = DEFAULT_SCHEMA,
+    scale: float = 0.1,
+) -> np.ndarray:
+    """Exponentially distributed keys concentrated at the low end of the range.
+
+    ``scale`` is the exponential mean as a fraction of the key range; the
+    paper's skew experiment uses an exponential second half, which piles most
+    records into the low-key buckets.
+    """
+    x = rng.exponential(scale=scale, size=n)
+    x = np.clip(x, 0.0, 1.0)
+    return (x * schema.key_max).astype(schema.key_dtype)
+
+
+def zipf_keys(
+    rng: np.random.Generator,
+    n: int,
+    schema: RecordSchema = DEFAULT_SCHEMA,
+    a: float = 1.5,
+) -> np.ndarray:
+    """Zipf-distributed keys (heavy head), folded into the key range."""
+    z = rng.zipf(a=a, size=n).astype(np.float64)
+    x = np.clip(z / 1e4, 0.0, 1.0)
+    return (x * schema.key_max).astype(schema.key_dtype)
+
+
+def gaussian_keys(
+    rng: np.random.Generator,
+    n: int,
+    schema: RecordSchema = DEFAULT_SCHEMA,
+    spread: float = 0.15,
+) -> np.ndarray:
+    """Gaussian keys centred mid-range (mild clustering)."""
+    x = rng.normal(loc=0.5, scale=spread, size=n)
+    x = np.clip(x, 0.0, 1.0)
+    return (x * schema.key_max).astype(schema.key_dtype)
+
+
+def half_uniform_half_exponential(
+    rng: np.random.Generator,
+    n: int,
+    schema: RecordSchema = DEFAULT_SCHEMA,
+    scale: float = 0.1,
+) -> np.ndarray:
+    """The Figure-10 workload: first half uniform, second half exponential.
+
+    The two halves are kept in arrival order (uniform records arrive first),
+    which is what lets the utilization traces show the imbalance developing
+    mid-run.
+    """
+    n_first = n // 2
+    first = uniform_keys(rng, n_first, schema)
+    second = exponential_keys(rng, n - n_first, schema, scale=scale)
+    return np.concatenate([first, second])
+
+
+KEY_DISTRIBUTIONS: dict[str, Callable[..., np.ndarray]] = {
+    "uniform": uniform_keys,
+    "exponential": exponential_keys,
+    "zipf": zipf_keys,
+    "gaussian": gaussian_keys,
+    "half_uniform_half_exponential": half_uniform_half_exponential,
+}
+
+
+def make_workload(
+    rng: np.random.Generator,
+    n: int,
+    distribution: str = "uniform",
+    schema: RecordSchema = DEFAULT_SCHEMA,
+    **kwargs,
+) -> np.ndarray:
+    """Generate ``n`` records with keys drawn from a named distribution."""
+    try:
+        gen = KEY_DISTRIBUTIONS[distribution]
+    except KeyError:
+        raise ValueError(
+            f"unknown distribution {distribution!r}; "
+            f"choose from {sorted(KEY_DISTRIBUTIONS)}"
+        ) from None
+    keys = gen(rng, n, schema, **kwargs)
+    return make_records(keys, schema)

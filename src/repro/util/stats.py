@@ -1,0 +1,154 @@
+"""Small online statistics used by the emulator's instrumentation.
+
+The emulator reports per-node CPU utilization over time (Figure 10) and
+aggregate run statistics.  These accumulators avoid storing per-event data:
+busy intervals fold into a step function sampled on demand.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+__all__ = ["OnlineStats", "IntervalAccumulator", "TimeSeries"]
+
+
+class OnlineStats:
+    """Welford online mean/variance accumulator."""
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, x: float) -> None:
+        x = float(x)
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        self._min = min(self._min, x)
+        self._max = max(self._max, x)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        return self._min if self.n else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.n else 0.0
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Combine two accumulators (parallel Welford merge)."""
+        out = OnlineStats()
+        n = self.n + other.n
+        if n == 0:
+            return out
+        delta = other.mean - self.mean
+        out.n = n
+        out._mean = self.mean + delta * other.n / n
+        out._m2 = self._m2 + other._m2 + delta * delta * self.n * other.n / n
+        out._min = min(self._min, other._min)
+        out._max = max(self._max, other._max)
+        return out
+
+
+@dataclass
+class IntervalAccumulator:
+    """Accumulates busy time from (start, end) intervals.
+
+    Used to compute utilization: ``busy_in(w0, w1) / (w1 - w0)``.  Intervals
+    must be appended in nondecreasing start order (event time order), which
+    the simulator guarantees.
+    """
+
+    starts: list[float] = field(default_factory=list)
+    ends: list[float] = field(default_factory=list)
+    total_busy: float = 0.0
+
+    def add(self, start: float, end: float) -> None:
+        if end < start:
+            raise ValueError(f"interval end {end} before start {start}")
+        if self.starts and start < self.starts[-1]:
+            raise ValueError("intervals must be added in start order")
+        self.starts.append(float(start))
+        self.ends.append(float(end))
+        self.total_busy += end - start
+
+    def busy_in(self, w0: float, w1: float) -> float:
+        """Total busy time overlapping window [w0, w1)."""
+        if w1 <= w0:
+            return 0.0
+        busy = 0.0
+        # First interval that could overlap: starts before w1.
+        hi = bisect_right(self.starts, w1)
+        for i in range(hi - 1, -1, -1):
+            if self.ends[i] <= w0 and self.starts[i] <= w0:
+                break
+            lo = max(self.starts[i], w0)
+            hi_t = min(self.ends[i], w1)
+            if hi_t > lo:
+                busy += hi_t - lo
+        return busy
+
+    def utilization(self, w0: float, w1: float) -> float:
+        """Fraction of [w0, w1) spent busy."""
+        if w1 <= w0:
+            return 0.0
+        return self.busy_in(w0, w1) / (w1 - w0)
+
+    def utilization_series(
+        self, t_end: float, dt: float, t_start: float = 0.0
+    ) -> list[tuple[float, float]]:
+        """Sampled utilization over [t_start, t_end) in windows of ``dt``.
+
+        Returns (window_midpoint, utilization) pairs — the data behind the
+        Figure-10 utilization traces.
+        """
+        out = []
+        t = t_start
+        while t < t_end:
+            w1 = min(t + dt, t_end)
+            out.append(((t + w1) / 2.0, self.utilization(t, w1)))
+            t += dt
+        return out
+
+
+class TimeSeries:
+    """A simple (time, value) series with nondecreasing times."""
+
+    def __init__(self) -> None:
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def append(self, t: float, v: float) -> None:
+        if self.times and t < self.times[-1]:
+            raise ValueError("time series must be appended in time order")
+        self.times.append(float(t))
+        self.values.append(float(v))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def value_at(self, t: float) -> float:
+        """Step-function lookup: last value at or before ``t`` (0 if none)."""
+        i = bisect_right(self.times, t) - 1
+        return self.values[i] if i >= 0 else 0.0
+
+    def last(self) -> float:
+        return self.values[-1] if self.values else 0.0

@@ -1,0 +1,74 @@
+"""Units and human-readable formatting helpers.
+
+The emulator expresses CPU work in *cycles*, storage in *bytes*, and time in
+*seconds* (floats).  These helpers keep magnitude conversions explicit so the
+system parameters in :mod:`repro.emulator.params` read like a spec sheet.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "KHZ",
+    "MHZ",
+    "GHZ",
+    "USEC",
+    "MSEC",
+    "fmt_bytes",
+    "fmt_time",
+    "fmt_rate",
+    "fmt_count",
+]
+
+KB = 1 << 10
+MB = 1 << 20
+GB = 1 << 30
+TB = 1 << 40
+
+KHZ = 1_000.0
+MHZ = 1_000_000.0
+GHZ = 1_000_000_000.0
+
+USEC = 1e-6
+MSEC = 1e-3
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with a binary-prefix unit, e.g. ``'12.0 MiB'``."""
+    n = float(n)
+    for unit, scale in (("TiB", TB), ("GiB", GB), ("MiB", MB), ("KiB", KB)):
+        if abs(n) >= scale:
+            return f"{n / scale:.1f} {unit}"
+    return f"{n:.0f} B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration picking an appropriate unit, e.g. ``'3.42 ms'``."""
+    s = float(seconds)
+    a = abs(s)
+    if a >= 60.0:
+        return f"{s / 60.0:.2f} min"
+    if a >= 1.0:
+        return f"{s:.2f} s"
+    if a >= MSEC:
+        return f"{s / MSEC:.2f} ms"
+    if a >= USEC:
+        return f"{s / USEC:.2f} us"
+    return f"{s * 1e9:.0f} ns"
+
+
+def fmt_rate(bytes_per_sec: float) -> str:
+    """Format a bandwidth, e.g. ``'25.0 MiB/s'``."""
+    return f"{fmt_bytes(bytes_per_sec)}/s"
+
+
+def fmt_count(n: float) -> str:
+    """Format a large count with metric suffix, e.g. ``'1.5M'``."""
+    n = float(n)
+    for unit, scale in (("G", 1e9), ("M", 1e6), ("K", 1e3)):
+        if abs(n) >= scale:
+            return f"{n / scale:.1f}{unit}"
+    return f"{n:.0f}"

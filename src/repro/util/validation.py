@@ -1,0 +1,64 @@
+"""Correctness checks shared by tests, examples and the bench harness.
+
+The emulator *really executes* functor code on record batches (DESIGN §4.2),
+so every emulated sort/merge/distribute can be validated: output must be a
+sorted permutation of the input.  These helpers implement those checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "is_sorted",
+    "check_sorted",
+    "check_permutation",
+    "check_sorted_permutation",
+    "key_histogram",
+]
+
+
+def is_sorted(batch: np.ndarray) -> bool:
+    """True if the batch's keys are nondecreasing."""
+    keys = batch["key"] if batch.dtype.names else batch
+    if keys.shape[0] < 2:
+        return True
+    return bool(np.all(keys[:-1] <= keys[1:]))
+
+
+def check_sorted(batch: np.ndarray, what: str = "output") -> None:
+    """Raise ``AssertionError`` if keys are not nondecreasing."""
+    keys = batch["key"] if batch.dtype.names else batch
+    if keys.shape[0] >= 2:
+        bad = np.nonzero(keys[:-1] > keys[1:])[0]
+        if bad.size:
+            i = int(bad[0])
+            raise AssertionError(
+                f"{what} not sorted at index {i}: "
+                f"key[{i}]={keys[i]} > key[{i+1}]={keys[i+1]}"
+            )
+
+
+def check_permutation(inp: np.ndarray, out: np.ndarray, what: str = "output") -> None:
+    """Raise ``AssertionError`` unless ``out`` keys are a permutation of ``inp``'s."""
+    ki = np.sort(inp["key"] if inp.dtype.names else inp)
+    ko = np.sort(out["key"] if out.dtype.names else out)
+    if ki.shape != ko.shape:
+        raise AssertionError(
+            f"{what} has {ko.shape[0]} records, input had {ki.shape[0]}"
+        )
+    if not np.array_equal(ki, ko):
+        raise AssertionError(f"{what} keys are not a permutation of the input keys")
+
+
+def check_sorted_permutation(inp: np.ndarray, out: np.ndarray, what: str = "output") -> None:
+    """Full sort validation: sorted keys *and* a permutation of the input."""
+    check_sorted(out, what)
+    check_permutation(inp, out, what)
+
+
+def key_histogram(batch: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Histogram of keys over bucket ``edges`` (as used by the distribute functor)."""
+    keys = batch["key"] if batch.dtype.names else batch
+    idx = np.searchsorted(edges, keys, side="right")
+    return np.bincount(idx, minlength=len(edges) + 1)

@@ -1,0 +1,199 @@
+"""Tests for Block Transfer Engines (memory, file, emulated)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bte import BteError, FileBTE, MemoryBTE
+from repro.util.records import DEFAULT_SCHEMA, RecordSchema, make_records
+
+
+def batch_of(keys):
+    return make_records(np.asarray(keys, dtype=np.uint32))
+
+
+@pytest.fixture(params=["memory", "file"])
+def bte(request, tmp_path):
+    if request.param == "memory":
+        return MemoryBTE()
+    return FileBTE(tmp_path / "bte")
+
+
+class TestLifecycle:
+    def test_create_open_delete(self, bte):
+        h = bte.create("s")
+        assert bte.exists("s")
+        assert bte.length(h) == 0
+        h2 = bte.open("s")
+        assert h2.cursor == 0
+        bte.delete("s")
+        assert not bte.exists("s")
+
+    def test_create_duplicate_rejected(self, bte):
+        bte.create("s")
+        with pytest.raises(BteError):
+            bte.create("s")
+
+    def test_open_missing_rejected(self, bte):
+        with pytest.raises(BteError):
+            bte.open("ghost")
+
+    def test_delete_missing_rejected(self, bte):
+        with pytest.raises(BteError):
+            bte.delete("ghost")
+
+    def test_list_streams_sorted(self, bte):
+        for name in ("b", "a", "c"):
+            bte.create(name)
+        assert bte.list_streams() == ["a", "b", "c"]
+
+
+class TestReadWrite:
+    def test_append_read_roundtrip(self, bte):
+        h = bte.create("s")
+        bte.append(h, batch_of([1, 2, 3]))
+        bte.append(h, batch_of([4, 5]))
+        assert bte.length(h) == 5
+        out = bte.read_at(h, 0, 5)
+        assert list(out["key"]) == [1, 2, 3, 4, 5]
+
+    def test_read_across_chunk_boundary(self, bte):
+        h = bte.create("s")
+        bte.append(h, batch_of([1, 2, 3]))
+        bte.append(h, batch_of([4, 5, 6]))
+        out = bte.read_at(h, 2, 2)
+        assert list(out["key"]) == [3, 4]
+
+    def test_read_past_end_truncates(self, bte):
+        h = bte.create("s")
+        bte.append(h, batch_of([1, 2]))
+        out = bte.read_at(h, 1, 100)
+        assert list(out["key"]) == [2]
+
+    def test_read_empty_region(self, bte):
+        h = bte.create("s")
+        bte.append(h, batch_of([1]))
+        assert bte.read_at(h, 5, 3).shape == (0,)
+        assert bte.read_at(h, 0, 0).shape == (0,)
+
+    def test_append_empty_is_noop(self, bte):
+        h = bte.create("s")
+        bte.append(h, batch_of([]))
+        assert bte.length(h) == 0
+
+    def test_wrong_dtype_rejected(self, bte):
+        h = bte.create("s")
+        with pytest.raises(BteError):
+            bte.append(h, np.zeros(3, dtype=np.float64))
+
+    def test_sequential_cursor(self, bte):
+        h = bte.create("s")
+        bte.append(h, batch_of(range(10)))
+        first = bte.read_next(h, 4)
+        second = bte.read_next(h, 4)
+        third = bte.read_next(h, 4)
+        assert list(first["key"]) == [0, 1, 2, 3]
+        assert list(second["key"]) == [4, 5, 6, 7]
+        assert list(third["key"]) == [8, 9]
+        assert bte.at_end(h)
+
+    def test_closed_handle_rejected(self, bte):
+        h = bte.create("s")
+        bte.close(h)
+        with pytest.raises(BteError):
+            bte.append(h, batch_of([1]))
+
+    def test_write_all_read_all(self, bte):
+        h = bte.write_all("s", batch_of([7, 8, 9]))
+        assert list(bte.read_all(h)["key"]) == [7, 8, 9]
+
+    def test_custom_schema(self, bte):
+        small = RecordSchema(record_size=8, key_dtype="<u4")
+        h = bte.create("tiny", schema=small)
+        bte.append(h, make_records(np.array([1], dtype=np.uint32), small))
+        out = bte.read_at(h, 0, 1)
+        assert out.dtype == small.dtype
+
+
+class TestTruncateFront:
+    def test_freed_records_unreadable(self, bte):
+        h = bte.create("s")
+        bte.append(h, batch_of([1, 2, 3, 4]))
+        bte.truncate_front(h, 2)
+        with pytest.raises(BteError):
+            bte.read_at(h, 0, 2)
+        out = bte.read_at(h, 2, 2)
+        assert list(out["key"]) == [3, 4]
+
+    def test_length_unchanged_by_truncate(self, bte):
+        h = bte.create("s")
+        bte.append(h, batch_of([1, 2, 3]))
+        bte.truncate_front(h, 2)
+        assert bte.length(h) == 3  # numbering preserved
+
+    def test_memory_actually_released(self):
+        bte = MemoryBTE()
+        h = bte.create("s")
+        bte.append(h, batch_of(range(100)))
+        bte.append(h, batch_of(range(100)))
+        before = bte.nbytes_live("s")
+        bte.truncate_front(h, 100)  # frees exactly the first chunk
+        assert bte.nbytes_live("s") < before
+
+
+class TestStats:
+    def test_io_accounting(self, bte):
+        h = bte.create("s")
+        bte.append(h, batch_of(range(10)))
+        bte.read_at(h, 0, 10)
+        assert bte.stats.bytes_written == 10 * 128
+        assert bte.stats.bytes_read == 10 * 128
+        assert bte.stats.blocks_written >= 1
+        assert bte.stats.total_ios >= 2
+
+    def test_block_count_ceil(self):
+        bte = MemoryBTE(block_size=128)
+        h = bte.create("s")
+        bte.append(h, batch_of([1, 2, 3]))  # 384 bytes = 3 blocks of 128
+        assert bte.stats.blocks_written == 3
+
+
+class TestFilePersistence:
+    def test_reopen_from_disk(self, tmp_path):
+        root = tmp_path / "bte"
+        b1 = FileBTE(root)
+        h = b1.create("persist")
+        b1.append(h, batch_of([1, 2, 3]))
+        b2 = FileBTE(root)  # fresh instance over the same directory
+        assert b2.exists("persist")
+        h2 = b2.open("persist")
+        assert list(b2.read_all(h2)["key"]) == [1, 2, 3]
+
+    def test_odd_stream_names(self, tmp_path):
+        b = FileBTE(tmp_path / "bte")
+        h = b.create("run/3:temp era")
+        b.append(h, batch_of([9]))
+        assert list(b.read_all(h)["key"]) == [9]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    chunks=st.lists(
+        st.lists(st.integers(0, 2**32 - 1), min_size=0, max_size=20),
+        min_size=1,
+        max_size=6,
+    ),
+    start=st.integers(0, 60),
+    count=st.integers(0, 60),
+)
+def test_property_read_matches_concat(chunks, start, count):
+    """Reading any window equals slicing the concatenation of appends."""
+    bte = MemoryBTE()
+    h = bte.create("s")
+    allkeys = []
+    for ch in chunks:
+        bte.append(h, batch_of(ch))
+        allkeys.extend(ch)
+    expect = allkeys[start : start + count]
+    got = list(bte.read_at(h, start, count)["key"])
+    assert got == expect

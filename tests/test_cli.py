@@ -1,0 +1,34 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_fig10_runs(self, capsys):
+        assert main(["fig10", "--n", "14"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+        assert "load-managed" in out
+
+    def test_fig9_runs_tiny(self, capsys):
+        # Keep it snappy: small n still produces the full table.
+        assert main(["fig9", "--n", "13"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "adaptive" in out
+
+    def test_sweep_gamma(self, capsys):
+        assert main(["sweep-gamma", "--n", "14"]) == 0
+        assert "merge split" in capsys.readouterr().out
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig11"])
+
+    def test_help(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        assert "Load-Managed" in capsys.readouterr().out

@@ -1,0 +1,213 @@
+"""Tests for streams, sets, arrays, and packets."""
+
+import numpy as np
+import pytest
+
+from repro.bte import MemoryBTE
+from repro.containers import Packet, RecordArray, RecordSet, RecordStream
+from repro.util.records import make_records
+
+
+def batch_of(keys):
+    return make_records(np.asarray(keys, dtype=np.uint32))
+
+
+class TestPacket:
+    def test_counts(self):
+        p = Packet(batch_of([1, 2, 3]))
+        assert p.n_records == 3
+        assert p.nbytes == 3 * 128
+
+    def test_seq_monotone(self):
+        a, b = Packet(batch_of([1])), Packet(batch_of([2]))
+        assert b.seq > a.seq
+
+    def test_mark_sorted_verify(self):
+        p = Packet(batch_of([1, 2, 3]))
+        p.mark_sorted(verify=True)
+        assert p.sorted
+
+    def test_mark_sorted_verify_rejects_unsorted(self):
+        p = Packet(batch_of([3, 1]))
+        with pytest.raises(AssertionError):
+            p.mark_sorted(verify=True)
+
+    def test_split_preserves_order_and_meta(self):
+        p = Packet(batch_of([1, 2, 3, 4, 5]), meta={"sorted": True})
+        parts = p.split(2)
+        assert [q.n_records for q in parts] == [2, 2, 1]
+        assert all(q.sorted for q in parts)
+        joined = np.concatenate([q.batch for q in parts])
+        assert list(joined["key"]) == [1, 2, 3, 4, 5]
+
+    def test_split_noop_when_small(self):
+        p = Packet(batch_of([1]))
+        assert p.split(10) == [p]
+
+    def test_split_bad_size(self):
+        with pytest.raises(ValueError):
+            Packet(batch_of([1])).split(0)
+
+
+class TestRecordStream:
+    def test_ordered_scan(self):
+        s = RecordStream("s")
+        s.append(batch_of([1, 2, 3]))
+        s.append(batch_of([4, 5]))
+        got = [list(b["key"]) for b in s.scan(block_records=2)]
+        assert got == [[1, 2], [3, 4], [5]]
+
+    def test_pending_tracking(self):
+        s = RecordStream("s")
+        s.append(batch_of(range(10)))
+        s.read(4)
+        assert s.pending == 6
+        assert len(s) == 10
+
+    def test_rewind(self):
+        s = RecordStream("s")
+        s.append(batch_of([1, 2]))
+        s.read(2)
+        s.rewind()
+        assert list(s.read(2)["key"]) == [1, 2]
+
+    def test_destructive_scan_releases(self):
+        bte = MemoryBTE()
+        s = RecordStream("s", bte=bte)
+        s.append(batch_of(range(100)))
+        s.append(batch_of(range(100)))
+        for _ in s.scan(block_records=100, destructive=True):
+            pass
+        assert bte.nbytes_live("s") == 0
+
+    def test_rewind_after_destructive_starts_at_freed(self):
+        s = RecordStream("s")
+        s.append(batch_of([1, 2, 3, 4]))
+        s.read(2, destructive=True)
+        s.rewind()
+        assert list(s.read(10)["key"]) == [3, 4]
+
+    def test_shared_bte(self):
+        bte = MemoryBTE()
+        a = RecordStream("a", bte=bte)
+        b = RecordStream("b", bte=bte)
+        a.append(batch_of([1]))
+        b.append(batch_of([2]))
+        assert bte.list_streams() == ["a", "b"]
+
+    def test_open_existing(self):
+        bte = MemoryBTE()
+        a = RecordStream("a", bte=bte)
+        a.append(batch_of([1, 2]))
+        again = RecordStream("a", bte=bte)
+        assert len(again) == 2
+
+    def test_bad_block_size(self):
+        s = RecordStream("s")
+        s.append(batch_of([1]))
+        with pytest.raises(ValueError):
+            list(s.scan(block_records=0))
+
+    def test_delete(self):
+        bte = MemoryBTE()
+        s = RecordStream("s", bte=bte)
+        s.delete()
+        assert not bte.exists("s")
+
+
+class TestRecordSet:
+    def test_take_returns_all_packets(self):
+        st = RecordSet("set")
+        st.add_records(batch_of(range(10)), packet_records=3)
+        assert st.n_pending_packets == 4
+        seen = []
+        for pkt in st.scan():
+            seen.extend(pkt.batch["key"].tolist())
+        assert sorted(seen) == list(range(10))
+        assert st.n_pending == 0
+        assert st.n_completed == 10
+
+    def test_reset_scan(self):
+        st = RecordSet("set")
+        st.add_records(batch_of([1, 2]))
+        list(st.scan())
+        st.reset_scan()
+        assert st.n_pending == 2
+        assert st.n_completed == 0
+
+    def test_destructive_scan_drops_records(self):
+        st = RecordSet("set")
+        st.add_records(batch_of([1, 2, 3]))
+        list(st.scan(destructive=True))
+        assert len(st) == 0
+        assert st.n_completed == 0
+
+    def test_take_empty_returns_none(self):
+        assert RecordSet("set").take() is None
+
+    def test_concurrent_consumers_partition_packets(self):
+        st = RecordSet("set")
+        st.add_records(batch_of(range(20)), packet_records=5)
+        a, b = [], []
+        while True:
+            pkt = st.take()
+            if pkt is None:
+                break
+            a.append(pkt)
+            pkt = st.take()
+            if pkt is not None:
+                b.append(pkt)
+        total = sum(p.n_records for p in a) + sum(p.n_records for p in b)
+        assert total == 20
+        assert len(a) == 2 and len(b) == 2
+
+    def test_wrong_dtype_rejected(self):
+        st = RecordSet("set")
+        with pytest.raises(ValueError):
+            st.add_packet(Packet(np.zeros(2, dtype=np.float32)))
+
+    def test_read_all_has_everything(self):
+        st = RecordSet("set")
+        st.add_records(batch_of([5, 6]))
+        list(st.scan())
+        st.add_records(batch_of([7]))
+        assert sorted(st.read_all()["key"].tolist()) == [5, 6, 7]
+
+
+class TestRecordArray:
+    def test_zero_filled_on_create(self):
+        arr = RecordArray("a", length=5)
+        assert len(arr) == 5
+        assert arr[3]["key"] == 0
+
+    def test_from_batch(self):
+        arr = RecordArray.from_batch("a", batch_of([9, 8, 7]))
+        assert arr[0]["key"] == 9
+        assert list(arr.read(1, 2)["key"]) == [8, 7]
+
+    def test_out_of_range_rejected(self):
+        arr = RecordArray.from_batch("a", batch_of([1, 2]))
+        with pytest.raises(IndexError):
+            arr.read(1, 5)
+        with pytest.raises(IndexError):
+            arr.read(-1, 1)
+
+    def test_write_overwrites(self):
+        arr = RecordArray.from_batch("a", batch_of([1, 2, 3]))
+        arr.write(1, batch_of([42]))
+        assert [int(k) for k in arr.read_all()["key"]] == [1, 42, 3]
+
+    def test_random_read_counter(self):
+        arr = RecordArray.from_batch("a", batch_of([1, 2, 3]))
+        arr.read(0, 1)
+        arr.read(2, 1)
+        assert arr.n_random_reads == 2
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            RecordArray("a", length=-1)
+
+    def test_empty_array(self):
+        arr = RecordArray("a", length=0)
+        assert len(arr) == 0
+        assert arr.read_all().shape == (0,)

@@ -1,0 +1,248 @@
+"""Tests for the DSM configuration solver, routing policies, placement, and
+the load manager."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConfigSolver,
+    DSMConfig,
+    JoinShortestQueue,
+    LoadManager,
+    Placement,
+    PlacementSolver,
+    RoundRobin,
+    SimpleRandomization,
+    StaticPartition,
+    WeightedCapacity,
+    make_router,
+)
+from repro.emulator.params import SystemParams
+from repro.functors import BlockSortFunctor, Dataflow, DistributeFunctor, FunctorError, MergeFunctor
+from repro.util.units import MB
+
+
+@pytest.fixture
+def params():
+    return SystemParams(
+        n_hosts=1,
+        n_asus=16,
+        cycles_per_compare=100.0,
+        cycles_per_record=300.0,
+        cycles_per_net_byte=1.5,
+        cycles_per_io_byte=0.5,
+    )
+
+
+class TestDSMConfig:
+    def test_for_n_identity(self):
+        cfg = DSMConfig.for_n(1 << 20, alpha=16, gamma=64)
+        assert cfg.alpha * cfg.beta * cfg.gamma == 1 << 20
+
+    def test_work_per_record_is_log_n(self):
+        cfg = DSMConfig.for_n(1 << 20, alpha=16, gamma=64)
+        assert cfg.work_per_record_log == pytest.approx(20.0)
+
+    def test_gamma_split(self):
+        cfg = DSMConfig(n_records=1000, alpha=4, beta=8, gamma=8, gamma1=2)
+        assert cfg.merge_host_fan_in == 4
+
+    def test_bad_gamma_split_rejected(self):
+        with pytest.raises(ValueError):
+            DSMConfig(n_records=10, alpha=1, beta=1, gamma=8, gamma1=3)
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError):
+            DSMConfig(n_records=10, alpha=0, beta=1, gamma=1)
+        with pytest.raises(ValueError):
+            DSMConfig.for_n(0, alpha=1, gamma=1)
+
+    def test_describe(self):
+        assert "alpha=16" in DSMConfig.for_n(1 << 16, 16, 16).describe()
+
+
+class TestConfigSolver:
+    def test_alpha_bounded_by_asu_memory(self, params):
+        solver = ConfigSolver(params.with_(asu_mem=1 * MB))
+        # 1 MiB / 32 KiB bucket buffers = 32 buckets max.
+        assert solver.max_alpha() == 32
+        assert max(solver.feasible_alphas()) == 32
+
+    def test_feasible_alphas_powers_of_two(self, params):
+        solver = ConfigSolver(params)
+        alphas = solver.feasible_alphas()
+        assert alphas[0] == 1
+        assert all(b == 2 * a for a, b in zip(alphas, alphas[1:]))
+
+    def test_beta_respects_host_memory(self, params):
+        tiny_host = params.with_(host_mem=128 * 100)  # 100 records
+        solver = ConfigSolver(tiny_host)
+        assert solver.beta_for(1 << 20, alpha=1) == 100
+
+    def test_adaptive_alpha_grows_with_asus(self, params):
+        few = ConfigSolver(params.with_(n_asus=2)).choose(1 << 20)
+        many = ConfigSolver(params.with_(n_asus=64)).choose(1 << 20)
+        # More ASU power -> shift more work to the distribute phase.
+        assert many.alpha > few.alpha
+
+    def test_adaptive_beats_fixed_configs(self, params):
+        solver = ConfigSolver(params.with_(n_asus=32))
+        best = solver.choose(1 << 20)
+        s_best = solver.predicted_speedup(best)
+        for alpha in (1, 4, 16):
+            cfg = solver.config_for_alpha(1 << 20, alpha)
+            assert s_best >= solver.predicted_speedup(cfg) - 1e-9
+
+
+class TestRouters:
+    def test_static_partition_halves(self):
+        r = StaticPartition(n_instances=2, n_buckets=8)
+        assert [r.choose(b, 1) for b in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_static_bucket_range_checked(self):
+        r = StaticPartition(2, 4)
+        with pytest.raises(ValueError):
+            r.choose(4, 1)
+
+    def test_round_robin_cycles(self):
+        r = RoundRobin(3)
+        assert [r.choose(0, 1) for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_sr_balances_in_expectation(self):
+        r = SimpleRandomization(2, rng=np.random.default_rng(1))
+        counts = np.zeros(2)
+        for _ in range(2000):
+            counts[r.choose(0, 1)] += 1
+        assert abs(counts[0] - counts[1]) < 200
+
+    def test_sr_deterministic_with_seed(self):
+        a = SimpleRandomization(4, rng=np.random.default_rng(9))
+        b = SimpleRandomization(4, rng=np.random.default_rng(9))
+        assert [a.choose(0, 1) for _ in range(50)] == [b.choose(0, 1) for _ in range(50)]
+
+    def test_jsq_prefers_idle_instance(self):
+        r = JoinShortestQueue(2)
+        i = r.choose(0, 10)
+        r.on_sent(i, 10)
+        j = r.choose(0, 10)
+        assert j != i
+        r.on_completed(i, 10)
+        assert r.choose(0, 1) == i  # freed up again (tie -> argmin first)
+
+    def test_weighted_tracks_capacity(self):
+        r = WeightedCapacity([3.0, 1.0])
+        for _ in range(400):
+            inst = r.choose(0, 1)
+            r.on_sent(inst, 1)
+        assert r.sent[0] == pytest.approx(300, abs=5)
+
+    def test_weighted_needs_positive_weights(self):
+        with pytest.raises(ValueError):
+            WeightedCapacity([1.0, 0.0])
+
+    def test_imbalance_metric(self):
+        r = RoundRobin(2)
+        r.on_sent(0, 100)
+        r.on_sent(1, 100)
+        assert r.imbalance() == pytest.approx(1.0)
+        r.on_sent(0, 200)
+        assert r.imbalance() > 1.0
+
+    def test_factory(self):
+        assert make_router("static", 2, n_buckets=4).name == "static"
+        assert make_router("sr", 2).name == "sr"
+        assert make_router("jsq", 2).name == "jsq"
+        assert make_router("weighted", 2, weights=[1, 2]).name == "weighted"
+        with pytest.raises(ValueError):
+            make_router("psychic", 2)
+        with pytest.raises(ValueError):
+            make_router("weighted", 2)
+
+
+class TestPlacement:
+    def _graph(self):
+        g = Dataflow()
+        g.add_stage("distribute", DistributeFunctor.uniform(16), est_records=1000)
+        g.add_stage("blocksort", BlockSortFunctor(1024), est_records=1000)
+        g.add_stage("merge", MergeFunctor(8), est_records=1000)
+        g.connect(Dataflow.SOURCE, "distribute", kind="set")
+        g.connect("distribute", "blocksort", kind="set")
+        g.connect("blocksort", "merge", kind="set")
+        return g
+
+    def _placement(self, params):
+        p = Placement()
+        p.assign("distribute", "asu", list(range(params.n_asus)))
+        p.assign("blocksort", "host", [0])
+        p.assign("merge", "host", [0])
+        return p
+
+    def test_valid_dsm_placement(self, params):
+        g, p = self._graph(), self._placement(params)
+        # distribute/blocksort replicable; many instances needs replicas>1
+        g.stages["distribute"].replicas = params.n_asus
+        PlacementSolver(params).validate(g, p)
+
+    def test_asu_ineligible_functor_rejected(self, params):
+        g = self._graph()
+        g.stages["distribute"].replicas = params.n_asus
+        g.stages["blocksort"].functor = BlockSortFunctor(1 << 22)  # 512 MiB state
+        p = self._placement(params)
+        p.assign("blocksort", "asu", [0])
+        with pytest.raises(FunctorError, match="cannot run on ASUs"):
+            PlacementSolver(params).validate(g, p)
+
+    def test_unplaced_stage_rejected(self, params):
+        g = self._graph()
+        p = Placement()
+        with pytest.raises(FunctorError, match="no placement"):
+            PlacementSolver(params).validate(g, p)
+
+    def test_out_of_range_instance_rejected(self, params):
+        g, p = self._graph(), self._placement(params)
+        g.stages["distribute"].replicas = 99
+        p.assign("distribute", "asu", [99])
+        with pytest.raises(FunctorError, match="out of range"):
+            PlacementSolver(params).validate(g, p)
+
+    def test_multi_instance_without_replicas_rejected(self, params):
+        g, p = self._graph(), self._placement(params)
+        p.assign("merge", "host", [0, 0])
+        with pytest.raises(FunctorError, match="single instance"):
+            PlacementSolver(params).validate(g, p)
+
+    def test_load_split_and_balance(self, params):
+        g, p = self._graph(), self._placement(params)
+        solver = PlacementSolver(params)
+        split = solver.load_split(g, p)
+        assert split["asu"] > 0 and split["host"] > 0
+        score = solver.balance_score(g, p)
+        assert 0.0 < score <= 1.0
+
+
+class TestLoadManager:
+    def test_routing_and_feedback(self, params):
+        lm = LoadManager(params, n_instances=2, n_buckets=8, policy="jsq")
+        i = lm.route(bucket=0, n_records=100)
+        assert lm.backlogs()[i] == 100
+        lm.complete(i, 100)
+        assert lm.backlogs()[i] == 0
+
+    def test_imbalance_under_static_skew(self, params):
+        lm = LoadManager(params, n_instances=2, n_buckets=8, policy="static")
+        for _ in range(100):
+            lm.route(bucket=0, n_records=10)  # all to instance 0
+        assert lm.imbalance() == pytest.approx(2.0)
+
+    def test_sr_fixes_skew(self, params):
+        rng = np.random.default_rng(3)
+        lm = LoadManager(params, n_instances=2, n_buckets=8, policy="sr", rng=rng)
+        for _ in range(1000):
+            lm.route(bucket=0, n_records=10)
+        assert lm.imbalance() < 1.1
+
+    def test_reconfigure_returns_feasible_config(self, params):
+        lm = LoadManager(params, n_instances=1, n_buckets=1)
+        cfg = lm.reconfigure(1 << 20)
+        solver = ConfigSolver(params)
+        assert cfg.alpha in solver.feasible_alphas()

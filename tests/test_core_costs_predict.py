@@ -1,0 +1,111 @@
+"""Tests for the cost model and the pipeline predictor."""
+
+import math
+
+import pytest
+
+from repro.core import RecordCosts, predict_pass1, predict_speedup
+from repro.emulator.params import SystemParams
+from repro.util.units import MB
+
+
+@pytest.fixture
+def params():
+    return SystemParams(
+        n_hosts=1,
+        n_asus=8,
+        cycles_per_compare=100.0,
+        cycles_per_record=300.0,
+        cycles_per_net_byte=1.5,
+        cycles_per_io_byte=0.5,
+    )
+
+
+class TestRecordCosts:
+    def test_distribute_cycles(self, params):
+        c = RecordCosts(params)
+        assert c.distribute_cycles(16) == pytest.approx(4 * 100 + 300)
+        assert c.distribute_cycles(1) == pytest.approx(300)
+
+    def test_blocksort_cycles(self, params):
+        c = RecordCosts(params)
+        assert c.blocksort_cycles(1024) == pytest.approx(10 * 100 + 300)
+
+    def test_asu_pass1_passive_is_free(self, params):
+        c = RecordCosts(params)
+        assert c.asu_pass1_cycles(alpha=64, active=False) == 0.0
+
+    def test_asu_pass1_active_components(self, params):
+        c = RecordCosts(params)
+        # io staging 2x64 + net 2x192 + distribute(4 compares + touch)
+        expected = 2 * 64 + 2 * 192 + 4 * 100 + 300
+        assert c.asu_pass1_cycles(alpha=16, active=True) == pytest.approx(expected)
+
+    def test_host_baseline_includes_distribute(self, params):
+        c = RecordCosts(params)
+        active = c.host_pass1_cycles(alpha=16, beta=1024, active=True)
+        passive = c.host_pass1_cycles(alpha=16, beta=1024, active=False)
+        assert passive - active == pytest.approx(c.distribute_cycles(16))
+
+    def test_disk_rate_two_passes(self, params):
+        c = RecordCosts(params)
+        one = c.disk_records_per_sec(passes=1)
+        two = c.disk_records_per_sec(passes=2)
+        assert one == pytest.approx(2 * two)
+        assert one == pytest.approx(params.disk_rate / 128)
+
+
+class TestPredictor:
+    def test_higher_alpha_slows_asu_speeds_host(self, params):
+        lo = predict_pass1(params, alpha=4, beta=1 << 12)
+        hi = predict_pass1(params, alpha=256, beta=1 << 6)
+        assert hi.asu_cpu_rate < lo.asu_cpu_rate
+        assert hi.host_cpu_rate > lo.host_cpu_rate
+
+    def test_asu_rate_scales_with_d(self, params):
+        r8 = predict_pass1(params, 16, 1024).asu_cpu_rate
+        r16 = predict_pass1(params.with_(n_asus=16), 16, 1024).asu_cpu_rate
+        assert r16 == pytest.approx(2 * r8)
+
+    def test_baseline_asu_cpu_unbounded(self, params):
+        base = predict_pass1(params, 64, 1024, active=False)
+        assert math.isinf(base.asu_cpu_rate)
+
+    def test_bottleneck_identification(self, params):
+        # Tiny ASU count, big alpha: ASU CPU must be the bottleneck.
+        p = params.with_(n_asus=2)
+        pred = predict_pass1(p, alpha=256, beta=64)
+        assert pred.bottleneck == "asu_cpu"
+        # Many ASUs: the single host saturates.
+        p = params.with_(n_asus=64)
+        pred = predict_pass1(p, alpha=256, beta=64)
+        assert pred.bottleneck == "host_cpu"
+
+    def test_slow_disk_becomes_bottleneck(self, params):
+        p = params.with_(disk_rate=1 * MB)
+        pred = predict_pass1(p, alpha=1, beta=1 << 14)
+        assert pred.bottleneck == "asu_disk"
+
+    def test_time_for_inverse_of_rate(self, params):
+        pred = predict_pass1(params, 16, 1024)
+        assert pred.time_for(1000) == pytest.approx(1000 / pred.bottleneck_rate)
+
+    def test_figure9_shape_small_d_slowdown_large_d_speedup(self, params):
+        """The headline Figure-9 property, in the analytic model."""
+        n = 1 << 20
+        gamma = 64
+        beta = lambda a: max(1, n // (a * gamma))
+        # D=2, alpha=256: active is SLOWER than passive baseline.
+        p2 = params.with_(n_asus=2)
+        s = predict_speedup(p2, 256, beta(256), 64, beta(64))
+        assert s < 1.0
+        # D=32, alpha=256: active is clearly faster.
+        p32 = params.with_(n_asus=32)
+        s = predict_speedup(p32, 256, beta(256), 64, beta(64))
+        assert s > 1.3
+
+    def test_alpha1_speedup_near_one(self, params):
+        n, gamma = 1 << 20, 64
+        p = params.with_(n_asus=4)
+        s = predict_speedup(p, 1, n // gamma, 64, n // (64 * gamma))
+        assert 0.8 < s < 1.3

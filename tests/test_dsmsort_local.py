@@ -1,0 +1,117 @@
+"""Tests for the in-process DSM-Sort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bte import MemoryBTE
+from repro.containers import RecordStream
+from repro.core import DSMConfig
+from repro.dsmsort import dsm_sort_local
+from repro.util.distributions import make_workload
+from repro.util.records import make_records
+from repro.util.rng import RngRegistry
+from repro.util.validation import check_sorted_permutation
+
+
+def stream_of(keys, bte=None):
+    s = RecordStream("in", bte=bte or MemoryBTE())
+    s.append(make_records(np.asarray(keys, dtype=np.uint32)))
+    return s
+
+
+class TestDsmSortLocal:
+    def test_sorts_random_input(self):
+        rng = RngRegistry(11).get("w")
+        data = make_workload(rng, 5000, "uniform")
+        bte = MemoryBTE()
+        src = RecordStream("in", bte=bte)
+        src.append(data)
+        cfg = DSMConfig.for_n(5000, alpha=8, gamma=4)
+        out, trace = dsm_sort_local(src, cfg, block_records=512)
+        check_sorted_permutation(data, out.read_all())
+        assert trace.n_records == 5000
+        assert len(trace.bucket_sizes) == 8
+        assert sum(trace.bucket_sizes) == 5000
+
+    def test_run_count_matches_beta(self):
+        src = stream_of(range(1000))
+        cfg = DSMConfig(n_records=1000, alpha=1, beta=100, gamma=4)
+        _out, trace = dsm_sort_local(src, cfg, block_records=100)
+        assert trace.n_runs == 10
+
+    def test_multi_pass_merge(self):
+        rng = RngRegistry(2).get("w")
+        data = make_workload(rng, 2000, "uniform")
+        src = RecordStream("in", bte=MemoryBTE())
+        src.append(data)
+        # 2000 records, alpha=1, beta=10 -> 200 runs; gamma=4 -> 4 passes.
+        cfg = DSMConfig(n_records=2000, alpha=1, beta=10, gamma=4)
+        out, trace = dsm_sort_local(src, cfg, block_records=100)
+        check_sorted_permutation(data, out.read_all())
+        assert trace.merge_passes_per_bucket == [4]
+
+    def test_empty_input(self):
+        src = stream_of([])
+        cfg = DSMConfig(n_records=1, alpha=4, beta=2, gamma=2)
+        out, trace = dsm_sort_local(src, cfg)
+        assert len(out) == 0
+        assert trace.n_runs == 0
+
+    def test_skewed_input_with_uniform_splitters_shows_skew(self):
+        rng = RngRegistry(5).get("w")
+        data = make_workload(rng, 4000, "exponential", scale=0.05)
+        src = RecordStream("in", bte=MemoryBTE())
+        src.append(data)
+        cfg = DSMConfig.for_n(4000, alpha=8, gamma=4)
+        out, trace = dsm_sort_local(src, cfg, block_records=512)
+        check_sorted_permutation(data, out.read_all())
+        assert trace.max_bucket_skew > 2.0  # exponential keys pile up low
+
+    def test_sampled_splitters_reduce_skew(self):
+        rng_w = RngRegistry(5).get("w")
+        data = make_workload(rng_w, 4000, "exponential", scale=0.05)
+        cfg = DSMConfig.for_n(4000, alpha=8, gamma=4)
+
+        src1 = RecordStream("in", bte=MemoryBTE())
+        src1.append(data)
+        _o1, t_uniform = dsm_sort_local(src1, cfg, block_records=512)
+
+        src2 = RecordStream("in", bte=MemoryBTE())
+        src2.append(data)
+        o2, t_sampled = dsm_sort_local(
+            src2, cfg, block_records=512, sampled_splitters=True,
+            rng=RngRegistry(5).get("s"),
+        )
+        check_sorted_permutation(data, o2.read_all())
+        assert t_sampled.max_bucket_skew < t_uniform.max_bucket_skew / 2
+
+    def test_temporaries_cleaned(self):
+        bte = MemoryBTE()
+        src = stream_of(range(500), bte=bte)
+        cfg = DSMConfig.for_n(500, alpha=4, gamma=2)
+        dsm_sort_local(src, cfg, out_name="out", block_records=64)
+        assert set(bte.list_streams()) == {"in", "out"}
+
+    def test_duplicate_keys(self):
+        src = stream_of([7] * 100 + [3] * 100)
+        cfg = DSMConfig(n_records=200, alpha=4, beta=16, gamma=2)
+        out, _ = dsm_sort_local(src, cfg, block_records=32)
+        keys = out.read_all()["key"]
+        assert list(keys) == [3] * 100 + [7] * 100
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    keys=st.lists(st.integers(0, 2**32 - 1), min_size=0, max_size=500),
+    alpha=st.sampled_from([1, 2, 8]),
+    beta=st.sampled_from([1, 13, 128]),
+    gamma=st.sampled_from([2, 4]),
+)
+def test_property_dsm_local_sorts(keys, alpha, beta, gamma):
+    data = make_records(np.asarray(keys, dtype=np.uint32))
+    src = RecordStream("in", bte=MemoryBTE())
+    src.append(data)
+    cfg = DSMConfig(n_records=max(len(keys), 1), alpha=alpha, beta=beta, gamma=gamma)
+    out, _ = dsm_sort_local(src, cfg, block_records=64)
+    check_sorted_permutation(data, out.read_all())

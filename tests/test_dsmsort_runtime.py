@@ -1,0 +1,262 @@
+"""Tests for the emulated distributed DSM-Sort (pass 1 + pass 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConfigSolver, DSMConfig, predict_pass1
+from repro.dsmsort import DsmSortJob, adaptive_config, run_adaptive
+from repro.emulator.params import SystemParams
+
+
+def fig_params(**over):
+    """The calibrated cost family used by the figure benches (see bench.fig9)."""
+    base = dict(
+        n_hosts=1,
+        n_asus=8,
+        cycles_per_compare=100.0,
+        cycles_per_record=300.0,
+        cycles_per_net_byte=1.5,
+        cycles_per_io_byte=0.5,
+        block_records=1024,
+    )
+    base.update(over)
+    return SystemParams(**base)
+
+
+N = 1 << 15  # 32k records keeps unit tests fast
+
+
+def make_job(n=N, **over):
+    defaults = dict(policy="static", workload="uniform", active=True, seed=1)
+    params = over.pop("params", fig_params())
+    cfg = over.pop("config", DSMConfig.for_n(n, alpha=16, gamma=16))
+    defaults.update(over)
+    return DsmSortJob(params, cfg, **defaults)
+
+
+class TestPass1:
+    def test_produces_expected_run_count(self):
+        job = make_job()
+        res = job.run_pass1()
+        assert res.makespan > 0
+        # ~N/beta full runs plus partial flush runs (at most alpha*H extra).
+        expected_full = N // job.config.beta
+        assert expected_full <= res.n_runs <= expected_full + job.config.alpha
+        assert res.net_bytes > 0
+
+    def test_runs_really_sorted(self):
+        job = make_job()
+        job.run_pass1()
+        total = 0
+        for d in range(job.params.n_asus):
+            for _bucket, run in job.runs_on_asu[d]:
+                keys = run["key"]
+                assert np.all(keys[:-1] <= keys[1:])
+                total += run.shape[0]
+        assert total == (N // job.params.n_asus) * job.params.n_asus
+
+    def test_run_buckets_respect_splitters(self):
+        job = make_job()
+        job.run_pass1()
+        splitters = job.dist.splitters
+        for d in range(job.params.n_asus):
+            for bucket, run in job.runs_on_asu[d]:
+                keys = run["key"].astype(np.uint64)
+                if bucket > 0:
+                    assert keys.min() > splitters[bucket - 1]
+                if bucket < len(splitters):
+                    assert keys.max() <= splitters[bucket]
+
+    def test_deterministic(self):
+        r1 = make_job().run_pass1()
+        r2 = make_job().run_pass1()
+        assert r1.makespan == r2.makespan
+        assert r1.host_util == r2.host_util
+
+    def test_emulation_close_to_prediction(self):
+        # The emulator charges exactly the predictor's per-record costs, so
+        # makespan should approach n / bottleneck_rate (plus fill/drain).
+        job = make_job(params=fig_params(n_asus=4))
+        res = job.run_pass1()
+        pred = predict_pass1(job.params, job.config.alpha, job.config.beta)
+        assert res.makespan == pytest.approx(pred.time_for(N), rel=0.30)
+
+    def test_host_saturates_with_many_asus(self):
+        # Enough blocks per ASU that steady state dominates fill/drain.
+        n = 1 << 18
+        job = make_job(n=n, params=fig_params(n_asus=32),
+                       config=DSMConfig.for_n(n, alpha=16, gamma=16))
+        res = job.run_pass1()
+        assert res.host_util[0] > 0.85
+
+    def test_asus_bottleneck_with_few_asus(self):
+        n = 1 << 17
+        job = make_job(n=n, params=fig_params(n_asus=2),
+                       config=DSMConfig.for_n(n, alpha=256, gamma=16))
+        res = job.run_pass1()
+        assert res.host_util[0] < 0.7
+        assert max(res.asu_cpu_util) > 0.85
+
+    def test_active_beats_passive_with_many_asus(self):
+        params = fig_params(n_asus=32)
+        cfg = DSMConfig.for_n(N, alpha=64, gamma=16)
+        t_active = DsmSortJob(params, cfg, active=True, seed=1).run_pass1().makespan
+        t_passive = DsmSortJob(params, cfg, active=False, seed=1).run_pass1().makespan
+        assert t_active < t_passive
+
+    def test_passive_beats_active_with_few_asus_high_alpha(self):
+        params = fig_params(n_asus=2)
+        cfg = DSMConfig.for_n(N, alpha=256, gamma=16)
+        t_active = DsmSortJob(params, cfg, active=True, seed=1).run_pass1().makespan
+        t_passive = DsmSortJob(params, cfg, active=False, seed=1).run_pass1().makespan
+        assert t_active > t_passive  # the Figure-9 slowdown region
+
+    def test_util_series_shape(self):
+        res = make_job(params=fig_params(n_hosts=2, n_asus=4)).run_pass1(util_dt=0.05)
+        assert len(res.host_util_series) == 2
+        for series in res.host_util_series:
+            assert all(0.0 <= u <= 1.0 + 1e-9 for _t, u in series)
+
+
+class TestEndToEnd:
+    def test_full_sort_verifies(self):
+        job = make_job(params=fig_params(n_hosts=2, n_asus=4))
+        job.run_pass1()
+        res2 = job.run_pass2()
+        assert res2.makespan > 0
+        job.verify()
+
+    def test_full_sort_verifies_with_sr_routing(self):
+        job = make_job(policy="sr", params=fig_params(n_hosts=2, n_asus=4))
+        job.run_pass1()
+        job.run_pass2()
+        job.verify()
+
+    def test_full_sort_verifies_passive(self):
+        job = make_job(active=False, params=fig_params(n_hosts=2, n_asus=4))
+        job.run_pass1()
+        job.run_pass2()
+        job.verify()
+
+    def test_gamma_split(self):
+        cfg = DSMConfig(
+            n_records=N, alpha=8, beta=N // (8 * 16), gamma=16, gamma1=4
+        )
+        job = make_job(config=cfg)
+        job.run_pass1()
+        res2 = job.run_pass2()
+        job.verify()
+        assert res2.n_partial_runs > 0
+
+    def test_pass2_before_pass1_rejected(self):
+        with pytest.raises(RuntimeError, match="run_pass1 first"):
+            make_job().run_pass2()
+
+    def test_collected_before_pass2_rejected(self):
+        job = make_job()
+        job.run_pass1()
+        with pytest.raises(RuntimeError, match="run_pass2 first"):
+            job.collected_output()
+
+
+class TestSkewAndRouting:
+    def test_static_routing_unbalances_under_skew(self):
+        params = fig_params(n_hosts=2, n_asus=8)
+        cfg = DSMConfig.for_n(N, alpha=16, gamma=16)
+        job = DsmSortJob(
+            params, cfg, policy="static",
+            workload="half_uniform_half_exponential", seed=3,
+        )
+        res = job.run_pass1()
+        assert res.imbalance > 1.3  # most records land on host 0's buckets
+
+    def test_sr_routing_balances_under_skew(self):
+        params = fig_params(n_hosts=2, n_asus=8)
+        cfg = DSMConfig.for_n(N, alpha=16, gamma=16)
+        job = DsmSortJob(
+            params, cfg, policy="sr",
+            workload="half_uniform_half_exponential", seed=3,
+        )
+        res = job.run_pass1()
+        assert res.imbalance < 1.1
+
+    def test_sr_finishes_earlier_than_static_under_skew(self):
+        # The headline Figure-10 result.
+        params = fig_params(n_hosts=2, n_asus=8)
+        cfg = DSMConfig.for_n(N, alpha=16, gamma=16)
+        kw = dict(workload="half_uniform_half_exponential", seed=3)
+        t_static = DsmSortJob(params, cfg, policy="static", **kw).run_pass1().makespan
+        t_sr = DsmSortJob(params, cfg, policy="sr", **kw).run_pass1().makespan
+        assert t_sr < t_static
+
+    def test_jsq_also_balances(self):
+        params = fig_params(n_hosts=2, n_asus=8)
+        cfg = DSMConfig.for_n(N, alpha=16, gamma=16)
+        job = DsmSortJob(
+            params, cfg, policy="jsq",
+            workload="half_uniform_half_exponential", seed=3,
+        )
+        res = job.run_pass1()
+        assert res.imbalance < 1.2
+
+
+class TestAdaptive:
+    def test_adaptive_config_scales_alpha_with_asus(self):
+        few = adaptive_config(fig_params(n_asus=2), N)
+        many = adaptive_config(fig_params(n_asus=64), N)
+        assert many.alpha > few.alpha
+
+    def test_run_adaptive_executes_and_verifies(self):
+        cfg, res, job = run_adaptive(
+            fig_params(n_asus=4), N, gamma=16, verify=True, seed=2
+        )
+        assert res.makespan > 0
+        assert cfg.alpha in ConfigSolver(fig_params(n_asus=4)).feasible_alphas()
+
+    def test_adaptive_at_least_as_fast_as_fixed(self):
+        params = fig_params(n_asus=16)
+        _cfg, res_adapt, _ = run_adaptive(params, N, gamma=16, seed=2)
+        t_fixed = DsmSortJob(
+            params, DSMConfig.for_n(N, alpha=4, gamma=16), seed=2
+        ).run_pass1().makespan
+        assert res_adapt.makespan <= t_fixed * 1.05
+
+
+class TestPayloadIntegrity:
+    def test_payloads_travel_with_their_keys(self):
+        """Records are not just key multisets: each 124-byte payload must
+        still be attached to its original key after the emulated sort."""
+        import numpy as np
+
+        params = fig_params(n_asus=4, n_hosts=2)
+        n = 1 << 13
+        rng = np.random.default_rng(77)
+        keys = rng.integers(0, 2**32 - 1, n, dtype=np.uint64).astype("<u4")
+        records = np.zeros(n, dtype=params.schema.dtype)
+        records["key"] = keys
+        # Stamp each payload with a unique little-endian serial number.
+        serials = np.arange(n, dtype="<u8")
+        payload = np.zeros((n, params.schema.payload_size), dtype=np.uint8)
+        payload[:, :8] = serials.view(np.uint8).reshape(n, 8)
+        records["payload"] = payload.view("V124").ravel()
+
+        per = n // 4
+        asu_data = [records[i * per : (i + 1) * per] for i in range(4)]
+        cfg = DSMConfig.for_n(n, alpha=8, gamma=8)
+        job = DsmSortJob(params, cfg, policy="sr", seed=2, asu_data=asu_data)
+        job.run_pass1()
+        job.run_pass2()
+        job.verify()
+
+        out = job.collected_output()
+        out_serials = (
+            np.frombuffer(out["payload"].tobytes(), dtype=np.uint8)
+            .reshape(n, params.schema.payload_size)[:, :8]
+            .copy()
+            .view("<u8")
+            .ravel()
+        )
+        # Every record's key must equal the key the serial started with.
+        assert np.array_equal(out["key"].astype("<u4"), keys[out_serials])
+        # And every serial appears exactly once.
+        assert np.array_equal(np.sort(out_serials), serials)

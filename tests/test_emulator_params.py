@@ -1,0 +1,105 @@
+"""Tests for SystemParams."""
+
+import pytest
+
+from repro.emulator.params import SystemParams, TimingMode
+from repro.util.units import MHZ
+
+
+class TestSystemParams:
+    def test_defaults_match_paper(self):
+        p = SystemParams()
+        assert p.host_clock_hz == pytest.approx(750 * MHZ)
+        assert p.asu_ratio == 8.0
+        assert p.schema.record_size == 128
+        assert p.schema.key_size == 4
+
+    def test_asu_clock_is_host_over_c(self):
+        p = SystemParams(asu_ratio=4.0)
+        assert p.asu_clock_hz == pytest.approx(p.host_clock_hz / 4.0)
+
+    def test_half_power_at_hosts_example(self):
+        # §2.2: "if half the total processing power is at the hosts..."
+        # With c=8, one host equals 8 ASUs; so H=1, D=8 gives a 50/50 split.
+        p = SystemParams(n_hosts=1, n_asus=8, asu_ratio=8.0)
+        assert p.host_compute_fraction == pytest.approx(0.5)
+
+    def test_total_compute(self):
+        p = SystemParams(n_hosts=2, n_asus=16, asu_ratio=8.0)
+        expected = 2 * p.host_clock_hz + 16 * p.host_clock_hz / 8.0
+        assert p.total_compute_hz == pytest.approx(expected)
+
+    def test_block_bytes(self):
+        p = SystemParams(block_records=1024)
+        assert p.block_bytes == 1024 * 128
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_hosts": 0},
+            {"n_asus": 0},
+            {"asu_ratio": 0},
+            {"asu_ratio": -1},
+            {"disk_rate": 0},
+            {"net_bandwidth": -5},
+            {"timing_mode": "warp"},
+            {"block_records": 0},
+        ],
+    )
+    def test_invalid_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SystemParams(**kwargs)
+
+    def test_with_returns_modified_copy(self):
+        p = SystemParams()
+        q = p.with_(n_asus=32)
+        assert q.n_asus == 32
+        assert p.n_asus == 8
+        assert q.host_clock_hz == p.host_clock_hz
+
+    def test_describe_mentions_key_fields(self):
+        d = SystemParams(n_hosts=2, n_asus=16).describe()
+        assert "H=2" in d and "D=16" in d and "c=8" in d
+
+    def test_timing_modes(self):
+        assert TimingMode.MODELED in TimingMode.ALL
+        assert TimingMode.MEASURED in TimingMode.ALL
+        SystemParams(timing_mode=TimingMode.MEASURED)  # accepted
+
+
+class TestHeterogeneousHosts:
+    def test_multipliers_applied(self):
+        p = SystemParams(n_hosts=3, host_clock_multipliers=(1.0, 0.5, 2.0))
+        assert p.host_clock_of(0) == pytest.approx(p.host_clock_hz)
+        assert p.host_clock_of(1) == pytest.approx(p.host_clock_hz * 0.5)
+        assert p.total_host_clock_hz == pytest.approx(p.host_clock_hz * 3.5)
+
+    def test_homogeneous_default(self):
+        p = SystemParams(n_hosts=2)
+        assert p.host_clock_of(0) == p.host_clock_of(1) == p.host_clock_hz
+        assert p.total_host_clock_hz == pytest.approx(2 * p.host_clock_hz)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError, match="host_clock_multipliers"):
+            SystemParams(n_hosts=2, host_clock_multipliers=(1.0,))
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            SystemParams(n_hosts=2, host_clock_multipliers=(1.0, 0.0))
+
+    def test_platform_builds_unequal_hosts(self):
+        from repro.emulator import ActivePlatform
+
+        p = SystemParams(n_hosts=2, host_clock_multipliers=(1.0, 0.25))
+        plat = ActivePlatform(p)
+        assert plat.hosts[0].cpu.clock_hz == pytest.approx(4 * plat.hosts[1].cpu.clock_hz)
+
+    def test_compute_fraction_uses_aggregate(self):
+        # 1 full host + 8 c=8 ASUs is a 50/50 split; halving the host's
+        # clock shifts the balance toward the ASUs.
+        full = SystemParams(n_hosts=1, n_asus=8, asu_ratio=8.0)
+        half = SystemParams(
+            n_hosts=1, n_asus=8, asu_ratio=8.0, host_clock_multipliers=(0.5,)
+        )
+        assert full.host_compute_fraction == pytest.approx(0.5)
+        assert half.host_compute_fraction == pytest.approx(1 / 3)

@@ -1,0 +1,45 @@
+"""Smoke tests: every example script's main() runs and tells its story.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  The slowest sweeps (figure9, adaptive across 64 ASUs) are covered
+by the bench suite instead.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.mark.parametrize(
+    "name,expect",
+    [
+        ("quickstart", "verified"),
+        ("skew_load_management", "load management finished"),
+        ("terraflow_demo", "active-storage speedup per step"),
+        ("rtree_demo", "both organisations agree"),
+        ("active_filter", "interconnect traffic"),
+        ("dataflow_pipeline", "identical outputs"),
+    ],
+)
+def test_example_runs(name, expect, capsys):
+    mod = load_example(name)
+    mod.main()
+    out = capsys.readouterr().out
+    assert expect in out
+
+
+def test_figure10_example_with_small_n(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["figure10.py", "14"])
+    load_example("figure10").main()
+    assert "Figure 10" in capsys.readouterr().out

@@ -1,0 +1,107 @@
+"""Tests for the dataflow graph and its safety rules."""
+
+import pytest
+
+from repro.emulator.params import SystemParams
+from repro.functors import (
+    BlockSortFunctor,
+    Dataflow,
+    DistributeFunctor,
+    FunctorError,
+    MergeFunctor,
+    ScanFunctor,
+)
+
+
+def dsm_graph(replicate_sort=1):
+    """The DSM-Sort pass-1 pipeline as a dataflow graph."""
+    g = Dataflow()
+    g.add_stage("distribute", DistributeFunctor.uniform(16), est_records=100_000)
+    g.add_stage("blocksort", BlockSortFunctor(1024), replicas=replicate_sort, est_records=100_000)
+    g.add_stage("merge", MergeFunctor(8), est_records=100_000)
+    g.connect(Dataflow.SOURCE, "distribute", kind="set", est_records=100_000)
+    g.connect("distribute", "blocksort", kind="set", est_records=100_000)
+    g.connect("blocksort", "merge", kind="set", est_records=100_000)
+    g.connect("merge", Dataflow.SINK, kind="stream", est_records=100_000)
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_stage_rejected(self):
+        g = Dataflow()
+        g.add_stage("a", ScanFunctor())
+        with pytest.raises(FunctorError):
+            g.add_stage("a", ScanFunctor())
+
+    def test_unknown_endpoint_rejected(self):
+        g = Dataflow()
+        with pytest.raises(FunctorError):
+            g.connect("ghost", Dataflow.SINK)
+
+    def test_bad_edge_kind_rejected(self):
+        g = Dataflow()
+        g.add_stage("a", ScanFunctor())
+        with pytest.raises(FunctorError):
+            g.connect(Dataflow.SOURCE, "a", kind="bag")
+
+    def test_bad_replicas(self):
+        g = Dataflow()
+        with pytest.raises(FunctorError):
+            g.add_stage("a", ScanFunctor(), replicas=0)
+
+
+class TestTopology:
+    def test_topological_order(self):
+        g = dsm_graph()
+        order = g.topological_order()
+        assert order.index("distribute") < order.index("blocksort") < order.index("merge")
+
+    def test_cycle_detected(self):
+        g = Dataflow()
+        g.add_stage("a", ScanFunctor())
+        g.add_stage("b", ScanFunctor())
+        g.connect("a", "b")
+        g.connect("b", "a")
+        with pytest.raises(FunctorError, match="cycle"):
+            g.validate()
+
+    def test_in_out_edges(self):
+        g = dsm_graph()
+        assert [e.src for e in g.in_edges("blocksort")] == ["distribute"]
+        assert [e.dst for e in g.out_edges("blocksort")] == ["merge"]
+
+
+class TestValidation:
+    def test_valid_dsm_graph(self):
+        dsm_graph(replicate_sort=4).validate()
+
+    def test_replicating_nonreplicable_rejected(self):
+        g = Dataflow()
+        g.add_stage("m", MergeFunctor(4), replicas=2)
+        g.connect(Dataflow.SOURCE, "m", kind="set")
+        with pytest.raises(FunctorError, match="not commutative"):
+            g.validate()
+
+    def test_replicated_consumer_of_stream_rejected(self):
+        # The central safety rule: routing an ordered stream across replicas
+        # would violate ordering (§3.2).
+        g = Dataflow()
+        g.add_stage("sort", BlockSortFunctor(64), replicas=2)
+        g.connect(Dataflow.SOURCE, "sort", kind="stream")
+        with pytest.raises(FunctorError, match="only set edges"):
+            g.validate()
+
+    def test_single_instance_on_stream_allowed(self):
+        g = Dataflow()
+        g.add_stage("sort", BlockSortFunctor(64), replicas=1)
+        g.connect(Dataflow.SOURCE, "sort", kind="stream")
+        g.validate()
+
+
+class TestCosts:
+    def test_stage_costs_positive_and_ranked(self):
+        g = dsm_graph()
+        costs = g.stage_costs(SystemParams())
+        # blocksort (log 1024 = 10 cmp) dominates distribute (log 16 = 4).
+        assert costs["blocksort"] > costs["distribute"] > 0
+        assert g.total_cycles(SystemParams()) == pytest.approx(sum(costs.values()))

@@ -1,0 +1,134 @@
+"""Cross-cutting invariants of the emulated system.
+
+These hold for *any* configuration: utilizations bounded by 1, makespans at
+least the analytic lower bounds, byte conservation on the interconnect, and
+failure propagation (a crashing functor surfaces instead of hanging).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.fig9 import fig9_params
+from repro.core import DSMConfig, RecordCosts, predict_pass1
+from repro.dsmsort import DsmSortJob
+from repro.emulator import ActivePlatform, SystemParams
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    d=st.sampled_from([2, 4, 16]),
+    h=st.sampled_from([1, 2]),
+    log_alpha=st.integers(0, 8),
+    seed=st.integers(0, 100),
+)
+def test_property_pass1_invariants(d, h, log_alpha, seed):
+    """For random platforms/configs: bounded utilizations, sane makespan."""
+    n = 1 << 13
+    params = fig9_params(n_asus=d, n_hosts=h)
+    cfg = DSMConfig.for_n(n, alpha=1 << log_alpha, gamma=16)
+    job = DsmSortJob(params, cfg, policy="sr", seed=seed)
+    res = job.run_pass1()
+
+    # Utilizations are proper fractions.
+    for u in [*res.host_util, *res.asu_cpu_util, *res.asu_disk_util]:
+        assert 0.0 <= u <= 1.0 + 1e-9
+
+    # Makespan can't beat the analytic bottleneck bound (steady-state rate
+    # is an upper bound on throughput).
+    pred = predict_pass1(params, cfg.alpha, cfg.beta)
+    assert res.makespan >= 0.99 * pred.time_for(n)
+
+    # Run count: all records are in some run, none duplicated.
+    total = sum(
+        run.shape[0] for runs in job.runs_on_asu for _b, run in runs
+    )
+    assert total == (n // d) * d
+
+    # Interconnect byte conservation: records to hosts + runs back + eofs.
+    assert res.net_bytes >= total * params.schema.record_size
+
+
+def test_makespan_monotone_in_data_size():
+    params = fig9_params(n_asus=4)
+    times = []
+    for log_n in (12, 13, 14):
+        n = 1 << log_n
+        cfg = DSMConfig.for_n(n, alpha=16, gamma=16)
+        times.append(DsmSortJob(params, cfg, seed=1).run_pass1().makespan)
+    assert times[0] < times[1] < times[2]
+
+
+def test_more_asus_never_slower_for_fixed_config():
+    n = 1 << 14
+    cfg = DSMConfig.for_n(n, alpha=16, gamma=16)
+    t_prev = float("inf")
+    for d in (2, 4, 8):
+        t = DsmSortJob(fig9_params(n_asus=d), cfg, seed=1).run_pass1().makespan
+        assert t <= t_prev * 1.01
+        t_prev = t
+
+
+def test_crashing_functor_surfaces_not_hangs():
+    """Failure injection: an exception inside emulated code must propagate."""
+    params = fig9_params(n_asus=2)
+    cfg = DSMConfig.for_n(1 << 12, alpha=4, gamma=4)
+    job = DsmSortJob(params, cfg, seed=1)
+
+    calls = {"n": 0}
+    original = job.dist.apply
+
+    def sabotaged(batch):
+        calls["n"] += 1
+        if calls["n"] == 3:
+            raise RuntimeError("injected functor crash")
+        return original(batch)
+
+    job.dist.apply = sabotaged
+    with pytest.raises(RuntimeError, match="injected functor crash"):
+        job.run_pass1()
+
+
+def test_zero_byte_messages_cost_only_latency():
+    plat = ActivePlatform(SystemParams(n_hosts=1, n_asus=1))
+    host, asu = plat.hosts[0], plat.asus[0]
+
+    def sender():
+        yield from plat.network.send(asu.node_id, host.node_id, "ping", 0)
+
+    def receiver():
+        msg = yield plat.network.mailbox(host.node_id).get()
+        return plat.sim.now
+
+    plat.spawn(sender())
+    p = plat.spawn(receiver())
+    plat.sim.run()
+    assert p.value == pytest.approx(plat.params.net_latency)
+
+
+def test_record_costs_consistent_with_config_identity():
+    """log(alpha) + log(beta) + log(gamma) compares == log(n) for any split."""
+    costs = RecordCosts(fig9_params(n_asus=4))
+    n = 1 << 20
+    for alpha in (1, 16, 256):
+        cfg = DSMConfig.for_n(n, alpha=alpha, gamma=64)
+        cmp_cycles = fig9_params(4).cycles_per_compare
+        touch = fig9_params(4).cycles_per_record
+        total = (
+            costs.distribute_cycles(cfg.alpha)
+            + costs.blocksort_cycles(cfg.beta)
+            + costs.merge_cycles(cfg.gamma)
+            - 3 * touch
+        ) / cmp_cycles
+        assert total == pytest.approx(np.log2(n), abs=0.1)
+
+
+def test_emulation_matches_prediction_within_tolerance_when_steady():
+    """With many blocks per ASU, emulated rate approaches the prediction."""
+    n = 1 << 17
+    params = fig9_params(n_asus=4)
+    cfg = DSMConfig.for_n(n, alpha=16, gamma=64)
+    res = DsmSortJob(params, cfg, seed=1).run_pass1()
+    pred = predict_pass1(params, cfg.alpha, cfg.beta)
+    ratio = res.makespan / pred.time_for(n)
+    assert 1.0 <= ratio < 1.25  # within fill/drain overhead

@@ -1,0 +1,293 @@
+"""Tests for the generic emulated pipeline executor."""
+
+import numpy as np
+import pytest
+
+from repro.bench.fig9 import fig9_params
+from repro.core import Placement, PipelineJob
+from repro.functors import (
+    AggregateFunctor,
+    BlockSortFunctor,
+    Dataflow,
+    DistributeFunctor,
+    FilterFunctor,
+    FunctorError,
+    MapFunctor,
+    ScanFunctor,
+)
+from repro.util.distributions import make_workload
+from repro.util.records import make_records
+from repro.util.rng import RngRegistry
+from repro.util.validation import is_sorted
+
+
+def make_data(params, n, seed=3):
+    rngs = RngRegistry(seed)
+    per = n // params.n_asus
+    return [
+        make_workload(rngs.get(f"w.{d}"), per, "uniform", params.schema)
+        for d in range(params.n_asus)
+    ]
+
+
+def chain(*stages, kinds=None, replicas=None):
+    """Build a linear dataflow SOURCE -> s1 -> ... -> SINK."""
+    g = Dataflow()
+    names = []
+    replicas = replicas or {}
+    for i, (name, functor) in enumerate(stages):
+        g.add_stage(name, functor, replicas=replicas.get(name, 1))
+        names.append(name)
+    kinds = kinds or {}
+    prev = Dataflow.SOURCE
+    for name in names:
+        g.connect(prev, name, kind=kinds.get(name, "set"))
+        prev = name
+    g.connect(prev, Dataflow.SINK, kind="set")
+    return g
+
+
+class TestLinearPipelines:
+    def test_filter_on_asus_matches_direct_eval(self):
+        params = fig9_params(n_asus=4)
+        data = make_data(params, 1 << 13)
+        threshold = 1 << 30
+        g = chain(
+            ("keep", FilterFunctor(lambda b: b["key"] < threshold)),
+        )
+        g.stages["keep"].replicas = params.n_asus
+        p = Placement()
+        p.assign("keep", "asu", list(range(params.n_asus)))
+        job = PipelineJob(params, g, p, data, seed=1)
+        res = job.run()
+        expect = np.concatenate([d[d["key"] < threshold] for d in data])
+        assert sorted(res.output["key"].tolist()) == sorted(expect["key"].tolist())
+        assert res.makespan > 0
+
+    def test_two_stage_map_then_filter(self):
+        params = fig9_params(n_asus=2)
+        data = make_data(params, 1 << 12)
+
+        def halve(b):
+            out = make_records((b["key"] // 2).astype(np.uint32), params.schema)
+            return out
+
+        g = chain(
+            ("halve", MapFunctor(halve, compares=1)),
+            ("keep", FilterFunctor(lambda b: b["key"] % 2 == 0)),
+        )
+        g.stages["halve"].replicas = 2
+        p = Placement()
+        p.assign("halve", "asu", [0, 1])
+        p.assign("keep", "host", [0])
+        res = PipelineJob(params, g, p, data, seed=1).run()
+        direct = np.concatenate([halve(d) for d in data])
+        direct = direct[direct["key"] % 2 == 0]
+        assert sorted(res.output["key"].tolist()) == sorted(direct["key"].tolist())
+
+    def test_replicated_host_stage_balances(self):
+        params = fig9_params(n_asus=4, n_hosts=2)
+        data = make_data(params, 1 << 13)
+        g = chain(("scan", ScanFunctor()))
+        g.stages["scan"].replicas = 2
+        p = Placement()
+        p.assign("scan", "host", [0, 1])
+        res = PipelineJob(params, g, p, data, routing="round_robin", seed=2).run()
+        per_inst = res.records_per_instance["scan"]
+        assert sum(per_inst) == sum(d.shape[0] for d in data)
+        assert per_inst[0] == per_inst[1]  # round-robin splits exactly
+
+    def test_aggregate_on_asus(self):
+        params = fig9_params(n_asus=4)
+        data = make_data(params, 1 << 12)
+        agg = AggregateFunctor("count")
+        g = chain(("count", agg))
+        g.stages["count"].replicas = 4
+        p = Placement()
+        p.assign("count", "asu", [0, 1, 2, 3])
+        res = PipelineJob(params, g, p, data, seed=1).run()
+        assert agg.value == sum(d.shape[0] for d in data)
+        assert res.output.shape[0] == 0  # aggregates emit no records
+
+    def test_blocksort_stage_sorts_blocks(self):
+        params = fig9_params(n_asus=2)
+        data = make_data(params, 1 << 12)
+        g = chain(("sortblk", BlockSortFunctor(params.block_records)))
+        p = Placement()
+        p.assign("sortblk", "host", [0])
+        res = PipelineJob(params, g, p, data, seed=1).run()
+        assert res.output.shape[0] == sum(d.shape[0] for d in data)
+
+    def test_asu_placement_cuts_traffic_for_selective_filter(self):
+        params = fig9_params(n_asus=8)
+        data = make_data(params, 1 << 14)
+        threshold = int((2**32 - 1) * 0.05)
+
+        def build(node_class, instances):
+            g = chain(("keep", FilterFunctor(lambda b: b["key"] < threshold)))
+            g.stages["keep"].replicas = len(instances)
+            p = Placement()
+            p.assign("keep", node_class, instances)
+            return PipelineJob(params, g, p, data, seed=1).run()
+
+        on_asu = build("asu", list(range(8)))
+        on_host = build("host", [0])
+        assert on_asu.net_bytes < 0.2 * on_host.net_bytes
+        assert sorted(on_asu.output["key"].tolist()) == sorted(
+            on_host.output["key"].tolist()
+        )
+
+    def test_stream_edge_preserves_order(self):
+        params = fig9_params(n_asus=1)  # one source keeps a global order
+        data = make_data(params, 1 << 12)
+        seen = []
+
+        def spy(b):
+            seen.append(b["key"][0])
+            return b
+
+        g = chain(("spy", MapFunctor(spy, compares=0)), kinds={"spy": "stream"})
+        p = Placement()
+        p.assign("spy", "host", [0])
+        PipelineJob(params, g, p, data, seed=1).run()
+        firsts = [data[0][s : s + params.block_records]["key"][0]
+                  for s in range(0, data[0].shape[0], params.block_records)]
+        assert seen == firsts  # blocks arrived in stream order
+
+    def test_deterministic(self):
+        params = fig9_params(n_asus=4)
+        data = make_data(params, 1 << 12)
+
+        def build():
+            g = chain(("scan", ScanFunctor()))
+            g.stages["scan"].replicas = 4
+            p = Placement()
+            p.assign("scan", "asu", [0, 1, 2, 3])
+            return PipelineJob(params, g, p, data, seed=5).run()
+
+        assert build().makespan == build().makespan
+
+
+class TestValidation:
+    def test_multi_output_functor_rejected(self):
+        params = fig9_params(n_asus=2)
+        g = chain(("dist", DistributeFunctor.uniform(4)))
+        p = Placement()
+        p.assign("dist", "host", [0])
+        with pytest.raises(FunctorError, match="single-output"):
+            PipelineJob(params, g, p, make_data(params, 1 << 10))
+
+    def test_wrong_asu_data_length_rejected(self):
+        params = fig9_params(n_asus=4)
+        g = chain(("scan", ScanFunctor()))
+        p = Placement()
+        p.assign("scan", "host", [0])
+        with pytest.raises(ValueError, match="asu_data"):
+            PipelineJob(params, g, p, [np.empty(0, params.schema.dtype)])
+
+    def test_nonlinear_graph_rejected(self):
+        params = fig9_params(n_asus=2)
+        g = Dataflow()
+        g.add_stage("a", ScanFunctor())
+        g.add_stage("b", ScanFunctor())
+        g.add_stage("c", ScanFunctor())
+        g.connect(Dataflow.SOURCE, "a")
+        g.connect("a", "b")
+        g.connect("a", "c")  # fan-out: not a chain
+        p = Placement()
+        for n in "abc":
+            p.assign(n, "host", [0])
+        with pytest.raises(FunctorError, match="linear chain"):
+            PipelineJob(params, g, p, make_data(params, 1 << 10))
+
+    def test_ineligible_asu_placement_rejected(self):
+        params = fig9_params(n_asus=2)
+        g = chain(("big", BlockSortFunctor(1 << 22)))  # state > ASU memory
+        p = Placement()
+        p.assign("big", "asu", [0])
+        with pytest.raises(FunctorError, match="cannot run on ASUs"):
+            PipelineJob(params, g, p, make_data(params, 1 << 10))
+
+
+class TestExecutorProperties:
+    """Randomised chains: any composition of maps/filters must match the
+    direct (non-emulated) evaluation on any placement."""
+
+    from hypothesis import given, settings, strategies as st
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        stage_specs=st.lists(
+            st.tuples(
+                st.sampled_from(["shift", "mask", "keep_even", "keep_low"]),
+                st.integers(1, 16),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        node_class=st.sampled_from(["asu", "host"]),
+        seed=st.integers(0, 50),
+    )
+    def test_property_random_chain_matches_direct(self, stage_specs, node_class, seed):
+        import numpy as np
+
+        params = fig9_params(n_asus=2)
+        data = make_data(params, 1 << 11, seed=seed)
+
+        def build_fn(kind, p):
+            if kind == "shift":
+                return ("map", lambda b: make_records(
+                    (b["key"] >> (p % 8)).astype(np.uint32), params.schema))
+            if kind == "mask":
+                return ("map", lambda b: make_records(
+                    (b["key"] & np.uint32(2**p - 1)).astype(np.uint32), params.schema))
+            if kind == "keep_even":
+                return ("filter", lambda b: b["key"] % 2 == 0)
+            return ("filter", lambda b: b["key"] < np.uint32(2**31))
+
+        g = Dataflow()
+        names = []
+        fns = []
+        for i, (kind, p) in enumerate(stage_specs):
+            role, fn = build_fn(kind, p)
+            name = f"s{i}"
+            functor = (
+                MapFunctor(fn, compares=1) if role == "map" else FilterFunctor(fn)
+            )
+            n_inst = 2 if node_class == "asu" else 1
+            g.add_stage(name, functor, replicas=n_inst)
+            names.append(name)
+            fns.append((role, fn))
+        prev = Dataflow.SOURCE
+        for name in names:
+            g.connect(prev, name, kind="set")
+            prev = name
+        g.connect(prev, Dataflow.SINK, kind="set")
+
+        p = Placement()
+        instances = [0, 1] if node_class == "asu" else [0]
+        for name in names:
+            p.assign(name, node_class, instances)
+
+        res = PipelineJob(params, g, p, data, seed=seed).run()
+
+        # Direct evaluation.
+        import numpy as _np
+        direct_parts = []
+        for batch in data:
+            cur = batch
+            for role, fn in fns:
+                if cur.shape[0] == 0:
+                    break
+                if role == "map":
+                    cur = fn(cur)
+                else:
+                    cur = cur[_np.asarray(fn(cur), dtype=bool)]
+            if cur.shape[0]:
+                direct_parts.append(cur)
+        direct = (
+            _np.concatenate(direct_parts)
+            if direct_parts
+            else _np.empty(0, dtype=params.schema.dtype)
+        )
+        assert sorted(res.output["key"].tolist()) == sorted(direct["key"].tolist())

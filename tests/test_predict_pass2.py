@@ -1,0 +1,72 @@
+"""Tests for the pass-2 predictor and the gamma-split chooser."""
+
+import pytest
+
+from repro.bench.fig9 import fig9_params
+from repro.core import ConfigSolver, DSMConfig, predict_pass2
+from repro.dsmsort import DsmSortJob
+
+
+class TestPredictPass2:
+    def test_gamma1_shifts_work_to_asus(self):
+        params = fig9_params(n_asus=16)
+        host_only = predict_pass2(params, gamma1=1, gamma2=64)
+        split = predict_pass2(params, gamma1=4, gamma2=16)
+        assert split.host_cpu_rate > host_only.host_cpu_rate
+        assert split.asu_cpu_rate < host_only.asu_cpu_rate
+
+    def test_host_bottleneck_on_many_asu_platform(self):
+        params = fig9_params(n_asus=16)
+        pred = predict_pass2(params, gamma1=1, gamma2=64)
+        assert pred.bottleneck == "host_cpu"
+
+    def test_asu_rate_scales_with_d(self):
+        r8 = predict_pass2(fig9_params(n_asus=8), 2, 32).asu_cpu_rate
+        r16 = predict_pass2(fig9_params(n_asus=16), 2, 32).asu_cpu_rate
+        assert r16 == pytest.approx(2 * r8)
+
+    def test_heterogeneous_hosts_lower_host_rate(self):
+        full = fig9_params(n_asus=8, n_hosts=2)
+        half = full.with_(host_clock_multipliers=(1.0, 0.5))
+        assert (
+            predict_pass2(half, 1, 16).host_cpu_rate
+            < predict_pass2(full, 1, 16).host_cpu_rate
+        )
+
+
+class TestGammaSplitChooser:
+    def test_prefers_offload_when_host_bound(self):
+        # 16 ASUs, 1 host: pass 2 is host-bound, so gamma1 > 1 should win.
+        solver = ConfigSolver(fig9_params(n_asus=16), gamma=64)
+        g1, g2 = solver.choose_gamma_split()
+        assert g1 > 1
+        assert g1 * g2 == 64
+
+    def test_prefers_host_when_asus_weak(self):
+        # 2 weak ASUs: keep the merge at the host.
+        solver = ConfigSolver(fig9_params(n_asus=2), gamma=64)
+        g1, _g2 = solver.choose_gamma_split()
+        assert g1 == 1
+
+    def test_split_divides_gamma(self):
+        for d in (2, 8, 32):
+            solver = ConfigSolver(fig9_params(n_asus=d), gamma=16)
+            g1, g2 = solver.choose_gamma_split()
+            assert g1 * g2 == 16
+
+    def test_chosen_split_beats_host_only_in_emulation(self):
+        n = 1 << 15
+        params = fig9_params(n_asus=16)
+        solver = ConfigSolver(params, gamma=64)
+        g1, _g2 = solver.choose_gamma_split()
+
+        def run(gamma1):
+            cfg = DSMConfig(
+                n_records=n, alpha=8, beta=max(1, n // (8 * 64)),
+                gamma=64, gamma1=gamma1,
+            )
+            job = DsmSortJob(params, cfg, seed=1)
+            job.run_pass1()
+            return job.run_pass2().makespan
+
+        assert run(g1) <= run(1) * 1.02

@@ -1,0 +1,70 @@
+"""Tests for the shared read-ahead helper."""
+
+import pytest
+
+from repro.emulator import ActivePlatform, ReadAhead, SystemParams
+
+
+@pytest.fixture
+def platform():
+    return ActivePlatform(SystemParams(n_hosts=1, n_asus=1))
+
+
+class TestReadAhead:
+    def test_blocks_arrive_in_order_and_stream(self, platform):
+        asu = platform.asus[0]
+        nbytes = 1 << 20  # 1 MiB blocks
+        arrivals = []
+
+        def proc():
+            ra = ReadAhead(platform, asu, [nbytes] * 4, depth=2)
+            for _ in range(4):
+                yield ra.wait_next()
+                arrivals.append(platform.sim.now)
+
+        platform.spawn(proc())
+        platform.sim.run()
+        per_block = nbytes / platform.params.disk_rate
+        # Back-to-back streaming: block i done at (i+1) * transfer time.
+        for i, t in enumerate(arrivals):
+            assert t == pytest.approx((i + 1) * per_block, rel=1e-6)
+
+    def test_disk_stays_busy_while_consumer_computes(self, platform):
+        asu = platform.asus[0]
+        nbytes = 1 << 20
+        per_block = nbytes / platform.params.disk_rate
+
+        def proc():
+            ra = ReadAhead(platform, asu, [nbytes] * 6, depth=4)
+            for _ in range(6):
+                yield ra.wait_next()
+                # CPU work comparable to the transfer time.
+                yield from asu.cpu.execute(cycles=per_block * asu.cpu.clock_hz)
+
+        platform.spawn(proc())
+        platform.sim.run()
+        # With depth 4 the disk never starves: its busy time is 6 transfers
+        # inside a makespan of roughly max(disk, cpu) + one-block skew.
+        assert asu.disk.busy.intervals.total_busy == pytest.approx(6 * per_block)
+        assert platform.sim.now < 7.5 * per_block
+
+    def test_exhausted_raises(self, platform):
+        asu = platform.asus[0]
+
+        def proc():
+            ra = ReadAhead(platform, asu, [128], depth=1)
+            yield ra.wait_next()
+            assert ra.exhausted
+            with pytest.raises(RuntimeError, match="exhausted"):
+                ra.wait_next()
+
+        platform.spawn(proc())
+        platform.sim.run()
+
+    def test_empty_sizes(self, platform):
+        ra = ReadAhead(platform, platform.asus[0], [])
+        assert ra.exhausted
+
+    def test_bad_depth(self, platform):
+        with pytest.raises(ValueError):
+            ReadAhead(platform, platform.asus[0], [128], depth=0)

@@ -1,0 +1,149 @@
+"""Tests for the routing extensions: randomized cycling, adaptive switch,
+shared-ASU derating, and the offloaded DSM-Sort."""
+
+import numpy as np
+import pytest
+
+from repro.bench.fig9 import fig9_params
+from repro.core import ConfigSolver, DSMConfig
+from repro.core.routing import AdaptiveSwitch, RandomizedCycling, make_router
+from repro.dsmsort import DsmSortJob, OffloadedDsmSort
+
+
+class TestRandomizedCycling:
+    def test_per_bucket_cycles_cover_all_instances(self):
+        rc = RandomizedCycling(4, n_buckets=2, rng=np.random.default_rng(1))
+        seen = {rc.choose(0, 1) for _ in range(4)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_no_consecutive_collision_within_bucket(self):
+        rc = RandomizedCycling(8, n_buckets=1, rng=np.random.default_rng(2))
+        picks = [rc.choose(0, 1) for _ in range(16)]
+        # A full cycle never repeats an instance.
+        assert sorted(picks[:8]) == list(range(8))
+        assert sorted(picks[8:]) == list(range(8))
+
+    def test_buckets_decorrelated(self):
+        rc = RandomizedCycling(8, n_buckets=16, rng=np.random.default_rng(3))
+        firsts = [rc.choose(b, 1) for b in range(16)]
+        assert len(set(firsts)) > 1  # not all buckets start at instance 0
+
+    def test_bucket_range_checked(self):
+        rc = RandomizedCycling(2, n_buckets=4)
+        with pytest.raises(ValueError):
+            rc.choose(4, 1)
+
+    def test_factory(self):
+        assert make_router("rc", 4, n_buckets=8).name == "rc"
+
+    def test_balances_exactly(self):
+        rc = RandomizedCycling(4, n_buckets=3, rng=np.random.default_rng(4))
+        for _ in range(100):
+            for b in range(3):
+                rc.on_sent(rc.choose(b, 1), 1)
+        assert rc.imbalance() == pytest.approx(1.0)
+
+
+class TestAdaptiveSwitch:
+    def test_stays_static_when_balanced(self):
+        r = AdaptiveSwitch(2, n_buckets=8, min_records=100)
+        for i in range(400):
+            bucket = i % 8  # uniform buckets -> balanced halves
+            inst = r.choose(bucket, 1)
+            r.on_sent(inst, 1)
+        assert not r.switched
+
+    def test_switches_under_skew_and_rebalances(self):
+        r = AdaptiveSwitch(
+            2, n_buckets=8, min_records=100, rng=np.random.default_rng(5)
+        )
+        for _ in range(2000):
+            inst = r.choose(0, 1)  # all records in bucket 0 -> instance 0
+            r.on_sent(inst, 1)
+        assert r.switched
+        assert r.switched_after <= 200  # reacted soon after min_records
+        # After the switch the split recovers toward balance.
+        assert r.imbalance() < 1.4
+
+    def test_factory(self):
+        assert make_router("adaptive_switch", 2, n_buckets=4).name == "adaptive_switch"
+
+    def test_end_to_end_recovers_under_skew(self):
+        params = fig9_params(n_asus=8, n_hosts=2)
+        cfg = DSMConfig.for_n(1 << 15, alpha=16, gamma=16)
+        kw = dict(workload="half_uniform_half_exponential", seed=3)
+        t_static = DsmSortJob(params, cfg, policy="static", **kw).run_pass1()
+        t_switch = DsmSortJob(params, cfg, policy="adaptive_switch", **kw).run_pass1()
+        assert t_switch.makespan < t_static.makespan
+        assert t_switch.imbalance < t_static.imbalance
+
+
+class TestSharedAsus:
+    def test_duty_range_checked(self):
+        params = fig9_params(n_asus=4)
+        cfg = DSMConfig.for_n(1 << 14, alpha=16, gamma=16)
+        with pytest.raises(ValueError):
+            DsmSortJob(params, cfg, background_asu_duty=1.0)
+        with pytest.raises(ValueError):
+            DsmSortJob(params, cfg, background_asu_duty=-0.1)
+
+    def test_sharing_slows_asu_bound_runs(self):
+        params = fig9_params(n_asus=2)
+        cfg = DSMConfig.for_n(1 << 15, alpha=256, gamma=16)
+        t0 = DsmSortJob(params, cfg, seed=1).run_pass1().makespan
+        t1 = DsmSortJob(params, cfg, seed=1, background_asu_duty=0.5).run_pass1().makespan
+        assert t1 > 1.5 * t0  # ASU-bound: halving capacity ~doubles time
+
+    def test_derated_solver_lowers_alpha(self):
+        solver = ConfigSolver(fig9_params(n_asus=16), gamma=64)
+        idle = solver.choose(1 << 16)
+        aware = solver.derate_for_sharing(0.6).choose(1 << 16)
+        assert aware.alpha < idle.alpha
+
+    def test_derate_bounds(self):
+        solver = ConfigSolver(fig9_params(n_asus=4))
+        with pytest.raises(ValueError):
+            solver.derate_for_sharing(1.0)
+
+
+class TestOffloadedDsmSort:
+    def _run(self, d=8, n=1 << 14, alpha=16):
+        params = fig9_params(n_asus=d)
+        cfg = DSMConfig.for_n(n, alpha=alpha, gamma=16)
+        job = OffloadedDsmSort(params, cfg, seed=2)
+        res = job.run_pass1()
+        return job, res
+
+    def test_verifies_sorted_permutation(self):
+        job, _res = self._run()
+        job.verify()
+
+    def test_runs_live_on_bucket_owners(self):
+        job, _res = self._run()
+        for d in range(job.params.n_asus):
+            for bucket, _run in job.runs_on_asu[d]:
+                assert job.owner_of(bucket) == d
+
+    def test_hosts_idle(self):
+        _job, res = self._run()
+        assert all(u == 0.0 for u in res.host_util)
+
+    def test_less_network_traffic_than_host_based(self):
+        n, alpha = 1 << 14, 16
+        params = fig9_params(n_asus=8)
+        cfg = DSMConfig.for_n(n, alpha=alpha, gamma=16)
+        off = OffloadedDsmSort(params, cfg, seed=2)
+        r_off = off.run_pass1()
+        r_host = DsmSortJob(params, cfg, seed=2).run_pass1()
+        assert r_off.net_bytes < 0.6 * r_host.net_bytes
+
+    def test_deterministic(self):
+        _j1, r1 = self._run()
+        _j2, r2 = self._run()
+        assert r1.makespan == r2.makespan
+
+    def test_rerunnable(self):
+        job, r1 = self._run()
+        r2 = job.run_pass1()
+        assert r1.makespan == r2.makespan
+        job.verify()

@@ -1,0 +1,286 @@
+"""Tests for the R-tree and its distributed organisations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.rtree import (
+    DistributedRTree,
+    RTree,
+    clustered_points,
+    intersects,
+    make_rects,
+    random_points,
+    union_mbr,
+    window_queries,
+)
+from repro.emulator.params import SystemParams
+from repro.util.rng import RngRegistry
+
+
+@pytest.fixture
+def rng():
+    return RngRegistry(31).get("spatial")
+
+
+def small_params(n_asus=8):
+    return SystemParams(n_hosts=1, n_asus=n_asus)
+
+
+class TestGeometry:
+    def test_intersects_basic(self):
+        rects = make_rects([0, 10], [0, 10], [5, 15], [5, 15])
+        q = np.array([4.0, 4.0, 6.0, 6.0])
+        assert intersects(rects, q).tolist() == [True, False]
+
+    def test_touching_borders_intersect(self):
+        rects = make_rects([0], [0], [5], [5])
+        assert intersects(rects, np.array([5.0, 5.0, 6.0, 6.0]))[0]
+
+    def test_union_mbr(self):
+        rects = make_rects([0, 10], [1, -5], [5, 15], [5, 2])
+        assert union_mbr(rects).tolist() == [0, -5, 15, 5]
+
+    def test_union_empty_rejected(self):
+        with pytest.raises(ValueError):
+            union_mbr(np.empty((0, 4)))
+
+
+class TestRTree:
+    def test_query_matches_brute_force(self, rng):
+        pts = random_points(rng, 2000)
+        tree = RTree(pts, page=32)
+        for w in window_queries(rng, 20):
+            got, _v = tree.query(w)
+            assert np.array_equal(got, tree.query_brute(w))
+
+    def test_clustered_data(self, rng):
+        pts = clustered_points(rng, 1500)
+        tree = RTree(pts, page=16)
+        for w in window_queries(rng, 10, window=100.0):
+            got, _v = tree.query(w)
+            assert np.array_equal(got, tree.query_brute(w))
+
+    def test_visit_count_sublinear(self, rng):
+        pts = random_points(rng, 4096)
+        tree = RTree(pts, page=64)
+        _ids, visits = tree.query(np.array([0.0, 0.0, 50.0, 50.0]))
+        assert visits < 4096 / 64  # far fewer pages than a full scan
+
+    def test_height_grows_with_size(self, rng):
+        small = RTree(random_points(rng, 50), page=16)
+        large = RTree(random_points(rng, 5000), page=16)
+        assert large.height > small.height
+
+    def test_empty_tree(self):
+        tree = RTree(np.empty((0, 4)), page=8)
+        ids, visits = tree.query(np.array([0.0, 0.0, 1.0, 1.0]))
+        assert ids.shape == (0,)
+        assert visits == 0
+
+    def test_single_item(self):
+        tree = RTree(make_rects([1], [1], [2], [2]), page=8)
+        ids, _ = tree.query(np.array([0.0, 0.0, 5.0, 5.0]))
+        assert ids.tolist() == [0]
+        ids, _ = tree.query(np.array([3.0, 3.0, 5.0, 5.0]))
+        assert ids.shape == (0,)
+
+    def test_bad_page_size(self):
+        with pytest.raises(ValueError):
+            RTree(np.empty((0, 4)), page=1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        n=st.integers(0, 300),
+        page=st.sampled_from([2, 8, 64]),
+    )
+    def test_property_query_equals_brute(self, seed, n, page):
+        rng = RngRegistry(seed).get("w")
+        pts = random_points(rng, n)
+        tree = RTree(pts, page=page)
+        w = window_queries(rng, 1)[0]
+        got, _ = tree.query(w)
+        assert np.array_equal(got, tree.query_brute(w))
+
+
+class TestDistributedRTree:
+    @pytest.mark.parametrize("org", ["partition", "stripe"])
+    def test_distributed_query_correct(self, rng, org):
+        pts = random_points(rng, 2000)
+        dt = DistributedRTree(pts, small_params(), organisation=org, page=32)
+        base = RTree(pts, page=32)
+        for w in window_queries(rng, 15):
+            assert np.array_equal(dt.query_local(w), base.query_brute(w))
+
+    def test_partition_contacts_few_asus(self, rng):
+        pts = random_points(rng, 4000)
+        dt = DistributedRTree(pts, small_params(), organisation="partition", page=32)
+        fanouts = [len(dt.asus_for(w)) for w in window_queries(rng, 30)]
+        assert np.mean(fanouts) < 8  # most queries touch a subset
+
+    def test_stripe_contacts_all_asus(self, rng):
+        pts = random_points(rng, 1000)
+        dt = DistributedRTree(pts, small_params(), organisation="stripe", page=32)
+        for w in window_queries(rng, 5):
+            assert len(dt.asus_for(w)) == 8
+
+    def test_bad_organisation(self, rng):
+        with pytest.raises(ValueError):
+            DistributedRTree(random_points(rng, 10), small_params(), organisation="mesh")
+
+    def test_emulated_single_query_latency_stripe_lower(self, rng):
+        # Figure-5 claim: striping bounds search latency (parallel scan).
+        pts = random_points(rng, 8000)
+        w = window_queries(rng, 1, window=300.0)
+        part = DistributedRTree(pts, small_params(), "partition", page=16)
+        stripe = DistributedRTree(pts, small_params(), "stripe", page=16)
+        s_part = part.run_queries(w)
+        s_stripe = stripe.run_queries(w)
+        assert s_stripe.max_latency < s_part.max_latency
+
+    def test_emulated_concurrent_throughput_partition_higher(self, rng):
+        # Figure-5 claim: partitioning distributes many concurrent searches.
+        pts = random_points(rng, 8000)
+        ws = window_queries(rng, 64, window=30.0)
+        part = DistributedRTree(pts, small_params(), "partition", page=16)
+        stripe = DistributedRTree(pts, small_params(), "stripe", page=16)
+        s_part = part.run_queries(ws)
+        s_stripe = stripe.run_queries(ws)
+        assert s_part.throughput > s_stripe.throughput
+
+    def test_emulated_stats_shape(self, rng):
+        pts = random_points(rng, 500)
+        ws = window_queries(rng, 4)
+        dt = DistributedRTree(pts, small_params(4), "partition", page=16)
+        stats = dt.run_queries(ws)
+        assert stats.n_queries == 4
+        assert stats.makespan > 0
+        assert stats.mean_latency <= stats.max_latency
+        assert stats.mean_fanout >= 1
+
+
+class TestHybridOrganisation:
+    def test_hybrid_query_correct(self, rng):
+        pts = random_points(rng, 2000)
+        dt = DistributedRTree(
+            pts, small_params(8), organisation="hybrid", page=32, replication=2
+        )
+        base = RTree(pts, page=32)
+        for w in window_queries(rng, 15):
+            assert np.array_equal(dt.query_local(w), base.query_brute(w))
+
+    def test_each_group_replicated(self, rng):
+        pts = random_points(rng, 1000)
+        dt = DistributedRTree(
+            pts, small_params(8), organisation="hybrid", page=32, replication=2
+        )
+        # 8 ASUs / replication 2 -> 4 groups; ASUs d and d+4 hold the same ids.
+        for d in range(4):
+            assert np.array_equal(dt.asu_ids[d], dt.asu_ids[d + 4])
+
+    def test_replicas_rotate(self, rng):
+        pts = random_points(rng, 1000)
+        dt = DistributedRTree(
+            pts, small_params(8), organisation="hybrid", page=32, replication=2
+        )
+        w = window_queries(rng, 1, window=100.0)[0]
+        picks = {tuple(dt.asus_for(w)) for _ in range(6)}
+        assert len(picks) > 1  # different replica choices across calls
+
+    def test_hybrid_emulated_run(self, rng):
+        pts = random_points(rng, 2000)
+        dt = DistributedRTree(
+            pts, small_params(8), organisation="hybrid", page=16, replication=2
+        )
+        stats = dt.run_queries(window_queries(rng, 16, window=40.0))
+        assert stats.n_queries == 16
+        assert stats.makespan > 0
+
+    def test_hybrid_throughput_beats_stripe_on_hot_region(self, rng):
+        # Concurrent queries hammering one hot region: replication lets the
+        # hybrid spread them over k replicas, while partition serialises on
+        # the single owner.
+        pts = random_points(rng, 8000)
+        hot = np.tile(window_queries(rng, 1, window=60.0)[0], (32, 1))
+        part = DistributedRTree(pts, small_params(8), "partition", page=16)
+        hyb = DistributedRTree(
+            pts, small_params(8), "hybrid", page=16, replication=4
+        )
+        s_part = part.run_queries(hot)
+        s_hyb = hyb.run_queries(hot)
+        assert s_hyb.throughput > s_part.throughput
+
+    def test_bad_replication(self, rng):
+        with pytest.raises(ValueError):
+            DistributedRTree(
+                random_points(rng, 100), small_params(4), "hybrid", replication=9
+            )
+
+
+class TestOnlineMaintenance:
+    def _tree(self, rng, n=2000, threshold=256):
+        from repro.apps.rtree import OnlineDistributedRTree
+
+        pts = random_points(rng, n)
+        return OnlineDistributedRTree(
+            pts, small_params(8), page=32, buffer_threshold=threshold
+        )
+
+    @staticmethod
+    def _rows(a):
+        return sorted(map(tuple, np.atleast_2d(a).tolist()))
+
+    def test_queries_correct_with_buffered_inserts(self, rng):
+        tree = self._tree(rng)
+        tree.insert(random_points(rng, 100))
+        for w in window_queries(rng, 10):
+            assert self._rows(tree.query(w)) == self._rows(tree.query_brute(w))
+
+    def test_maintenance_due_threshold(self, rng):
+        tree = self._tree(rng, threshold=50)
+        assert not tree.maintenance_due
+        tree.insert(random_points(rng, 50))
+        assert tree.maintenance_due
+
+    def test_maintenance_folds_buffer_into_index(self, rng):
+        tree = self._tree(rng, threshold=64)
+        before = tree.n_items
+        tree.insert(random_points(rng, 100))
+        rep = tree.run_maintenance()
+        assert rep.n_inserted == 100
+        assert tree.buffer.shape[0] == 0
+        assert tree.n_items == before + 100
+        assert tree.n_maintenance_runs == 1
+
+    def test_queries_correct_after_maintenance(self, rng):
+        tree = self._tree(rng)
+        inserted = random_points(rng, 200)
+        tree.insert(inserted)
+        tree.run_maintenance()
+        for w in window_queries(rng, 10):
+            assert self._rows(tree.query(w)) == self._rows(tree.query_brute(w))
+
+    def test_maintenance_runs_on_asus_not_host(self, rng):
+        # The §4.2 claim: lower-level rebalancing is ASU batch work; the
+        # host only routes inserts and refreshes the top level.
+        tree = self._tree(rng)
+        tree.insert(random_points(rng, 500))
+        rep = tree.run_maintenance()
+        assert rep.makespan > 0
+        assert max(rep.asu_cpu_util) > rep.host_util
+        assert rep.n_dirty_asus >= 1
+
+    def test_empty_maintenance(self, rng):
+        tree = self._tree(rng)
+        rep = tree.run_maintenance()
+        assert rep.n_inserted == 0
+        assert rep.n_dirty_asus == 0
+
+    def test_bad_threshold(self, rng):
+        from repro.apps.rtree import OnlineDistributedRTree
+
+        with pytest.raises(ValueError):
+            OnlineDistributedRTree(
+                random_points(rng, 10), small_params(2), buffer_threshold=0
+            )

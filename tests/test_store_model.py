@@ -1,0 +1,86 @@
+"""Model-based (stateful hypothesis) tests for the Store channel.
+
+Drives a :class:`~repro.sim.Store` with random sequences of puts, gets, and
+capacity choices, checking it against a plain deque model: FIFO delivery,
+capacity accounting, and counter consistency must hold for every interleaving.
+"""
+
+from collections import deque
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+import hypothesis.strategies as st
+
+from repro.sim import Simulator, Store
+
+
+class StoreModel(RuleBasedStateMachine):
+    @initialize(capacity=st.one_of(st.none(), st.integers(1, 5)))
+    def setup(self, capacity):
+        self.sim = Simulator()
+        self.store = Store(self.sim, capacity=capacity)
+        self.capacity = capacity
+        self.model = deque()          # items logically accepted
+        self.pending_puts = deque()   # items waiting for capacity
+        self.expected_gets = deque()  # items promised to blocked getters
+        self.n_got = 0
+        self._counter = 0
+
+    def _settle_model(self):
+        # Mirror the store's settle loop: accept puts while capacity remains,
+        # then serve blocked getters FIFO.
+        progress = True
+        while progress:
+            progress = False
+            while self.pending_puts and (
+                self.capacity is None or len(self.model) < self.capacity
+            ):
+                self.model.append(self.pending_puts.popleft())
+                progress = True
+            while self.expected_gets and self.model:
+                expected = self.model.popleft()
+                promised = self.expected_gets.popleft()
+                promised.append(expected)
+                self.n_got += 1
+                progress = True
+
+    @rule()
+    def put(self):
+        self._counter += 1
+        item = self._counter
+        self.store.put(item)
+        self.pending_puts.append(item)
+        self._settle_model()
+        self.sim.run()
+
+    @rule()
+    def get(self):
+        ev = self.store.get()
+        promised: list = []
+        ev.callbacks.append(lambda e: promised.append(e.value)) if ev.callbacks else None
+        slot: list = []
+        self.expected_gets.append(slot)
+        self._settle_model()
+        self.sim.run()
+        # If the event already fired, its value must match the model's slot.
+        if ev.triggered:
+            assert slot, "store delivered an item the model did not expect"
+            assert ev.value == slot[0]
+
+    @invariant()
+    def buffered_matches_model(self):
+        assert list(self.store.items) == list(self.model)
+
+    @invariant()
+    def counters_consistent(self):
+        assert self.store.n_got == self.n_got
+        assert self.store.n_put == len(self.model) + self.n_got
+
+    @invariant()
+    def capacity_respected(self):
+        if self.capacity is not None:
+            assert len(self.store.items) <= self.capacity
+
+
+StoreModelTest = StoreModel.TestCase
+StoreModelTest.settings = settings(max_examples=40, stateful_step_count=30, deadline=None)

@@ -1,0 +1,260 @@
+"""Tests for TerraFlow: grids, restructure, watershed, flow accumulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.terraflow import (
+    TerrainGrid,
+    cells_as_set,
+    cone_dem,
+    d8_directions,
+    flow_accumulation,
+    flow_accumulation_reference,
+    restructure,
+    restructure_blocked,
+    sortable_f64_key,
+    synthetic_dem,
+    terraflow_pipeline,
+    watershed_labels,
+    watershed_reference,
+)
+from repro.util.rng import RngRegistry
+
+
+@pytest.fixture
+def rng():
+    return RngRegistry(21).get("dem")
+
+
+class TestGrid:
+    def test_shape_and_ids(self):
+        g = TerrainGrid(np.zeros((3, 4)))
+        assert g.n_cells == 12
+        assert g.cell_id(1, 2) == 6
+        assert g.rc(6) == (1, 2)
+
+    def test_neighbors_interior_and_corner(self):
+        g = TerrainGrid(np.zeros((3, 3)))
+        assert len(g.neighbors_of(4)) == 8  # center
+        assert len(g.neighbors_of(0)) == 3  # corner
+
+    def test_elevation_order_strict_total_order(self):
+        g = TerrainGrid(np.array([[1.0, 1.0], [0.0, 1.0]]))
+        order = g.elevation_order()
+        assert order[0] == 2  # the unique minimum first
+        assert sorted(order.tolist()) == [0, 1, 2, 3]
+        # Ties broken by id: cells 0, 1, 3 (all elev 1) in id order.
+        assert order[1:].tolist() == [0, 1, 3]
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            TerrainGrid(np.zeros(5))
+
+    def test_synthetic_dem_has_pits(self, rng):
+        g = synthetic_dem(20, 20, rng, n_pits=3)
+        assert g.shape == (20, 20)
+
+    def test_cone_dem_minimum_at_center(self):
+        g = cone_dem(11, 11)
+        assert g.elev[5, 5] == g.elev.min()
+
+
+class TestRestructure:
+    def test_records_self_contained(self):
+        g = TerrainGrid(np.arange(12, dtype=float).reshape(3, 4))
+        recs = restructure(g)
+        assert recs.shape == (12,)
+        assert np.array_equal(recs["cell"], np.arange(12))
+        assert np.array_equal(recs["elev"], g.elev.ravel())
+        # Interior cell 5 at (1,1): neighbours are 0,1,2,4,6,8,9,10.
+        nbr = recs["nbr_elev"][5]
+        assert sorted(nbr.tolist()) == [0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 9.0, 10.0]
+
+    def test_border_cells_padded_with_inf(self):
+        g = TerrainGrid(np.zeros((2, 2)))
+        recs = restructure(g)
+        assert np.isinf(recs["nbr_elev"][0]).sum() == 5  # corner: 5 outside
+
+    def test_blocked_equals_full(self, rng):
+        g = synthetic_dem(16, 8, rng)
+        full = restructure(g)
+        blocks = restructure_blocked(g, 4)
+        joined = np.concatenate(blocks)
+        assert np.array_equal(joined["cell"], full["cell"])
+        assert np.array_equal(joined["nbr_elev"], full["nbr_elev"])
+
+    def test_blocked_bad_count(self, rng):
+        with pytest.raises(ValueError):
+            restructure_blocked(synthetic_dem(4, 4, rng), 0)
+
+    def test_cells_as_set(self, rng):
+        g = synthetic_dem(8, 8, rng)
+        s = cells_as_set(restructure(g), packet_records=16)
+        assert len(s) == 64
+        assert s.n_pending_packets == 4
+
+
+class TestWatershed:
+    def test_cone_is_single_watershed(self):
+        g = cone_dem(15, 15)
+        res = watershed_labels(g)
+        assert res.n_watersheds == 1
+        assert np.all(res.labels == 0)
+
+    def test_two_pits_two_watersheds(self):
+        # Two clear basins separated by a ridge down the middle column.
+        z = np.array([
+            [5.0, 6.0, 9.0, 6.0, 5.0],
+            [4.0, 5.0, 9.0, 5.0, 4.0],
+            [3.0, 4.0, 9.0, 4.0, 0.5],
+            [2.0, 3.0, 9.0, 3.0, 2.0],
+            [0.0, 2.0, 9.0, 2.0, 1.0],
+        ])
+        res = watershed_labels(TerrainGrid(z))
+        grid_labels = res.labels.reshape(5, 5)
+        # Left and right basins carry different labels.
+        assert grid_labels[4, 0] != grid_labels[2, 4]
+        # Left column cells drain left, right column cells drain right.
+        assert grid_labels[0, 0] == grid_labels[4, 0]
+        assert grid_labels[0, 4] == grid_labels[2, 4]
+
+    def test_every_cell_labelled(self, rng):
+        g = synthetic_dem(24, 24, rng)
+        res = watershed_labels(g)
+        assert np.all(res.labels >= 0)
+        assert res.n_watersheds >= 1
+
+    def test_matches_reference(self, rng):
+        g = synthetic_dem(20, 20, rng, n_pits=5)
+        tf = watershed_labels(g)
+        ref = watershed_reference(g)
+        assert np.array_equal(tf.labels, ref)
+
+    def test_external_pq_spills_with_tiny_memory(self, rng):
+        g = synthetic_dem(16, 16, rng)
+        res = watershed_labels(g, memory_entries=8)
+        assert res.pq_spilled_runs > 0
+        assert np.array_equal(res.labels, watershed_reference(g))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        rows=st.integers(3, 12),
+        cols=st.integers(3, 12),
+    )
+    def test_property_time_forward_equals_pointer_chasing(self, seed, rows, cols):
+        g = synthetic_dem(rows, cols, RngRegistry(seed).get("dem"), n_pits=2)
+        assert np.array_equal(watershed_labels(g).labels, watershed_reference(g))
+
+    def test_plateau_cells_become_minima(self):
+        # A flat grid: every cell is a local minimum (strictly-lower rule).
+        g = TerrainGrid(np.zeros((3, 3)))
+        res = watershed_labels(g)
+        assert res.n_watersheds == 9
+
+
+class TestFlow:
+    def test_cone_accumulates_to_center(self):
+        g = cone_dem(9, 9)
+        res = flow_accumulation(g)
+        acc = res.accumulation_grid(g)
+        assert acc[4, 4] == 81  # everything drains to the pit
+
+    def test_conservation(self, rng):
+        g = synthetic_dem(16, 16, rng)
+        res = flow_accumulation(g)
+        down = d8_directions(g)
+        sinks = down == -1
+        # All mass ends in sinks: sum over sinks equals total cell count...
+        # each cell contributes 1 unit that flows to exactly one sink.
+        assert res.accumulation[sinks].sum() == g.n_cells
+
+    def test_matches_reference(self, rng):
+        g = synthetic_dem(20, 20, rng)
+        assert np.array_equal(
+            flow_accumulation(g).accumulation, flow_accumulation_reference(g)
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_property_flow_equals_reference(self, seed):
+        g = synthetic_dem(10, 10, RngRegistry(seed).get("dem"))
+        assert np.array_equal(
+            flow_accumulation(g).accumulation, flow_accumulation_reference(g)
+        )
+
+    def test_minimum_accumulation_is_one(self, rng):
+        g = synthetic_dem(12, 12, rng)
+        assert flow_accumulation(g).accumulation.min() >= 1
+
+
+class TestPipeline:
+    def test_sortable_key_preserves_order(self):
+        xs = np.array([-10.0, -0.5, 0.0, 0.25, 3.0, 1e9])
+        keys = sortable_f64_key(xs)
+        assert np.all(np.diff(keys.astype(np.float64)) > 0)
+
+    def test_pipeline_end_to_end(self, rng):
+        g = synthetic_dem(24, 24, rng, n_pits=4)
+        out = terraflow_pipeline(g, memory_records=64, fan_in=4)
+        assert np.array_equal(out.watershed.labels, watershed_reference(g))
+        assert np.array_equal(out.elevation_order, g.elevation_order())
+        assert out.sort_io_blocks > 0
+        assert out.step_records["restructure"] == g.n_cells
+
+    def test_pipeline_on_cone_with_massive_ties(self):
+        g = cone_dem(12, 12)
+        out = terraflow_pipeline(g, memory_records=16, fan_in=2)
+        assert np.array_equal(out.elevation_order, g.elevation_order())
+
+
+class TestDistributedElevationSort:
+    def test_emulated_dsm_sort_recovers_elevation_order(self, rng):
+        from repro.apps.terraflow import distributed_elevation_sort
+        from repro.bench.fig9 import fig9_params
+
+        g = synthetic_dem(32, 32, rng, n_pits=4)
+        params = fig9_params(n_asus=4)
+        job, order = distributed_elevation_sort(g, params, alpha=8, gamma=8)
+        assert np.array_equal(order, g.elevation_order())
+        assert sum(len(r) for r in job.runs_on_asu) > 0
+
+    def test_handles_tied_elevations(self):
+        from repro.apps.terraflow import distributed_elevation_sort
+        from repro.bench.fig9 import fig9_params
+
+        g = cone_dem(16, 16)  # heavy elevation ties by symmetry
+        params = fig9_params(n_asus=4)
+        _job, order = distributed_elevation_sort(g, params, alpha=4, gamma=4)
+        assert np.array_equal(order, g.elevation_order())
+
+    def test_asu_data_validation(self):
+        from repro.core import DSMConfig
+        from repro.dsmsort import DsmSortJob
+        from repro.bench.fig9 import fig9_params
+
+        params = fig9_params(n_asus=4)
+        cfg = DSMConfig.for_n(1 << 10, alpha=4, gamma=4)
+        with pytest.raises(ValueError, match="asu_data has"):
+            DsmSortJob(params, cfg, asu_data=[np.empty(0, params.schema.dtype)])
+        with pytest.raises(ValueError, match="does not match"):
+            DsmSortJob(
+                params, cfg,
+                asu_data=[np.empty(0, dtype=np.float64) for _ in range(4)],
+            )
+
+
+class TestTerraflowEmulated:
+    def test_end_to_end_emulated_run(self, rng):
+        from repro.apps.terraflow import terraflow_emulated, watershed_reference
+        from repro.bench.fig9 import fig9_params
+
+        g = synthetic_dem(32, 32, rng, n_pits=3)
+        params = fig9_params(n_asus=4)
+        res = terraflow_emulated(g, params, alpha=8, gamma=8, seed=1)
+        assert set(res.makespans) == {"restructure", "sort", "watershed"}
+        assert all(t > 0 for t in res.makespans.values())
+        assert res.total_makespan == pytest.approx(sum(res.makespans.values()))
+        assert np.array_equal(res.elevation_order, g.elevation_order())
+        assert np.array_equal(res.watershed.labels, watershed_reference(g))

@@ -1,0 +1,72 @@
+"""Tests for workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.util.distributions import (
+    KEY_DISTRIBUTIONS,
+    exponential_keys,
+    half_uniform_half_exponential,
+    make_workload,
+    uniform_keys,
+)
+from repro.util.records import DEFAULT_SCHEMA
+from repro.util.rng import RngRegistry
+
+
+@pytest.fixture
+def rng():
+    return RngRegistry(seed=7).get("workload")
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", sorted(KEY_DISTRIBUTIONS))
+    def test_all_generators_produce_n_keys_in_range(self, rng, name):
+        keys = KEY_DISTRIBUTIONS[name](rng, 1000)
+        assert keys.shape == (1000,)
+        assert keys.dtype == np.dtype(DEFAULT_SCHEMA.key_dtype)
+        # uint keys are nonnegative by construction; check the upper bound.
+        assert int(keys.max()) <= DEFAULT_SCHEMA.key_max
+
+    def test_uniform_spans_range(self, rng):
+        keys = uniform_keys(rng, 20000)
+        # Quartile counts roughly equal for uniform keys.
+        hist, _ = np.histogram(keys, bins=4, range=(0, DEFAULT_SCHEMA.key_max))
+        assert hist.min() > 0.8 * hist.max()
+
+    def test_exponential_is_skewed_low(self, rng):
+        keys = exponential_keys(rng, 20000, scale=0.1)
+        median = np.median(keys.astype(np.float64))
+        assert median < 0.15 * DEFAULT_SCHEMA.key_max
+
+    def test_half_and_half_structure(self, rng):
+        keys = half_uniform_half_exponential(rng, 10000)
+        first, second = keys[:5000].astype(np.float64), keys[5000:].astype(np.float64)
+        # The uniform half has a much larger mean than the exponential half.
+        assert first.mean() > 2.5 * second.mean()
+
+    def test_determinism(self):
+        a = uniform_keys(RngRegistry(3).get("w"), 100)
+        b = uniform_keys(RngRegistry(3).get("w"), 100)
+        assert np.array_equal(a, b)
+
+    def test_streams_independent(self):
+        r = RngRegistry(3)
+        a = uniform_keys(r.get("a"), 100)
+        b = uniform_keys(r.get("b"), 100)
+        assert not np.array_equal(a, b)
+
+
+class TestMakeWorkload:
+    def test_returns_records(self, rng):
+        batch = make_workload(rng, 50, "uniform")
+        assert batch.dtype == DEFAULT_SCHEMA.dtype
+        assert batch.shape == (50,)
+
+    def test_unknown_distribution(self, rng):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            make_workload(rng, 10, "nope")
+
+    def test_kwargs_forwarded(self, rng):
+        batch = make_workload(rng, 1000, "exponential", scale=0.01)
+        assert np.median(batch["key"].astype(np.float64)) < 0.05 * DEFAULT_SCHEMA.key_max

@@ -1,0 +1,85 @@
+"""Tests for record schemas and batch construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.records import (
+    DEFAULT_SCHEMA,
+    RecordSchema,
+    concat_records,
+    empty_records,
+    make_records,
+    records_nbytes,
+)
+
+
+class TestRecordSchema:
+    def test_default_matches_paper(self):
+        # §6: 128-byte records with 4-byte keys.
+        assert DEFAULT_SCHEMA.record_size == 128
+        assert DEFAULT_SCHEMA.key_size == 4
+        assert DEFAULT_SCHEMA.payload_size == 124
+
+    def test_dtype_itemsize_equals_record_size(self):
+        assert DEFAULT_SCHEMA.dtype.itemsize == 128
+
+    def test_key_only_record(self):
+        s = RecordSchema(record_size=4, key_dtype="<u4")
+        assert s.payload_size == 0
+        assert s.dtype.itemsize == 4
+
+    def test_record_smaller_than_key_rejected(self):
+        with pytest.raises(ValueError):
+            RecordSchema(record_size=2, key_dtype="<u4")
+
+    def test_key_max(self):
+        assert DEFAULT_SCHEMA.key_max == 2**32 - 1
+        s8 = RecordSchema(record_size=16, key_dtype="<u8")
+        assert s8.key_max == 2**64 - 1
+
+    def test_key_max_float_rejected(self):
+        s = RecordSchema(record_size=16, key_dtype="<f8")
+        with pytest.raises(TypeError):
+            _ = s.key_max
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_nbytes_roundtrip(self, n):
+        assert DEFAULT_SCHEMA.records_in(DEFAULT_SCHEMA.nbytes(n)) == n
+
+    def test_records_in_truncates(self):
+        assert DEFAULT_SCHEMA.records_in(129) == 1
+        assert DEFAULT_SCHEMA.records_in(127) == 0
+
+
+class TestMakeRecords:
+    def test_keys_preserved(self):
+        keys = np.array([5, 3, 9], dtype=np.uint32)
+        batch = make_records(keys)
+        assert np.array_equal(batch["key"], keys)
+
+    def test_batch_nbytes(self):
+        batch = make_records(np.arange(10, dtype=np.uint32))
+        assert records_nbytes(batch) == 10 * 128
+
+    def test_empty(self):
+        batch = empty_records()
+        assert batch.shape == (0,)
+        assert batch.dtype == DEFAULT_SCHEMA.dtype
+
+    def test_concat(self):
+        a = make_records(np.array([1, 2], dtype=np.uint32))
+        b = make_records(np.array([3], dtype=np.uint32))
+        c = concat_records([a, b])
+        assert list(c["key"]) == [1, 2, 3]
+
+    def test_concat_empty_list(self):
+        assert concat_records([]).shape == (0,)
+
+    def test_concat_single_is_same_object(self):
+        a = make_records(np.array([1], dtype=np.uint32))
+        assert concat_records([a]) is a
+
+    def test_key_dtype_conversion(self):
+        batch = make_records(np.array([1.0, 2.0]))  # float in
+        assert batch["key"].dtype == np.dtype("<u4")

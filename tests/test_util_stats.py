@@ -1,0 +1,142 @@
+"""Tests for online statistics and interval accumulators."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import IntervalAccumulator, OnlineStats, TimeSeries
+
+
+class TestOnlineStats:
+    def test_empty(self):
+        s = OnlineStats()
+        assert s.mean == 0.0 and s.variance == 0.0
+        assert s.min == 0.0 and s.max == 0.0
+
+    def test_known_values(self):
+        s = OnlineStats()
+        for x in [1.0, 2.0, 3.0, 4.0]:
+            s.add(x)
+        assert s.mean == pytest.approx(2.5)
+        assert s.variance == pytest.approx(np.var([1, 2, 3, 4], ddof=1))
+        assert s.min == 1.0 and s.max == 4.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=100))
+    def test_matches_numpy(self, xs):
+        s = OnlineStats()
+        for x in xs:
+            s.add(x)
+        assert s.mean == pytest.approx(np.mean(xs), rel=1e-9, abs=1e-9)
+        assert s.variance == pytest.approx(np.var(xs, ddof=1), rel=1e-6, abs=1e-6)
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+    )
+    def test_merge_equals_sequential(self, xs, ys):
+        a, b, c = OnlineStats(), OnlineStats(), OnlineStats()
+        for x in xs:
+            a.add(x)
+            c.add(x)
+        for y in ys:
+            b.add(y)
+            c.add(y)
+        m = a.merge(b)
+        assert m.n == c.n
+        assert m.mean == pytest.approx(c.mean, rel=1e-9, abs=1e-9)
+        assert m.variance == pytest.approx(c.variance, rel=1e-6, abs=1e-6)
+        assert m.min == c.min and m.max == c.max
+
+    def test_merge_with_empty(self):
+        a = OnlineStats()
+        a.add(5.0)
+        m = a.merge(OnlineStats())
+        assert m.n == 1 and m.mean == 5.0
+
+
+class TestIntervalAccumulator:
+    def test_basic_busy(self):
+        acc = IntervalAccumulator()
+        acc.add(0.0, 1.0)
+        acc.add(2.0, 3.0)
+        assert acc.total_busy == pytest.approx(2.0)
+        assert acc.busy_in(0.0, 4.0) == pytest.approx(2.0)
+
+    def test_window_clipping(self):
+        acc = IntervalAccumulator()
+        acc.add(1.0, 3.0)
+        assert acc.busy_in(0.0, 2.0) == pytest.approx(1.0)
+        assert acc.busy_in(2.0, 4.0) == pytest.approx(1.0)
+        assert acc.busy_in(1.5, 2.5) == pytest.approx(1.0)
+
+    def test_out_of_order_rejected(self):
+        acc = IntervalAccumulator()
+        acc.add(2.0, 3.0)
+        with pytest.raises(ValueError):
+            acc.add(1.0, 1.5)
+
+    def test_negative_interval_rejected(self):
+        acc = IntervalAccumulator()
+        with pytest.raises(ValueError):
+            acc.add(2.0, 1.0)
+
+    def test_empty_window(self):
+        acc = IntervalAccumulator()
+        acc.add(0.0, 1.0)
+        assert acc.busy_in(1.0, 1.0) == 0.0
+        assert acc.utilization(1.0, 1.0) == 0.0
+
+    def test_utilization(self):
+        acc = IntervalAccumulator()
+        acc.add(0.0, 0.5)
+        assert acc.utilization(0.0, 1.0) == pytest.approx(0.5)
+
+    def test_utilization_series(self):
+        acc = IntervalAccumulator()
+        acc.add(0.0, 1.0)  # busy for first half of [0,2)
+        series = acc.utilization_series(t_end=2.0, dt=1.0)
+        assert len(series) == 2
+        (t0, u0), (t1, u1) = series
+        assert t0 == pytest.approx(0.5) and u0 == pytest.approx(1.0)
+        assert t1 == pytest.approx(1.5) and u1 == pytest.approx(0.0)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 10)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_busy_in_total_window_equals_total(self, spans):
+        # Build sorted, possibly overlapping-free intervals.
+        acc = IntervalAccumulator()
+        t = 0.0
+        for gap, dur in spans:
+            start = t + gap
+            acc.add(start, start + dur)
+            t = start
+        end = max(acc.ends) + 1.0
+        assert acc.busy_in(0.0, end) == pytest.approx(acc.total_busy, rel=1e-9, abs=1e-9)
+
+
+class TestTimeSeries:
+    def test_append_and_lookup(self):
+        ts = TimeSeries()
+        ts.append(0.0, 1.0)
+        ts.append(1.0, 2.0)
+        assert ts.value_at(0.5) == 1.0
+        assert ts.value_at(1.0) == 2.0
+        assert ts.value_at(-1.0) == 0.0
+        assert ts.last() == 2.0
+        assert len(ts) == 2
+
+    def test_time_order_enforced(self):
+        ts = TimeSeries()
+        ts.append(1.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.append(0.5, 2.0)
+
+    def test_empty_last(self):
+        assert TimeSeries().last() == 0.0
