@@ -1,0 +1,90 @@
+"""Fault recovery — makespan degradation vs. failure time (repro.faults).
+
+Two hosts, 16 ASUs, DSM-Sort run formation in fault-tolerant mode.  One ASU
+is crashed at {0.2, 0.5, 0.8} of the fault-free makespan; the run must still
+complete and verify, and the table reports the makespan ratio, detection
+latency, and MTTR for each crash time.  A late crash loses more durable runs
+(more re-emission) but leaves less remaining work, so degradation stays
+bounded across the sweep — the acceptance bound is 2x for a single crash.
+
+The whole experiment is deterministic: a second run with the same seed and
+plan must reproduce every number bit-for-bit.
+"""
+
+from conftest import bench_n
+
+from repro.bench.report import render_series_table
+from repro.core import DSMConfig
+from repro.dsmsort import DsmSortJob
+from repro.emulator.params import SystemParams
+from repro.faults import FaultPlan, crash_asu
+
+CRASH_FRACTIONS = (0.2, 0.5, 0.8)
+CRASHED_ASU = 5
+
+
+def recovery_params():
+    return SystemParams(
+        n_hosts=2,
+        n_asus=16,
+        cycles_per_compare=100.0,
+        cycles_per_record=300.0,
+        cycles_per_net_byte=1.5,
+        cycles_per_io_byte=0.5,
+        block_records=1024,
+    )
+
+
+def run_recovery_sweep(n_records: int, seed: int = 3):
+    """Crash one ASU at each fraction of the fault-free makespan."""
+    params = recovery_params()
+    cfg = DSMConfig.for_n(n_records, alpha=16, gamma=16)
+
+    def job(faults, **kw):
+        return DsmSortJob(
+            params, cfg, policy="sr", active=True, seed=seed, faults=faults, **kw
+        )
+
+    t0 = job(FaultPlan()).run_pass1().makespan
+    # Heartbeat cadence sized to the workload: detection must resolve well
+    # inside the run (see docs/FAULTS.md).
+    hb = dict(heartbeat_interval=t0 / 40, heartbeat_timeout=t0 / 10)
+
+    rows = {"ratio": [], "detect_latency": [], "mttr": [], "reemitted_runs": []}
+    for frac in CRASH_FRACTIONS:
+        plan = FaultPlan([crash_asu(frac * t0, CRASHED_ASU)])
+        j = job(plan, **hb)
+        res = j.run_pass1()
+        j.run_pass2()
+        j.verify()
+        rep = res.fault_report
+        rows["ratio"].append(res.makespan / t0)
+        rows["detect_latency"].append(rep.mean_detection_latency())
+        rows["mttr"].append(rep.mean_mttr())
+        rows["reemitted_runs"].append(res.n_reemitted_runs)
+    return t0, rows
+
+
+def test_fault_recovery_sweep(once):
+    n = bench_n(quick=1 << 16, full=1 << 19)
+    t0, rows = once(run_recovery_sweep, n)
+    print()
+    print(
+        render_series_table(
+            "crash_at",
+            [f"{f:.1f}*T0" for f in CRASH_FRACTIONS],
+            rows,
+            title=f"ASU crash recovery, N={n}, fault-free T0={t0:.4f}s",
+        )
+    )
+
+    # (1) Every faulted run recovered within the acceptance bound.
+    assert all(1.0 <= r < 2.0 for r in rows["ratio"])
+    # (2) Detection stayed within the configured heartbeat bound
+    #     (timeout + check interval = T0/10 + T0/40).
+    assert all(lat <= t0 / 10 + t0 / 40 for lat in rows["detect_latency"])
+    # (3) A later crash strands more durable runs on the dead ASU.
+    assert rows["reemitted_runs"][-1] >= rows["reemitted_runs"][0]
+
+    # (4) Bit-identical reproducibility: same seed, same plan, same numbers.
+    assert run_recovery_sweep(n) == (t0, rows)

@@ -35,6 +35,8 @@ class InstanceStats:
     records_routed: int = 0
     records_completed: int = 0
     busy_cycles: float = 0.0
+    #: set when a detected failure removed this instance from routing
+    quarantined: bool = False
 
     @property
     def backlog(self) -> int:
@@ -63,11 +65,30 @@ class LoadManager:
 
     # -- routing path --------------------------------------------------------
     def route(self, bucket: int, n_records: int) -> int:
-        """Pick the instance for a fragment and record the decision."""
-        inst = self.router.choose(bucket, n_records)
+        """Pick the instance for a fragment and record the decision.
+
+        Never routes to a quarantined instance: the router's policy choice is
+        masked/remapped onto survivors (see :meth:`Router.pick`).
+        """
+        inst = self.router.pick(bucket, n_records)
         self.router.on_sent(inst, n_records)
         self.instances[inst].records_routed += n_records
         return inst
+
+    # -- failure handling ------------------------------------------------------
+    def quarantine(self, instance: int) -> None:
+        """Remove an instance from routing after a detected failure (§3.3).
+
+        Streams already routed stay pinned — the runtime decides what to do
+        with records the dead instance had accepted (see the recovery path in
+        :mod:`repro.dsmsort.runtime`); the load manager only guarantees no
+        *new* fragment lands there.
+        """
+        self.router.quarantine(instance)
+        self.instances[instance].quarantined = True
+
+    def alive_instances(self) -> list[int]:
+        return [i for i in range(len(self.instances)) if self.router.alive[i]]
 
     def complete(self, instance: int, n_records: int, busy_cycles: float = 0.0) -> None:
         """Runtime feedback: an instance finished processing records."""

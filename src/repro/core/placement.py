@@ -54,6 +54,50 @@ class Placement:
     def stages_on(self, node_class: str) -> list[str]:
         return [s for s, p in self.assignments.items() if p.node_class == node_class]
 
+    def migrate_off(
+        self, node_class: str, index: int, alive: list[int]
+    ) -> list[tuple[str, int, int]]:
+        """Move every stage replica off a failed node onto survivors.
+
+        ``alive`` lists the surviving node indices of ``node_class``.  Each
+        displaced replica goes to the least-loaded survivor (fewest replicas
+        across all stages, ties to the lowest index — deterministic).  A
+        survivor already hosting the same stage is skipped, so replica sets
+        stay distinct.  Returns ``[(stage, old_index, new_index), ...]``.
+        """
+        if node_class not in NODE_CLASSES:
+            raise FunctorError(f"unknown node class {node_class!r}")
+        survivors = [i for i in alive if i != index]
+        if not survivors:
+            raise FunctorError(f"no surviving {node_class} to migrate onto")
+        # Current replica count per survivor, across all stages of the class.
+        load = {i: 0 for i in survivors}
+        for sp in self.assignments.values():
+            if sp.node_class == node_class:
+                for i in sp.instances:
+                    if i in load:
+                        load[i] += 1
+        moves: list[tuple[str, int, int]] = []
+        for sp in self.assignments.values():
+            if sp.node_class != node_class or index not in sp.instances:
+                continue
+            candidates = [i for i in survivors if i not in sp.instances]
+            if not candidates:
+                # Every survivor already runs this stage: drop the replica.
+                sp.instances.remove(index)
+                if not sp.instances:
+                    raise FunctorError(
+                        f"stage {sp.stage!r} lost its last replica on "
+                        f"{node_class}{index}"
+                    )
+                moves.append((sp.stage, index, -1))
+                continue
+            new = min(candidates, key=lambda i: (load[i], i))
+            sp.instances[sp.instances.index(index)] = new
+            load[new] += 1
+            moves.append((sp.stage, index, new))
+        return moves
+
 
 class PlacementSolver:
     """Validates and scores placements against a dataflow and platform."""
@@ -94,6 +138,28 @@ class PlacementSolver:
                     f"stage {name!r} placed on {len(sp.instances)} nodes but "
                     "the dataflow declares a single instance"
                 )
+
+    def repair(
+        self,
+        graph: Dataflow,
+        placement: Placement,
+        node_class: str,
+        failed_index: int,
+        alive: list[int] | None = None,
+    ) -> list[tuple[str, int, int]]:
+        """Re-place all stages off a failed node and re-validate.
+
+        ``alive`` defaults to every other index of the class.  Returns the
+        move list from :meth:`Placement.migrate_off`; raises
+        :class:`~repro.functors.base.FunctorError` if the repaired placement
+        is not valid (e.g. a functor not ASU-eligible ends up with no home).
+        """
+        if alive is None:
+            n = self.params.n_asus if node_class == "asu" else self.params.n_hosts
+            alive = [i for i in range(n) if i != failed_index]
+        moves = placement.migrate_off(node_class, failed_index, alive)
+        self.validate(graph, placement)
+        return moves
 
     def load_split(self, graph: Dataflow, placement: Placement) -> dict[str, float]:
         """Estimated cycles landing on each node class (the §2.2 balance check)."""

@@ -55,10 +55,37 @@ class Router(abc.ABC):
         #: outstanding records per instance (fed back by the runtime)
         self.outstanding = np.zeros(self.n_instances, dtype=np.int64)
         self.sent = np.zeros(self.n_instances, dtype=np.int64)
+        #: instances still accepting traffic; cleared by :meth:`quarantine`
+        self.alive = np.ones(self.n_instances, dtype=bool)
 
     @abc.abstractmethod
     def choose(self, bucket: int, n_records: int) -> int:
         """Destination instance for a fragment of ``n_records`` of ``bucket``."""
+
+    def pick(self, bucket: int, n_records: int) -> int:
+        """Like :meth:`choose`, but never returns a quarantined instance.
+
+        The policy's own decision is remapped to the next alive instance
+        (cyclically), so static policies keep their bucket affinity modulo
+        failures and the remap is deterministic.  Dynamic policies override
+        masking inside ``choose`` where they can do better.
+        """
+        i = self.choose(bucket, n_records)
+        if self.alive[i]:
+            return i
+        for step in range(1, self.n_instances):
+            j = (i + step) % self.n_instances
+            if self.alive[j]:
+                return j
+        raise RuntimeError("all instances quarantined")
+
+    def quarantine(self, instance: int) -> None:
+        """Stop routing to ``instance`` (detected failure)."""
+        if not 0 <= instance < self.n_instances:
+            raise ValueError(f"instance {instance} out of range")
+        self.alive[instance] = False
+        if not self.alive.any():
+            raise RuntimeError("quarantined the last alive instance")
 
     # -- feedback from the runtime -----------------------------------------
     def on_sent(self, instance: int, n_records: int) -> None:
@@ -119,7 +146,12 @@ class SimpleRandomization(Router):
         self.rng = rng if rng is not None else np.random.default_rng(0)
 
     def choose(self, bucket: int, n_records: int) -> int:
-        return int(self.rng.integers(0, self.n_instances))
+        if self.alive.all():
+            return int(self.rng.integers(0, self.n_instances))
+        # Draw among survivors only: keeps the split uniform after a
+        # quarantine instead of piling the dead slot onto one neighbour.
+        candidates = np.flatnonzero(self.alive)
+        return int(candidates[int(self.rng.integers(0, len(candidates)))])
 
 
 class RandomizedCycling(Router):
@@ -159,7 +191,10 @@ class JoinShortestQueue(Router):
     dynamic = True
 
     def choose(self, bucket: int, n_records: int) -> int:
-        return int(np.argmin(self.outstanding))
+        if self.alive.all():
+            return int(np.argmin(self.outstanding))
+        masked = np.where(self.alive, self.outstanding, np.iinfo(np.int64).max)
+        return int(np.argmin(masked))
 
 
 class WeightedCapacity(Router):
@@ -182,6 +217,8 @@ class WeightedCapacity(Router):
     def choose(self, bucket: int, n_records: int) -> int:
         total = self.sent.sum() + 1.0
         deficit = self.weights - self.sent / total
+        if not self.alive.all():
+            deficit = np.where(self.alive, deficit, -np.inf)
         return int(np.argmax(deficit))
 
 
@@ -218,6 +255,11 @@ class AdaptiveSwitch(Router):
     @property
     def switched(self) -> bool:
         return self.switched_after >= 0
+
+    def quarantine(self, instance: int) -> None:
+        super().quarantine(instance)
+        self._static.quarantine(instance)
+        self._sr.quarantine(instance)
 
     def choose(self, bucket: int, n_records: int) -> int:
         if not self.switched:

@@ -37,6 +37,9 @@ from ..core.costs import RecordCosts
 from ..core.load_manager import LoadManager
 from ..emulator.params import SystemParams
 from ..emulator.platform import ActivePlatform
+from ..faults.detector import FailureDetector
+from ..faults.injector import FaultPlan, Injector
+from ..faults.report import FaultReport
 from ..functors.blocksort import BlockSortFunctor
 from ..functors.distribute import DistributeFunctor
 from ..functors.merge import MergeFunctor, merge_sorted_batches
@@ -48,6 +51,39 @@ from ..util.validation import check_sorted_permutation
 __all__ = ["DsmSortJob", "Pass1Result", "Pass2Result"]
 
 _EOF = "__eof__"
+
+
+class _FragEntry:
+    """Upstream-retention record for one routed bucket fragment.
+
+    Producers retain every fragment they ship until pass 1 completes; if the
+    destination host dies, the entry is replayed to a survivor.  ``done``
+    marks an entry superseded by a replay, so detection-time sweeps and the
+    dead-letter hook cannot both resend it.
+    """
+
+    __slots__ = ("src_d", "src_node", "block", "bucket", "piece", "done")
+
+    def __init__(self, src_d, src_node, block, bucket, piece):
+        self.src_d = src_d
+        self.src_node = src_node
+        self.block = block
+        self.bucket = bucket
+        self.piece = piece
+        self.done = False
+
+
+class _RunEntry:
+    """Host-side lineage for one emitted run: the sorted payload plus its
+    current destination ASU, so the run can be re-replicated if that ASU
+    dies before (or after) the write became durable."""
+
+    __slots__ = ("bucket", "run", "dest")
+
+    def __init__(self, bucket, run, dest):
+        self.bucket = bucket
+        self.run = run
+        self.dest = dest
 
 
 @dataclass
@@ -63,6 +99,12 @@ class Pass1Result:
     imbalance: float
     #: (time, utilization) samples per host — the Figure-10 traces
     host_util_series: list[list[tuple[float, float]]] = field(default_factory=list)
+    #: set when the pass ran in fault-tolerant mode (``faults=`` given)
+    fault_report: Optional["FaultReport"] = None
+    #: recovery traffic counters (fault-tolerant mode)
+    n_replayed_frags: int = 0
+    n_reemitted_runs: int = 0
+    n_takeover_blocks: int = 0
 
 
 @dataclass
@@ -87,9 +129,17 @@ class DsmSortJob:
         workload_kwargs: Optional[dict] = None,
         background_asu_duty: float = 0.0,
         asu_data: Optional[list[np.ndarray]] = None,
+        faults: Optional[FaultPlan] = None,
+        heartbeat_interval: float = 0.05,
+        heartbeat_timeout: float = 0.2,
     ):
         if not 0.0 <= background_asu_duty < 1.0:
             raise ValueError("background_asu_duty must be in [0, 1)")
+        if faults is not None and not active:
+            raise ValueError(
+                "fault-tolerant mode needs active storage (recovery relies on "
+                "ASU-side shard mirroring and takeover producers)"
+            )
         self.params = params
         self.config = config
         self.policy = policy
@@ -153,6 +203,10 @@ class DsmSortJob:
             [] for _ in range(params.n_asus)
         ]
         self._pass1_done = False
+        #: fault schedule for pass 1 (None = run the plain, non-FT path)
+        self.faults = faults
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.heartbeat_timeout = float(heartbeat_timeout)
 
     # ------------------------------------------------------------------ pass 1
     def run_pass1(self, util_dt: float = 0.1) -> Pass1Result:
@@ -175,6 +229,8 @@ class DsmSortJob:
             )
         plat = ActivePlatform(plat_params)
         self.platform = plat
+        if self.faults is not None:
+            return self._run_pass1_ft(plat, util_dt)
         D, H = self.params.n_asus, self.params.n_hosts
         blk = self.params.block_records
         rs = self.params.schema.record_size
@@ -359,6 +415,434 @@ class DsmSortJob:
                 yield from asu.disk.write(nbytes)
             self.runs_on_asu[d].append((bucket, payload))
         yield from asu.disk.drain()
+
+    # ------------------------------------------------------------ pass 1 (FT)
+    def _run_pass1_ft(self, plat: ActivePlatform, util_dt: float) -> Pass1Result:
+        """Fault-tolerant run formation (see docs/FAULTS.md).
+
+        Same dataflow as the plain pass, rebuilt around exactly-once record
+        accounting so any schedule of fail-stops still yields a complete,
+        verified-sorted output:
+
+        * every input shard is mirrored; a dead ASU's shard is re-produced by
+          a takeover on the next alive ASU, resuming from per-(block, bucket)
+          ship markers;
+        * producers retain every shipped fragment (:class:`_FragEntry`); a
+          dead host's fragments are replayed to survivors and *all* of its
+          runs are discarded, wherever they landed — the frag is the unit of
+          replay, so no record is ever counted twice;
+        * hosts keep a run lineage (:class:`_RunEntry`); runs stranded on a
+          dead ASU are re-replicated to alive ones via the host's own mailbox
+          (which serialises recovery behind in-flight emits);
+        * completion is a durable-record count: pass 1 ends when every input
+          record is in exactly one durable run on an alive ASU.
+
+        All marker updates share a yield-free region with the network post
+        they describe, so a fail-stop (which can only land at a yield) can
+        never half-record a transition.
+        """
+        from ..emulator.net import Message
+        from ..sim import Event
+
+        D, H = self.params.n_asus, self.params.n_hosts
+        blk = self.params.block_records
+        rs = self.params.schema.record_size
+        sort_cpr = self.costs.blocksort_cycles(self.config.beta)
+
+        # Recovery bookkeeping (reset so the job is re-runnable).
+        self._ft_total = sum(a.shape[0] for a in self.asu_data)
+        self._ft_durable = 0
+        self._frag_log: dict[int, list[_FragEntry]] = defaultdict(list)
+        self._run_log: list[list[_RunEntry]] = [[] for _ in range(H)]
+        self._run_hosts: list[list[int]] = [[] for _ in range(D)]
+        self._shipped: set[tuple[int, int, int]] = set()
+        self._blocks_complete: set[tuple[int, int]] = set()
+        self._eof_posted: set[int] = set()
+        self._shard_owner: dict[int, int] = {d: d for d in range(D)}
+        self._dead_asus: set[int] = set()
+        self._dead_hosts: set[int] = set()
+        self._stripe_next: list[int] = list(range(H))
+        self._n_replayed_frags = 0
+        self._n_reemitted_runs = 0
+        self._n_takeover_blocks = 0
+        self.recovered_at: dict[str, float] = {}
+        self._complete_ev = Event(plat.sim)
+        self._ft_plat = plat
+        self._Message = Message
+
+        injector = Injector(plat, self.faults, on_fault=self._on_fault_ft)
+        detector = FailureDetector(
+            plat, interval=self.heartbeat_interval, timeout=self.heartbeat_timeout
+        )
+        detector.on_failure.append(self._on_detected_ft)
+        self.injector, self.detector = injector, detector
+        injector.arm()
+        detector.start()
+        plat.network.dead_letter_hook = self._dead_letter_ft
+
+        for d in range(D):
+            plat.spawn(
+                self._produce_shard_ft(plat, d, d, blk, rs),
+                name=f"prod{d}", node=plat.asus[d],
+            )
+        for h in range(H):
+            plat.spawn(
+                self._host_pass1_ft(plat, h, rs, sort_cpr),
+                name=f"host{h}", node=plat.hosts[h],
+            )
+        for d in range(D):
+            plat.spawn(
+                self._asu_consumer_ft(plat, d, rs),
+                name=f"cons{d}", node=plat.asus[d],
+            )
+        coord = plat.spawn(self._coordinator_ft(plat), name="coordinator")
+        plat.sim.run()
+        if not coord.triggered:
+            raise RuntimeError("fault-tolerant pass 1 never completed (deadlock?)")
+        makespan = plat.sim.now
+        self._pass1_done = True
+        self.fault_report = FaultReport.from_run(injector, detector, self.recovered_at)
+        return Pass1Result(
+            makespan=makespan,
+            host_util=[x.cpu.utilization(makespan) for x in plat.hosts],
+            asu_cpu_util=[a.cpu.utilization(makespan) for a in plat.asus],
+            asu_disk_util=[a.disk.utilization(makespan) for a in plat.asus],
+            n_runs=sum(len(r) for r in self.runs_on_asu),
+            net_bytes=plat.network.bytes_total,
+            imbalance=self.load_manager.imbalance(),
+            host_util_series=[
+                x.cpu.busy.utilization_series(makespan, dt=util_dt)
+                for x in plat.hosts
+            ],
+            fault_report=self.fault_report,
+            n_replayed_frags=self._n_replayed_frags,
+            n_reemitted_runs=self._n_reemitted_runs,
+            n_takeover_blocks=self._n_takeover_blocks,
+        )
+
+    def _produce_shard_ft(self, plat: ActivePlatform, owner: int, shard: int, blk: int, rs: int):
+        """Stream ``shard``'s input, distribute, route, ship — resumable.
+
+        Runs on ``owner``: the shard's home ASU, or the mirror holder after a
+        takeover.  Ship markers are per (block, bucket) and updated in the
+        same yield-free region as the post, so a ship is exactly-once across
+        any chain of takeovers.
+        """
+        from ..emulator.readahead import ReadAhead
+
+        asu = plat.asus[owner]
+        data = self.asu_data[shard]
+        H = self.params.n_hosts
+        cpnb = self.params.cycles_per_net_byte
+        takeover = owner != shard
+        blocks = [data[s : s + blk] for s in range(0, data.shape[0], blk)]
+        pending = [
+            i for i in range(len(blocks)) if (shard, i) not in self._blocks_complete
+        ]
+        ra = ReadAhead(plat, asu, [blocks[i].shape[0] * rs for i in pending])
+        for i in pending:
+            yield ra.wait_next()
+            block = blocks[i]
+            staging = block.shape[0] * rs * self.params.cycles_per_io_byte
+            if staging:
+                yield from asu.cpu.execute(cycles=staging)
+            pieces = yield from asu.compute(
+                cycles=self.dist.cost_cycles(block.shape[0], self.params),
+                fn=self.dist.apply,
+                args=(block,),
+            )
+            if takeover:
+                self._n_takeover_blocks += 1
+            per_host: dict[int, list[tuple[int, np.ndarray]]] = defaultdict(list)
+            for bucket, piece in enumerate(pieces):
+                if piece.shape[0] == 0 or (shard, i, bucket) in self._shipped:
+                    continue
+                h = self.load_manager.route(bucket, piece.shape[0])
+                per_host[h].append((bucket, piece))
+            for h, frags in per_host.items():
+                n = sum(p.shape[0] for _b, p in frags)
+                yield from asu.cpu.execute(cycles=n * rs * cpnb)
+                # Atomic with the post: retention entries + ship markers.
+                entries = [_FragEntry(shard, asu.node_id, i, b, p) for b, p in frags]
+                self._frag_log[h].extend(entries)
+                for b, _p in frags:
+                    self._shipped.add((shard, i, b))
+                plat.network.post(
+                    asu.node_id, plat.hosts[h].node_id,
+                    ("frags", shard, frags, entries), n * rs, tag="frags",
+                )
+            self._blocks_complete.add((shard, i))
+        if shard not in self._eof_posted:
+            yield from asu.cpu.execute(cycles=H * 16 * cpnb)
+            # Atomic: the marker guards the whole EOF broadcast, so a crash
+            # here either leaves the shard EOF-less (next takeover posts) or
+            # fully announced — hosts can never count a shard's EOF twice.
+            self._eof_posted.add(shard)
+            for h in range(H):
+                plat.network.post(
+                    asu.node_id, plat.hosts[h].node_id, (_EOF, shard, None), 16,
+                    tag="eof",
+                )
+
+    def _host_pass1_ft(self, plat: ActivePlatform, h: int, rs: int, sort_cpr: float):
+        """Perpetual host worker: buffer, cut runs, flush at D EOFs.
+
+        After the flush, each late fragment (a replay or a takeover tail)
+        becomes its own run immediately — with no buffering state left, even
+        arbitrarily delayed deliveries are safe.  The loop never exits; the
+        coordinator stops the clock when every record is durable.
+        """
+        host = plat.hosts[h]
+        D = self.params.n_asus
+        beta = self.config.beta
+        buffers: dict[int, list[np.ndarray]] = defaultdict(list)
+        buffered: dict[int, int] = defaultdict(int)
+        eof_from: set[int] = set()
+        flushed = False
+        while True:
+            msg = yield from host.recv()
+            kind, src = msg.payload[0], msg.payload[1]
+            if kind == _EOF:
+                eof_from.add(src)
+                if not flushed and len(eof_from) >= D:
+                    flushed = True
+                    for bucket in sorted(buffers):
+                        if buffered[bucket]:
+                            batch = concat_records(buffers[bucket], self.params.schema)
+                            yield from self._emit_run_ft(
+                                plat, host, h, bucket, batch, rs, sort_cpr
+                            )
+                    buffers.clear()
+                    buffered.clear()
+                continue
+            if kind == "reemit":
+                # Re-replicate runs stranded on dead ASU ``src``.  Riding the
+                # mailbox serialises this after any in-flight emit, so every
+                # lineage entry bound for ``src`` exists before the scan.
+                for entry in list(self._run_log[h]):
+                    if entry.dest == src:
+                        yield from self._repost_run_ft(plat, host, h, entry, rs)
+                continue
+            frags = msg.payload[2]
+            if flushed:
+                for bucket, piece in frags:
+                    yield from self._emit_run_ft(
+                        plat, host, h, bucket, piece, rs, sort_cpr
+                    )
+                continue
+            for bucket, piece in frags:
+                buffers[bucket].append(piece)
+                buffered[bucket] += piece.shape[0]
+                while buffered[bucket] >= beta:
+                    batch = concat_records(buffers[bucket], self.params.schema)
+                    run_src, rest = batch[:beta], batch[beta:]
+                    buffers[bucket] = [rest] if rest.shape[0] else []
+                    buffered[bucket] = rest.shape[0]
+                    yield from self._emit_run_ft(
+                        plat, host, h, bucket, run_src, rs, sort_cpr
+                    )
+
+    def _emit_run_ft(self, plat, host, h, bucket, batch, rs, sort_cpr):
+        """Sort one run, log its lineage, stripe it to an alive ASU."""
+        run = yield from host.compute(
+            cycles=batch.shape[0] * sort_cpr,
+            fn=lambda b: np.sort(b, order="key", kind="stable"),
+            args=(batch,),
+        )
+        self.load_manager.complete(h, batch.shape[0])
+        nbytes = run.shape[0] * rs
+        yield from host.cpu.execute(cycles=nbytes * self.params.cycles_per_net_byte)
+        # Atomic: destination choice + lineage entry + post.
+        d = self._next_alive_stripe(h)
+        self._run_log[h].append(_RunEntry(bucket, run, d))
+        plat.network.post(
+            host.node_id, plat.asus[d].node_id, ("run", bucket, run), nbytes,
+            tag="run",
+        )
+
+    def _repost_run_ft(self, plat, host, h, entry, rs):
+        nbytes = entry.run.shape[0] * rs
+        yield from host.cpu.execute(cycles=nbytes * self.params.cycles_per_net_byte)
+        entry.dest = self._next_alive_stripe(h)
+        self._n_reemitted_runs += 1
+        plat.network.post(
+            host.node_id, plat.asus[entry.dest].node_id,
+            ("run", entry.bucket, entry.run), nbytes, tag="run",
+        )
+
+    def _next_alive_stripe(self, h: int) -> int:
+        D = self.params.n_asus
+        for _ in range(D):
+            d = self._stripe_next[h] % D
+            self._stripe_next[h] += 1
+            if d not in self._dead_asus:
+                return d
+        raise RuntimeError("no alive ASU to stripe runs onto")
+
+    def _asu_consumer_ft(self, plat: ActivePlatform, d: int, rs: int):
+        """Perpetual consumer: make runs durable, drop quarantined hosts'."""
+        asu = plat.asus[d]
+        while True:
+            msg = yield from asu.recv()
+            if msg.payload[0] != "run":
+                continue
+            bucket, run = msg.payload[1], msg.payload[2]
+            src_h = int(msg.src[4:])  # "hostN"
+            if src_h in self._dead_hosts:
+                continue  # orphan of a quarantined host; its frags replay
+            yield from asu.disk_write(run.shape[0] * rs)
+            if src_h in self._dead_hosts:
+                continue  # emitter died during our write; the purge ran
+            # Atomic: durability record + completion check.
+            self.runs_on_asu[d].append((bucket, run))
+            self._run_hosts[d].append(src_h)
+            self._ft_durable += run.shape[0]
+            if self._ft_durable >= self._ft_total and not self._complete_ev.triggered:
+                self._complete_ev.succeed()
+
+    def _coordinator_ft(self, plat: ActivePlatform):
+        """Stop the clock once every input record is durable (post-drain)."""
+        from ..sim import Event
+
+        while True:
+            if self._ft_durable < self._ft_total:
+                if self._complete_ev.triggered:
+                    self._complete_ev = Event(plat.sim)
+                yield self._complete_ev
+            # Flush write-behind so "durable" is on-platter; a crash during
+            # the drain can revoke completion, hence the re-check.
+            for a in plat.asus:
+                if a.alive:
+                    yield from a.disk.drain()
+            if self._ft_durable >= self._ft_total:
+                break
+        plat.sim.schedule_callback(plat.sim.stop)
+
+    # -- FT recovery callbacks (run inside simulator callbacks; no yields) ----
+    def _on_fault_ft(self, fault) -> None:
+        """Ground-truth accounting at the crash instant: data on the dead
+        device is gone *now*, whatever the detector believes."""
+        if fault.kind == "crash_asu":
+            self._purge_asu_runs(fault.index)
+        elif fault.kind == "crash_host":
+            self._purge_host_runs(fault.index)
+
+    def _purge_asu_runs(self, d: int) -> None:
+        lost = sum(r.shape[0] for _b, r in self.runs_on_asu[d])
+        if lost:
+            self._ft_durable -= lost
+        self.runs_on_asu[d] = []
+        self._run_hosts[d] = []
+
+    def _purge_host_runs(self, h: int) -> None:
+        for d in range(self.params.n_asus):
+            keep_r, keep_h, lost = [], [], 0
+            for (bucket, run), src in zip(self.runs_on_asu[d], self._run_hosts[d]):
+                if src == h:
+                    lost += run.shape[0]
+                else:
+                    keep_r.append((bucket, run))
+                    keep_h.append(src)
+            if lost:
+                self.runs_on_asu[d] = keep_r
+                self._run_hosts[d] = keep_h
+                self._ft_durable -= lost
+
+    def _on_detected_ft(self, node, t: float) -> None:
+        plat = self._ft_plat
+        nid = node.node_id
+        if nid.startswith("asu"):
+            d = node.index
+            if d in self._dead_asus:
+                return
+            self._dead_asus.add(d)
+            self._purge_asu_runs(d)  # idempotent; the crash hook already ran
+            # Re-assign every shard the dead ASU owned to the next alive
+            # mirror holder; ship markers make the takeover resume exactly
+            # where the dead producer stopped.
+            for shard, owner in sorted(self._shard_owner.items()):
+                if owner != d:
+                    continue
+                new_owner = self._next_alive_asu(d)
+                self._shard_owner[shard] = new_owner
+                proc = plat.spawn(
+                    self._produce_shard_ft(
+                        plat, new_owner, shard,
+                        self.params.block_records, self.params.schema.record_size,
+                    ),
+                    name=f"takeover{shard}", node=plat.asus[new_owner],
+                )
+                proc.callbacks.append(
+                    lambda _ev, nid=nid, shard=shard: (
+                        self.recovered_at.setdefault(nid, plat.sim.now)
+                        if shard in self._eof_posted
+                        else None
+                    )
+                )
+            for h in range(self.params.n_hosts):
+                if h not in self._dead_hosts:
+                    plat.hosts[h].mailbox.put(
+                        self._Message(
+                            "system", plat.hosts[h].node_id,
+                            ("reemit", d, None), 0, tag="ctl",
+                        )
+                    )
+        else:
+            h = node.index
+            if h in self._dead_hosts:
+                return
+            self._dead_hosts.add(h)
+            self.load_manager.quarantine(h)
+            self._purge_host_runs(h)  # idempotent; the crash hook already ran
+            for e in self._frag_log.pop(h, []):
+                if not e.done:
+                    self._replay_frag_entry(plat, e)
+            self.recovered_at[nid] = plat.sim.now
+
+    def _next_alive_asu(self, d: int) -> int:
+        D = self.params.n_asus
+        for step in range(1, D + 1):
+            cand = (d + step) % D
+            if cand not in self._dead_asus:
+                return cand
+        raise RuntimeError("no alive ASU for shard takeover")
+
+    def _replay_frag_entry(self, plat: ActivePlatform, e: _FragEntry) -> None:
+        """Re-route one retained fragment to a surviving host.
+
+        Runs inside a simulator callback (detection sweep or dead-letter
+        hook): the retransmission reserves link capacity and is charged to
+        the wire, but no CPU — the recovery manager replays out of the
+        retention buffer without re-running the functor.
+        """
+        e.done = True
+        n = int(e.piece.shape[0])
+        h2 = self.load_manager.route(e.bucket, n)
+        ne = _FragEntry(e.src_d, e.src_node, e.block, e.bucket, e.piece)
+        self._frag_log[h2].append(ne)
+        self._n_replayed_frags += 1
+        rs = self.params.schema.record_size
+        plat.network.post(
+            e.src_node, plat.hosts[h2].node_id,
+            ("frags", e.src_d, [(e.bucket, e.piece)], [ne]), n * rs, tag="frags",
+        )
+
+    def _dead_letter_ft(self, msg) -> None:
+        """Network callback: a delivery reached a fail-stopped node.
+
+        Only fragment messages whose destination host is *already detected*
+        need action — they were posted in the window between a routing
+        decision and the detection sweep, so the sweep missed them.  Every
+        other dead letter is covered by log-based recovery (run lineage,
+        EOF markers).
+        """
+        if msg.tag != "frags" or not msg.dst.startswith("host"):
+            return
+        if int(msg.dst[4:]) not in self._dead_hosts:
+            return
+        for e in msg.payload[3]:
+            if not e.done:
+                self._replay_frag_entry(self._ft_plat, e)
 
     # ------------------------------------------------------------------ pass 2
     def run_pass2(self) -> Pass2Result:

@@ -44,10 +44,27 @@ class Cpu:
         #: total cycles charged (for load accounting)
         self.cycles_charged = 0.0
         self.n_segments = 0
+        #: dynamic speed multiplier (< 1.0 = degraded clock, fault injection)
+        self.speed_factor = 1.0
 
     def seconds_for(self, cycles: float) -> float:
         """Virtual seconds to execute ``cycles`` on this CPU."""
-        return float(cycles) / self.clock_hz
+        return float(cycles) / (self.clock_hz * self.speed_factor)
+
+    def set_speed(self, factor: float) -> None:
+        """Scale the effective clock by ``factor`` (degraded-clock fault).
+
+        Affects segments that *start* after the change; a segment already in
+        flight completes at the rate it began with.  Degradations do not
+        nest: restoring always sets the factor back to an absolute value.
+        """
+        if factor <= 0:
+            raise ValueError("speed factor must be positive")
+        self.speed_factor = float(factor)
+
+    def halt(self) -> None:
+        """Fail-stop accounting: close any open busy interval."""
+        self.busy.end_if_busy()
 
     def execute(
         self,

@@ -12,7 +12,7 @@ so receiving is ordinary channel consumption.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Optional
+from typing import Any, Callable, Hashable, Optional
 
 from ..sim import Simulator, Store
 
@@ -93,6 +93,16 @@ class Network:
         )
         self.bytes_total = 0
         self.n_messages = 0
+        #: fail-stopped nodes: deliveries to them are captured, not completed
+        self.failed: set[Hashable] = set()
+        #: messages dropped because their destination was dead at delivery
+        #: time — retained so a recovery layer can replay them
+        self.dead_letters: list[Message] = []
+        self.n_dropped = 0
+        #: called with each new dead letter (recovery replay hook)
+        self.dead_letter_hook: Optional[Callable[[Message], None]] = None
+        #: scheduled link downtime per unordered node pair: list of (t0, t1)
+        self._downtimes: dict[frozenset, list[tuple[float, float]]] = {}
 
     # -- topology -----------------------------------------------------------
     def register(self, node_id: Hashable, mailbox_capacity: Optional[int] = None) -> Store:
@@ -127,7 +137,45 @@ class Network:
             bp_done, _ = self._backplane.reserve(nbytes)
             tx_done = max(tx_done, bp_done)
             deliver_at = max(deliver_at, bp_done + self.latency)
-        return tx_done, deliver_at
+        return tx_done, self._defer_for_downtime(src, dst, deliver_at)
+
+    # -- fault support --------------------------------------------------------
+    def fail_node(self, node_id: Hashable) -> None:
+        """Mark a node fail-stopped: future deliveries to it are dead-lettered."""
+        self.failed.add(node_id)
+
+    def set_link_down(self, a: Hashable, b: Hashable, t0: float, t1: float) -> None:
+        """Schedule a flap of the a<->b link over [t0, t1).
+
+        The model assumes reliable transport (retransmission): a message whose
+        delivery would land inside a downtime window is deferred until the
+        link restores at ``t1`` instead of being lost.
+        """
+        if t1 <= t0:
+            raise ValueError(f"empty downtime window [{t0}, {t1})")
+        self._downtimes.setdefault(frozenset((a, b)), []).append((float(t0), float(t1)))
+
+    def _defer_for_downtime(self, src: Hashable, dst: Hashable, deliver_at: float) -> float:
+        spans = self._downtimes.get(frozenset((src, dst)))
+        if spans:
+            changed = True
+            while changed:
+                changed = False
+                for t0, t1 in spans:
+                    if t0 <= deliver_at < t1:
+                        deliver_at = t1
+                        changed = True
+        return deliver_at
+
+    def _deliver(self, msg: Message) -> None:
+        """Complete a delivery, or capture it if the destination is dead."""
+        if msg.dst in self.failed:
+            self.dead_letters.append(msg)
+            self.n_dropped += 1
+            if self.dead_letter_hook is not None:
+                self.dead_letter_hook(msg)
+            return
+        self._mailboxes[msg.dst].put(msg)
 
     # -- operations -----------------------------------------------------------
     def send(self, src: Hashable, dst: Hashable, payload: Any, nbytes: int, tag: str = ""):
@@ -143,9 +191,8 @@ class Network:
         tx_done, deliver_at = self._reserve_path(src, dst, nbytes)
         self.bytes_total += msg.nbytes
         self.n_messages += 1
-        box = self._mailboxes[dst]
         self.sim.schedule_callback(
-            lambda m=msg: box.put(m), delay=deliver_at - self.sim.now
+            lambda m=msg: self._deliver(m), delay=deliver_at - self.sim.now
         )
         if tx_done > self.sim.now:
             yield self.sim.timeout(tx_done - self.sim.now)
@@ -167,9 +214,8 @@ class Network:
         _tx_done, deliver_at = self._reserve_path(src, dst, nbytes)
         self.bytes_total += msg.nbytes
         self.n_messages += 1
-        box = self._mailboxes[dst]
         self.sim.schedule_callback(
-            lambda m=msg: box.put(m), delay=deliver_at - self.sim.now
+            lambda m=msg: self._deliver(m), delay=deliver_at - self.sim.now
         )
         return msg
 

@@ -40,6 +40,13 @@ class Node:
         self.cpu = Cpu(sim, clock_hz, params, name=f"{self.node_id}.cpu")
         self.mem_bytes = int(mem_bytes)
         self.mailbox: Store = network.register(self.node_id)
+        #: fail-stop flag — cleared by :meth:`fail`, never restored (§repro.faults)
+        self.alive = True
+
+    def fail(self) -> None:
+        """Fail-stop this node: mark it dead and close CPU accounting."""
+        self.alive = False
+        self.cpu.halt()
 
     # -- communication helpers (charge NIC CPU overhead, §1) ---------------
     def send(self, dst: "Node | str", payload, nbytes: int, tag: str = ""):

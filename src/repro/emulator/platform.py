@@ -92,6 +92,10 @@ class ActivePlatform:
             Asu(self.sim, self.network, params, i) for i in range(params.n_asus)
         ]
         self._procs: list[Process] = []
+        #: processes registered to a node, interrupted when that node fails
+        self._node_procs: dict[str, list[Process]] = {}
+        #: node_ids fail-stopped via :meth:`fail_node`
+        self.failed_nodes: set[str] = set()
 
     # -- node lookup --------------------------------------------------------
     @property
@@ -105,11 +109,38 @@ class ActivePlatform:
         raise KeyError(f"no node {node_id!r}")
 
     # -- process management ---------------------------------------------------
-    def spawn(self, generator, name: str = "") -> Process:
-        """Start a process coroutine on the platform."""
+    def spawn(self, generator, name: str = "", node: Optional[Node] = None) -> Process:
+        """Start a process coroutine on the platform.
+
+        If ``node`` is given, the process is registered to it: a fail-stop of
+        that node (:meth:`fail_node`) interrupts the process.  Spawning onto a
+        node that already failed interrupts the process immediately.
+        """
         p = self.sim.process(generator, name=name)
         self._procs.append(p)
+        if node is not None:
+            self._node_procs.setdefault(node.node_id, []).append(p)
+            if not node.alive:
+                p.interrupt(cause=f"{node.node_id} failed")
         return p
+
+    def fail_node(self, node: "Node | str") -> None:
+        """Fail-stop a node: kill its processes and black-hole its traffic."""
+        n = self.node(node) if isinstance(node, str) else node
+        if not n.alive:
+            return
+        n.fail()
+        self.failed_nodes.add(n.node_id)
+        self.network.fail_node(n.node_id)
+        for p in self._node_procs.get(n.node_id, ()):
+            if not p.triggered:
+                p.interrupt(cause=f"{n.node_id} failed")
+
+    def alive_hosts(self) -> list[Host]:
+        return [h for h in self.hosts if h.alive]
+
+    def alive_asus(self) -> list[Asu]:
+        return [a for a in self.asus if a.alive]
 
     def run(
         self,

@@ -53,7 +53,8 @@ class ReadAhead:
         self._next_issue += 1
         self._outstanding.append(
             self.plat.spawn(
-                self.asu.disk.read(nbytes), name=f"ra.{self.asu.node_id}"
+                self.asu.disk.read(nbytes), name=f"ra.{self.asu.node_id}",
+                node=self.asu,
             )
         )
 

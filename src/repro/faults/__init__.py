@@ -1,0 +1,45 @@
+"""repro.faults — fault injection and failure recovery for the emulation.
+
+The paper evaluates load management under healthy hardware; this package
+exercises the same machinery under failure.  It provides:
+
+- :mod:`~repro.faults.injector` — deterministic scheduled faults
+  (fail-stops, degraded clocks, link flaps) plus a seeded random model;
+- :mod:`~repro.faults.detector` — heartbeat/timeout failure detection with
+  a configurable latency bound;
+- :mod:`~repro.faults.report` — injected / detected / recovered accounting.
+
+Recovery itself lives with the components that own the state: routing
+policies quarantine dead instances (:mod:`repro.core.routing`), the placement
+solver re-places functors off dead nodes (:mod:`repro.core.placement`), and
+the DSM-Sort runtime re-runs lost run-formation work
+(:mod:`repro.dsmsort.runtime`, ``faults=`` mode).
+"""
+
+from .detector import FailureDetector
+from .injector import (
+    Fault,
+    FaultPlan,
+    Injector,
+    RandomFaultModel,
+    crash_asu,
+    crash_host,
+    degrade_asu,
+    degrade_host,
+    link_flap,
+)
+from .report import FaultReport
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "Injector",
+    "RandomFaultModel",
+    "FailureDetector",
+    "FaultReport",
+    "crash_asu",
+    "crash_host",
+    "degrade_asu",
+    "degrade_host",
+    "link_flap",
+]

@@ -1,0 +1,110 @@
+"""Heartbeat failure detection with configurable latency.
+
+Each monitored node runs a *beater* process that stamps a liveness table every
+``interval`` virtual seconds; a single monitor process sweeps the table every
+``check_interval`` and declares any node silent for longer than ``timeout``
+failed.  Beaters are registered to their node
+(:meth:`~repro.emulator.platform.ActivePlatform.spawn` with ``node=``), so a
+fail-stop interrupts them and the heartbeats genuinely stop — detection then
+follows within ``timeout + check_interval`` of the crash, which is the
+detector's latency bound.
+
+Heartbeats are pure timers: they charge no CPU cycles and send no network
+messages, so arming a detector perturbs neither the workload's timing nor its
+event ordering.  That also means link flaps and degraded clocks cause *no
+false suspicion* — only a fail-stop silences a beater.  Recovery logic that
+wants to react to slow (rather than dead) devices should watch load-manager
+feedback instead (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from ..emulator.node import Node
+from ..emulator.platform import ActivePlatform
+
+__all__ = ["FailureDetector"]
+
+
+class FailureDetector:
+    """Timeout-based failure detector over a set of platform nodes."""
+
+    def __init__(
+        self,
+        plat: ActivePlatform,
+        nodes: Optional[Iterable[Node]] = None,
+        interval: float = 0.05,
+        timeout: float = 0.2,
+        check_interval: Optional[float] = None,
+    ):
+        if interval <= 0 or timeout <= 0:
+            raise ValueError("interval and timeout must be positive")
+        if timeout < interval:
+            raise ValueError("timeout must be >= heartbeat interval")
+        self.plat = plat
+        self.nodes: list[Node] = list(plat.nodes if nodes is None else nodes)
+        self.interval = float(interval)
+        self.timeout = float(timeout)
+        self.check_interval = float(check_interval if check_interval is not None else interval)
+        #: node_id -> virtual time the failure was declared
+        self.detected: dict[str, float] = {}
+        #: called with (node, detection_time) when a failure is declared
+        self.on_failure: list[Callable[[Node, float], None]] = []
+        self._last_beat: dict[str, float] = {}
+        self._monitor = None
+        self._running = False
+
+    @property
+    def latency_bound(self) -> float:
+        """Worst-case detection lag after a fail-stop."""
+        return self.timeout + self.check_interval
+
+    def start(self) -> None:
+        """Spawn the beaters and the monitor.  Call once, before ``run()``.
+
+        The detector's processes are perpetual; a driver that runs the
+        simulator to queue-exhaustion must call :meth:`stop` (or
+        ``sim.stop``) when the workload completes.
+        """
+        if self._running:
+            raise RuntimeError("detector already started")
+        self._running = True
+        now = self.plat.sim.now
+        for node in self.nodes:
+            self._last_beat[node.node_id] = now
+            self.plat.spawn(self._beater(node), name=f"hb.{node.node_id}", node=node)
+        self._monitor = self.plat.spawn(self._monitor_loop(), name="hb.monitor")
+
+    def stop(self) -> None:
+        """Tear down the monitor and any still-running beaters."""
+        if not self._running:
+            return
+        self._running = False
+        if self._monitor is not None and not self._monitor.triggered:
+            self._monitor.interrupt(cause="detector stopped")
+
+    # -- processes -------------------------------------------------------------
+    def _beater(self, node: Node):
+        while True:
+            yield self.plat.sim.timeout(self.interval)
+            self._last_beat[node.node_id] = self.plat.sim.now
+
+    def _monitor_loop(self):
+        while self._running:
+            yield self.plat.sim.timeout(self.check_interval)
+            now = self.plat.sim.now
+            for node in self.nodes:
+                nid = node.node_id
+                if nid in self.detected:
+                    continue
+                if now - self._last_beat[nid] > self.timeout:
+                    self.declare_failed(node)
+
+    def declare_failed(self, node: Node) -> None:
+        """Record a detection and fire the failure callbacks."""
+        if node.node_id in self.detected:
+            return
+        self.detected[node.node_id] = self.plat.sim.now
+        for cb in list(self.on_failure):
+            cb(node, self.plat.sim.now)

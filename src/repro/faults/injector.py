@@ -1,0 +1,302 @@
+"""Deterministic fault injection for the emulated platform.
+
+A :class:`FaultPlan` is an ordered schedule of :class:`Fault` events — ASU or
+host fail-stops, degraded clocks, link flaps — and an :class:`Injector` arms
+the plan against an :class:`~repro.emulator.platform.ActivePlatform`'s event
+loop.  Faults fire as simulator callbacks at their scheduled virtual times, so
+the same plan against the same workload and seed reproduces bit-identical
+runs.
+
+:class:`RandomFaultModel` draws a plan stochastically (exponential
+inter-arrival, MTTF per device class) from a seeded generator, for soak-style
+testing where the fault schedule itself is part of the experiment seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Iterator, Optional
+
+import numpy as np
+
+from ..emulator.params import SystemParams
+from ..emulator.platform import ActivePlatform
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "RandomFaultModel",
+    "Injector",
+    "crash_asu",
+    "crash_host",
+    "degrade_asu",
+    "degrade_host",
+    "link_flap",
+]
+
+#: recognised fault kinds
+KINDS = ("crash_asu", "crash_host", "degrade_asu", "degrade_host", "link_flap")
+
+
+@dataclass(frozen=True, order=True)
+class Fault:
+    """One scheduled fault.  Ordered by time so plans sort chronologically.
+
+    ``index`` picks the target device (ASU or host index; for ``link_flap``
+    the host index, with ``peer`` the ASU index).  ``duration`` applies to
+    degradations and flaps; ``factor`` is the degraded-clock multiplier.
+    """
+
+    t: float
+    kind: str = field(compare=False)
+    index: int = field(compare=False)
+    duration: float = field(default=0.0, compare=False)
+    factor: float = field(default=1.0, compare=False)
+    peer: int = field(default=-1, compare=False)
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.t < 0:
+            raise ValueError("fault time must be nonnegative")
+        if self.kind in ("degrade_asu", "degrade_host", "link_flap"):
+            if self.duration <= 0:
+                raise ValueError(f"{self.kind} needs a positive duration")
+        if self.kind in ("degrade_asu", "degrade_host") and not (0 < self.factor < 1):
+            raise ValueError("degrade factor must be in (0, 1)")
+        if self.kind == "link_flap" and self.peer < 0:
+            raise ValueError("link_flap needs a peer (ASU index)")
+
+    def describe(self) -> str:
+        if self.kind == "crash_asu":
+            return f"t={self.t:.3f} crash asu{self.index}"
+        if self.kind == "crash_host":
+            return f"t={self.t:.3f} crash host{self.index}"
+        if self.kind == "link_flap":
+            return (
+                f"t={self.t:.3f} flap host{self.index}<->asu{self.peer} "
+                f"for {self.duration:.3f}s"
+            )
+        dev = "asu" if self.kind == "degrade_asu" else "host"
+        return (
+            f"t={self.t:.3f} degrade {dev}{self.index} x{self.factor:.2f} "
+            f"for {self.duration:.3f}s"
+        )
+
+
+# -- constructors --------------------------------------------------------------
+def crash_asu(t: float, index: int) -> Fault:
+    """Fail-stop ASU ``index`` at time ``t`` (permanent)."""
+    return Fault(t=t, kind="crash_asu", index=index)
+
+
+def crash_host(t: float, index: int) -> Fault:
+    """Fail-stop host ``index`` at time ``t`` (permanent)."""
+    return Fault(t=t, kind="crash_host", index=index)
+
+
+def degrade_asu(t: float, index: int, factor: float, duration: float) -> Fault:
+    """Scale asu ``index``'s clock by ``factor`` over ``[t, t + duration)``."""
+    return Fault(t=t, kind="degrade_asu", index=index, factor=factor, duration=duration)
+
+
+def degrade_host(t: float, index: int, factor: float, duration: float) -> Fault:
+    """Scale host ``index``'s clock by ``factor`` over ``[t, t + duration)``."""
+    return Fault(t=t, kind="degrade_host", index=index, factor=factor, duration=duration)
+
+
+def link_flap(t: float, host: int, asu: int, duration: float) -> Fault:
+    """Take the host<->ASU link down over ``[t, t + duration)``.
+
+    The transport is assumed reliable: in-flight messages are delayed past
+    the outage, not lost (see :meth:`repro.emulator.net.Network.set_link_down`).
+    """
+    return Fault(t=t, kind="link_flap", index=host, duration=duration, peer=asu)
+
+
+class FaultPlan:
+    """An immutable-ish, chronologically sorted fault schedule."""
+
+    def __init__(self, faults: Iterable[Fault] = ()):
+        self.faults: list[Fault] = sorted(faults)
+
+    def add(self, fault: Fault) -> "FaultPlan":
+        self.faults.append(fault)
+        self.faults.sort()
+        return self
+
+    def __iter__(self) -> Iterator[Fault]:
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __repr__(self) -> str:
+        return f"<FaultPlan {len(self.faults)} fault(s)>"
+
+    def horizon(self) -> float:
+        """Latest instant at which any fault is still active."""
+        return max((f.t + f.duration for f in self.faults), default=0.0)
+
+    def validate(self, params: SystemParams) -> "FaultPlan":
+        """Check every fault targets a device that exists; returns self."""
+        for f in self.faults:
+            if f.kind in ("crash_asu", "degrade_asu") and not (0 <= f.index < params.n_asus):
+                raise ValueError(f"{f.describe()}: no such ASU (D={params.n_asus})")
+            if f.kind in ("crash_host", "degrade_host") and not (0 <= f.index < params.n_hosts):
+                raise ValueError(f"{f.describe()}: no such host (H={params.n_hosts})")
+            if f.kind == "link_flap":
+                if not (0 <= f.index < params.n_hosts):
+                    raise ValueError(f"{f.describe()}: no such host (H={params.n_hosts})")
+                if not (0 <= f.peer < params.n_asus):
+                    raise ValueError(f"{f.describe()}: no such ASU (D={params.n_asus})")
+        return self
+
+    def scaled(self, time_factor: float) -> "FaultPlan":
+        """A copy with every fault time (and duration) scaled — for re-using
+        one schedule across workloads of different lengths."""
+        return FaultPlan(
+            replace(f, t=f.t * time_factor, duration=f.duration * time_factor)
+            for f in self.faults
+        )
+
+
+class RandomFaultModel:
+    """Seeded stochastic fault schedule: exponential inter-arrival per device.
+
+    Each device class gets a mean-time-to-failure; crash faults are drawn as a
+    Poisson process per device, degradations and flaps likewise with their own
+    MTTFs.  ``None`` disables a fault class.  The same ``seed`` always yields
+    the same plan for the same parameters and horizon.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        mttf_asu: Optional[float] = None,
+        mttf_host: Optional[float] = None,
+        mtt_degrade: Optional[float] = None,
+        mtt_flap: Optional[float] = None,
+        degrade_factor: float = 0.5,
+        degrade_duration: float = 1.0,
+        flap_duration: float = 0.25,
+        max_crashes: int = 1,
+    ):
+        self.seed = int(seed)
+        self.mttf_asu = mttf_asu
+        self.mttf_host = mttf_host
+        self.mtt_degrade = mtt_degrade
+        self.mtt_flap = mtt_flap
+        self.degrade_factor = float(degrade_factor)
+        self.degrade_duration = float(degrade_duration)
+        self.flap_duration = float(flap_duration)
+        #: cap on fail-stops per device class, so a random plan cannot kill
+        #: every replica (recovery needs at least one survivor)
+        self.max_crashes = int(max_crashes)
+
+    def _arrivals(self, rng: np.random.Generator, mttf: float, horizon: float) -> list[float]:
+        times, t = [], 0.0
+        while True:
+            t += float(rng.exponential(mttf))
+            if t >= horizon:
+                return times
+            times.append(t)
+
+    def plan(self, params: SystemParams, horizon: float) -> FaultPlan:
+        """Draw the fault schedule over ``[0, horizon)``."""
+        rng = np.random.default_rng(self.seed)
+        faults: list[Fault] = []
+        # Crashes: one Poisson stream per device, truncated to max_crashes
+        # per class so the run keeps a quorum of survivors.
+        if self.mttf_asu is not None:
+            crashes = []
+            for d in range(params.n_asus):
+                crashes += [(t, d) for t in self._arrivals(rng, self.mttf_asu, horizon)]
+            for t, d in sorted(crashes)[: self.max_crashes]:
+                faults.append(crash_asu(t, d))
+        if self.mttf_host is not None:
+            crashes = []
+            for h in range(params.n_hosts):
+                crashes += [(t, h) for t in self._arrivals(rng, self.mttf_host, horizon)]
+            for t, h in sorted(crashes)[: self.max_crashes]:
+                faults.append(crash_host(t, h))
+        if self.mtt_degrade is not None:
+            for d in range(params.n_asus):
+                for t in self._arrivals(rng, self.mtt_degrade, horizon):
+                    faults.append(
+                        degrade_asu(t, d, self.degrade_factor, self.degrade_duration)
+                    )
+        if self.mtt_flap is not None:
+            for h in range(params.n_hosts):
+                for d in range(params.n_asus):
+                    for t in self._arrivals(rng, self.mtt_flap, horizon):
+                        faults.append(link_flap(t, h, d, self.flap_duration))
+        return FaultPlan(faults).validate(params)
+
+
+class Injector:
+    """Arms a :class:`FaultPlan` against a platform's event loop.
+
+    Crash faults fail-stop the node through
+    :meth:`~repro.emulator.platform.ActivePlatform.fail_node` (processes
+    interrupted, traffic dead-lettered).  Degradations scale the target CPU's
+    clock and schedule the restore.  Link flaps register a downtime window
+    with the network.  Faults against already-dead nodes are recorded in
+    :attr:`skipped` rather than fired.
+    """
+
+    def __init__(
+        self,
+        plat: ActivePlatform,
+        plan: FaultPlan,
+        on_fault: Optional[Callable[[Fault], None]] = None,
+    ):
+        self.plat = plat
+        self.plan = plan.validate(plat.params)
+        #: callback invoked after each fault is applied (recovery hook)
+        self.on_fault = on_fault
+        #: faults actually applied, in firing order
+        self.injected: list[Fault] = []
+        #: faults skipped because their target was already dead
+        self.skipped: list[Fault] = []
+        self._armed = False
+
+    def arm(self) -> None:
+        """Schedule every fault in the plan.  Call once, before ``run()``."""
+        if self._armed:
+            raise RuntimeError("injector already armed")
+        self._armed = True
+        now = self.plat.sim.now
+        for f in self.plan:
+            self.plat.sim.schedule_callback(
+                lambda fault=f: self._fire(fault), delay=max(0.0, f.t - now)
+            )
+
+    # -- firing ---------------------------------------------------------------
+    def _node_for(self, f: Fault):
+        if f.kind in ("crash_asu", "degrade_asu"):
+            return self.plat.asus[f.index]
+        return self.plat.hosts[f.index]
+
+    def _fire(self, f: Fault) -> None:
+        if f.kind == "link_flap":
+            host_id = self.plat.hosts[f.index].node_id
+            asu_id = self.plat.asus[f.peer].node_id
+            t = self.plat.sim.now
+            self.plat.network.set_link_down(host_id, asu_id, t, t + f.duration)
+            self.injected.append(f)
+        else:
+            node = self._node_for(f)
+            if not node.alive:
+                self.skipped.append(f)
+                return
+            if f.kind in ("crash_asu", "crash_host"):
+                self.plat.fail_node(node)
+            else:  # degrade
+                node.cpu.set_speed(f.factor)
+                self.plat.sim.schedule_callback(
+                    lambda cpu=node.cpu: cpu.set_speed(1.0), delay=f.duration
+                )
+            self.injected.append(f)
+        if self.on_fault is not None:
+            self.on_fault(f)

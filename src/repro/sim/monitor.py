@@ -38,6 +38,15 @@ class BusyTracker:
         """Record a busy span ending now (for modelled, non-reentrant work)."""
         self.intervals.add(self.sim.now - duration, self.sim.now)
 
+    def end_if_busy(self) -> None:
+        """Close an open busy interval if one exists.
+
+        Used when a device halts abruptly (fail-stop, §repro.faults): the
+        segment in flight is accounted busy up to the failure instant.
+        """
+        if self._busy_since is not None:
+            self.end()
+
     @property
     def total_busy(self) -> float:
         extra = (self.sim.now - self._busy_since) if self._busy_since is not None else 0.0

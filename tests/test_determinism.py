@@ -1,0 +1,63 @@
+"""Regression tests: the emulation must be bit-identical run to run.
+
+Everything downstream — the figure benches, the fault-recovery acceptance
+numbers, the benchmark baselines — relies on the simulation being a pure
+function of (workload, platform, seed, fault plan).  These tests re-run the
+two main entry points twice with identical inputs and require exact equality,
+not approximate.
+"""
+
+from repro.bench.fig9 import run_figure9
+from repro.core import DSMConfig
+from repro.dsmsort import DsmSortJob
+from repro.emulator.params import SystemParams
+from repro.faults import FaultPlan, crash_asu, crash_host
+
+
+def _params():
+    return SystemParams(
+        n_hosts=2,
+        n_asus=8,
+        cycles_per_compare=100.0,
+        cycles_per_record=300.0,
+        cycles_per_net_byte=1.5,
+        cycles_per_io_byte=0.5,
+        block_records=1024,
+    )
+
+
+class TestDeterminism:
+    def test_fig9_sweep_is_bit_identical(self):
+        kw = dict(n_records=1 << 14, asu_counts=[1, 4], alphas=[4, 16], seed=7)
+        a = run_figure9(**kw)
+        b = run_figure9(**kw)
+        assert a.speedup == b.speedup
+        assert a.baseline_makespan == b.baseline_makespan
+        assert a.adaptive_alpha == b.adaptive_alpha
+
+    def test_fault_injected_sort_is_bit_identical(self):
+        def one():
+            plan = FaultPlan([crash_asu(0.02, 3), crash_host(0.03, 1)])
+            job = DsmSortJob(
+                _params(),
+                DSMConfig.for_n(1 << 14, alpha=16, gamma=16),
+                policy="sr",
+                active=True,
+                seed=5,
+                faults=plan,
+                heartbeat_interval=0.002,
+                heartbeat_timeout=0.008,
+            )
+            res = job.run_pass1()
+            job.run_pass2()
+            job.verify()
+            return (
+                res.makespan,
+                job.platform.sim.n_events_processed,
+                res.n_replayed_frags,
+                res.n_reemitted_runs,
+                res.n_takeover_blocks,
+                sorted(res.fault_report.detected.items()),
+            )
+
+        assert one() == one()

@@ -30,6 +30,7 @@ def load_example(name):
         ("rtree_demo", "both organisations agree"),
         ("active_filter", "interconnect traffic"),
         ("dataflow_pipeline", "identical outputs"),
+        ("fault_recovery", "verified sorted despite the crash"),
     ],
 )
 def test_example_runs(name, expect, capsys):

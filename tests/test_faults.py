@@ -1,0 +1,455 @@
+"""Tests for repro.faults: injection, detection, and DSM-Sort recovery."""
+
+import numpy as np
+import pytest
+
+from repro.core import DSMConfig
+from repro.core.load_manager import LoadManager
+from repro.core.placement import Placement, PlacementSolver
+from repro.core.routing import make_router
+from repro.dsmsort import DsmSortJob
+from repro.emulator.params import SystemParams
+from repro.emulator.platform import ActivePlatform
+from repro.faults import (
+    FailureDetector,
+    Fault,
+    FaultPlan,
+    FaultReport,
+    Injector,
+    RandomFaultModel,
+    crash_asu,
+    crash_host,
+    degrade_asu,
+    degrade_host,
+    link_flap,
+)
+from repro.functors.base import FunctorError
+
+
+def small_params(**over):
+    base = dict(n_hosts=2, n_asus=4)
+    base.update(over)
+    return SystemParams(**base)
+
+
+def fig_params(**over):
+    """Same calibrated cost family as the figure benches."""
+    base = dict(
+        n_hosts=2,
+        n_asus=16,
+        cycles_per_compare=100.0,
+        cycles_per_record=300.0,
+        cycles_per_net_byte=1.5,
+        cycles_per_io_byte=0.5,
+        block_records=1024,
+    )
+    base.update(over)
+    return SystemParams(**base)
+
+
+# ---------------------------------------------------------------------------
+# Fault / FaultPlan
+# ---------------------------------------------------------------------------
+class TestFaultPlan:
+    def test_kind_validation(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault(t=0.0, kind="meteor", index=0)
+        with pytest.raises(ValueError, match="nonnegative"):
+            crash_asu(-1.0, 0)
+        with pytest.raises(ValueError, match="positive duration"):
+            degrade_asu(0.0, 0, factor=0.5, duration=0.0)
+        with pytest.raises(ValueError, match="factor"):
+            degrade_host(0.0, 0, factor=1.5, duration=1.0)
+        with pytest.raises(ValueError, match="peer"):
+            Fault(t=0.0, kind="link_flap", index=0, duration=1.0)
+
+    def test_plan_sorts_chronologically(self):
+        plan = FaultPlan([crash_asu(2.0, 1), crash_host(1.0, 0)])
+        plan.add(degrade_asu(0.5, 2, factor=0.5, duration=1.0))
+        assert [f.t for f in plan] == [0.5, 1.0, 2.0]
+        assert len(plan) == 3
+
+    def test_horizon_includes_durations(self):
+        plan = FaultPlan([crash_asu(2.0, 0), degrade_asu(1.0, 1, 0.5, 5.0)])
+        assert plan.horizon() == 6.0
+        assert FaultPlan().horizon() == 0.0
+
+    def test_validate_device_ranges(self):
+        p = small_params()
+        FaultPlan([crash_asu(0.0, 3), link_flap(0.0, 1, 3, 1.0)]).validate(p)
+        with pytest.raises(ValueError, match="no such ASU"):
+            FaultPlan([crash_asu(0.0, 4)]).validate(p)
+        with pytest.raises(ValueError, match="no such host"):
+            FaultPlan([crash_host(0.0, 2)]).validate(p)
+        with pytest.raises(ValueError, match="no such ASU"):
+            FaultPlan([link_flap(0.0, 0, 9, 1.0)]).validate(p)
+
+    def test_scaled(self):
+        plan = FaultPlan([degrade_asu(1.0, 0, 0.5, 2.0)]).scaled(0.5)
+        f = plan.faults[0]
+        assert (f.t, f.duration) == (0.5, 1.0)
+
+
+class TestRandomFaultModel:
+    def test_same_seed_same_plan(self):
+        p = small_params()
+        kw = dict(mttf_asu=1.0, mttf_host=3.0, mtt_degrade=0.7, mtt_flap=0.5)
+        a = RandomFaultModel(seed=11, **kw).plan(p, horizon=2.0)
+        b = RandomFaultModel(seed=11, **kw).plan(p, horizon=2.0)
+        assert [f.describe() for f in a] == [f.describe() for f in b]
+        c = RandomFaultModel(seed=12, **kw).plan(p, horizon=2.0)
+        assert [f.describe() for f in a] != [f.describe() for f in c]
+
+    def test_max_crashes_cap(self):
+        p = small_params()
+        plan = RandomFaultModel(seed=0, mttf_asu=0.01, max_crashes=2).plan(
+            p, horizon=10.0
+        )
+        assert sum(1 for f in plan if f.kind == "crash_asu") == 2
+
+    def test_disabled_classes_yield_empty_plan(self):
+        assert len(RandomFaultModel(seed=0).plan(small_params(), horizon=10.0)) == 0
+
+
+# ---------------------------------------------------------------------------
+# Injector on a bare platform
+# ---------------------------------------------------------------------------
+class TestInjector:
+    def test_crash_interrupts_node_processes(self):
+        plat = ActivePlatform(small_params())
+        log = []
+
+        def worker(d):
+            while True:
+                yield plat.sim.timeout(0.1)
+                log.append((plat.sim.now, d))
+
+        for d in range(2):
+            plat.spawn(worker(d), node=plat.asus[d])
+        inj = Injector(plat, FaultPlan([crash_asu(0.25, 0)]))
+        inj.arm()
+        plat.sim.run(until=1.0)
+        assert not plat.asus[0].alive and plat.asus[1].alive
+        assert inj.injected and not inj.skipped
+        # asu0's worker stopped at the crash; asu1's kept going.
+        assert max(t for t, d in log if d == 0) < 0.25
+        assert max(t for t, d in log if d == 1) > 0.9
+
+    def test_crash_dead_letters_traffic(self):
+        plat = ActivePlatform(small_params())
+        seen = []
+        plat.network.dead_letter_hook = seen.append
+        Injector(plat, FaultPlan([crash_asu(0.1, 0)])).arm()
+        asu_id = plat.asus[0].node_id
+        plat.sim.schedule_callback(
+            lambda: plat.network.post("host0", asu_id, "late", 64), delay=0.5
+        )
+        plat.sim.run(until=2.0)
+        assert plat.network.n_dropped == 1
+        assert [m.payload for m in plat.network.dead_letters] == ["late"]
+        assert seen == plat.network.dead_letters
+
+    def test_degrade_scales_and_restores_clock(self):
+        plat = ActivePlatform(small_params())
+        cpu = plat.asus[1].cpu
+        Injector(plat, FaultPlan([degrade_asu(0.2, 1, 0.25, 0.3)])).arm()
+        speeds = {}
+        plat.sim.schedule_callback(
+            lambda: speeds.setdefault("during", cpu.speed_factor), delay=0.3
+        )
+        plat.sim.run(until=1.0)
+        assert speeds["during"] == 0.25
+        assert cpu.speed_factor == 1.0
+
+    def test_fault_on_dead_node_is_skipped(self):
+        plat = ActivePlatform(small_params())
+        plan = FaultPlan([crash_asu(0.1, 0), degrade_asu(0.2, 0, 0.5, 1.0)])
+        inj = Injector(plat, plan)
+        inj.arm()
+        plat.sim.run(until=1.0)
+        assert [f.kind for f in inj.injected] == ["crash_asu"]
+        assert [f.kind for f in inj.skipped] == ["degrade_asu"]
+
+    def test_arm_twice_raises(self):
+        plat = ActivePlatform(small_params())
+        inj = Injector(plat, FaultPlan())
+        inj.arm()
+        with pytest.raises(RuntimeError, match="already armed"):
+            inj.arm()
+
+    def test_plan_validated_against_platform(self):
+        plat = ActivePlatform(small_params())
+        with pytest.raises(ValueError, match="no such ASU"):
+            Injector(plat, FaultPlan([crash_asu(0.0, 99)]))
+
+    def test_link_flap_defers_delivery_past_outage(self):
+        plat = ActivePlatform(small_params())
+        Injector(plat, FaultPlan([link_flap(0.0, 0, 0, duration=0.5)])).arm()
+        arrivals = []
+
+        def receiver():
+            msg = yield plat.network.mailbox("asu0").get()
+            arrivals.append((plat.sim.now, msg.payload))
+
+        plat.spawn(receiver())
+        plat.sim.schedule_callback(
+            lambda: plat.network.post("host0", "asu0", "hi", 8), delay=0.1
+        )
+        plat.sim.run(until=2.0)
+        # Delivery would normally land ~0.1 + latency; the flap holds it to 0.5.
+        assert arrivals and arrivals[0][0] >= 0.5
+
+
+# ---------------------------------------------------------------------------
+# FailureDetector
+# ---------------------------------------------------------------------------
+class TestFailureDetector:
+    def test_detects_crash_within_latency_bound(self):
+        plat = ActivePlatform(small_params())
+        det = FailureDetector(plat, interval=0.05, timeout=0.2)
+        det.start()
+        Injector(plat, FaultPlan([crash_asu(0.4, 2)])).arm()
+        plat.sim.run(until=2.0)
+        assert "asu2" in det.detected
+        assert det.detected["asu2"] - 0.4 <= det.latency_bound
+        assert len(det.detected) == 1  # no false positives
+
+    def test_no_false_positives_without_faults(self):
+        plat = ActivePlatform(small_params())
+        det = FailureDetector(plat, interval=0.05, timeout=0.2)
+        det.start()
+        plat.sim.run(until=3.0)
+        assert det.detected == {}
+
+    def test_on_failure_callbacks_fire_once(self):
+        plat = ActivePlatform(small_params())
+        det = FailureDetector(plat, interval=0.05, timeout=0.1)
+        calls = []
+        det.on_failure.append(lambda node, t: calls.append((node.node_id, t)))
+        det.start()
+        Injector(plat, FaultPlan([crash_host(0.3, 1)])).arm()
+        plat.sim.run(until=2.0)
+        assert len(calls) == 1 and calls[0][0] == "host1"
+
+    def test_parameter_validation(self):
+        plat = ActivePlatform(small_params())
+        with pytest.raises(ValueError, match="positive"):
+            FailureDetector(plat, interval=0.0)
+        with pytest.raises(ValueError, match=">= heartbeat"):
+            FailureDetector(plat, interval=0.2, timeout=0.1)
+
+    def test_start_twice_raises(self):
+        plat = ActivePlatform(small_params())
+        det = FailureDetector(plat)
+        det.start()
+        with pytest.raises(RuntimeError, match="already started"):
+            det.start()
+
+
+# ---------------------------------------------------------------------------
+# Router / LoadManager quarantine
+# ---------------------------------------------------------------------------
+class TestQuarantine:
+    def test_pick_remaps_off_quarantined(self):
+        r = make_router("static", 4, n_buckets=4)
+        assert r.pick(1, 10) == 1
+        r.quarantine(1)
+        assert r.pick(1, 10) == 2  # cyclic next-alive
+
+    def test_sr_draws_among_survivors(self):
+        r = make_router("sr", 4, rng=np.random.default_rng(0))
+        r.quarantine(2)
+        picks = {r.pick(0, 1) for _ in range(200)}
+        assert 2 not in picks and picks <= {0, 1, 3}
+
+    def test_jsq_ignores_dead_instance(self):
+        r = make_router("jsq", 3)
+        r.on_sent(1, 5)
+        r.on_sent(2, 5)
+        r.quarantine(0)  # the emptiest queue is now dead
+        assert r.pick(0, 1) in (1, 2)
+
+    def test_weighted_masks_dead_instance(self):
+        r = make_router("weighted", 0, weights=[1.0, 1.0, 8.0])
+        r.quarantine(2)  # the heaviest instance dies
+        assert all(r.pick(0, 1) in (0, 1) for _ in range(20))
+
+    def test_adaptive_switch_propagates_quarantine(self):
+        r = make_router("adaptive_switch", 4, n_buckets=4)
+        r.quarantine(3)
+        assert not r._static.alive[3] and not r._sr.alive[3]
+
+    def test_cannot_quarantine_last_instance(self):
+        r = make_router("static", 2, n_buckets=2)
+        r.quarantine(0)
+        with pytest.raises(RuntimeError, match="last alive"):
+            r.quarantine(1)
+
+    def test_load_manager_quarantine(self):
+        lm = LoadManager(small_params(), n_instances=3, n_buckets=4, policy="static")
+        lm.quarantine(1)
+        assert lm.alive_instances() == [0, 2]
+        assert lm.instances[1].quarantined
+        for b in range(4):
+            assert lm.route(b, 8) != 1
+        assert lm.instances[1].records_routed == 0
+
+
+# ---------------------------------------------------------------------------
+# Placement repair
+# ---------------------------------------------------------------------------
+class TestPlacementRepair:
+    def test_migrate_off_prefers_least_loaded_survivor(self):
+        p = Placement()
+        p.assign("scan", "asu", [0, 1])
+        p.assign("filter", "asu", [2])
+        moves = p.migrate_off("asu", 0, alive=[1, 2, 3])
+        # asu3 hosts nothing, asu2 hosts one stage; asu3 wins.
+        assert moves == [("scan", 0, 3)]
+        assert p.of("scan").instances == [3, 1]
+
+    def test_migrate_off_drops_duplicate_replica(self):
+        p = Placement()
+        p.assign("scan", "asu", [0, 1, 2])
+        moves = p.migrate_off("asu", 0, alive=[1, 2])
+        assert moves == [("scan", 0, -1)]
+        assert p.of("scan").instances == [1, 2]
+
+    def test_solver_repair_moves_and_revalidates(self):
+        from repro.functors import (
+            BlockSortFunctor,
+            Dataflow,
+            DistributeFunctor,
+            MergeFunctor,
+        )
+
+        g = Dataflow()
+        g.add_stage("distribute", DistributeFunctor.uniform(16), est_records=1000)
+        g.add_stage("blocksort", BlockSortFunctor(1024), replicas=2, est_records=1000)
+        g.add_stage("merge", MergeFunctor(8), est_records=1000)
+        g.connect(Dataflow.SOURCE, "distribute", kind="set", est_records=1000)
+        g.connect("distribute", "blocksort", kind="set", est_records=1000)
+        g.connect("blocksort", "merge", kind="set", est_records=1000)
+        g.connect("merge", Dataflow.SINK, kind="stream", est_records=1000)
+        params = small_params()
+        p = Placement()
+        p.assign("distribute", "asu", [0])
+        p.assign("blocksort", "host", [0, 1])
+        p.assign("merge", "host", [1])
+        solver = PlacementSolver(params)
+        solver.validate(g, p)
+        moves = solver.repair(g, p, "asu", 0)
+        assert moves == [("distribute", 0, 1)]
+        solver.validate(g, p)  # repaired placement is still legal
+
+    def test_no_survivors_raises(self):
+        p = Placement()
+        p.assign("scan", "asu", [0])
+        with pytest.raises(FunctorError, match="no surviving"):
+            p.migrate_off("asu", 0, alive=[0])
+
+
+# ---------------------------------------------------------------------------
+# Fault-tolerant DSM-Sort (the acceptance scenarios)
+# ---------------------------------------------------------------------------
+N = 1 << 15
+
+
+def make_ft_job(faults, **over):
+    params = over.pop("params", fig_params())
+    cfg = DSMConfig.for_n(N, alpha=16, gamma=16)
+    defaults = dict(policy="sr", active=True, seed=3, faults=faults)
+    defaults.update(over)
+    return DsmSortJob(params, cfg, **defaults)
+
+
+@pytest.fixture(scope="module")
+def ft_baseline():
+    """Fault-free makespan of the FT code path at D=16 (shared across tests)."""
+    job = make_ft_job(FaultPlan())
+    return job.run_pass1().makespan
+
+
+# Heartbeat cadence for the toy workloads: the makespan is ~0.1 virtual
+# seconds, so detection must resolve well inside that.
+HB = dict(heartbeat_interval=0.002, heartbeat_timeout=0.008)
+
+
+class TestFaultTolerantSort:
+    def test_ft_requires_active_storage(self):
+        with pytest.raises(ValueError, match="active storage"):
+            make_ft_job(FaultPlan(), active=False)
+
+    def test_fault_free_ft_matches_plain_path(self, ft_baseline):
+        plain = make_ft_job(None)
+        assert plain.run_pass1().makespan == ft_baseline
+
+    def test_asu_crash_mid_run_recovers(self, ft_baseline):
+        """The headline scenario: one ASU dies mid-run-formation at D=16."""
+        plan = FaultPlan([crash_asu(0.5 * ft_baseline, 5)])
+        job = make_ft_job(plan, **HB)
+        res = job.run_pass1()
+        rep = res.fault_report
+        # Detected within the heartbeat latency bound.
+        assert "asu5" in rep.detected
+        lat = rep.detected["asu5"] - plan.faults[0].t
+        assert lat <= HB["heartbeat_timeout"] + HB["heartbeat_interval"]
+        # The survivors took over the dead shard and re-homed its runs.
+        assert res.n_takeover_blocks > 0
+        assert res.n_reemitted_runs > 0
+        assert rep.recovered_at
+        # Makespan degradation is bounded.
+        assert res.makespan < 2.0 * ft_baseline
+        # And the sort is still correct, end to end.
+        job.run_pass2()
+        job.verify()
+
+    def test_host_crash_mid_run_recovers(self, ft_baseline):
+        plan = FaultPlan([crash_host(0.5 * ft_baseline, 0)])
+        job = make_ft_job(plan, **HB)
+        res = job.run_pass1()
+        assert "host0" in res.fault_report.detected
+        # Lost fragments were replayed from producer retention buffers.
+        assert res.n_replayed_frags > 0
+        assert res.makespan < 2.0 * ft_baseline
+        job.run_pass2()
+        job.verify()
+
+    def test_degraded_asu_slows_but_stays_correct(self, ft_baseline):
+        plan = FaultPlan(
+            [degrade_asu(0.2 * ft_baseline, 2, factor=0.3, duration=0.5 * ft_baseline)]
+        )
+        job = make_ft_job(plan)
+        res = job.run_pass1()
+        assert res.makespan > ft_baseline  # degradation costs something
+        job.run_pass2()
+        job.verify()
+
+    def test_link_flap_delays_but_loses_nothing(self, ft_baseline):
+        plan = FaultPlan(
+            [link_flap(0.3 * ft_baseline, host=0, asu=1, duration=0.2 * ft_baseline)]
+        )
+        job = make_ft_job(plan)
+        res = job.run_pass1()
+        assert res.makespan >= ft_baseline
+        job.run_pass2()
+        job.verify()
+
+    def test_faulted_run_is_deterministic(self, ft_baseline):
+        def one():
+            plan = FaultPlan([crash_asu(0.4 * ft_baseline, 5)])
+            job = make_ft_job(plan, **HB)
+            res = job.run_pass1()
+            return res.makespan, job.platform.sim.n_events_processed, res.n_reemitted_runs
+
+        assert one() == one()
+
+    def test_fault_report_renders(self, ft_baseline):
+        plan = FaultPlan([crash_asu(0.5 * ft_baseline, 1)])
+        job = make_ft_job(plan, **HB)
+        rep = job.run_pass1().fault_report
+        assert isinstance(rep, FaultReport)
+        text = rep.render()
+        assert "1 injected" in text and "asu1" in text
+        assert rep.mean_detection_latency() is not None
+        assert rep.mean_mttr() is not None
