@@ -9,6 +9,7 @@ import numpy as np
 from conftest import bench_n
 
 from repro.bench import run_figure10
+from repro.bench.report import write_bench_json
 
 
 def test_figure10_skew(once):
@@ -16,6 +17,18 @@ def test_figure10_skew(once):
     result = once(run_figure10, n_records=n)
     print()
     print(result.render())
+    write_bench_json(
+        "fig10_skew",
+        {
+            "n_records": result.n_records,
+            "makespan_static": result.makespan_static,
+            "makespan_managed": result.makespan_managed,
+            "imbalance_static": result.imbalance_static,
+            "imbalance_managed": result.imbalance_managed,
+            "times": result.times,
+            "series": result.series,
+        },
+    )
 
     # (1) Load management finishes earlier.
     assert result.makespan_managed < result.makespan_static

@@ -9,6 +9,7 @@ the paper reports.
 from conftest import bench_n
 
 from repro.bench import run_figure9
+from repro.bench.report import write_bench_json
 
 
 def test_figure9_speedup(once):
@@ -16,6 +17,16 @@ def test_figure9_speedup(once):
     result = once(run_figure9, n_records=n)
     print()
     print(result.render())
+    write_bench_json(
+        "fig9_speedup",
+        {
+            "n_records": result.n_records,
+            "asu_counts": result.asu_counts,
+            "speedup": result.speedup,
+            "baseline_makespan": result.baseline_makespan,
+            "adaptive_alpha": result.adaptive_alpha,
+        },
+    )
 
     s = result.speedup
     d_index = {d: i for i, d in enumerate(result.asu_counts)}

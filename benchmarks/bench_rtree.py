@@ -6,7 +6,6 @@ former option distributes the searches across the ASUs, which is useful in
 server applications with many concurrent searches."
 """
 
-import numpy as np
 from conftest import bench_n
 
 from repro.apps.rtree import DistributedRTree, random_points, window_queries

@@ -8,7 +8,7 @@ power grows — the mechanism behind the paper's Figure 9 "adaptive" series.
 Run:  python examples/adaptive_sort.py
 """
 
-from repro import ConfigSolver, SystemParams, predict_pass1
+from repro import ConfigSolver, predict_pass1
 from repro.bench.fig9 import fig9_params
 from repro.dsmsort import DsmSortJob
 

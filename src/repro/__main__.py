@@ -5,6 +5,7 @@ Usage::
     python -m repro fig9   [--n LOG2] [--c RATIO]
     python -m repro fig10  [--n LOG2]
     python -m repro sweep-c | sweep-routing | sweep-gamma
+    python -m repro trace  [--n LOG2] [--seed S] [--out trace.json]
     python -m repro all    [--n LOG2]
 """
 
@@ -22,7 +23,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=["fig9", "fig10", "sweep-c", "sweep-routing", "sweep-gamma", "all"],
+        choices=[
+            "fig9", "fig10", "sweep-c", "sweep-routing", "sweep-gamma",
+            "trace", "all",
+        ],
         help="which experiment to run",
     )
     parser.add_argument(
@@ -33,8 +37,19 @@ def main(argv: list[str] | None = None) -> int:
         "--c", type=float, default=8.0,
         help="host:ASU CPU power ratio for fig9 (default 8)",
     )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="workload/routing seed for the traced run (default 0)",
+    )
+    parser.add_argument(
+        "--out", default="trace.json", metavar="PATH",
+        help="trace: output path for the Chrome trace JSON (default trace.json)",
+    )
     args = parser.parse_args(argv)
     n = 1 << args.n
+
+    if args.target == "trace":
+        return _run_trace(n, args.seed, args.out)
 
     from .bench import (
         run_figure9,
@@ -63,6 +78,35 @@ def main(argv: list[str] | None = None) -> int:
             fn()
     else:
         runners[args.target]()
+    return 0
+
+
+def _run_trace(n: int, seed: int, out: str) -> int:
+    """Run a traced DSM-Sort (both passes) and export the observability data.
+
+    A small 4-ASU / 2-host platform keeps the traced run fast; the trace is
+    deterministic for a given (n, seed), so two identical invocations write
+    byte-identical JSON.
+    """
+    from .bench import fig10_params
+    from .core.config import ConfigSolver
+    from .dsmsort import DsmSortJob
+    from .trace import ProfileReport, Tracer, write_chrome_trace
+
+    params = fig10_params(n_asus=4, n_hosts=2)
+    config = ConfigSolver(params).config_for_alpha(n, 16)
+    tracer = Tracer()
+    job = DsmSortJob(params, config, policy="sr", seed=seed, tracer=tracer)
+    r1 = job.run_pass1()
+    r2 = job.run_pass2()
+    job.verify()
+    write_chrome_trace(tracer, out)
+    makespan = r1.makespan + r2.makespan
+    print(f"sorted {n} records in {makespan:.3f}s "
+          f"(pass1 {r1.makespan:.3f}s, pass2 {r2.makespan:.3f}s)")
+    print(f"wrote {tracer.n_events()} trace events to {out}")
+    print()
+    print(ProfileReport.from_tracer(tracer, makespan=makespan).render())
     return 0
 
 

@@ -14,13 +14,13 @@ checked against a direct evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 import numpy as np
 
 from ..emulator.params import SystemParams
 from ..emulator.platform import ActivePlatform
-from ..functors.basic import AggregateFunctor, FilterFunctor
+from ..functors.basic import FilterFunctor
 from ..util.distributions import make_workload
 from ..util.records import concat_records
 from ..util.rng import RngRegistry

@@ -23,8 +23,7 @@ import numpy as np
 from ...emulator.params import SystemParams
 from ...emulator.platform import ActivePlatform
 from .distributed import CYCLES_PER_VISIT, DistributedRTree
-from .geometry import intersects, union_mbr
-from .rtree import RTree
+from .geometry import intersects
 
 __all__ = ["OnlineDistributedRTree", "MaintenanceReport"]
 

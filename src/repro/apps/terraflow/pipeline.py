@@ -30,7 +30,7 @@ from ...tpie.external_sort import external_sort
 from ...util.records import RecordSchema
 from .flow import FlowResult, flow_accumulation
 from .grid import TerrainGrid
-from .restructure import CELL_DTYPE, restructure
+from .restructure import restructure
 from .watershed import WatershedResult, watershed_labels
 
 __all__ = [

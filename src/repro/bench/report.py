@@ -8,9 +8,30 @@ paper's figures directly.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+import json
+import os
+from typing import Mapping, Optional, Sequence
 
-__all__ = ["render_table", "render_series_table", "ascii_plot"]
+__all__ = ["render_table", "render_series_table", "ascii_plot", "write_bench_json"]
+
+
+def write_bench_json(name: str, payload: Mapping, out_dir: Optional[str] = None) -> Optional[str]:
+    """Write a benchmark payload as ``BENCH_<name>.json`` for CI artifacts.
+
+    Disabled unless ``out_dir`` is given or ``REPRO_BENCH_JSON`` names a
+    directory, so ordinary test runs write nothing.  The payload is emitted in
+    canonical form (sorted keys, fixed separators): a deterministic benchmark
+    produces a byte-identical file.  Returns the path written, or ``None``.
+    """
+    out_dir = out_dir if out_dir is not None else os.environ.get("REPRO_BENCH_JSON")
+    if not out_dir:
+        return None
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        fh.write(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+        fh.write("\n")
+    return path
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:

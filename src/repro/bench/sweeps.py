@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from ..core.config import ConfigSolver, DSMConfig
 from ..dsmsort.runtime import DsmSortJob
 from .fig9 import BASELINE_ALPHA, fig9_params
-from .report import render_series_table, render_table
+from .report import render_series_table
 
 __all__ = ["sweep_c", "sweep_routing", "sweep_gamma_split", "SweepResult"]
 

@@ -13,7 +13,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..emulator.node import Asu
-from ..util.records import RecordSchema
 from .base import StreamHandle
 from .memory import MemoryBTE
 

@@ -12,7 +12,7 @@ from typing import Iterator, Optional
 
 import numpy as np
 
-from ..bte.base import BTE, BteError, StreamHandle
+from ..bte.base import BTE, StreamHandle
 from ..bte.memory import MemoryBTE
 from ..util.records import DEFAULT_SCHEMA, RecordSchema
 

@@ -23,7 +23,6 @@ scan/map/filter/aggregate class plus the block-sort (1-in/1-out per packet).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -64,6 +63,7 @@ class PipelineJob:
         asu_data: list[np.ndarray],
         routing: str = "sr",
         seed: int = 0,
+        tracer=None,
     ):
         if len(asu_data) != params.n_asus:
             raise ValueError(
@@ -78,6 +78,7 @@ class PipelineJob:
         self.asu_data = asu_data
         self.routing = routing
         self.rngs = RngRegistry(seed)
+        self.tracer = tracer
 
     @staticmethod
     def _check_linear(graph: Dataflow) -> None:
@@ -101,7 +102,7 @@ class PipelineJob:
 
     def run(self) -> PipelineResult:
         params = self.params
-        plat = ActivePlatform(params)
+        plat = ActivePlatform(params, tracer=self.tracer)
         graph = self.graph
         order = graph.topological_order()
         rs = params.schema.record_size
@@ -245,6 +246,14 @@ class PipelineJob:
                     args=(batch,),
                 )
                 records_per_instance[stage_name][k] += int(batch.shape[0])
+                tracer = plat.sim.tracer
+                if tracer is not None:
+                    tracer.counter(
+                        plat.sim.now,
+                        self._instance_addr(stage_name, k),
+                        "records",
+                        float(records_per_instance[stage_name][k]),
+                    )
                 if out.shape[0]:
                     yield from route_out(node, stage_name, out)
             yield from send_eofs(node, stage_name)

@@ -16,7 +16,7 @@ the two adaptation axes the paper demonstrates (Figures 9 and 10).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -62,6 +62,12 @@ class LoadManager:
         )
         self.instances = [InstanceStats() for _ in range(n_instances)]
         self.n_buckets = n_buckets
+        #: simulator whose tracer receives routing-decision counters (optional)
+        self._sim = None
+
+    def attach_sim(self, sim) -> None:
+        """Attach the simulator so routing decisions land in its trace."""
+        self._sim = sim
 
     # -- routing path --------------------------------------------------------
     def route(self, bucket: int, n_records: int) -> int:
@@ -73,6 +79,14 @@ class LoadManager:
         inst = self.router.pick(bucket, n_records)
         self.router.on_sent(inst, n_records)
         self.instances[inst].records_routed += n_records
+        sim = self._sim
+        if sim is not None and sim.tracer is not None:
+            # Not named "records": routing counts are decisions, not stage
+            # throughput, and must not feed the profile's records column.
+            sim.tracer.counter(
+                sim.now, "router", f"inst{inst}",
+                float(self.instances[inst].records_routed),
+            )
         return inst
 
     # -- failure handling ------------------------------------------------------

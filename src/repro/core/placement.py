@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..emulator.params import SystemParams
-from ..functors.base import Functor, FunctorError, asu_eligible
+from ..functors.base import FunctorError, asu_eligible
 from ..functors.graph import Dataflow
 
 __all__ = ["Placement", "StagePlacement", "PlacementSolver"]

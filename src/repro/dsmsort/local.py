@@ -20,14 +20,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..bte.base import BTE
-from ..bte.memory import MemoryBTE
 from ..containers.stream import RecordStream
 from ..core.config import DSMConfig
 from ..functors.blocksort import BlockSortFunctor
 from ..functors.distribute import DistributeFunctor, sample_splitters
 from ..tpie.kmerge import kway_merge_streams
 from ..tpie.stream_ops import distribution_sweep
-from ..util.records import DEFAULT_SCHEMA
 
 __all__ = ["dsm_sort_local", "LocalSortTrace"]
 

@@ -132,6 +132,7 @@ class DsmSortJob:
         faults: Optional[FaultPlan] = None,
         heartbeat_interval: float = 0.05,
         heartbeat_timeout: float = 0.2,
+        tracer=None,
     ):
         if not 0.0 <= background_asu_duty < 1.0:
             raise ValueError("background_asu_duty must be in [0, 1)")
@@ -207,6 +208,10 @@ class DsmSortJob:
         self.faults = faults
         self.heartbeat_interval = float(heartbeat_interval)
         self.heartbeat_timeout = float(heartbeat_timeout)
+        #: optional repro.trace.Tracer shared by both passes; pass-2 events
+        #: are placed after pass 1 on one stitched timeline via tracer.offset
+        self.tracer = tracer
+        self._pass1_makespan = 0.0
 
     # ------------------------------------------------------------------ pass 1
     def run_pass1(self, util_dt: float = 0.1) -> Pass1Result:
@@ -227,8 +232,11 @@ class DsmSortJob:
             plat_params = plat_params.with_(
                 asu_ratio=plat_params.asu_ratio / (1.0 - self.background_asu_duty)
             )
-        plat = ActivePlatform(plat_params)
+        if self.tracer is not None:
+            self.tracer.offset = 0.0
+        plat = ActivePlatform(plat_params, tracer=self.tracer)
         self.platform = plat
+        self.load_manager.attach_sim(plat.sim)
         if self.faults is not None:
             return self._run_pass1_ft(plat, util_dt)
         D, H = self.params.n_asus, self.params.n_hosts
@@ -265,6 +273,7 @@ class DsmSortJob:
             raise RuntimeError(f"pass 1 deadlocked; {len(pendings)} processes stuck")
         makespan = plat.sim.now
         self._pass1_done = True
+        self._pass1_makespan = makespan
         n_runs = sum(len(r) for r in self.runs_on_asu)
         return Pass1Result(
             makespan=makespan,
@@ -279,6 +288,12 @@ class DsmSortJob:
                 for h in plat.hosts
             ],
         )
+
+    def _trace_records(self, sim, track: str, n: int) -> None:
+        """Accumulate a per-stage ``records`` counter (no-op untraced)."""
+        tracer = sim.tracer
+        if tracer is not None and n:
+            tracer.count(sim.now, track, "records", float(n))
 
     def _asu_producer(self, plat: ActivePlatform, d: int, blk: int, rs: int):
         from ..emulator.readahead import ReadAhead
@@ -300,6 +315,7 @@ class DsmSortJob:
                     fn=self.dist.apply,
                     args=(block,),
                 )
+                self._trace_records(plat.sim, f"asu{d}.distribute", block.shape[0])
                 # Route each bucket fragment; group fragments by destination
                 # host so each (block, host) pair is one message.
                 per_host: dict[int, list[tuple[int, np.ndarray]]] = defaultdict(list)
@@ -388,6 +404,7 @@ class DsmSortJob:
             args=(batch,),
         )
         self.load_manager.complete(h, batch.shape[0])
+        self._trace_records(plat.sim, f"host{h}.sort", batch.shape[0])
         d = next_asu % self.params.n_asus
         # Host pays the NIC copy in both modes; wire time is off the CPU.
         yield from host.send_async(
@@ -414,6 +431,7 @@ class DsmSortJob:
             else:
                 yield from asu.disk.write(nbytes)
             self.runs_on_asu[d].append((bucket, payload))
+            self._trace_records(plat.sim, f"asu{d}.write", payload.shape[0])
         yield from asu.disk.drain()
 
     # ------------------------------------------------------------ pass 1 (FT)
@@ -501,6 +519,7 @@ class DsmSortJob:
             raise RuntimeError("fault-tolerant pass 1 never completed (deadlock?)")
         makespan = plat.sim.now
         self._pass1_done = True
+        self._pass1_makespan = makespan
         self.fault_report = FaultReport.from_run(injector, detector, self.recovered_at)
         return Pass1Result(
             makespan=makespan,
@@ -551,6 +570,7 @@ class DsmSortJob:
                 fn=self.dist.apply,
                 args=(block,),
             )
+            self._trace_records(plat.sim, f"asu{owner}.distribute", block.shape[0])
             if takeover:
                 self._n_takeover_blocks += 1
             per_host: dict[int, list[tuple[int, np.ndarray]]] = defaultdict(list)
@@ -650,6 +670,7 @@ class DsmSortJob:
             args=(batch,),
         )
         self.load_manager.complete(h, batch.shape[0])
+        self._trace_records(plat.sim, f"host{h}.sort", batch.shape[0])
         nbytes = run.shape[0] * rs
         yield from host.cpu.execute(cycles=nbytes * self.params.cycles_per_net_byte)
         # Atomic: destination choice + lineage entry + post.
@@ -696,6 +717,7 @@ class DsmSortJob:
             # Atomic: durability record + completion check.
             self.runs_on_asu[d].append((bucket, run))
             self._run_hosts[d].append(src_h)
+            self._trace_records(plat.sim, f"asu{d}.write", run.shape[0])
             self._ft_durable += run.shape[0]
             if self._ft_durable >= self._ft_total and not self._complete_ev.triggered:
                 self._complete_ev.succeed()
@@ -751,6 +773,9 @@ class DsmSortJob:
     def _on_detected_ft(self, node, t: float) -> None:
         plat = self._ft_plat
         nid = node.node_id
+        tracer = plat.sim.tracer
+        if tracer is not None:
+            tracer.instant(plat.sim.now, "faults", f"recover {nid}", cat="fault")
         if nid.startswith("asu"):
             d = node.index
             if d in self._dead_asus:
@@ -850,7 +875,12 @@ class DsmSortJob:
         if not self._pass1_done:
             raise RuntimeError("run_pass1 first")
         params = self.params
-        plat = ActivePlatform(params)
+        if self.tracer is not None:
+            # Pass 2 runs on a fresh platform whose clock restarts at 0;
+            # offsetting its events by the pass-1 makespan stitches both
+            # passes onto one job timeline in the exported trace.
+            self.tracer.offset = self._pass1_makespan
+        plat = ActivePlatform(params, tracer=self.tracer)
         D, H = params.n_asus, params.n_hosts
         rs = params.schema.record_size
         g1 = self.config.gamma1
@@ -911,6 +941,7 @@ class DsmSortJob:
                     )
                 else:
                     merged = group[0] if len(group) == 1 else merge_sorted_batches(group)
+                self._trace_records(plat.sim, f"asu{d}.premerge", n)
                 n_partial += 1
                 yield from asu.send_async(
                     plat.hosts[h], ("partial", bucket, merged),
@@ -949,6 +980,7 @@ class DsmSortJob:
                     )
                     runs = [merged]
                 if runs:
+                    self._trace_records(plat.sim, f"host{h}.merge", runs[0].shape[0])
                     self.final_buckets[bucket].append(runs[0])
 
             while n_finished < len(my_buckets):

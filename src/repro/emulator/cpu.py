@@ -40,7 +40,7 @@ class Cpu:
         self.params = params
         self.name = name
         self._core = Resource(sim, capacity=1, name=name)
-        self.busy = BusyTracker(sim, name=name)
+        self.busy = BusyTracker(sim, name=name, cat="cpu")
         #: total cycles charged (for load accounting)
         self.cycles_charged = 0.0
         self.n_segments = 0

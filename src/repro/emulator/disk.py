@@ -59,7 +59,7 @@ class Disk:
         #: when the last *write* transfer completes (write-behind horizon)
         self._last_write_done = 0.0
         self.stats = DiskStats()
-        self.busy = BusyTracker(sim, name=name)
+        self.busy = BusyTracker(sim, name=name, cat="disk")
 
     def transfer_time(self, nbytes: int) -> float:
         return float(nbytes) / self.rate
@@ -69,11 +69,18 @@ class Disk:
         start = max(self.sim.now, self._free_at)
         finish = start + self.transfer_time(nbytes)
         self._free_at = finish
-        # Record the busy span at enqueue time: timeline starts are monotone,
-        # which keeps the interval accumulator's ordering invariant.
+        # Record the busy span at enqueue time: timeline starts are monotone
+        # (and add_interval tolerates overlap regardless).
         if finish > start:
-            self.busy.intervals.add(start, finish)
+            self.busy.add_interval(start, finish)
         return start, finish
+
+    def _trace_bytes(self) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.counter(
+                self.sim.now, self.name, "bytes", float(self.stats.total_bytes)
+            )
 
     def read(self, nbytes: int):
         """Process generator: wait until ``nbytes`` have streamed off the disk."""
@@ -81,6 +88,7 @@ class Disk:
             raise ValueError("negative read size")
         self.stats.n_reads += 1
         self.stats.bytes_read += int(nbytes)
+        self._trace_bytes()
         _start, finish = self._enqueue(nbytes)
         if finish > self.sim.now:
             yield self.sim.timeout(finish - self.sim.now)
@@ -97,6 +105,7 @@ class Disk:
             raise ValueError("negative write size")
         self.stats.n_writes += 1
         self.stats.bytes_written += int(nbytes)
+        self._trace_bytes()
         wait_until = max(self.sim.now, self._last_write_done)
         _start, finish = self._enqueue(nbytes)
         self._last_write_done = finish

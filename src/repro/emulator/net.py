@@ -38,9 +38,9 @@ class Message:
 class Link:
     """One direction of a point-to-point link (timeline server)."""
 
-    __slots__ = ("sim", "bandwidth", "latency", "_free_at", "bytes_sent", "n_messages")
+    __slots__ = ("sim", "bandwidth", "latency", "name", "_free_at", "bytes_sent", "n_messages")
 
-    def __init__(self, sim: Simulator, bandwidth: float, latency: float):
+    def __init__(self, sim: Simulator, bandwidth: float, latency: float, name: str = ""):
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
         if latency < 0:
@@ -48,6 +48,7 @@ class Link:
         self.sim = sim
         self.bandwidth = float(bandwidth)
         self.latency = float(latency)
+        self.name = name
         self._free_at = 0.0
         self.bytes_sent = 0
         self.n_messages = 0
@@ -59,6 +60,9 @@ class Link:
         self._free_at = tx_done
         self.bytes_sent += int(nbytes)
         self.n_messages += 1
+        tracer = self.sim.tracer
+        if tracer is not None and self.name and tx_done > start:
+            tracer.span(start, tx_done, self.name, "tx", cat="link")
         return tx_done, tx_done + self.latency
 
 
@@ -87,7 +91,7 @@ class Network:
         #: SAN backplane); point-to-point links stop being independent once
         #: their sum exceeds it.
         self._backplane: Optional[Link] = (
-            Link(sim, backplane_bandwidth, 0.0)
+            Link(sim, backplane_bandwidth, 0.0, name="link:backplane")
             if backplane_bandwidth is not None
             else None
         )
@@ -124,7 +128,7 @@ class Network:
         key = (src, dst)
         ln = self._links.get(key)
         if ln is None:
-            ln = Link(self.sim, self.bandwidth, self.latency)
+            ln = Link(self.sim, self.bandwidth, self.latency, name=f"link:{src}->{dst}")
             self._links[key] = ln
         return ln
 
@@ -167,11 +171,25 @@ class Network:
                         changed = True
         return deliver_at
 
+    def _traffic(self, msg: Message) -> None:
+        """Aggregate traffic accounting (plus the trace counters, if on)."""
+        self.bytes_total += msg.nbytes
+        self.n_messages += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.counter(self.sim.now, "net", "bytes", float(self.bytes_total))
+
     def _deliver(self, msg: Message) -> None:
         """Complete a delivery, or capture it if the destination is dead."""
         if msg.dst in self.failed:
             self.dead_letters.append(msg)
             self.n_dropped += 1
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.instant(
+                    self.sim.now, "net",
+                    f"dead-letter {msg.tag}:{msg.src}->{msg.dst}", cat="fault",
+                )
             if self.dead_letter_hook is not None:
                 self.dead_letter_hook(msg)
             return
@@ -189,8 +207,7 @@ class Network:
             raise KeyError(f"destination {dst!r} not registered")
         msg = Message(src, dst, payload, nbytes, tag)
         tx_done, deliver_at = self._reserve_path(src, dst, nbytes)
-        self.bytes_total += msg.nbytes
-        self.n_messages += 1
+        self._traffic(msg)
         self.sim.schedule_callback(
             lambda m=msg: self._deliver(m), delay=deliver_at - self.sim.now
         )
@@ -212,8 +229,7 @@ class Network:
             raise KeyError(f"destination {dst!r} not registered")
         msg = Message(src, dst, payload, nbytes, tag)
         _tx_done, deliver_at = self._reserve_path(src, dst, nbytes)
-        self.bytes_total += msg.nbytes
-        self.n_messages += 1
+        self._traffic(msg)
         self.sim.schedule_callback(
             lambda m=msg: self._deliver(m), delay=deliver_at - self.sim.now
         )

@@ -48,6 +48,12 @@ class Node:
         self.alive = False
         self.cpu.halt()
 
+    def _trace_net(self, name: str, nbytes: int) -> None:
+        """Accumulate per-node traffic counters onto the ``<id>.net`` track."""
+        tracer = self.sim.tracer
+        if tracer is not None and nbytes:
+            tracer.count(self.sim.now, f"{self.node_id}.net", name, float(nbytes))
+
     # -- communication helpers (charge NIC CPU overhead, §1) ---------------
     def send(self, dst: "Node | str", payload, nbytes: int, tag: str = ""):
         """Process generator: CPU-charge the copy, then transmit."""
@@ -56,6 +62,7 @@ class Node:
         if overhead:
             yield from self.cpu.execute(cycles=overhead)
         msg = yield from self.network.send(self.node_id, dst_id, payload, nbytes, tag)
+        self._trace_net("bytes_out", nbytes)
         return msg
 
     def send_async(self, dst: "Node | str", payload, nbytes: int, tag: str = ""):
@@ -69,6 +76,7 @@ class Node:
         overhead = nbytes * self.params.cycles_per_net_byte
         if overhead:
             yield from self.cpu.execute(cycles=overhead)
+        self._trace_net("bytes_out", nbytes)
         return self.network.post(self.node_id, dst_id, payload, nbytes, tag)
 
     def recv(self):
@@ -77,6 +85,7 @@ class Node:
         overhead = msg.nbytes * self.params.cycles_per_net_byte
         if overhead:
             yield from self.cpu.execute(cycles=overhead)
+        self._trace_net("bytes_in", msg.nbytes)
         return msg
 
     def compute(self, cycles: Optional[float] = None, fn=None, args=()):

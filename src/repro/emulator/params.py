@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from ..util.records import DEFAULT_SCHEMA, RecordSchema
-from ..util.units import GHZ, KB, MB, MHZ
+from ..util.units import GHZ, MB, MHZ
 
 __all__ = ["SystemParams", "TimingMode"]
 

@@ -52,6 +52,14 @@ class RunReport:
             "n_events": self.n_events,
         }
 
+    def to_json(self) -> str:
+        """Canonical JSON form (stable key order and separators, so the
+        string is byte-identical for identical runs) — the payload the bench
+        harness writes as ``BENCH_*.json``."""
+        import json
+
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
     def __repr__(self) -> str:
         hu = ",".join(f"{u:.2f}" for u in self.host_util)
         return f"<RunReport makespan={self.makespan:.3f}s host_util=[{hu}]>"
@@ -74,11 +82,17 @@ class RunReport:
 
 
 class ActivePlatform:
-    """An emulated system of H hosts and D ASUs."""
+    """An emulated system of H hosts and D ASUs.
 
-    def __init__(self, params: SystemParams):
+    Pass a :class:`repro.trace.Tracer` to record the run's observability
+    stream (device spans, queue depths, link transmissions); ``None`` keeps
+    every hook disabled at the cost of a single attribute check.
+    """
+
+    def __init__(self, params: SystemParams, tracer=None):
         self.params = params
         self.sim = Simulator()
+        self.sim.tracer = tracer
         self.network = Network(
             self.sim,
             bandwidth=params.net_bandwidth,

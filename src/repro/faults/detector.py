@@ -106,5 +106,10 @@ class FailureDetector:
         if node.node_id in self.detected:
             return
         self.detected[node.node_id] = self.plat.sim.now
+        tracer = self.plat.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                self.plat.sim.now, "faults", f"detect {node.node_id}", cat="fault"
+            )
         for cb in list(self.on_failure):
             cb(node, self.plat.sim.now)

@@ -298,5 +298,10 @@ class Injector:
                     lambda cpu=node.cpu: cpu.set_speed(1.0), delay=f.duration
                 )
             self.injected.append(f)
+        tracer = self.plat.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                self.plat.sim.now, "faults", f"inject {f.describe()}", cat="fault"
+            )
         if self.on_fault is not None:
             self.on_fault(f)

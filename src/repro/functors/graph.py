@@ -15,8 +15,7 @@ costs, replication freedom, and ordering constraints.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from dataclasses import dataclass
 
 from ..emulator.params import SystemParams
 from .base import Functor, FunctorError

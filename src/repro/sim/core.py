@@ -184,6 +184,11 @@ class Simulator:
         self._seq = 0  # tie-break: FIFO among same-time events
         self._running = False
         self.n_events_processed = 0
+        #: optional :class:`repro.trace.Tracer`.  ``None`` (the default)
+        #: disables all instrumentation: hook points guard on this attribute
+        #: and record nothing, so tracing costs nothing when off and never
+        #: perturbs the schedule when on (recording is pure observation).
+        self.tracer = None
 
     # -- event construction helpers ---------------------------------------
     def event(self, name: str = "") -> Event:

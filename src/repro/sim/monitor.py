@@ -15,13 +15,25 @@ __all__ = ["BusyTracker", "ProgressCounter"]
 
 
 class BusyTracker:
-    """Records busy intervals of a device for utilization reporting."""
+    """Records busy intervals of a device for utilization reporting.
 
-    def __init__(self, sim: Simulator, name: str = ""):
+    When a tracer is attached to the simulator, every recorded interval is
+    also emitted as a trace span on the track named after this tracker —
+    utilization accounting and observability share one code path.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "", cat: str = "busy"):
         self.sim = sim
         self.name = name
+        #: trace category (and span label) for segments of this device
+        self.cat = cat
         self.intervals = IntervalAccumulator()
         self._busy_since: float | None = None
+
+    def _trace(self, start: float, end: float) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None and end > start:
+            tracer.span(start, end, self.name or "busy", self.cat, cat=self.cat)
 
     def begin(self) -> None:
         if self._busy_since is not None:
@@ -31,12 +43,29 @@ class BusyTracker:
     def end(self) -> None:
         if self._busy_since is None:
             raise RuntimeError(f"{self.name}: end() while not busy")
-        self.intervals.add(self._busy_since, self.sim.now)
+        start = self._busy_since
+        self.intervals.add(start, self.sim.now)
         self._busy_since = None
+        self._trace(start, self.sim.now)
 
     def add_span(self, duration: float) -> None:
-        """Record a busy span ending now (for modelled, non-reentrant work)."""
-        self.intervals.add(self.sim.now - duration, self.sim.now)
+        """Record a busy span ending now (for modelled, non-reentrant work).
+
+        The start is clamped to t=0 (a span longer than the elapsed clock is
+        back-dated to the epoch, not to negative time), and spans may overlap
+        earlier intervals — two modelled transfers of different lengths can
+        legitimately end at the same instant.
+        """
+        end = self.sim.now
+        start = max(0.0, end - duration)
+        self.intervals.insert(start, end)
+        self._trace(start, end)
+
+    def add_interval(self, start: float, end: float) -> None:
+        """Record an explicit [start, end) busy interval (timeline devices
+        reserve service time ahead of the clock, e.g. disk write-behind)."""
+        self.intervals.insert(start, end)
+        self._trace(start, end)
 
     def end_if_busy(self) -> None:
         """Close an open busy interval if one exists.
@@ -76,6 +105,9 @@ class ProgressCounter:
     def add(self, n: int) -> None:
         self.total += int(n)
         self.series.append(self.sim.now, self.total)
+        tracer = self.sim.tracer
+        if tracer is not None and self.name:
+            tracer.counter(self.sim.now, self.name, "records", float(self.total))
 
     def rate(self) -> float:
         """Average rate since t=0."""

@@ -7,7 +7,6 @@ Requests are granted strictly in request order, preserving determinism.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
 
 from .core import Event, Simulator
 from .errors import SimError

@@ -57,11 +57,18 @@ class Store:
     def is_full(self) -> bool:
         return self.capacity is not None and len(self.items) >= self.capacity
 
+    def _trace_depth(self) -> None:
+        """Sample the queue depth into the tracer (named stores only)."""
+        tracer = self.sim.tracer
+        if tracer is not None and self.name:
+            tracer.counter(self.sim.now, self.name, "depth", float(len(self)))
+
     def put(self, item: Any) -> Event:
         """Event that fires when ``item`` has been accepted into the store."""
         ev = StorePut(self, item)
         self._putters.append(ev)
         self._settle()
+        self._trace_depth()
         return ev
 
     def get(self) -> Event:
@@ -69,6 +76,7 @@ class Store:
         ev = StoreGet(self.sim)
         self._getters.append(ev)
         self._settle()
+        self._trace_depth()
         return ev
 
     def try_get(self) -> Any:

@@ -15,7 +15,6 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..bte.base import BTE, StreamHandle
-from ..util.records import DEFAULT_SCHEMA
 
 __all__ = ["kway_merge_streams", "KMergeCursor"]
 

@@ -78,7 +78,10 @@ class ExternalPriorityQueue:
         self.name = name
         #: in-memory insertion buffer: (priority, seq, data)
         self._heap: list[tuple[int, int, int]] = []
-        self._cursors: list[_RunCursor] = []
+        #: run frontiers, heaped by head entry: (key, seq, data, cursor).
+        #: ``seq`` is globally unique, so a comparison never reaches the
+        #: (non-comparable) cursor element.
+        self._run_heads: list[tuple[int, int, int, _RunCursor]] = []
         self._seq = 0
         self._n_spills = 0
         self._len = 0
@@ -109,24 +112,27 @@ class ExternalPriorityQueue:
         self._n_spills += 1
         handle = self.bte.create(run_name, schema=_ENTRY_SCHEMA)
         self.bte.append(handle, entries.view(_ENTRY_SCHEMA.dtype))
-        self._cursors.append(_RunCursor(self.bte, handle, self.buffer_entries))
+        cur = _RunCursor(self.bte, handle, self.buffer_entries)
+        if cur.active:
+            key, seq, data = cur.head()
+            heapq.heappush(self._run_heads, (key, seq, data, cur))
 
     # -- extraction ----------------------------------------------------------
     def _min_source(self):
-        """(key tuple, source) of the global minimum, or None if empty."""
-        best = None
-        best_src = None
-        if self._heap:
-            best = self._heap[0]
-            best_src = "heap"
-        for c in self._cursors:
-            if not c.active:
-                continue
-            h = c.head()
-            if best is None or h < best:
-                best = h
-                best_src = c
-        return best, best_src
+        """(entry, source) of the global minimum, or (None, None) if empty.
+
+        Run frontiers are kept in a heap ordered by their head entry, so each
+        peek/pop costs O(log runs) instead of a linear scan over every
+        spilled run.
+        """
+        mem = self._heap[0] if self._heap else None
+        if self._run_heads:
+            rh = self._run_heads[0]
+            if mem is None or rh[:3] < mem:
+                return rh[:3], rh[3]
+        if mem is None:
+            return None, None
+        return mem, "heap"
 
     def peek(self) -> Optional[tuple[int, int]]:
         """(priority, data) of the minimum without removing it."""
@@ -143,9 +149,12 @@ class ExternalPriorityQueue:
         if src == "heap":
             heapq.heappop(self._heap)
         else:
+            heapq.heappop(self._run_heads)
             src.pos += 1
             src.refill(self.buffer_entries)
-        self._cursors = [c for c in self._cursors if c.active]
+            if src.active:
+                key, seq, data = src.head()
+                heapq.heappush(self._run_heads, (key, seq, data, src))
         self._len -= 1
         return best[0], best[2]
 

@@ -7,7 +7,7 @@ operation also returns I/O-free summaries so callers can check the work done.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional
 
 import numpy as np
 

@@ -1,0 +1,23 @@
+"""Opt-in, zero-overhead-when-disabled tracing for the emulated platform.
+
+Attach a :class:`Tracer` to a run (``DsmSortJob(..., tracer=t)``,
+``ActivePlatform(params, tracer=t)``, or directly ``sim.tracer = t``) and
+every instrumented hook point — device busy segments, CPU execution
+segments, disk transfers, link transmissions, queue depths, routing
+decisions, fault events — records against the simulated clock.  Export with
+:func:`write_chrome_trace` (open in Perfetto) or summarise with
+:class:`ProfileReport`.  See docs/OBSERVABILITY.md.
+"""
+
+from .chrome import chrome_dumps, to_chrome, write_chrome_trace
+from .profile import ProfileReport, StageProfile
+from .tracer import Tracer
+
+__all__ = [
+    "Tracer",
+    "ProfileReport",
+    "StageProfile",
+    "to_chrome",
+    "chrome_dumps",
+    "write_chrome_trace",
+]

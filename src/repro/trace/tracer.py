@@ -1,0 +1,106 @@
+"""The :class:`Tracer`: simulated-time spans, instants, and counters.
+
+The paper's emulator "is instrumented to report application progress, overall
+runtime, and resource utilization for each host and ASU" (§5).  The tracer is
+the machine-readable form of that instrumentation: every device busy segment,
+functor execution, disk transfer, link transmission, routing decision, and
+fault event can be recorded against the *virtual* clock and exported as a
+Chrome trace-event file (:mod:`repro.trace.chrome`) or folded into a
+per-stage profile (:mod:`repro.trace.profile`).
+
+Design rules:
+
+* **Zero overhead when disabled.**  Instrumented code guards every hook with
+  a single ``sim.tracer is None`` check; no tracer ⇒ no allocation, no call,
+  and — crucially — no perturbation of simulated time.  The tracer itself
+  never interacts with the event queue: recording is a pure observation.
+* **Deterministic.**  All recorded values derive from the simulated clock and
+  the (seeded) workload, so two runs with the same seed produce bit-identical
+  traces.  No wall-clock time, ids, or hashes enter the record.
+* **Flat storage.**  Events are appended to plain lists of tuples; export
+  formats are derived on demand.
+
+Tracks are free-form strings naming the entity an event belongs to
+(``"asu0.cpu"``, ``"host1.sort"``, ``"link:host0->asu3"``); categories group
+events of one kind (``"cpu"``, ``"disk"``, ``"link"``, ``"fault"``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["Tracer"]
+
+
+class Tracer:
+    """Collects simulated-time trace events.  Attach via ``sim.tracer``."""
+
+    __slots__ = ("spans", "instants", "counters", "offset", "_cum")
+
+    def __init__(self) -> None:
+        #: (t0, t1, track, name, cat) — completed busy/work segments
+        self.spans: list[tuple[float, float, str, str, str]] = []
+        #: (t, track, name, cat) — point events (faults, detections, ...)
+        self.instants: list[tuple[float, str, str, str]] = []
+        #: (t, track, name, value) — sampled counter values
+        self.counters: list[tuple[float, str, str, float]] = []
+        #: added to every recorded time — lets multi-phase jobs (pass 1 then
+        #: pass 2, each on a fresh platform whose clock restarts at 0) share
+        #: one contiguous timeline
+        self.offset: float = 0.0
+        self._cum: dict[tuple[str, str], float] = {}
+
+    # -- recording ---------------------------------------------------------
+    def span(self, t0: float, t1: float, track: str, name: str, cat: str = "span") -> None:
+        """Record a completed segment [t0, t1) on ``track``."""
+        self.spans.append((t0 + self.offset, t1 + self.offset, track, name, cat))
+
+    def instant(self, t: float, track: str, name: str, cat: str = "instant") -> None:
+        """Record a point event at ``t`` on ``track``."""
+        self.instants.append((t + self.offset, track, name, cat))
+
+    def counter(self, t: float, track: str, name: str, value: float) -> None:
+        """Record an absolute counter sample."""
+        self.counters.append((t + self.offset, track, name, float(value)))
+
+    def count(self, t: float, track: str, name: str, delta: float) -> float:
+        """Accumulate ``delta`` into a tracer-owned running counter and
+        record the new cumulative value; returns it."""
+        key = (track, name)
+        total = self._cum.get(key, 0.0) + delta
+        self._cum[key] = total
+        self.counter(t, track, name, total)
+        return total
+
+    # -- inspection ----------------------------------------------------------
+    def tracks(self) -> list[str]:
+        """Sorted names of every track with at least one event."""
+        seen = {s[2] for s in self.spans}
+        seen.update(i[1] for i in self.instants)
+        seen.update(c[1] for c in self.counters)
+        return sorted(seen)
+
+    def t_max(self) -> float:
+        """Latest instant touched by any recorded event (0.0 if empty)."""
+        t = 0.0
+        if self.spans:
+            t = max(t, max(s[1] for s in self.spans))
+        if self.instants:
+            t = max(t, max(i[0] for i in self.instants))
+        if self.counters:
+            t = max(t, max(c[0] for c in self.counters))
+        return t
+
+    def n_events(self) -> int:
+        return len(self.spans) + len(self.instants) + len(self.counters)
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.instants.clear()
+        self.counters.clear()
+        self._cum.clear()
+        self.offset = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<Tracer {len(self.spans)} span(s), {len(self.counters)} "
+            f"counter sample(s), {len(self.instants)} instant(s)>"
+        )

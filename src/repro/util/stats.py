@@ -74,12 +74,20 @@ class IntervalAccumulator:
 
     Used to compute utilization: ``busy_in(w0, w1) / (w1 - w0)``.  Intervals
     must be appended in nondecreasing start order (event time order), which
-    the simulator guarantees.
+    the simulator guarantees; :meth:`insert` accepts out-of-order intervals
+    for modelled spans that are back-dated from their completion instant.
+
+    Intervals may overlap (queued modelled work); ``busy_in`` sums each
+    interval's own overlap with the window, so utilization over 1.0 reports
+    overcommit rather than clipping it.
     """
 
     starts: list[float] = field(default_factory=list)
     ends: list[float] = field(default_factory=list)
     total_busy: float = 0.0
+    #: running prefix maximum of ``ends`` — lets the backward window scan
+    #: stop as soon as no earlier interval can still overlap
+    _max_ends: list[float] = field(default_factory=list, repr=False)
 
     def add(self, start: float, end: float) -> None:
         if end < start:
@@ -88,6 +96,30 @@ class IntervalAccumulator:
             raise ValueError("intervals must be added in start order")
         self.starts.append(float(start))
         self.ends.append(float(end))
+        prev = self._max_ends[-1] if self._max_ends else -math.inf
+        self._max_ends.append(max(prev, float(end)))
+        self.total_busy += end - start
+
+    def insert(self, start: float, end: float) -> None:
+        """Add an interval at its sorted position (out-of-order tolerant).
+
+        Fast path is an append; an interval starting before the latest start
+        (e.g. a long modelled span ending at the same instant as a short one)
+        is spliced in and the prefix maxima are rebuilt from that point.
+        """
+        if end < start:
+            raise ValueError(f"interval end {end} before start {start}")
+        if not self.starts or start >= self.starts[-1]:
+            self.add(start, end)
+            return
+        i = bisect_right(self.starts, float(start))
+        self.starts.insert(i, float(start))
+        self.ends.insert(i, float(end))
+        prev = self._max_ends[i - 1] if i > 0 else -math.inf
+        del self._max_ends[i:]
+        for j in range(i, len(self.ends)):
+            prev = max(prev, self.ends[j])
+            self._max_ends.append(prev)
         self.total_busy += end - start
 
     def busy_in(self, w0: float, w1: float) -> float:
@@ -98,7 +130,9 @@ class IntervalAccumulator:
         # First interval that could overlap: starts before w1.
         hi = bisect_right(self.starts, w1)
         for i in range(hi - 1, -1, -1):
-            if self.ends[i] <= w0 and self.starts[i] <= w0:
+            if self._max_ends[i] <= w0:
+                # No interval at or before i reaches into the window: every
+                # earlier end is <= _max_ends[i] <= w0.
                 break
             lo = max(self.starts[i], w0)
             hi_t = min(self.ends[i], w1)
@@ -118,14 +152,24 @@ class IntervalAccumulator:
         """Sampled utilization over [t_start, t_end) in windows of ``dt``.
 
         Returns (window_midpoint, utilization) pairs — the data behind the
-        Figure-10 utilization traces.
+        Figure-10 utilization traces.  Window edges are indexed
+        (``t_start + i*dt``) rather than accumulated, so the edge error stays
+        at one rounding ulp regardless of run length and the final window is
+        neither duplicated nor dropped.
         """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        span = t_end - t_start
+        if span <= 0:
+            return []
+        n_full = int(span / dt + 1e-9)
+        rem = span - n_full * dt
+        n = n_full + (1 if rem > dt * 1e-9 else 0)
         out = []
-        t = t_start
-        while t < t_end:
-            w1 = min(t + dt, t_end)
-            out.append(((t + w1) / 2.0, self.utilization(t, w1)))
-            t += dt
+        for i in range(n):
+            w0 = t_start + i * dt
+            w1 = min(t_start + (i + 1) * dt, t_end)
+            out.append(((w0 + w1) / 2.0, self.utilization(w0, w1)))
         return out
 
 

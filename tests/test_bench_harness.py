@@ -1,6 +1,5 @@
 """Tests for the bench harness: report rendering and small-scale figure runs."""
 
-import numpy as np
 import pytest
 
 from repro.bench import (

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.bte import BteError, FileBTE, MemoryBTE
-from repro.util.records import DEFAULT_SCHEMA, RecordSchema, make_records
+from repro.util.records import RecordSchema, make_records
 
 
 def batch_of(keys):

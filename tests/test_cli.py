@@ -23,6 +23,17 @@ class TestCli:
         assert main(["sweep-gamma", "--n", "14"]) == 0
         assert "merge split" in capsys.readouterr().out
 
+    def test_trace_writes_chrome_json(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert main(["trace", "--n", "13", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "profile" in stdout and "trace events" in stdout
+        doc = json.loads(out.read_text())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"M", "X", "C"} <= phases
+
     def test_unknown_target_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig11"])

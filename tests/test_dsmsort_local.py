@@ -1,7 +1,6 @@
 """Tests for the in-process DSM-Sort."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.bte import MemoryBTE

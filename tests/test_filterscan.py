@@ -1,7 +1,6 @@
 """Tests for ASU-side filtering (the §2 bandwidth-reduction workload)."""
 
 import numpy as np
-import pytest
 
 from repro.apps.filterscan import FilterScanJob
 from repro.bench.fig9 import fig9_params

@@ -21,7 +21,7 @@ from repro.functors import (
     sample_splitters,
     uniform_splitters,
 )
-from repro.util.records import DEFAULT_SCHEMA, make_records
+from repro.util.records import make_records
 from repro.util.validation import check_sorted_permutation, is_sorted
 
 

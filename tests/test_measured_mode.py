@@ -7,12 +7,10 @@ absolute values: segments are charged, makespans are positive, the ratio of
 host to ASU charge reflects the clock gap, and the data path stays correct.
 """
 
-import numpy as np
-import pytest
 
 from repro.core import DSMConfig
 from repro.dsmsort import DsmSortJob
-from repro.emulator import ActivePlatform, SystemParams, TimingMode
+from repro.emulator import SystemParams, TimingMode
 from repro.emulator.cpu import Cpu
 from repro.sim import Simulator
 

@@ -18,7 +18,6 @@ from repro.functors import (
 from repro.util.distributions import make_workload
 from repro.util.records import make_records
 from repro.util.rng import RngRegistry
-from repro.util.validation import is_sorted
 
 
 def make_data(params, n, seed=3):

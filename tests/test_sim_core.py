@@ -3,12 +3,9 @@
 import pytest
 
 from repro.sim import (
-    Event,
     Interrupt,
-    Resource,
     SimError,
     Simulator,
-    Store,
 )
 
 

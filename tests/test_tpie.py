@@ -19,7 +19,7 @@ from repro.tpie import (
     stream_filter,
 )
 from repro.util.records import make_records
-from repro.util.validation import check_sorted_permutation, is_sorted
+from repro.util.validation import check_sorted_permutation
 
 
 def batch_of(keys):
@@ -228,6 +228,30 @@ class TestExternalPriorityQueue:
             pq.push(42, data=i)
         order = [pq.pop()[1] for _ in range(10)]
         assert order == list(range(10))
+
+    def test_stable_order_across_many_spilled_runs(self):
+        # Many tiny spilled runs, every entry the same priority: the run-head
+        # heap must still pop in exact (key, seq) insertion order.
+        pq = ExternalPriorityQueue(memory_entries=2, buffer_entries=2)
+        n = 64
+        for i in range(n):
+            pq.push(7, data=i)
+        assert pq.n_spilled_runs >= n // 2 - 1
+        assert [pq.pop() for _ in range(n)] == [(7, i) for i in range(n)]
+        assert len(pq) == 0
+
+    def test_stable_order_interleaved_priorities_across_runs(self):
+        # Duplicated priorities scattered over multiple runs and the
+        # insertion heap: global pop order must be (priority, arrival).
+        pq = ExternalPriorityQueue(memory_entries=4, buffer_entries=2)
+        prios = [3, 1, 2, 1, 3, 2, 1, 2, 3, 1, 2, 3] * 8
+        expect = sorted(
+            ((p, i) for i, p in enumerate(prios)), key=lambda t: (t[0], t[1])
+        )
+        for i, p in enumerate(prios):
+            pq.push(p, data=i)
+        assert pq.n_spilled_runs > 2
+        assert [pq.pop() for _ in range(len(prios))] == expect
 
     def test_pop_empty_raises(self):
         with pytest.raises(IndexError):

@@ -1,6 +1,5 @@
 """Tests for online statistics and interval accumulators."""
 
-import math
 
 import numpy as np
 import pytest
@@ -101,6 +100,84 @@ class TestIntervalAccumulator:
         (t0, u0), (t1, u1) = series
         assert t0 == pytest.approx(0.5) and u0 == pytest.approx(1.0)
         assert t1 == pytest.approx(1.5) and u1 == pytest.approx(0.0)
+
+    def test_busy_in_overlapping_intervals_not_skipped(self):
+        # Regression: the backward scan used to break at the FIRST interval
+        # ending before the window, skipping earlier LONGER intervals that
+        # still overlap.  Here (3, 4) ends at the window start, but (0, 5)
+        # reaches past it.
+        acc = IntervalAccumulator()
+        acc.add(0.0, 5.0)
+        acc.add(1.0, 2.0)
+        acc.add(3.0, 4.0)
+        # Pre-fix this returned 0.0: the scan hit (3, 4), saw end <= w0 and
+        # start <= w0, and broke out before examining (0, 5).
+        assert acc.busy_in(4.0, 6.0) == pytest.approx(1.0)
+        # Full-window sum still equals the (overlap-counting) total.
+        assert acc.busy_in(0.0, 6.0) == pytest.approx(acc.total_busy)
+
+    def test_busy_in_overlap_counts_each_interval(self):
+        acc = IntervalAccumulator()
+        acc.add(0.0, 4.0)
+        acc.add(1.0, 2.0)
+        assert acc.total_busy == pytest.approx(5.0)
+        assert acc.busy_in(0.0, 4.0) == pytest.approx(5.0)
+        assert acc.busy_in(1.0, 2.0) == pytest.approx(2.0)
+
+    def test_insert_out_of_order(self):
+        acc = IntervalAccumulator()
+        acc.add(2.0, 3.0)
+        acc.insert(0.0, 3.0)  # starts before the last interval: spliced in
+        assert acc.starts == [0.0, 2.0]
+        assert acc.total_busy == pytest.approx(4.0)
+        assert acc.busy_in(2.5, 4.0) == pytest.approx(1.0)
+        assert acc.busy_in(0.0, 1.0) == pytest.approx(1.0)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 10)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_insert_any_order_matches_sorted_add(self, spans):
+        shuffled = IntervalAccumulator()
+        for start, dur in spans:
+            shuffled.insert(start, start + dur)
+        ordered = IntervalAccumulator()
+        for start, dur in sorted(spans):
+            ordered.add(start, start + dur)
+        assert shuffled.total_busy == pytest.approx(ordered.total_busy)
+        hi = max(s + d for s, d in spans) + 1.0
+        for w0, w1 in [(0.0, hi), (hi / 3, 2 * hi / 3), (hi / 2, hi)]:
+            assert shuffled.busy_in(w0, w1) == pytest.approx(ordered.busy_in(w0, w1))
+
+    def test_utilization_series_adversarial_dt(self):
+        # Regression: accumulating t += dt drifts; 0.3 * 3 < 0.9 in floats,
+        # so the old loop emitted a fourth, near-empty duplicate window.
+        acc = IntervalAccumulator()
+        acc.add(0.0, 0.9)
+        series = acc.utilization_series(t_end=0.9, dt=0.3)
+        assert len(series) == 3
+        assert all(u == pytest.approx(1.0) for _t, u in series)
+
+    def test_utilization_series_long_run_window_count(self):
+        # Pre-fix, 10000 accumulated additions of 0.1 undershot 1000.0 and
+        # appended an extra window.
+        acc = IntervalAccumulator()
+        series = acc.utilization_series(t_end=1000.0, dt=0.1)
+        assert len(series) == 10000
+
+    def test_utilization_series_partial_final_window(self):
+        acc = IntervalAccumulator()
+        acc.add(0.0, 2.5)
+        series = acc.utilization_series(t_end=2.5, dt=1.0)
+        assert len(series) == 3
+        assert series[-1][0] == pytest.approx(2.25)  # midpoint of [2.0, 2.5)
+
+    def test_utilization_series_bad_dt(self):
+        with pytest.raises(ValueError):
+            IntervalAccumulator().utilization_series(t_end=1.0, dt=0.0)
 
     @given(
         st.lists(
