@@ -9,6 +9,7 @@ import numpy as np
 from conftest import bench_n
 
 from repro.bench import run_figure10
+from repro.bench.fig10 import fig10_params
 from repro.bench.report import write_bench_json
 
 
@@ -20,6 +21,9 @@ def test_figure10_skew(once):
     write_bench_json(
         "fig10_skew",
         {
+            "params": fig10_params().as_dict(),
+            "alpha": 16,
+            "gamma": 64,
             "n_records": result.n_records,
             "makespan_static": result.makespan_static,
             "makespan_managed": result.makespan_managed,

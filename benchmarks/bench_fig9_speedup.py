@@ -9,6 +9,7 @@ the paper reports.
 from conftest import bench_n
 
 from repro.bench import run_figure9
+from repro.bench.fig9 import FIG9_ALPHAS, FIG9_GAMMA, fig9_params
 from repro.bench.report import write_bench_json
 
 
@@ -20,6 +21,10 @@ def test_figure9_speedup(once):
     write_bench_json(
         "fig9_speedup",
         {
+            # Platform family (c, cost constants); n_asus is the sweep axis.
+            "params": fig9_params(result.asu_counts[0]).as_dict(),
+            "alphas": list(FIG9_ALPHAS),
+            "gamma": FIG9_GAMMA,
             "n_records": result.n_records,
             "asu_counts": result.asu_counts,
             "speedup": result.speedup,

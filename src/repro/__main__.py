@@ -2,11 +2,13 @@
 
 Usage::
 
-    python -m repro fig9   [--n LOG2] [--c RATIO]
-    python -m repro fig10  [--n LOG2]
+    python -m repro fig9    [--n LOG2] [--c RATIO]
+    python -m repro fig10   [--n LOG2]
     python -m repro sweep-c | sweep-routing | sweep-gamma
-    python -m repro trace  [--n LOG2] [--seed S] [--out trace.json]
-    python -m repro all    [--n LOG2]
+    python -m repro trace   [--n LOG2] [--seed S] [--out trace.json]
+    python -m repro metrics [--n LOG2] [--seed S] [--interval DT]
+                            [--out metrics.json] [--prom metrics.prom]
+    python -m repro all     [--n LOG2]
 """
 
 from __future__ import annotations
@@ -25,7 +27,7 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         choices=[
             "fig9", "fig10", "sweep-c", "sweep-routing", "sweep-gamma",
-            "trace", "all",
+            "trace", "metrics", "all",
         ],
         help="which experiment to run",
     )
@@ -42,14 +44,27 @@ def main(argv: list[str] | None = None) -> int:
         help="workload/routing seed for the traced run (default 0)",
     )
     parser.add_argument(
-        "--out", default="trace.json", metavar="PATH",
-        help="trace: output path for the Chrome trace JSON (default trace.json)",
+        "--out", default=None, metavar="PATH",
+        help="output path: trace writes Chrome trace JSON (default "
+        "trace.json), metrics writes the metrics export (default metrics.json)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=0.01, metavar="DT",
+        help="metrics: scrape interval in virtual seconds (default 0.01)",
+    )
+    parser.add_argument(
+        "--prom", default=None, metavar="PATH",
+        help="metrics: also write a Prometheus text exposition file",
     )
     args = parser.parse_args(argv)
     n = 1 << args.n
 
     if args.target == "trace":
-        return _run_trace(n, args.seed, args.out)
+        return _run_trace(n, args.seed, args.out or "trace.json")
+    if args.target == "metrics":
+        return _run_metrics(
+            n, args.seed, args.interval, args.out or "metrics.json", args.prom
+        )
 
     from .bench import (
         run_figure9,
@@ -107,6 +122,101 @@ def _run_trace(n: int, seed: int, out: str) -> int:
     print(f"wrote {tracer.n_events()} trace events to {out}")
     print()
     print(ProfileReport.from_tracer(tracer, makespan=makespan).render())
+    return 0
+
+
+def _run_metrics(n: int, seed: int, interval: float, out: str, prom) -> int:
+    """Run a metered DSM-Sort (both passes) and summarise the registry.
+
+    Same platform/workload as ``trace`` — a 4-ASU / 2-host skewed sort —
+    but with the metrics registry attached: every queue depth, device
+    utilization, and stage latency lands in instruments, scraped each
+    ``interval`` virtual seconds.  Deterministic: same (n, seed, interval)
+    writes a byte-identical metrics JSON.
+    """
+    import math
+
+    from .bench import fig10_params
+    from .bench.report import render_table
+    from .core.config import ConfigSolver
+    from .dsmsort import DsmSortJob
+    from .metrics import MetricsRegistry, metrics_json, prometheus_text
+
+    params = fig10_params(n_asus=4, n_hosts=2)
+    config = ConfigSolver(params).config_for_alpha(n, 16)
+    registry = MetricsRegistry()
+    job = DsmSortJob(
+        params, config, policy="sr", seed=seed,
+        metrics=registry, scrape_interval=interval,
+        workload="half_uniform_half_exponential",
+    )
+    r1 = job.run_pass1()
+    r2 = job.run_pass2()
+    job.verify()
+    makespan = r1.makespan + r2.makespan
+    collector = registry.collector
+    with open(out, "w") as fh:
+        fh.write(metrics_json(registry, collector))
+        fh.write("\n")
+    print(f"sorted {n} records in {makespan:.3f}s "
+          f"(pass1 {r1.makespan:.3f}s, pass2 {r2.makespan:.3f}s)")
+    print(f"{len(registry)} instruments, {collector.n_samples()} samples "
+          f"at dt={collector.interval}s -> {out}")
+    if prom:
+        with open(prom, "w") as fh:
+            fh.write(prometheus_text(registry, t=r2.makespan))
+        print(f"wrote Prometheus text exposition to {prom}")
+
+    # -- top queues by peak depth -----------------------------------------
+    queues = [
+        (inst.hwm, inst.labels.get("queue", inst.key))
+        for inst in registry.instruments()
+        if inst.kind == "gauge" and inst.name == "repro_queue_depth"
+    ]
+    queues.sort(key=lambda x: (-x[0], x[1]))
+    print()
+    print(render_table(
+        ["queue", "peak depth"],
+        [[name, f"{hwm:.0f}"] for hwm, name in queues[:8]],
+        title="top queues by peak depth",
+    ))
+
+    # -- per-device mean utilization (over the scraped series) ------------
+    def series_mean(key: str) -> float:
+        pts = collector.series.get(key, [])
+        vals = [v for _t, v in pts if not math.isnan(v)]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    rows = []
+    for inst in registry.instruments():
+        if inst.name == "repro_cpu_utilization":
+            rows.append([inst.labels["node"], "cpu", f"{series_mean(inst.key):.3f}"])
+        elif inst.name == "repro_disk_utilization":
+            rows.append([inst.labels["node"], "disk", f"{series_mean(inst.key):.3f}"])
+    rows.sort()
+    print()
+    print(render_table(
+        ["device", "kind", "mean util"], rows,
+        title="per-device utilization (mean of scraped samples)",
+    ))
+
+    # -- per-stage record latency quantiles --------------------------------
+    rows = []
+    for inst in registry.instruments():
+        if inst.kind == "histogram" and inst.name == "repro_stage_record_latency_seconds":
+            rows.append([
+                inst.labels.get("stage", "?"),
+                inst.count,
+                f"{inst.quantile(0.50) * 1e6:.2f}",
+                f"{inst.quantile(0.95) * 1e6:.2f}",
+                f"{inst.quantile(0.99) * 1e6:.2f}",
+            ])
+    rows.sort()
+    print()
+    print(render_table(
+        ["stage", "records", "p50 (us)", "p95 (us)", "p99 (us)"], rows,
+        title="per-stage record latency",
+    ))
     return 0
 
 

@@ -12,7 +12,17 @@ import json
 import os
 from typing import Mapping, Optional, Sequence
 
-__all__ = ["render_table", "render_series_table", "ascii_plot", "write_bench_json"]
+#: version of the BENCH_*.json payload layout; bumped on breaking changes and
+#: validated by :mod:`repro.bench.regress` before any value comparison.
+SCHEMA_VERSION = 1
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "render_table",
+    "render_series_table",
+    "ascii_plot",
+    "write_bench_json",
+]
 
 
 def write_bench_json(name: str, payload: Mapping, out_dir: Optional[str] = None) -> Optional[str]:
@@ -21,11 +31,15 @@ def write_bench_json(name: str, payload: Mapping, out_dir: Optional[str] = None)
     Disabled unless ``out_dir`` is given or ``REPRO_BENCH_JSON`` names a
     directory, so ordinary test runs write nothing.  The payload is emitted in
     canonical form (sorted keys, fixed separators): a deterministic benchmark
-    produces a byte-identical file.  Returns the path written, or ``None``.
+    produces a byte-identical file.  A ``schema_version`` field is stamped in
+    unless the payload already carries one.  Returns the path written, or
+    ``None``.
     """
     out_dir = out_dir if out_dir is not None else os.environ.get("REPRO_BENCH_JSON")
     if not out_dir:
         return None
+    payload = dict(payload)
+    payload.setdefault("schema_version", SCHEMA_VERSION)
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, f"BENCH_{name}.json")
     with open(path, "w") as fh:

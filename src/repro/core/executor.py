@@ -64,6 +64,8 @@ class PipelineJob:
         routing: str = "sr",
         seed: int = 0,
         tracer=None,
+        metrics=None,
+        scrape_interval=None,
     ):
         if len(asu_data) != params.n_asus:
             raise ValueError(
@@ -79,6 +81,8 @@ class PipelineJob:
         self.routing = routing
         self.rngs = RngRegistry(seed)
         self.tracer = tracer
+        self.metrics = metrics
+        self.scrape_interval = scrape_interval
 
     @staticmethod
     def _check_linear(graph: Dataflow) -> None:
@@ -102,7 +106,10 @@ class PipelineJob:
 
     def run(self) -> PipelineResult:
         params = self.params
-        plat = ActivePlatform(params, tracer=self.tracer)
+        plat = ActivePlatform(
+            params, tracer=self.tracer,
+            metrics=self.metrics, scrape_interval=self.scrape_interval,
+        )
         graph = self.graph
         order = graph.topological_order()
         rs = params.schema.record_size
@@ -240,6 +247,7 @@ class PipelineJob:
                     n_eof += 1
                     continue
                 batch = msg.payload
+                t0 = plat.sim.now
                 out = yield from node.compute(
                     cycles=functor.cost_cycles(batch.shape[0], params),
                     fn=lambda b: functor.apply(b)[0],
@@ -254,6 +262,15 @@ class PipelineJob:
                         "records",
                         float(records_per_instance[stage_name][k]),
                     )
+                m = plat.sim.metrics
+                if m is not None and batch.shape[0]:
+                    n = int(batch.shape[0])
+                    m.rate("repro_stage_records", stage=stage_name).mark(
+                        plat.sim.now, float(n)
+                    )
+                    m.histogram(
+                        "repro_stage_record_latency_seconds", stage=stage_name
+                    ).observe((plat.sim.now - t0) / n, n=n)
                 if out.shape[0]:
                     yield from route_out(node, stage_name, out)
             yield from send_eofs(node, stage_name)

@@ -12,35 +12,72 @@ The :class:`LoadManager` ties the pieces together: it owns a
 by the runtime, exposes imbalance metrics, and (between runs) consults the
 :class:`~repro.core.config.ConfigSolver` to re-pick the DSM configuration —
 the two adaptation axes the paper demonstrates (Figures 9 and 10).
+
+All feedback lives in a :class:`~repro.metrics.MetricsRegistry`: the queue
+depths and progress counts the router decides from ARE the registry's gauge
+vectors (shared float64 storage, see :meth:`Router.attach_feedback`), so the
+load-management signal path and the observability export are one and the
+same — the paper's "dynamic load conditions visible to the system" as
+first-class metrics.  Pass a shared registry to surface them in a metered
+run; by default the manager owns a private one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from ..emulator.params import SystemParams
+from ..metrics.registry import MetricsRegistry
 from .config import ConfigSolver, DSMConfig
 from .routing import Router, make_router
 
 __all__ = ["LoadManager", "InstanceStats"]
 
 
-@dataclass
 class InstanceStats:
-    """Progress counters for one functor instance."""
+    """Progress counters for one functor instance.
 
-    records_routed: int = 0
-    records_completed: int = 0
-    busy_cycles: float = 0.0
-    #: set when a detected failure removed this instance from routing
-    quarantined: bool = False
+    A read-only view over the load manager's registry-backed gauge vectors —
+    the numbers here are literally the routing feedback signal, not a copy.
+    """
+
+    __slots__ = ("_lm", "_i")
+
+    def __init__(self, lm: "LoadManager", i: int):
+        self._lm = lm
+        self._i = i
+
+    @property
+    def records_routed(self) -> int:
+        return int(self._lm._gv_routed.values[self._i])
+
+    @property
+    def records_completed(self) -> int:
+        return int(
+            self._lm._gv_routed.values[self._i]
+            - self._lm._gv_backlog.values[self._i]
+        )
+
+    @property
+    def busy_cycles(self) -> float:
+        return float(self._lm._gv_busy.values[self._i])
+
+    @property
+    def quarantined(self) -> bool:
+        """Set when a detected failure removed this instance from routing."""
+        return not bool(self._lm.router.alive[self._i])
 
     @property
     def backlog(self) -> int:
-        return self.records_routed - self.records_completed
+        return int(self._lm._gv_backlog.values[self._i])
+
+    def __repr__(self) -> str:
+        return (
+            f"<InstanceStats #{self._i} routed={self.records_routed} "
+            f"backlog={self.backlog}{' quarantined' if self.quarantined else ''}>"
+        )
 
 
 class LoadManager:
@@ -54,13 +91,39 @@ class LoadManager:
         policy: str = "sr",
         rng: Optional[np.random.Generator] = None,
         weights=None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.params = params
         self.policy = policy
         self.router: Router = make_router(
             policy, n_instances, n_buckets=n_buckets, rng=rng, weights=weights
         )
-        self.instances = [InstanceStats() for _ in range(n_instances)]
+        #: the feedback registry (shared with the platform when metering a
+        #: run, private otherwise — routing always reads registry signals)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._gv_backlog = self.registry.gauge_vector(
+            "repro_lm_queue_depth_records", n_instances
+        )
+        self._gv_routed = self.registry.gauge_vector(
+            "repro_lm_routed_records_total", n_instances
+        )
+        self._gv_busy = self.registry.gauge_vector(
+            "repro_lm_busy_cycles_total", n_instances
+        )
+        # A job may rebuild its LoadManager against the same registry (e.g.
+        # on a pass re-run): get-or-create returns the existing vectors, so
+        # start each manager's life with clean counters.
+        for gv in (self._gv_backlog, self._gv_routed, self._gv_busy):
+            if gv.n != n_instances:
+                raise ValueError(
+                    f"registry metric {gv.key!r} sized for {gv.n} instances, "
+                    f"need {n_instances}"
+                )
+            gv.values[:] = 0.0
+            gv.element_dead[:] = False
+        # The router's decision arrays ARE the registry vectors from here on.
+        self.router.attach_feedback(self._gv_backlog.values, self._gv_routed.values)
+        self.instances = [InstanceStats(self, i) for i in range(n_instances)]
         self.n_buckets = n_buckets
         #: simulator whose tracer receives routing-decision counters (optional)
         self._sim = None
@@ -78,14 +141,13 @@ class LoadManager:
         """
         inst = self.router.pick(bucket, n_records)
         self.router.on_sent(inst, n_records)
-        self.instances[inst].records_routed += n_records
         sim = self._sim
         if sim is not None and sim.tracer is not None:
             # Not named "records": routing counts are decisions, not stage
             # throughput, and must not feed the profile's records column.
             sim.tracer.counter(
                 sim.now, "router", f"inst{inst}",
-                float(self.instances[inst].records_routed),
+                float(self._gv_routed.values[inst]),
             )
         return inst
 
@@ -99,7 +161,9 @@ class LoadManager:
         *new* fragment lands there.
         """
         self.router.quarantine(instance)
-        self.instances[instance].quarantined = True
+        # Exported feedback for a quarantined instance reads absent (NaN),
+        # not frozen: its queue depth is no longer a meaningful signal.
+        self._gv_backlog.mark_element_dead(instance)
 
     def alive_instances(self) -> list[int]:
         return [i for i in range(len(self.instances)) if self.router.alive[i]]
@@ -107,14 +171,13 @@ class LoadManager:
     def complete(self, instance: int, n_records: int, busy_cycles: float = 0.0) -> None:
         """Runtime feedback: an instance finished processing records."""
         self.router.on_completed(instance, n_records)
-        st = self.instances[instance]
-        st.records_completed += n_records
-        st.busy_cycles += busy_cycles
+        if busy_cycles:
+            self._gv_busy.add(instance, busy_cycles)
 
     # -- diagnostics ---------------------------------------------------------
     def imbalance(self) -> float:
         """max/mean of records routed (1.0 = perfect balance)."""
-        routed = np.array([s.records_routed for s in self.instances], dtype=np.float64)
+        routed = self._gv_routed.values
         total = routed.sum()
         if total == 0:
             return 1.0

@@ -52,11 +52,31 @@ class Router(abc.ABC):
         if n_instances < 1:
             raise ValueError("need at least one instance")
         self.n_instances = int(n_instances)
-        #: outstanding records per instance (fed back by the runtime)
-        self.outstanding = np.zeros(self.n_instances, dtype=np.int64)
-        self.sent = np.zeros(self.n_instances, dtype=np.int64)
+        #: outstanding records per instance (fed back by the runtime).
+        #: float64 so the storage can be adopted by (or swapped for) a
+        #: metrics-registry GaugeVector without changing a single decision:
+        #: record counts are exact integers far below 2**53, so comparisons,
+        #: argmin, and sums are bit-equal to the integer arithmetic.
+        self.outstanding = np.zeros(self.n_instances, dtype=np.float64)
+        self.sent = np.zeros(self.n_instances, dtype=np.float64)
         #: instances still accepting traffic; cleared by :meth:`quarantine`
         self.alive = np.ones(self.n_instances, dtype=bool)
+
+    def attach_feedback(self, outstanding: np.ndarray, sent: np.ndarray) -> None:
+        """Adopt externally-owned feedback storage (registry GaugeVectors).
+
+        The arrays take over the router's current counts and every subsequent
+        ``on_sent``/``on_completed`` mutates them in place — the registry and
+        the routing policy read the *same* numbers, making the registry the
+        single source of load feedback.
+        """
+        for arr in (outstanding, sent):
+            if arr.shape != (self.n_instances,) or arr.dtype != np.float64:
+                raise ValueError("feedback arrays must be float64 of length n_instances")
+        outstanding[:] = self.outstanding
+        sent[:] = self.sent
+        self.outstanding = outstanding
+        self.sent = sent
 
     @abc.abstractmethod
     def choose(self, bucket: int, n_records: int) -> int:
@@ -193,7 +213,7 @@ class JoinShortestQueue(Router):
     def choose(self, bucket: int, n_records: int) -> int:
         if self.alive.all():
             return int(np.argmin(self.outstanding))
-        masked = np.where(self.alive, self.outstanding, np.iinfo(np.int64).max)
+        masked = np.where(self.alive, self.outstanding, np.inf)
         return int(np.argmin(masked))
 
 

@@ -133,6 +133,8 @@ class DsmSortJob:
         heartbeat_interval: float = 0.05,
         heartbeat_timeout: float = 0.2,
         tracer=None,
+        metrics=None,
+        scrape_interval=None,
     ):
         if not 0.0 <= background_asu_duty < 1.0:
             raise ValueError("background_asu_duty must be in [0, 1)")
@@ -163,6 +165,11 @@ class DsmSortJob:
             if policy == "weighted"
             else None
         )
+        #: optional repro.metrics.MetricsRegistry shared by both passes and
+        #: by the load manager (its routing feedback = these metrics);
+        #: ``scrape_interval`` attaches a zero-perturbation collector.
+        self.metrics = metrics
+        self.scrape_interval = scrape_interval
         self.load_manager = LoadManager(
             params,
             n_instances=params.n_hosts,
@@ -170,6 +177,7 @@ class DsmSortJob:
             policy=policy,
             rng=self.rngs.get("routing"),
             weights=self._host_weights,
+            registry=metrics,
         )
         # Input: either supplied by the caller (pre-distributed application
         # data, e.g. TerraFlow cell records keyed by elevation) or generated
@@ -225,6 +233,7 @@ class DsmSortJob:
             policy=self.policy,
             rng=RngRegistry(self.rngs.seed).get("routing"),
             weights=self._host_weights,
+            registry=self.metrics,
         )
         plat_params = self.params
         if self.background_asu_duty > 0.0:
@@ -234,7 +243,12 @@ class DsmSortJob:
             )
         if self.tracer is not None:
             self.tracer.offset = 0.0
-        plat = ActivePlatform(plat_params, tracer=self.tracer)
+        if self.metrics is not None and self.metrics.collector is not None:
+            self.metrics.collector.offset = 0.0
+        plat = ActivePlatform(
+            plat_params, tracer=self.tracer,
+            metrics=self.metrics, scrape_interval=self.scrape_interval,
+        )
         self.platform = plat
         self.load_manager.attach_sim(plat.sim)
         if self.faults is not None:
@@ -274,6 +288,8 @@ class DsmSortJob:
         makespan = plat.sim.now
         self._pass1_done = True
         self._pass1_makespan = makespan
+        if self.metrics is not None and self.metrics.collector is not None:
+            self.metrics.collector.finalize(makespan)
         n_runs = sum(len(r) for r in self.runs_on_asu)
         return Pass1Result(
             makespan=makespan,
@@ -289,11 +305,31 @@ class DsmSortJob:
             ],
         )
 
-    def _trace_records(self, sim, track: str, n: int) -> None:
-        """Accumulate a per-stage ``records`` counter (no-op untraced)."""
+    def _trace_records(self, sim, track: str, n: int, dt: Optional[float] = None) -> None:
+        """Per-stage record observation (no-op when untraced and unmetered).
+
+        ``track`` is ``<node>.<stage>``; ``n`` records just finished the
+        stage.  Tracing accumulates the ``records`` counter; metering marks
+        the stage's windowed throughput :class:`~repro.metrics.Rate` and —
+        when the caller passes ``dt``, the virtual time the batch spent in
+        the stage — feeds the per-record latency histogram.
+        """
         tracer = sim.tracer
         if tracer is not None and n:
             tracer.count(sim.now, track, "records", float(n))
+        m = sim.metrics
+        if m is not None and n:
+            from ..metrics.registry import derive_owner
+
+            owner = derive_owner(track)
+            stage = track.split(".", 1)[-1]
+            m.rate(
+                "repro_stage_records", owner=owner, node=owner, stage=stage
+            ).mark(sim.now, float(n))
+            if dt is not None:
+                m.histogram(
+                    "repro_stage_record_latency_seconds", stage=stage
+                ).observe(dt / n, n=int(n))
 
     def _asu_producer(self, plat: ActivePlatform, d: int, blk: int, rs: int):
         from ..emulator.readahead import ReadAhead
@@ -307,6 +343,7 @@ class DsmSortJob:
             yield ra.wait_next()
             if self.active:
                 # Buffer-staging CPU cost of the read, then the distribute.
+                t0 = plat.sim.now
                 staging = block.shape[0] * rs * self.params.cycles_per_io_byte
                 if staging:
                     yield from asu.cpu.execute(cycles=staging)
@@ -315,7 +352,10 @@ class DsmSortJob:
                     fn=self.dist.apply,
                     args=(block,),
                 )
-                self._trace_records(plat.sim, f"asu{d}.distribute", block.shape[0])
+                self._trace_records(
+                    plat.sim, f"asu{d}.distribute", block.shape[0],
+                    dt=plat.sim.now - t0,
+                )
                 # Route each bucket fragment; group fragments by destination
                 # host so each (block, host) pair is one message.
                 per_host: dict[int, list[tuple[int, np.ndarray]]] = defaultdict(list)
@@ -398,13 +438,16 @@ class DsmSortJob:
 
     def _emit_run(self, plat, host, h, bucket, batch, next_asu, rs, sort_cpr):
         """Really sort one run on the host CPU and stripe it to an ASU."""
+        t0 = plat.sim.now
         run = yield from host.compute(
             cycles=batch.shape[0] * sort_cpr,
             fn=lambda b: np.sort(b, order="key", kind="stable"),
             args=(batch,),
         )
         self.load_manager.complete(h, batch.shape[0])
-        self._trace_records(plat.sim, f"host{h}.sort", batch.shape[0])
+        self._trace_records(
+            plat.sim, f"host{h}.sort", batch.shape[0], dt=plat.sim.now - t0
+        )
         d = next_asu % self.params.n_asus
         # Host pays the NIC copy in both modes; wire time is off the CPU.
         yield from host.send_async(
@@ -426,12 +469,15 @@ class DsmSortJob:
                 n_eof += 1
                 continue
             nbytes = payload.shape[0] * rs
+            t0 = plat.sim.now
             if self.active:
                 yield from asu.disk_write(nbytes)
             else:
                 yield from asu.disk.write(nbytes)
             self.runs_on_asu[d].append((bucket, payload))
-            self._trace_records(plat.sim, f"asu{d}.write", payload.shape[0])
+            self._trace_records(
+                plat.sim, f"asu{d}.write", payload.shape[0], dt=plat.sim.now - t0
+            )
         yield from asu.disk.drain()
 
     # ------------------------------------------------------------ pass 1 (FT)
@@ -520,6 +566,8 @@ class DsmSortJob:
         makespan = plat.sim.now
         self._pass1_done = True
         self._pass1_makespan = makespan
+        if self.metrics is not None and self.metrics.collector is not None:
+            self.metrics.collector.finalize(makespan)
         self.fault_report = FaultReport.from_run(injector, detector, self.recovered_at)
         return Pass1Result(
             makespan=makespan,
@@ -562,6 +610,7 @@ class DsmSortJob:
         for i in pending:
             yield ra.wait_next()
             block = blocks[i]
+            t0 = plat.sim.now
             staging = block.shape[0] * rs * self.params.cycles_per_io_byte
             if staging:
                 yield from asu.cpu.execute(cycles=staging)
@@ -570,7 +619,10 @@ class DsmSortJob:
                 fn=self.dist.apply,
                 args=(block,),
             )
-            self._trace_records(plat.sim, f"asu{owner}.distribute", block.shape[0])
+            self._trace_records(
+                plat.sim, f"asu{owner}.distribute", block.shape[0],
+                dt=plat.sim.now - t0,
+            )
             if takeover:
                 self._n_takeover_blocks += 1
             per_host: dict[int, list[tuple[int, np.ndarray]]] = defaultdict(list)
@@ -664,13 +716,16 @@ class DsmSortJob:
 
     def _emit_run_ft(self, plat, host, h, bucket, batch, rs, sort_cpr):
         """Sort one run, log its lineage, stripe it to an alive ASU."""
+        t0 = plat.sim.now
         run = yield from host.compute(
             cycles=batch.shape[0] * sort_cpr,
             fn=lambda b: np.sort(b, order="key", kind="stable"),
             args=(batch,),
         )
         self.load_manager.complete(h, batch.shape[0])
-        self._trace_records(plat.sim, f"host{h}.sort", batch.shape[0])
+        self._trace_records(
+            plat.sim, f"host{h}.sort", batch.shape[0], dt=plat.sim.now - t0
+        )
         nbytes = run.shape[0] * rs
         yield from host.cpu.execute(cycles=nbytes * self.params.cycles_per_net_byte)
         # Atomic: destination choice + lineage entry + post.
@@ -711,13 +766,16 @@ class DsmSortJob:
             src_h = int(msg.src[4:])  # "hostN"
             if src_h in self._dead_hosts:
                 continue  # orphan of a quarantined host; its frags replay
+            t0 = plat.sim.now
             yield from asu.disk_write(run.shape[0] * rs)
             if src_h in self._dead_hosts:
                 continue  # emitter died during our write; the purge ran
             # Atomic: durability record + completion check.
             self.runs_on_asu[d].append((bucket, run))
             self._run_hosts[d].append(src_h)
-            self._trace_records(plat.sim, f"asu{d}.write", run.shape[0])
+            self._trace_records(
+                plat.sim, f"asu{d}.write", run.shape[0], dt=plat.sim.now - t0
+            )
             self._ft_durable += run.shape[0]
             if self._ft_durable >= self._ft_total and not self._complete_ev.triggered:
                 self._complete_ev.succeed()
@@ -880,7 +938,13 @@ class DsmSortJob:
             # offsetting its events by the pass-1 makespan stitches both
             # passes onto one job timeline in the exported trace.
             self.tracer.offset = self._pass1_makespan
-        plat = ActivePlatform(params, tracer=self.tracer)
+        if self.metrics is not None and self.metrics.collector is not None:
+            # Same stitching for metric samples.
+            self.metrics.collector.offset = self._pass1_makespan
+        plat = ActivePlatform(
+            params, tracer=self.tracer,
+            metrics=self.metrics, scrape_interval=self.scrape_interval,
+        )
         D, H = params.n_asus, params.n_hosts
         rs = params.schema.record_size
         g1 = self.config.gamma1
@@ -932,6 +996,7 @@ class DsmSortJob:
                     )
                     continue
                 n = sum(r.shape[0] for r in group)
+                t0 = plat.sim.now
                 staging = n * rs * self.params.cycles_per_io_byte
                 if staging:
                     yield from asu.cpu.execute(cycles=staging)
@@ -941,7 +1006,9 @@ class DsmSortJob:
                     )
                 else:
                     merged = group[0] if len(group) == 1 else merge_sorted_batches(group)
-                self._trace_records(plat.sim, f"asu{d}.premerge", n)
+                self._trace_records(
+                    plat.sim, f"asu{d}.premerge", n, dt=plat.sim.now - t0
+                )
                 n_partial += 1
                 yield from asu.send_async(
                     plat.hosts[h], ("partial", bucket, merged),
@@ -959,6 +1026,7 @@ class DsmSortJob:
             n_finished = 0
 
             def complete_bucket(bucket):
+                t0 = plat.sim.now
                 runs = partials.pop(bucket, [])
                 fan = max(g2, 2)
                 # Reduce to <= fan runs by folding the *smallest* runs first
@@ -980,7 +1048,10 @@ class DsmSortJob:
                     )
                     runs = [merged]
                 if runs:
-                    self._trace_records(plat.sim, f"host{h}.merge", runs[0].shape[0])
+                    self._trace_records(
+                        plat.sim, f"host{h}.merge", runs[0].shape[0],
+                        dt=plat.sim.now - t0,
+                    )
                     self.final_buckets[bucket].append(runs[0])
 
             while n_finished < len(my_buckets):

@@ -46,6 +46,21 @@ class Cpu:
         self.n_segments = 0
         #: dynamic speed multiplier (< 1.0 = degraded clock, fault injection)
         self.speed_factor = 1.0
+        self._m_cycles = None
+        m = sim.metrics
+        if m is not None:
+            from ..metrics.registry import derive_owner
+
+            owner = derive_owner(name)
+            self._m_cycles = m.counter(
+                "repro_cpu_cycles_total", owner=owner, node=name
+            )
+            m.gauge(
+                "repro_cpu_utilization",
+                fn=self.busy.utilization_at,
+                owner=owner,
+                node=name,
+            )
 
     def seconds_for(self, cycles: float) -> float:
         """Virtual seconds to execute ``cycles`` on this CPU."""
@@ -99,6 +114,8 @@ class Cpu:
             dt = self.seconds_for(charge)
             self.cycles_charged += charge
             self.n_segments += 1
+            if self._m_cycles is not None:
+                self._m_cycles.inc(charge)
             if dt > 0:
                 self.busy.begin()
                 yield self.sim.timeout(dt)

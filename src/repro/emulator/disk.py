@@ -60,6 +60,33 @@ class Disk:
         self._last_write_done = 0.0
         self.stats = DiskStats()
         self.busy = BusyTracker(sim, name=name, cat="disk")
+        self._m_read = None
+        self._m_write = None
+        m = sim.metrics
+        if m is not None:
+            from ..metrics.registry import derive_owner
+
+            owner = derive_owner(name)
+            self._m_read = m.counter(
+                "repro_disk_bytes_total", owner=owner, node=name, dir="read"
+            )
+            self._m_write = m.counter(
+                "repro_disk_bytes_total", owner=owner, node=name, dir="write"
+            )
+            m.gauge(
+                "repro_disk_utilization",
+                fn=lambda t: min(1.0, self.busy.busy_until(t) / t) if t > 0 else 0.0,
+                owner=owner,
+                node=name,
+            )
+            # Backlog of reserved-but-unfinished transfer time: how far the
+            # service timeline runs ahead of the clock (queueing pressure).
+            m.gauge(
+                "repro_disk_queue_seconds",
+                fn=lambda t: max(0.0, self._free_at - t),
+                owner=owner,
+                node=name,
+            )
 
     def transfer_time(self, nbytes: int) -> float:
         return float(nbytes) / self.rate
@@ -89,6 +116,8 @@ class Disk:
         self.stats.n_reads += 1
         self.stats.bytes_read += int(nbytes)
         self._trace_bytes()
+        if self._m_read is not None:
+            self._m_read.inc(float(nbytes))
         _start, finish = self._enqueue(nbytes)
         if finish > self.sim.now:
             yield self.sim.timeout(finish - self.sim.now)
@@ -106,6 +135,8 @@ class Disk:
         self.stats.n_writes += 1
         self.stats.bytes_written += int(nbytes)
         self._trace_bytes()
+        if self._m_write is not None:
+            self._m_write.inc(float(nbytes))
         wait_until = max(self.sim.now, self._last_write_done)
         _start, finish = self._enqueue(nbytes)
         self._last_write_done = finish

@@ -107,6 +107,14 @@ class Network:
         self.dead_letter_hook: Optional[Callable[[Message], None]] = None
         #: scheduled link downtime per unordered node pair: list of (t0, t1)
         self._downtimes: dict[frozenset, list[tuple[float, float]]] = {}
+        self._m_bytes = None
+        self._m_msgs = None
+        self._m_dead = None
+        m = sim.metrics
+        if m is not None:
+            self._m_bytes = m.counter("repro_net_bytes_total")
+            self._m_msgs = m.counter("repro_net_messages_total")
+            self._m_dead = m.counter("repro_net_dead_letters_total")
 
     # -- topology -----------------------------------------------------------
     def register(self, node_id: Hashable, mailbox_capacity: Optional[int] = None) -> Store:
@@ -178,12 +186,17 @@ class Network:
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.counter(self.sim.now, "net", "bytes", float(self.bytes_total))
+        if self._m_bytes is not None:
+            self._m_bytes.inc(float(msg.nbytes))
+            self._m_msgs.inc()
 
     def _deliver(self, msg: Message) -> None:
         """Complete a delivery, or capture it if the destination is dead."""
         if msg.dst in self.failed:
             self.dead_letters.append(msg)
             self.n_dropped += 1
+            if self._m_dead is not None:
+                self._m_dead.inc()
             tracer = self.sim.tracer
             if tracer is not None:
                 tracer.instant(

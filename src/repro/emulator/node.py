@@ -42,6 +42,18 @@ class Node:
         self.mailbox: Store = network.register(self.node_id)
         #: fail-stop flag — cleared by :meth:`fail`, never restored (§repro.faults)
         self.alive = True
+        self._m_net_out = None
+        self._m_net_in = None
+        m = sim.metrics
+        if m is not None:
+            self._m_net_out = m.counter(
+                "repro_node_net_bytes_total",
+                owner=self.node_id, node=self.node_id, dir="out",
+            )
+            self._m_net_in = m.counter(
+                "repro_node_net_bytes_total",
+                owner=self.node_id, node=self.node_id, dir="in",
+            )
 
     def fail(self) -> None:
         """Fail-stop this node: mark it dead and close CPU accounting."""
@@ -53,6 +65,10 @@ class Node:
         tracer = self.sim.tracer
         if tracer is not None and nbytes:
             tracer.count(self.sim.now, f"{self.node_id}.net", name, float(nbytes))
+        if self._m_net_out is not None and nbytes:
+            (self._m_net_out if name == "bytes_out" else self._m_net_in).inc(
+                float(nbytes)
+            )
 
     # -- communication helpers (charge NIC CPU overhead, §1) ---------------
     def send(self, dst: "Node | str", payload, nbytes: int, tag: str = ""):

@@ -145,6 +145,35 @@ class SystemParams:
         """Return a copy with fields replaced (convenience for sweeps)."""
         return replace(self, **changes)
 
+    def as_dict(self) -> dict:
+        """JSON-serialisable parameter set — embedded in :class:`RunReport`
+        and BENCH payloads so every baseline is self-describing (notably the
+        host:ASU ratio ``c`` and the per-record/byte cost constants)."""
+        return {
+            "n_hosts": self.n_hosts,
+            "n_asus": self.n_asus,
+            "host_clock_hz": self.host_clock_hz,
+            "host_clock_multipliers": (
+                list(self.host_clock_multipliers)
+                if self.host_clock_multipliers is not None else None
+            ),
+            "c": self.asu_ratio,
+            "disk_rate": self.disk_rate,
+            "net_bandwidth": self.net_bandwidth,
+            "net_latency": self.net_latency,
+            "backplane_bandwidth": self.backplane_bandwidth,
+            "asu_mem": self.asu_mem,
+            "host_mem": self.host_mem,
+            "record_size": self.schema.record_size,
+            "key_size": self.schema.key_size,
+            "block_records": self.block_records,
+            "cycles_per_compare": self.cycles_per_compare,
+            "cycles_per_record": self.cycles_per_record,
+            "cycles_per_net_byte": self.cycles_per_net_byte,
+            "cycles_per_io_byte": self.cycles_per_io_byte,
+            "timing_mode": self.timing_mode,
+        }
+
     def describe(self) -> str:
         """One-line summary for reports."""
         return (

@@ -42,8 +42,14 @@ class RunReport:
         self.n_events = n_events
         self.result = result
 
+    #: bumped on breaking changes to the report layout (validated by
+    #: ``repro.bench.regress`` when comparing against committed baselines)
+    SCHEMA_VERSION = 1
+
     def as_dict(self) -> dict:
         return {
+            "schema_version": self.SCHEMA_VERSION,
+            "params": self.params.as_dict(),
             "makespan": self.makespan,
             "host_util": self.host_util,
             "asu_cpu_util": self.asu_cpu_util,
@@ -86,13 +92,24 @@ class ActivePlatform:
 
     Pass a :class:`repro.trace.Tracer` to record the run's observability
     stream (device spans, queue depths, link transmissions); ``None`` keeps
-    every hook disabled at the cost of a single attribute check.
+    every hook disabled at the cost of a single attribute check.  Pass a
+    :class:`repro.metrics.MetricsRegistry` to meter the run — devices
+    register their instruments at construction, and ``scrape_interval``
+    (virtual seconds) attaches a zero-perturbation collector.
     """
 
-    def __init__(self, params: SystemParams, tracer=None):
+    def __init__(self, params: SystemParams, tracer=None, metrics=None,
+                 scrape_interval: Optional[float] = None):
         self.params = params
         self.sim = Simulator()
         self.sim.tracer = tracer
+        # The registry must be live before nodes are built: devices grab
+        # their instrument handles in their constructors.
+        if metrics is not None:
+            self.sim.metrics = metrics
+            if scrape_interval is not None or metrics.collector is not None:
+                metrics.bind_collector(self.sim, scrape_interval)
+        self.metrics = metrics
         self.network = Network(
             self.sim,
             bandwidth=params.net_bandwidth,
@@ -180,6 +197,8 @@ class ActivePlatform:
 
     def report(self, makespan: Optional[float] = None, result: Any = None) -> RunReport:
         t = self.sim.now if makespan is None else makespan
+        if self.metrics is not None and self.metrics.collector is not None:
+            self.metrics.collector.finalize(t)
         return RunReport(
             params=self.params,
             makespan=t,

@@ -111,5 +111,11 @@ class FailureDetector:
             tracer.instant(
                 self.plat.sim.now, "faults", f"detect {node.node_id}", cat="fault"
             )
+        m = self.plat.sim.metrics
+        if m is not None:
+            # Gauges owned by the dead node read NaN (absent) from now on —
+            # a frozen last-known value would look like live feedback.
+            m.mark_dead(node.node_id)
+            m.counter("repro_failures_detected_total").inc()
         for cb in list(self.on_failure):
             cb(node, self.plat.sim.now)

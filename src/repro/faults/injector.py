@@ -303,5 +303,8 @@ class Injector:
             tracer.instant(
                 self.plat.sim.now, "faults", f"inject {f.describe()}", cat="fault"
             )
+        m = self.plat.sim.metrics
+        if m is not None:
+            m.counter("repro_faults_injected_total", kind=f.kind).inc()
         if self.on_fault is not None:
             self.on_fault(f)

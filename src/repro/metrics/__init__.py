@@ -1,0 +1,36 @@
+"""repro.metrics — simulated-time metrics registry and load-feedback signals.
+
+Third observability layer of the reproduction (after ``repro.trace``):
+live Counter/Gauge/Histogram/Rate instruments against the virtual clock,
+scraped without perturbation by a :class:`MetricsCollector`, exported as
+canonical JSON or Prometheus text.  The :class:`~repro.core.load_manager.
+LoadManager` routes exclusively from registry-backed signals — the paper's
+"dynamic load conditions visible to the system" (§3.3) made first-class.
+
+See docs/METRICS.md for the model, scrape semantics, and formats.
+"""
+
+from .collector import MetricsCollector
+from .export import SCHEMA_VERSION, metrics_dict, metrics_json, prometheus_text
+from .registry import (
+    Counter,
+    Gauge,
+    GaugeVector,
+    Histogram,
+    MetricsRegistry,
+    Rate,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "GaugeVector",
+    "Histogram",
+    "MetricsCollector",
+    "MetricsRegistry",
+    "Rate",
+    "SCHEMA_VERSION",
+    "metrics_dict",
+    "metrics_json",
+    "prometheus_text",
+]

@@ -189,6 +189,11 @@ class Simulator:
         #: and record nothing, so tracing costs nothing when off and never
         #: perturbs the schedule when on (recording is pure observation).
         self.tracer = None
+        #: optional :class:`repro.metrics.MetricsRegistry`, same contract as
+        #: ``tracer``: ``None`` means every metrics hook is a single attribute
+        #: check.  Its collector (if any) is invoked from :meth:`step` as a
+        #: pure observer — it never enqueues events.
+        self.metrics = None
 
     # -- event construction helpers ---------------------------------------
     def event(self, name: str = "") -> Event:
@@ -236,6 +241,12 @@ class Simulator:
         t, _seq, event = heapq.heappop(self._heap)
         if t < self.now:
             raise SimError("time went backwards (corrupt event queue)")
+        m = self.metrics
+        if m is not None and m.collector is not None:
+            # Scrape boundaries in (now, t] before the clock advances: state
+            # is constant between events, so this is the exact left-limit
+            # sample at each boundary, with zero events added to the heap.
+            m.collector.observe(t)
         self.now = t
         callbacks = event.callbacks
         event.callbacks = None

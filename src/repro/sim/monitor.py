@@ -81,11 +81,26 @@ class BusyTracker:
         extra = (self.sim.now - self._busy_since) if self._busy_since is not None else 0.0
         return self.intervals.total_busy + extra
 
+    def busy_until(self, t: float) -> float:
+        """Busy time accumulated in [0, t) — valid for any t, including
+        scrape boundaries ahead of ``sim.now`` (an open busy interval and
+        ahead-of-clock reservations are clipped at ``t``)."""
+        extra = 0.0
+        if self._busy_since is not None and t > self._busy_since:
+            extra = t - self._busy_since
+        return self.intervals.busy_in(0.0, t) + extra
+
     def utilization(self, t_end: float | None = None) -> float:
         t_end = self.sim.now if t_end is None else t_end
         if t_end <= 0:
             return 0.0
         return self.total_busy / t_end
+
+    def utilization_at(self, t: float) -> float:
+        """Cumulative utilization over [0, t) — the scrape-time gauge value."""
+        if t <= 0:
+            return 0.0
+        return self.busy_until(t) / t
 
     def utilization_series(self, t_end: float | None = None, dt: float = 0.1):
         """Windowed utilization samples — the Figure-10 trace data."""
@@ -101,6 +116,16 @@ class ProgressCounter:
         self.name = name
         self.total = 0
         self.series = TimeSeries()
+        self._m_records = None
+        m = sim.metrics
+        if m is not None and name:
+            from ..metrics.registry import derive_owner
+
+            self._m_records = m.counter(
+                "repro_progress_records_total",
+                owner=derive_owner(name),
+                point=name,
+            )
 
     def add(self, n: int) -> None:
         self.total += int(n)
@@ -108,6 +133,8 @@ class ProgressCounter:
         tracer = self.sim.tracer
         if tracer is not None and self.name:
             tracer.counter(self.sim.now, self.name, "records", float(self.total))
+        if self._m_records is not None:
+            self._m_records.inc(float(n))
 
     def rate(self) -> float:
         """Average rate since t=0."""

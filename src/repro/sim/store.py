@@ -49,6 +49,20 @@ class Store:
         #: number of items ever put (for instrumentation)
         self.n_put = 0
         self.n_got = 0
+        # Named stores on a metered simulator publish their depth as a
+        # callback gauge (live value polled only at scrape time; put/get
+        # just poke the high-water mark).
+        self._m_depth = None
+        m = sim.metrics
+        if m is not None and name:
+            from ..metrics.registry import derive_owner
+
+            self._m_depth = m.gauge(
+                "repro_queue_depth",
+                fn=lambda t: float(len(self)),
+                owner=derive_owner(name),
+                queue=name,
+            )
 
     def __len__(self) -> int:
         return len(self.items)
@@ -69,6 +83,8 @@ class Store:
         self._putters.append(ev)
         self._settle()
         self._trace_depth()
+        if self._m_depth is not None:
+            self._m_depth.poke(float(len(self)))
         return ev
 
     def get(self) -> Event:

@@ -34,6 +34,33 @@ class TestCli:
         phases = {e["ph"] for e in doc["traceEvents"]}
         assert {"M", "X", "C"} <= phases
 
+    def test_metrics_writes_summary_and_json(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "metrics.json"
+        prom = tmp_path / "metrics.prom"
+        code = main([
+            "metrics", "--n", "13",
+            "--out", str(out), "--prom", str(prom),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "top queues by peak depth" in stdout
+        assert "per-device utilization" in stdout
+        assert "per-stage record latency" in stdout
+        doc = json.loads(out.read_text())
+        assert doc["schema_version"] == 1
+        assert any(k.startswith("repro_cpu_utilization") for k in doc["final"])
+        assert "repro_stage_record_latency_seconds" in "".join(doc["histograms"])
+        assert "# TYPE repro_cpu_utilization gauge" in prom.read_text()
+
+    def test_metrics_byte_identical_across_runs(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["metrics", "--n", "12", "--out", str(a)]) == 0
+        assert main(["metrics", "--n", "12", "--out", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
     def test_unknown_target_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig11"])
