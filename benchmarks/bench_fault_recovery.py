@@ -13,7 +13,7 @@ plan must reproduce every number bit-for-bit.
 
 from conftest import bench_n
 
-from repro.bench.report import render_series_table
+from repro.bench.report import render_series_table, write_bench_json
 from repro.core import DSMConfig
 from repro.dsmsort import DsmSortJob
 from repro.emulator.params import SystemParams
@@ -76,6 +76,18 @@ def test_fault_recovery_sweep(once):
             rows,
             title=f"ASU crash recovery, N={n}, fault-free T0={t0:.4f}s",
         )
+    )
+    write_bench_json(
+        "fault_recovery",
+        {
+            "params": recovery_params().as_dict(),
+            "n_records": n,
+            "seed": 3,
+            "crash_fractions": list(CRASH_FRACTIONS),
+            "crashed_asu": CRASHED_ASU,
+            "t0": t0,
+            **rows,
+        },
     )
 
     # (1) Every faulted run recovered within the acceptance bound.

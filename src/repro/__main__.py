@@ -8,6 +8,8 @@ Usage::
     python -m repro trace   [--n LOG2] [--seed S] [--out trace.json]
     python -m repro metrics [--n LOG2] [--seed S] [--interval DT]
                             [--out metrics.json] [--prom metrics.prom]
+    python -m repro chaos   [--n LOG2] [--seeds K] [--seed0 S] [--apps LIST]
+                            [--amp-bound X] [--out chaos_report.json]
     python -m repro all     [--n LOG2]
 """
 
@@ -27,7 +29,7 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         choices=[
             "fig9", "fig10", "sweep-c", "sweep-routing", "sweep-gamma",
-            "trace", "metrics", "all",
+            "trace", "metrics", "chaos", "all",
         ],
         help="which experiment to run",
     )
@@ -56,9 +58,31 @@ def main(argv: list[str] | None = None) -> int:
         "--prom", default=None, metavar="PATH",
         help="metrics: also write a Prometheus text exposition file",
     )
+    parser.add_argument(
+        "--seeds", type=int, default=12, metavar="K",
+        help="chaos: number of fault-schedule seeds to sweep (default 12)",
+    )
+    parser.add_argument(
+        "--seed0", type=int, default=0,
+        help="chaos: first fault-schedule seed (default 0)",
+    )
+    parser.add_argument(
+        "--apps", default="dsmsort,filterscan", metavar="LIST",
+        help="chaos: comma-separated app list (default dsmsort,filterscan)",
+    )
+    parser.add_argument(
+        "--amp-bound", type=float, default=3.5, metavar="X",
+        help="chaos: max allowed retry amplification (default 3.5)",
+    )
+    parser.add_argument(
+        "--no-negative-control", action="store_true",
+        help="chaos: skip the retries-disabled loss demonstration",
+    )
     args = parser.parse_args(argv)
     n = 1 << args.n
 
+    if args.target == "chaos":
+        return _run_chaos(args, n)
     if args.target == "trace":
         return _run_trace(n, args.seed, args.out or "trace.json")
     if args.target == "metrics":
@@ -94,6 +118,32 @@ def main(argv: list[str] | None = None) -> int:
     else:
         runners[args.target]()
     return 0
+
+
+def _run_chaos(args, n: int) -> int:
+    """Chaos soak: seeded random fault schedules vs. end-to-end invariants.
+
+    Writes the canonical ChaosReport JSON artifact and exits nonzero if any
+    invariant was violated, so CI can gate on it directly.
+    """
+    from .resilience.chaos import run_chaos
+
+    apps = tuple(a.strip() for a in args.apps.split(",") if a.strip())
+    report = run_chaos(
+        seeds=args.seeds,
+        apps=apps,
+        n_records=n,
+        amp_bound=args.amp_bound,
+        negative_control=not args.no_negative_control,
+        seed0=args.seed0,
+        progress=print,
+    )
+    out = args.out or "chaos_report.json"
+    report.write(out)
+    print()
+    print(report.render())
+    print(f"wrote chaos report to {out}")
+    return 0 if report.ok else 1
 
 
 def _run_trace(n: int, seed: int, out: str) -> int:

@@ -73,6 +73,11 @@ class InstanceStats:
     def backlog(self) -> int:
         return int(self._lm._gv_backlog.values[self._i])
 
+    @property
+    def backpressure(self) -> int:
+        """Records currently stalled behind this instance's send window."""
+        return int(self._lm._gv_bp.values[self._i])
+
     def __repr__(self) -> str:
         return (
             f"<InstanceStats #{self._i} routed={self.records_routed} "
@@ -110,10 +115,13 @@ class LoadManager:
         self._gv_busy = self.registry.gauge_vector(
             "repro_lm_busy_cycles_total", n_instances
         )
+        self._gv_bp = self.registry.gauge_vector(
+            "repro_lm_backpressure_records", n_instances
+        )
         # A job may rebuild its LoadManager against the same registry (e.g.
         # on a pass re-run): get-or-create returns the existing vectors, so
         # start each manager's life with clean counters.
-        for gv in (self._gv_backlog, self._gv_routed, self._gv_busy):
+        for gv in (self._gv_backlog, self._gv_routed, self._gv_busy, self._gv_bp):
             if gv.n != n_instances:
                 raise ValueError(
                     f"registry metric {gv.key!r} sized for {gv.n} instances, "
@@ -123,6 +131,7 @@ class LoadManager:
             gv.element_dead[:] = False
         # The router's decision arrays ARE the registry vectors from here on.
         self.router.attach_feedback(self._gv_backlog.values, self._gv_routed.values)
+        self.router.attach_backpressure(self._gv_bp.values)
         self.instances = [InstanceStats(self, i) for i in range(n_instances)]
         self.n_buckets = n_buckets
         #: simulator whose tracer receives routing-decision counters (optional)
@@ -133,13 +142,14 @@ class LoadManager:
         self._sim = sim
 
     # -- routing path --------------------------------------------------------
-    def route(self, bucket: int, n_records: int) -> int:
+    def route(self, bucket: int, n_records: int, avoid=()) -> int:
         """Pick the instance for a fragment and record the decision.
 
         Never routes to a quarantined instance: the router's policy choice is
-        masked/remapped onto survivors (see :meth:`Router.pick`).
+        masked/remapped onto survivors (see :meth:`Router.pick`).  ``avoid``
+        passes through as the soft steer-around set (breaker-open links).
         """
-        inst = self.router.pick(bucket, n_records)
+        inst = self.router.pick(bucket, n_records, avoid=avoid)
         self.router.on_sent(inst, n_records)
         sim = self._sim
         if sim is not None and sim.tracer is not None:
@@ -173,6 +183,17 @@ class LoadManager:
         self.router.on_completed(instance, n_records)
         if busy_cycles:
             self._gv_busy.add(instance, busy_cycles)
+
+    # -- backpressure feedback -------------------------------------------------
+    def backpressure_begin(self, instance: int, n_records: int) -> None:
+        """A sender started waiting on ``instance``'s send window."""
+        self._gv_bp.add(instance, float(n_records))
+
+    def backpressure_end(self, instance: int, n_records: int, waited: float = 0.0) -> None:
+        """The window wait on ``instance`` resolved after ``waited`` seconds."""
+        self._gv_bp.add(instance, -float(n_records))
+        if waited and self.registry is not None:
+            self.registry.counter("repro_lm_backpressure_seconds_total").inc(waited)
 
     # -- diagnostics ---------------------------------------------------------
     def imbalance(self) -> float:

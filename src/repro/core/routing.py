@@ -61,6 +61,10 @@ class Router(abc.ABC):
         self.sent = np.zeros(self.n_instances, dtype=np.float64)
         #: instances still accepting traffic; cleared by :meth:`quarantine`
         self.alive = np.ones(self.n_instances, dtype=bool)
+        #: records currently stalled behind each instance's send window
+        #: (None until :meth:`attach_backpressure`); dynamic policies add it
+        #: to their load signal so sustained backpressure steers work away.
+        self.backpressure: Optional[np.ndarray] = None
 
     def attach_feedback(self, outstanding: np.ndarray, sent: np.ndarray) -> None:
         """Adopt externally-owned feedback storage (registry GaugeVectors).
@@ -78,19 +82,43 @@ class Router(abc.ABC):
         self.outstanding = outstanding
         self.sent = sent
 
+    def attach_backpressure(self, backpressure: np.ndarray) -> None:
+        """Adopt externally-owned backpressure storage (a registry GaugeVector).
+
+        The array holds records currently blocked on each instance's send
+        window; the load manager mutates it in place around window waits.
+        Adding an all-zeros vector to a policy's load signal is float-exact,
+        so attaching it changes nothing until backpressure actually occurs.
+        """
+        if backpressure.shape != (self.n_instances,) or backpressure.dtype != np.float64:
+            raise ValueError("backpressure array must be float64 of length n_instances")
+        self.backpressure = backpressure
+
     @abc.abstractmethod
     def choose(self, bucket: int, n_records: int) -> int:
         """Destination instance for a fragment of ``n_records`` of ``bucket``."""
 
-    def pick(self, bucket: int, n_records: int) -> int:
+    def pick(self, bucket: int, n_records: int, avoid: Sequence[int] = ()) -> int:
         """Like :meth:`choose`, but never returns a quarantined instance.
 
         The policy's own decision is remapped to the next alive instance
         (cyclically), so static policies keep their bucket affinity modulo
         failures and the remap is deterministic.  Dynamic policies override
         masking inside ``choose`` where they can do better.
+
+        ``avoid`` lists instances to steer around as a *soft* signal (e.g.
+        hosts behind an open circuit breaker): they are skipped like
+        quarantined instances, but if every alive instance is avoided the
+        remap falls back to alive-only rather than failing — degraded links
+        beat no links.
         """
         i = self.choose(bucket, n_records)
+        if self.alive[i] and i not in avoid:
+            return i
+        for step in range(1, self.n_instances):
+            j = (i + step) % self.n_instances
+            if self.alive[j] and j not in avoid:
+                return j
         if self.alive[i]:
             return i
         for step in range(1, self.n_instances):
@@ -211,9 +239,15 @@ class JoinShortestQueue(Router):
     dynamic = True
 
     def choose(self, bucket: int, n_records: int) -> int:
+        load = self.outstanding
+        if self.backpressure is not None:
+            # Records stalled behind a full send window count as queued work:
+            # sustained backpressure on an instance steers traffic away.  The
+            # sum is float-exact, so an all-zeros vector changes no decision.
+            load = load + self.backpressure
         if self.alive.all():
-            return int(np.argmin(self.outstanding))
-        masked = np.where(self.alive, self.outstanding, np.inf)
+            return int(np.argmin(load))
+        masked = np.where(self.alive, load, np.inf)
         return int(np.argmin(masked))
 
 

@@ -38,11 +38,14 @@ from ..core.load_manager import LoadManager
 from ..emulator.params import SystemParams
 from ..emulator.platform import ActivePlatform
 from ..faults.detector import FailureDetector
-from ..faults.injector import FaultPlan, Injector
+from ..faults.injector import MESSAGE_FAULT_KINDS, FaultPlan, Injector
 from ..faults.report import FaultReport
 from ..functors.blocksort import BlockSortFunctor
 from ..functors.distribute import DistributeFunctor
 from ..functors.merge import MergeFunctor, merge_sorted_batches
+from ..resilience.breaker import BreakerBoard
+from ..resilience.channel import REL, ReliableEndpoint, RetryPolicy
+from ..resilience.io import read_resilient
 from ..util.distributions import make_workload
 from ..util.records import concat_records
 from ..util.rng import RngRegistry
@@ -105,6 +108,16 @@ class Pass1Result:
     n_replayed_frags: int = 0
     n_reemitted_runs: int = 0
     n_takeover_blocks: int = 0
+    #: False when a ``deadline`` expired before every record was durable
+    #: (e.g. the chaos harness's retries-disabled negative control)
+    completed: bool = True
+    #: records durable when the pass ended (== the input count if completed)
+    n_durable: int = -1
+    #: aggregated :class:`~repro.resilience.channel.ChannelStats` totals
+    #: (reliable transport only)
+    channel_stats: Optional[dict] = None
+    #: circuit-breaker trips across all links (reliable transport only)
+    n_breaker_trips: int = 0
 
 
 @dataclass
@@ -135,6 +148,11 @@ class DsmSortJob:
         tracer=None,
         metrics=None,
         scrape_interval=None,
+        transport: str = "direct",
+        retry_policy: Optional[RetryPolicy] = None,
+        mailbox_capacity: Optional[int] = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown: Optional[float] = None,
     ):
         if not 0.0 <= background_asu_duty < 1.0:
             raise ValueError("background_asu_duty must be in [0, 1)")
@@ -143,6 +161,23 @@ class DsmSortJob:
                 "fault-tolerant mode needs active storage (recovery relies on "
                 "ASU-side shard mirroring and takeover producers)"
             )
+        if transport not in ("direct", "reliable"):
+            raise ValueError(
+                f"transport must be 'direct' or 'reliable', got {transport!r}"
+            )
+        if transport == "reliable" and faults is None:
+            raise ValueError(
+                "transport='reliable' runs on the fault-tolerant path; pass a "
+                "FaultPlan (an empty one is fine)"
+            )
+        if faults is not None and transport == "direct":
+            lossy = faults.kinds() & {*MESSAGE_FAULT_KINDS, "disk_fault"}
+            if lossy:
+                raise ValueError(
+                    f"fault plan injects {sorted(lossy)} but transport='direct' "
+                    "cannot mask message loss or transient I/O errors; use "
+                    "transport='reliable'"
+                )
         self.params = params
         self.config = config
         self.policy = policy
@@ -216,13 +251,36 @@ class DsmSortJob:
         self.faults = faults
         self.heartbeat_interval = float(heartbeat_interval)
         self.heartbeat_timeout = float(heartbeat_timeout)
+        #: "direct" posts straight onto the network (the paper's lossless
+        #: emulation); "reliable" runs every host<->ASU exchange through a
+        #: :class:`~repro.resilience.channel.ReliableEndpoint` so injected
+        #: message faults (drop/dup/delay/corrupt) and transient disk errors
+        #: are masked by retransmission, dedup, and resilient reads.
+        self.transport = transport
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.mailbox_capacity = mailbox_capacity
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown = breaker_cooldown
+        #: per-node reliable endpoints (reliable transport only; keyed node_id)
+        self._endpoints: Optional[dict[str, ReliableEndpoint]] = None
+        self.breaker_board: Optional[BreakerBoard] = None
         #: optional repro.trace.Tracer shared by both passes; pass-2 events
         #: are placed after pass 1 on one stitched timeline via tracer.offset
         self.tracer = tracer
         self._pass1_makespan = 0.0
 
     # ------------------------------------------------------------------ pass 1
-    def run_pass1(self, util_dt: float = 0.1) -> Pass1Result:
+    def run_pass1(self, util_dt: float = 0.1, deadline: Optional[float] = None) -> Pass1Result:
+        """Run the run-formation pass.
+
+        ``deadline`` (fault-tolerant mode only) caps the simulated time: if
+        the pass has not completed by then, a *partial* result is returned
+        with ``completed=False`` instead of raising — the chaos harness's
+        negative control relies on this to demonstrate record loss when
+        retries are disabled.
+        """
+        if deadline is not None and self.faults is None:
+            raise ValueError("deadline is only meaningful in fault-tolerant mode")
         # Re-runnable: clear per-run state (runs, router counters, RNG).
         self.runs_on_asu = [[] for _ in range(self.params.n_asus)]
         self._pass1_done = False
@@ -252,7 +310,7 @@ class DsmSortJob:
         self.platform = plat
         self.load_manager.attach_sim(plat.sim)
         if self.faults is not None:
-            return self._run_pass1_ft(plat, util_dt)
+            return self._run_pass1_ft(plat, util_dt, deadline)
         D, H = self.params.n_asus, self.params.n_hosts
         blk = self.params.block_records
         rs = self.params.schema.record_size
@@ -481,7 +539,9 @@ class DsmSortJob:
         yield from asu.disk.drain()
 
     # ------------------------------------------------------------ pass 1 (FT)
-    def _run_pass1_ft(self, plat: ActivePlatform, util_dt: float) -> Pass1Result:
+    def _run_pass1_ft(
+        self, plat: ActivePlatform, util_dt: float, deadline: Optional[float] = None
+    ) -> Pass1Result:
         """Fault-tolerant run formation (see docs/FAULTS.md).
 
         Same dataflow as the plain pass, rebuilt around exactly-once record
@@ -534,6 +594,32 @@ class DsmSortJob:
         self._ft_plat = plat
         self._Message = Message
 
+        if self.transport == "reliable":
+            # One endpoint per node, each with its own RNG stream (fresh
+            # registry per run so a re-run reproduces the same jitter).
+            rngs = RngRegistry(self.rngs.seed)
+            cooldown = (
+                self.breaker_cooldown
+                if self.breaker_cooldown is not None
+                else self.retry_policy.timeout * 8
+            )
+            self.breaker_board = BreakerBoard(
+                plat.sim, fail_threshold=self.breaker_threshold, cooldown=cooldown
+            )
+            self._endpoints = {
+                node.node_id: ReliableEndpoint(
+                    plat, node,
+                    rng=rngs.get(f"rel.{node.node_id}"),
+                    policy=self.retry_policy,
+                    board=self.breaker_board,
+                    inbox_capacity=self.mailbox_capacity,
+                )
+                for node in [*plat.hosts, *plat.asus]
+            }
+        else:
+            self._endpoints = None
+            self.breaker_board = None
+
         injector = Injector(plat, self.faults, on_fault=self._on_fault_ft)
         detector = FailureDetector(
             plat, interval=self.heartbeat_interval, timeout=self.heartbeat_timeout
@@ -560,15 +646,25 @@ class DsmSortJob:
                 name=f"cons{d}", node=plat.asus[d],
             )
         coord = plat.spawn(self._coordinator_ft(plat), name="coordinator")
-        plat.sim.run()
-        if not coord.triggered:
+        plat.sim.run(until=deadline)
+        completed = coord.triggered
+        if not completed and deadline is None:
             raise RuntimeError("fault-tolerant pass 1 never completed (deadlock?)")
         makespan = plat.sim.now
-        self._pass1_done = True
-        self._pass1_makespan = makespan
+        if completed:
+            self._pass1_done = True
+            self._pass1_makespan = makespan
         if self.metrics is not None and self.metrics.collector is not None:
             self.metrics.collector.finalize(makespan)
         self.fault_report = FaultReport.from_run(injector, detector, self.recovered_at)
+        channel_stats = None
+        n_trips = 0
+        if self._endpoints is not None:
+            channel_stats = {}
+            for ep in self._endpoints.values():
+                for k, v in ep.stats.as_dict().items():
+                    channel_stats[k] = channel_stats.get(k, 0) + v
+            n_trips = self.breaker_board.n_trips()
         return Pass1Result(
             makespan=makespan,
             host_util=[x.cpu.utilization(makespan) for x in plat.hosts],
@@ -585,7 +681,56 @@ class DsmSortJob:
             n_replayed_frags=self._n_replayed_frags,
             n_reemitted_runs=self._n_reemitted_runs,
             n_takeover_blocks=self._n_takeover_blocks,
+            completed=completed,
+            n_durable=self._ft_durable,
+            channel_stats=channel_stats,
+            n_breaker_trips=n_trips,
         )
+
+    # -- reliable-transport plumbing (falls through to the direct path) -------
+    def _recv_node(self, node):
+        """Receive on ``node``: endpoint inbox in reliable mode, else mailbox.
+
+        The endpoint's receiver forwards non-envelope messages (e.g. the
+        recovery manager's ``reemit`` control injections) untouched, so both
+        paths see the same application messages.
+        """
+        if self._endpoints is None:
+            msg = yield from node.recv()
+        else:
+            msg = yield from self._endpoints[node.node_id].recv()
+        return msg
+
+    def _post_from(self, src_id: str, dst_id: str, payload, nbytes: int, tag: str) -> None:
+        """Post from ``src_id`` (callback-safe; bypasses the send window)."""
+        if self._endpoints is None:
+            self._ft_plat.network.post(src_id, dst_id, payload, nbytes, tag=tag)
+        else:
+            self._endpoints[src_id].post(dst_id, payload, nbytes, tag=tag)
+
+    def _avoid_hosts(self, src_id: str) -> tuple:
+        """Hosts whose link from ``src_id`` has an open breaker.
+
+        A soft steer-around set for the router: quarantined (dead) hosts are
+        already masked, this additionally routes fragments away from flapping
+        links until their breaker cools down.  Empty on the direct path, so
+        fault-free routing decisions are untouched.
+        """
+        board = self.breaker_board
+        if board is None:
+            return ()
+        return tuple(
+            h for h in range(self.params.n_hosts)
+            if h not in self._dead_hosts and not board.healthy(src_id, f"host{h}")
+        )
+
+    def _alive_endpoint(self) -> ReliableEndpoint:
+        """Any endpoint on an alive node — replay source when the origin died."""
+        plat = self._ft_plat
+        for node in [*plat.asus, *plat.hosts]:
+            if node.alive:
+                return self._endpoints[node.node_id]
+        raise RuntimeError("no alive node left to replay from")
 
     def _produce_shard_ft(self, plat: ActivePlatform, owner: int, shard: int, blk: int, rs: int):
         """Stream ``shard``'s input, distribute, route, ship — resumable.
@@ -598,6 +743,7 @@ class DsmSortJob:
         from ..emulator.readahead import ReadAhead
 
         asu = plat.asus[owner]
+        ep = None if self._endpoints is None else self._endpoints[asu.node_id]
         data = self.asu_data[shard]
         H = self.params.n_hosts
         cpnb = self.params.cycles_per_net_byte
@@ -606,10 +752,19 @@ class DsmSortJob:
         pending = [
             i for i in range(len(blocks)) if (shard, i) not in self._blocks_complete
         ]
-        ra = ReadAhead(plat, asu, [blocks[i].shape[0] * rs for i in pending])
+        if ep is None:
+            ra = ReadAhead(plat, asu, [blocks[i].shape[0] * rs for i in pending])
+        else:
+            # Reliable mode reads sequentially through the retry wrapper: a
+            # transient disk-fault window stalls this producer (bounded
+            # backoff) instead of crashing a prefetch process.
+            ra = None
         for i in pending:
-            yield ra.wait_next()
             block = blocks[i]
+            if ra is not None:
+                yield ra.wait_next()
+            else:
+                yield from read_resilient(plat.sim, asu.disk, block.shape[0] * rs)
             t0 = plat.sim.now
             staging = block.shape[0] * rs * self.params.cycles_per_io_byte
             if staging:
@@ -629,17 +784,26 @@ class DsmSortJob:
             for bucket, piece in enumerate(pieces):
                 if piece.shape[0] == 0 or (shard, i, bucket) in self._shipped:
                     continue
-                h = self.load_manager.route(bucket, piece.shape[0])
+                h = self.load_manager.route(
+                    bucket, piece.shape[0], avoid=self._avoid_hosts(asu.node_id)
+                )
                 per_host[h].append((bucket, piece))
             for h, frags in per_host.items():
                 n = sum(p.shape[0] for _b, p in frags)
+                if ep is not None:
+                    # Backpressure: block on the destination's credit window
+                    # *before* the atomic ship region, surfacing the stall as
+                    # a routing signal while we wait.
+                    self.load_manager.backpressure_begin(h, n)
+                    waited = yield from ep.wait_window(plat.hosts[h].node_id)
+                    self.load_manager.backpressure_end(h, n, waited)
                 yield from asu.cpu.execute(cycles=n * rs * cpnb)
                 # Atomic with the post: retention entries + ship markers.
                 entries = [_FragEntry(shard, asu.node_id, i, b, p) for b, p in frags]
                 self._frag_log[h].extend(entries)
                 for b, _p in frags:
                     self._shipped.add((shard, i, b))
-                plat.network.post(
+                self._post_from(
                     asu.node_id, plat.hosts[h].node_id,
                     ("frags", shard, frags, entries), n * rs, tag="frags",
                 )
@@ -651,7 +815,7 @@ class DsmSortJob:
             # fully announced — hosts can never count a shard's EOF twice.
             self._eof_posted.add(shard)
             for h in range(H):
-                plat.network.post(
+                self._post_from(
                     asu.node_id, plat.hosts[h].node_id, (_EOF, shard, None), 16,
                     tag="eof",
                 )
@@ -672,7 +836,7 @@ class DsmSortJob:
         eof_from: set[int] = set()
         flushed = False
         while True:
-            msg = yield from host.recv()
+            msg = yield from self._recv_node(host)
             kind, src = msg.payload[0], msg.payload[1]
             if kind == _EOF:
                 eof_from.add(src)
@@ -728,10 +892,12 @@ class DsmSortJob:
         )
         nbytes = run.shape[0] * rs
         yield from host.cpu.execute(cycles=nbytes * self.params.cycles_per_net_byte)
-        # Atomic: destination choice + lineage entry + post.
+        # Atomic: destination choice + lineage entry + post.  (Runs bypass
+        # the credit window — the high-volume fragment path is what the
+        # window gates; a blocking wait here would break emit atomicity.)
         d = self._next_alive_stripe(h)
         self._run_log[h].append(_RunEntry(bucket, run, d))
-        plat.network.post(
+        self._post_from(
             host.node_id, plat.asus[d].node_id, ("run", bucket, run), nbytes,
             tag="run",
         )
@@ -741,17 +907,32 @@ class DsmSortJob:
         yield from host.cpu.execute(cycles=nbytes * self.params.cycles_per_net_byte)
         entry.dest = self._next_alive_stripe(h)
         self._n_reemitted_runs += 1
-        plat.network.post(
+        self._post_from(
             host.node_id, plat.asus[entry.dest].node_id,
             ("run", entry.bucket, entry.run), nbytes, tag="run",
         )
 
     def _next_alive_stripe(self, h: int) -> int:
+        """Next ASU to stripe a run onto: alive, and (reliable mode) with a
+        healthy breaker on the host->ASU link.  The second pass relaxes the
+        breaker condition — when every alive link is quarantined, a degraded
+        link still beats no link (graceful degradation, not deadlock)."""
         D = self.params.n_asus
-        for _ in range(D):
-            d = self._stripe_next[h] % D
-            self._stripe_next[h] += 1
-            if d not in self._dead_asus:
+        board = self.breaker_board
+        host_id = f"host{h}"
+        for allow_open in (False, True):
+            start = self._stripe_next[h]
+            for step in range(D):
+                d = (start + step) % D
+                if d in self._dead_asus:
+                    continue
+                if (
+                    not allow_open
+                    and board is not None
+                    and not board.healthy(host_id, f"asu{d}")
+                ):
+                    continue
+                self._stripe_next[h] = d + 1
                 return d
         raise RuntimeError("no alive ASU to stripe runs onto")
 
@@ -759,7 +940,7 @@ class DsmSortJob:
         """Perpetual consumer: make runs durable, drop quarantined hosts'."""
         asu = plat.asus[d]
         while True:
-            msg = yield from asu.recv()
+            msg = yield from self._recv_node(asu)
             if msg.payload[0] != "run":
                 continue
             bucket, run = msg.payload[1], msg.payload[2]
@@ -839,6 +1020,12 @@ class DsmSortJob:
             if d in self._dead_asus:
                 return
             self._dead_asus.add(d)
+            if self._endpoints is not None:
+                # Stop retransmitting to the corpse and release window
+                # waiters; undeliverable payloads are covered by log-based
+                # recovery below.
+                for ep in self._endpoints.values():
+                    ep.cancel_peer(nid)
             self._purge_asu_runs(d)  # idempotent; the crash hook already ran
             # Re-assign every shard the dead ASU owned to the next alive
             # mirror holder; ship markers make the takeover resume exactly
@@ -875,6 +1062,9 @@ class DsmSortJob:
             if h in self._dead_hosts:
                 return
             self._dead_hosts.add(h)
+            if self._endpoints is not None:
+                for ep in self._endpoints.values():
+                    ep.cancel_peer(nid)
             self.load_manager.quarantine(h)
             self._purge_host_runs(h)  # idempotent; the crash hook already ran
             for e in self._frag_log.pop(h, []):
@@ -900,15 +1090,24 @@ class DsmSortJob:
         """
         e.done = True
         n = int(e.piece.shape[0])
-        h2 = self.load_manager.route(e.bucket, n)
+        h2 = self.load_manager.route(e.bucket, n, avoid=self._avoid_hosts(e.src_node))
         ne = _FragEntry(e.src_d, e.src_node, e.block, e.bucket, e.piece)
         self._frag_log[h2].append(ne)
         self._n_replayed_frags += 1
         rs = self.params.schema.record_size
-        plat.network.post(
-            e.src_node, plat.hosts[h2].node_id,
-            ("frags", e.src_d, [(e.bucket, e.piece)], [ne]), n * rs, tag="frags",
-        )
+        payload = ("frags", e.src_d, [(e.bucket, e.piece)], [ne])
+        if self._endpoints is None:
+            plat.network.post(
+                e.src_node, plat.hosts[h2].node_id, payload, n * rs, tag="frags"
+            )
+        else:
+            ep = self._endpoints[e.src_node]
+            if not ep.node.alive:
+                # The retaining producer died too: replay from any survivor
+                # (hosts key fragments by the payload's shard id, not by the
+                # wire-level source).
+                ep = self._alive_endpoint()
+            ep.post(plat.hosts[h2].node_id, payload, n * rs, tag="frags")
 
     def _dead_letter_ft(self, msg) -> None:
         """Network callback: a delivery reached a fail-stopped node.
@@ -923,7 +1122,12 @@ class DsmSortJob:
             return
         if int(msg.dst[4:]) not in self._dead_hosts:
             return
-        for e in msg.payload[3]:
+        payload = msg.payload
+        if isinstance(payload, tuple) and len(payload) == 5 and payload[0] == REL:
+            # Reliable-transport envelope: unwrap the application payload
+            # (acks carry tag "rel-ack" and never reach this filter).
+            payload = payload[4]
+        for e in payload[3]:
             if not e.done:
                 self._replay_frag_entry(self._ft_plat, e)
 

@@ -22,19 +22,28 @@ from typing import Optional
 
 from ..sim import BusyTracker, Simulator
 
-__all__ = ["Disk", "DiskStats"]
+__all__ = ["Disk", "DiskFault", "DiskStats"]
+
+
+class DiskFault(IOError):
+    """Transient read failure raised inside an injected disk-fault window.
+
+    Retryable: the device recovers once the window closes (see
+    :func:`repro.resilience.io.read_resilient`).
+    """
 
 
 class DiskStats:
     """I/O accounting: operation and byte counts per direction."""
 
-    __slots__ = ("n_reads", "n_writes", "bytes_read", "bytes_written")
+    __slots__ = ("n_reads", "n_writes", "bytes_read", "bytes_written", "n_read_errors")
 
     def __init__(self) -> None:
         self.n_reads = 0
         self.n_writes = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.n_read_errors = 0
 
     @property
     def n_ops(self) -> int:
@@ -60,6 +69,8 @@ class Disk:
         self._last_write_done = 0.0
         self.stats = DiskStats()
         self.busy = BusyTracker(sim, name=name, cat="disk")
+        #: injected transient-read-error windows: list of (t0, t1)
+        self._fault_windows: list[tuple[float, float]] = []
         self._m_read = None
         self._m_write = None
         m = sim.metrics
@@ -109,10 +120,38 @@ class Disk:
                 self.sim.now, self.name, "bytes", float(self.stats.total_bytes)
             )
 
+    def set_fault_window(self, t0: float, t1: float) -> None:
+        """Make reads started in ``[t0, t1)`` raise :class:`DiskFault`."""
+        if t1 <= t0:
+            raise ValueError(f"empty disk-fault window [{t0}, {t1})")
+        self._fault_windows.append((float(t0), float(t1)))
+
+    def _check_fault(self) -> None:
+        if not self._fault_windows:
+            return
+        now = self.sim.now
+        for t0, t1 in self._fault_windows:
+            if t0 <= now < t1:
+                self.stats.n_read_errors += 1
+                tracer = self.sim.tracer
+                if tracer is not None:
+                    tracer.instant(now, self.name, "read-error", cat="fault")
+                m = self.sim.metrics
+                if m is not None:
+                    m.counter("repro_disk_read_errors_total", node=self.name).inc()
+                raise DiskFault(
+                    f"{self.name}: transient read error at t={now:.6f}"
+                )
+
     def read(self, nbytes: int):
-        """Process generator: wait until ``nbytes`` have streamed off the disk."""
+        """Process generator: wait until ``nbytes`` have streamed off the disk.
+
+        Raises :class:`DiskFault` (without consuming timeline) when started
+        inside an injected fault window.
+        """
         if nbytes < 0:
             raise ValueError("negative read size")
+        self._check_fault()
         self.stats.n_reads += 1
         self.stats.bytes_read += int(nbytes)
         self._trace_bytes()

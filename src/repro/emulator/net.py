@@ -20,16 +20,35 @@ __all__ = ["Link", "Network", "Message"]
 
 
 class Message:
-    """A network message: payload plus size accounting."""
+    """A network message: payload plus size accounting.
 
-    __slots__ = ("src", "dst", "payload", "nbytes", "tag")
+    ``corrupted`` marks a payload mangled in flight by a ``corrupt_msg`` fault
+    window (detectable, like a checksum mismatch).  ``deliver_at`` is filled
+    in when the message is dispatched — the instant it will reach the
+    destination mailbox — so senders can size retransmission timeouts.
+    """
+
+    __slots__ = ("src", "dst", "payload", "nbytes", "tag", "corrupted", "deliver_at")
 
     def __init__(self, src: Hashable, dst: Hashable, payload: Any, nbytes: int, tag: str = ""):
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError(f"message nbytes must be nonnegative, got {nbytes}")
+        for role, node in (("src", src), ("dst", dst)):
+            try:
+                hash(node)
+            except TypeError:
+                raise TypeError(
+                    f"message {role} must be hashable (a node id), "
+                    f"got {type(node).__name__}"
+                ) from None
         self.src = src
         self.dst = dst
         self.payload = payload
-        self.nbytes = int(nbytes)
+        self.nbytes = nbytes
         self.tag = tag
+        self.corrupted = False
+        self.deliver_at: Optional[float] = None
 
     def __repr__(self) -> str:
         return f"<Message {self.src}->{self.dst} {self.nbytes}B {self.tag!r}>"
@@ -107,6 +126,12 @@ class Network:
         self.dead_letter_hook: Optional[Callable[[Message], None]] = None
         #: scheduled link downtime per unordered node pair: list of (t0, t1)
         self._downtimes: dict[frozenset, list[tuple[float, float]]] = {}
+        #: message-fault windows per unordered node pair: (t0, t1, kind, extra)
+        self._msg_faults: dict[frozenset, list[tuple[float, float, str, float]]] = {}
+        #: messages perturbed by fault windows, by kind
+        self.msg_fault_counts: dict[str, int] = {
+            "drop_msg": 0, "dup_msg": 0, "delay_msg": 0, "corrupt_msg": 0,
+        }
         self._m_bytes = None
         self._m_msgs = None
         self._m_dead = None
@@ -167,6 +192,80 @@ class Network:
             raise ValueError(f"empty downtime window [{t0}, {t1})")
         self._downtimes.setdefault(frozenset((a, b)), []).append((float(t0), float(t1)))
 
+    def set_msg_fault(
+        self,
+        a: Hashable,
+        b: Hashable,
+        kind: str,
+        t0: float,
+        t1: float,
+        extra: float = 0.0,
+    ) -> None:
+        """Schedule a message-fault window on the a<->b pair over [t0, t1).
+
+        Every message *sent* between the pair while the window is active is
+        perturbed: ``drop_msg`` loses it (the link reservation is still
+        consumed — the bytes crossed the wire), ``dup_msg`` delivers a second
+        copy, ``delay_msg`` adds ``extra`` seconds of delivery latency, and
+        ``corrupt_msg`` flags the payload as corrupted.  Unlike link flaps
+        these faults are *unreliable-transport* faults: surviving them needs
+        the retransmission layer in :mod:`repro.resilience.channel`.
+        """
+        if kind not in self.msg_fault_counts:
+            raise ValueError(
+                f"unknown message fault kind {kind!r}; expected one of "
+                f"{sorted(self.msg_fault_counts)}"
+            )
+        if t1 <= t0:
+            raise ValueError(f"empty message-fault window [{t0}, {t1})")
+        if kind == "delay_msg" and extra <= 0:
+            raise ValueError("delay_msg window needs a positive extra delay")
+        self._msg_faults.setdefault(frozenset((a, b)), []).append(
+            (float(t0), float(t1), kind, float(extra))
+        )
+
+    def _note_msg_fault(self, msg: Message, kind: str) -> None:
+        self.msg_fault_counts[kind] += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                self.sim.now, "net",
+                f"{kind} {msg.tag}:{msg.src}->{msg.dst}", cat="fault",
+            )
+        m = self.sim.metrics
+        if m is not None:
+            m.counter("repro_net_msg_faults_total", kind=kind).inc()
+
+    def _dispatch(self, msg: Message, deliver_at: float) -> None:
+        """Apply any active message-fault windows, then schedule delivery."""
+        spans = self._msg_faults.get(frozenset((msg.src, msg.dst)))
+        if spans:
+            now = self.sim.now
+            duplicate = False
+            for t0, t1, kind, extra in spans:
+                if not (t0 <= now < t1):
+                    continue
+                self._note_msg_fault(msg, kind)
+                if kind == "drop_msg":
+                    return  # lost: the reservation is spent, nothing arrives
+                if kind == "corrupt_msg":
+                    msg.corrupted = True
+                elif kind == "delay_msg":
+                    deliver_at += extra
+                elif kind == "dup_msg":
+                    duplicate = True
+            if duplicate:
+                copy = Message(msg.src, msg.dst, msg.payload, msg.nbytes, msg.tag)
+                copy.corrupted = msg.corrupted
+                copy.deliver_at = deliver_at
+                self.sim.schedule_callback(
+                    lambda m=copy: self._deliver(m), delay=deliver_at - self.sim.now
+                )
+        msg.deliver_at = deliver_at
+        self.sim.schedule_callback(
+            lambda m=msg: self._deliver(m), delay=deliver_at - self.sim.now
+        )
+
     def _defer_for_downtime(self, src: Hashable, dst: Hashable, deliver_at: float) -> float:
         spans = self._downtimes.get(frozenset((src, dst)))
         if spans:
@@ -221,9 +320,7 @@ class Network:
         msg = Message(src, dst, payload, nbytes, tag)
         tx_done, deliver_at = self._reserve_path(src, dst, nbytes)
         self._traffic(msg)
-        self.sim.schedule_callback(
-            lambda m=msg: self._deliver(m), delay=deliver_at - self.sim.now
-        )
+        self._dispatch(msg, deliver_at)
         if tx_done > self.sim.now:
             yield self.sim.timeout(tx_done - self.sim.now)
         return msg
@@ -243,9 +340,7 @@ class Network:
         msg = Message(src, dst, payload, nbytes, tag)
         _tx_done, deliver_at = self._reserve_path(src, dst, nbytes)
         self._traffic(msg)
-        self.sim.schedule_callback(
-            lambda m=msg: self._deliver(m), delay=deliver_at - self.sim.now
-        )
+        self._dispatch(msg, deliver_at)
         return msg
 
     def recv(self, node_id: Hashable):

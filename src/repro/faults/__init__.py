@@ -4,7 +4,8 @@ The paper evaluates load management under healthy hardware; this package
 exercises the same machinery under failure.  It provides:
 
 - :mod:`~repro.faults.injector` — deterministic scheduled faults
-  (fail-stops, degraded clocks, link flaps) plus a seeded random model;
+  (fail-stops, degraded clocks, link flaps, message drop/dup/delay/corrupt
+  windows, transient disk errors) plus a seeded random model;
 - :mod:`~repro.faults.detector` — heartbeat/timeout failure detection with
   a configurable latency bound;
 - :mod:`~repro.faults.report` — injected / detected / recovered accounting.
@@ -18,28 +19,48 @@ the DSM-Sort runtime re-runs lost run-formation work
 
 from .detector import FailureDetector
 from .injector import (
+    FAULT_KINDS,
+    MESSAGE_FAULT_KINDS,
     Fault,
+    FaultKind,
     FaultPlan,
     Injector,
     RandomFaultModel,
+    corrupt_msg,
     crash_asu,
     crash_host,
     degrade_asu,
     degrade_host,
+    delay_msg,
+    disk_fault,
+    drop_msg,
+    dup_msg,
+    fault_kinds,
     link_flap,
+    register_fault_kind,
 )
 from .report import FaultReport
 
 __all__ = [
     "Fault",
+    "FaultKind",
     "FaultPlan",
     "Injector",
     "RandomFaultModel",
     "FailureDetector",
     "FaultReport",
+    "FAULT_KINDS",
+    "MESSAGE_FAULT_KINDS",
+    "register_fault_kind",
+    "fault_kinds",
     "crash_asu",
     "crash_host",
     "degrade_asu",
     "degrade_host",
     "link_flap",
+    "drop_msg",
+    "dup_msg",
+    "delay_msg",
+    "corrupt_msg",
+    "disk_fault",
 ]

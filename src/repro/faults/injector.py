@@ -1,11 +1,16 @@
 """Deterministic fault injection for the emulated platform.
 
 A :class:`FaultPlan` is an ordered schedule of :class:`Fault` events — ASU or
-host fail-stops, degraded clocks, link flaps — and an :class:`Injector` arms
-the plan against an :class:`~repro.emulator.platform.ActivePlatform`'s event
-loop.  Faults fire as simulator callbacks at their scheduled virtual times, so
-the same plan against the same workload and seed reproduces bit-identical
-runs.
+host fail-stops, degraded clocks, link flaps, message-level faults, transient
+disk errors — and an :class:`Injector` arms the plan against an
+:class:`~repro.emulator.platform.ActivePlatform`'s event loop.  Faults fire as
+simulator callbacks at their scheduled virtual times, so the same plan against
+the same workload and seed reproduces bit-identical runs.
+
+Fault kinds live in a registry (:data:`FAULT_KINDS`): each kind carries its
+own field validation, target validation, and description, and new kinds (such
+as the message/disk kinds used by :mod:`repro.resilience`) register themselves
+via :func:`register_fault_kind` instead of patching a module-level tuple.
 
 :class:`RandomFaultModel` draws a plan stochastically (exponential
 inter-arrival, MTTF per device class) from a seeded generator, for soak-style
@@ -24,18 +29,77 @@ from ..emulator.platform import ActivePlatform
 
 __all__ = [
     "Fault",
+    "FaultKind",
     "FaultPlan",
     "RandomFaultModel",
     "Injector",
+    "FAULT_KINDS",
+    "MESSAGE_FAULT_KINDS",
+    "register_fault_kind",
+    "fault_kinds",
     "crash_asu",
     "crash_host",
     "degrade_asu",
     "degrade_host",
     "link_flap",
+    "drop_msg",
+    "dup_msg",
+    "delay_msg",
+    "corrupt_msg",
+    "disk_fault",
 ]
 
-#: recognised fault kinds
-KINDS = ("crash_asu", "crash_host", "degrade_asu", "degrade_host", "link_flap")
+
+@dataclass(frozen=True)
+class FaultKind:
+    """A registered fault kind: per-kind validation and description hooks.
+
+    ``validate(fault)`` checks field invariants at construction time;
+    ``validate_targets(fault, params)`` checks the targeted devices exist
+    (called by :meth:`FaultPlan.validate`); ``describe(fault)`` renders the
+    human-readable summary used in traces and error messages.
+    """
+
+    name: str
+    validate: Callable[["Fault"], None]
+    validate_targets: Callable[["Fault", SystemParams], None]
+    describe: Callable[["Fault"], str]
+
+
+#: registry of recognised fault kinds, keyed by name
+FAULT_KINDS: dict[str, FaultKind] = {}
+
+#: kinds that perturb individual host<->ASU messages (handled by the network)
+MESSAGE_FAULT_KINDS = ("drop_msg", "dup_msg", "delay_msg", "corrupt_msg")
+
+
+def register_fault_kind(
+    name: str,
+    validate: Optional[Callable[["Fault"], None]] = None,
+    validate_targets: Optional[Callable[["Fault", SystemParams], None]] = None,
+    describe: Optional[Callable[["Fault"], str]] = None,
+) -> FaultKind:
+    """Register a new fault kind; returns the :class:`FaultKind` spec.
+
+    Registration makes the kind constructible via :class:`Fault` and valid in
+    any :class:`FaultPlan`.  Firing semantics for custom kinds are up to the
+    caller (subclass :class:`Injector` or handle them in ``on_fault``).
+    """
+    if name in FAULT_KINDS:
+        raise ValueError(f"fault kind {name!r} already registered")
+    spec = FaultKind(
+        name=name,
+        validate=validate or (lambda f: None),
+        validate_targets=validate_targets or (lambda f, p: None),
+        describe=describe or (lambda f: f"t={f.t:.3f} {name} #{f.index}"),
+    )
+    FAULT_KINDS[name] = spec
+    return spec
+
+
+def fault_kinds() -> tuple[str, ...]:
+    """All registered kind names, sorted (for error messages and docs)."""
+    return tuple(sorted(FAULT_KINDS))
 
 
 @dataclass(frozen=True, order=True)
@@ -43,8 +107,10 @@ class Fault:
     """One scheduled fault.  Ordered by time so plans sort chronologically.
 
     ``index`` picks the target device (ASU or host index; for ``link_flap``
-    the host index, with ``peer`` the ASU index).  ``duration`` applies to
-    degradations and flaps; ``factor`` is the degraded-clock multiplier.
+    and the message kinds the host index, with ``peer`` the ASU index).
+    ``duration`` applies to degradations, flaps, and fault windows; ``factor``
+    is the degraded-clock multiplier; ``extra`` carries a kind-specific scalar
+    (the added latency for ``delay_msg``).
     """
 
     t: float
@@ -53,35 +119,137 @@ class Fault:
     duration: float = field(default=0.0, compare=False)
     factor: float = field(default=1.0, compare=False)
     peer: int = field(default=-1, compare=False)
+    extra: float = field(default=0.0, compare=False)
 
     def __post_init__(self):
-        if self.kind not in KINDS:
-            raise ValueError(f"unknown fault kind {self.kind!r}")
+        spec = FAULT_KINDS.get(self.kind)
+        if spec is None:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; registered kinds: "
+                f"{', '.join(fault_kinds())}"
+            )
         if self.t < 0:
             raise ValueError("fault time must be nonnegative")
-        if self.kind in ("degrade_asu", "degrade_host", "link_flap"):
-            if self.duration <= 0:
-                raise ValueError(f"{self.kind} needs a positive duration")
-        if self.kind in ("degrade_asu", "degrade_host") and not (0 < self.factor < 1):
-            raise ValueError("degrade factor must be in (0, 1)")
-        if self.kind == "link_flap" and self.peer < 0:
-            raise ValueError("link_flap needs a peer (ASU index)")
+        spec.validate(self)
 
     def describe(self) -> str:
-        if self.kind == "crash_asu":
-            return f"t={self.t:.3f} crash asu{self.index}"
-        if self.kind == "crash_host":
-            return f"t={self.t:.3f} crash host{self.index}"
-        if self.kind == "link_flap":
-            return (
-                f"t={self.t:.3f} flap host{self.index}<->asu{self.peer} "
-                f"for {self.duration:.3f}s"
-            )
-        dev = "asu" if self.kind == "degrade_asu" else "host"
-        return (
-            f"t={self.t:.3f} degrade {dev}{self.index} x{self.factor:.2f} "
-            f"for {self.duration:.3f}s"
-        )
+        return FAULT_KINDS[self.kind].describe(self)
+
+
+# -- built-in kind registration ------------------------------------------------
+def _check_duration(f: Fault) -> None:
+    if f.duration <= 0:
+        raise ValueError(f"{f.kind} needs a positive duration")
+
+
+def _check_degrade(f: Fault) -> None:
+    _check_duration(f)
+    if not (0 < f.factor < 1):
+        raise ValueError("degrade factor must be in (0, 1)")
+
+
+def _check_peered(f: Fault) -> None:
+    _check_duration(f)
+    if f.peer < 0:
+        raise ValueError(f"{f.kind} needs a peer (ASU index)")
+
+
+def _check_delay(f: Fault) -> None:
+    _check_peered(f)
+    if f.extra <= 0:
+        raise ValueError("delay_msg needs a positive extra delay")
+
+
+def _targets_asu(f: Fault, p: SystemParams) -> None:
+    if not (0 <= f.index < p.n_asus):
+        raise ValueError(f"{f.describe()}: no such ASU (D={p.n_asus})")
+
+
+def _targets_host(f: Fault, p: SystemParams) -> None:
+    if not (0 <= f.index < p.n_hosts):
+        raise ValueError(f"{f.describe()}: no such host (H={p.n_hosts})")
+
+
+def _targets_host_asu_pair(f: Fault, p: SystemParams) -> None:
+    _targets_host(f, p)
+    if not (0 <= f.peer < p.n_asus):
+        raise ValueError(f"{f.describe()}: no such ASU (D={p.n_asus})")
+
+
+def _describe_degrade(dev: str) -> Callable[[Fault], str]:
+    return lambda f: (
+        f"t={f.t:.3f} degrade {dev}{f.index} x{f.factor:.2f} "
+        f"for {f.duration:.3f}s"
+    )
+
+
+def _describe_msg(verb: str) -> Callable[[Fault], str]:
+    return lambda f: (
+        f"t={f.t:.3f} {verb} host{f.index}<->asu{f.peer} for {f.duration:.3f}s"
+    )
+
+
+register_fault_kind(
+    "crash_asu",
+    validate_targets=_targets_asu,
+    describe=lambda f: f"t={f.t:.3f} crash asu{f.index}",
+)
+register_fault_kind(
+    "crash_host",
+    validate_targets=_targets_host,
+    describe=lambda f: f"t={f.t:.3f} crash host{f.index}",
+)
+register_fault_kind(
+    "degrade_asu",
+    validate=_check_degrade,
+    validate_targets=_targets_asu,
+    describe=_describe_degrade("asu"),
+)
+register_fault_kind(
+    "degrade_host",
+    validate=_check_degrade,
+    validate_targets=_targets_host,
+    describe=_describe_degrade("host"),
+)
+register_fault_kind(
+    "link_flap",
+    validate=_check_peered,
+    validate_targets=_targets_host_asu_pair,
+    describe=_describe_msg("flap"),
+)
+register_fault_kind(
+    "drop_msg",
+    validate=_check_peered,
+    validate_targets=_targets_host_asu_pair,
+    describe=_describe_msg("drop-msgs"),
+)
+register_fault_kind(
+    "dup_msg",
+    validate=_check_peered,
+    validate_targets=_targets_host_asu_pair,
+    describe=_describe_msg("dup-msgs"),
+)
+register_fault_kind(
+    "delay_msg",
+    validate=_check_delay,
+    validate_targets=_targets_host_asu_pair,
+    describe=lambda f: (
+        f"t={f.t:.3f} delay-msgs host{f.index}<->asu{f.peer} "
+        f"+{f.extra:.4f}s for {f.duration:.3f}s"
+    ),
+)
+register_fault_kind(
+    "corrupt_msg",
+    validate=_check_peered,
+    validate_targets=_targets_host_asu_pair,
+    describe=_describe_msg("corrupt-msgs"),
+)
+register_fault_kind(
+    "disk_fault",
+    validate=_check_duration,
+    validate_targets=_targets_asu,
+    describe=lambda f: f"t={f.t:.3f} disk-fault asu{f.index} for {f.duration:.3f}s",
+)
 
 
 # -- constructors --------------------------------------------------------------
@@ -114,6 +282,48 @@ def link_flap(t: float, host: int, asu: int, duration: float) -> Fault:
     return Fault(t=t, kind="link_flap", index=host, duration=duration, peer=asu)
 
 
+def drop_msg(t: float, host: int, asu: int, duration: float) -> Fault:
+    """Silently drop every host<->ASU message sent in ``[t, t + duration)``.
+
+    Unlike :func:`link_flap`, dropped messages are *lost*, not deferred —
+    surviving this requires the reliable transport in
+    :mod:`repro.resilience.channel`.
+    """
+    return Fault(t=t, kind="drop_msg", index=host, duration=duration, peer=asu)
+
+
+def dup_msg(t: float, host: int, asu: int, duration: float) -> Fault:
+    """Deliver every host<->ASU message twice in ``[t, t + duration)``."""
+    return Fault(t=t, kind="dup_msg", index=host, duration=duration, peer=asu)
+
+
+def delay_msg(t: float, host: int, asu: int, duration: float, delay: float) -> Fault:
+    """Add ``delay`` seconds to every host<->ASU delivery in the window."""
+    return Fault(
+        t=t, kind="delay_msg", index=host, duration=duration, peer=asu, extra=delay
+    )
+
+
+def corrupt_msg(t: float, host: int, asu: int, duration: float) -> Fault:
+    """Flag every host<->ASU message sent in the window as corrupted.
+
+    Corruption is detectable (a checksum mismatch): receivers see
+    ``Message.corrupted`` and a reliable channel rejects the payload without
+    acknowledging it, forcing a retransmission.
+    """
+    return Fault(t=t, kind="corrupt_msg", index=host, duration=duration, peer=asu)
+
+
+def disk_fault(t: float, asu: int, duration: float) -> Fault:
+    """Make ASU ``asu``'s disk reads fail transiently over ``[t, t + duration)``.
+
+    Reads started inside the window raise
+    :class:`~repro.emulator.disk.DiskFault`; writes are unaffected (the
+    write-behind cache absorbs them).
+    """
+    return Fault(t=t, kind="disk_fault", index=asu, duration=duration)
+
+
 class FaultPlan:
     """An immutable-ish, chronologically sorted fault schedule."""
 
@@ -138,18 +348,14 @@ class FaultPlan:
         """Latest instant at which any fault is still active."""
         return max((f.t + f.duration for f in self.faults), default=0.0)
 
+    def kinds(self) -> set[str]:
+        """The set of fault kinds present in the plan."""
+        return {f.kind for f in self.faults}
+
     def validate(self, params: SystemParams) -> "FaultPlan":
         """Check every fault targets a device that exists; returns self."""
         for f in self.faults:
-            if f.kind in ("crash_asu", "degrade_asu") and not (0 <= f.index < params.n_asus):
-                raise ValueError(f"{f.describe()}: no such ASU (D={params.n_asus})")
-            if f.kind in ("crash_host", "degrade_host") and not (0 <= f.index < params.n_hosts):
-                raise ValueError(f"{f.describe()}: no such host (H={params.n_hosts})")
-            if f.kind == "link_flap":
-                if not (0 <= f.index < params.n_hosts):
-                    raise ValueError(f"{f.describe()}: no such host (H={params.n_hosts})")
-                if not (0 <= f.peer < params.n_asus):
-                    raise ValueError(f"{f.describe()}: no such ASU (D={params.n_asus})")
+            FAULT_KINDS[f.kind].validate_targets(f, params)
         return self
 
     def scaled(self, time_factor: float) -> "FaultPlan":
@@ -165,9 +371,12 @@ class RandomFaultModel:
     """Seeded stochastic fault schedule: exponential inter-arrival per device.
 
     Each device class gets a mean-time-to-failure; crash faults are drawn as a
-    Poisson process per device, degradations and flaps likewise with their own
-    MTTFs.  ``None`` disables a fault class.  The same ``seed`` always yields
-    the same plan for the same parameters and horizon.
+    Poisson process per device, degradations, flaps, message faults, and disk
+    faults likewise with their own MTTFs.  ``None`` disables a fault class.
+    The same ``seed`` always yields the same plan for the same parameters and
+    horizon; newly added fault classes draw *after* the legacy classes, so
+    plans that only use the legacy classes are bit-identical to older
+    versions.
     """
 
     def __init__(
@@ -181,6 +390,14 @@ class RandomFaultModel:
         degrade_duration: float = 1.0,
         flap_duration: float = 0.25,
         max_crashes: int = 1,
+        mtt_drop: Optional[float] = None,
+        mtt_dup: Optional[float] = None,
+        mtt_delay: Optional[float] = None,
+        mtt_corrupt: Optional[float] = None,
+        mtt_disk_fault: Optional[float] = None,
+        msg_fault_duration: float = 0.02,
+        msg_delay: float = 0.002,
+        disk_fault_duration: float = 0.05,
     ):
         self.seed = int(seed)
         self.mttf_asu = mttf_asu
@@ -193,6 +410,14 @@ class RandomFaultModel:
         #: cap on fail-stops per device class, so a random plan cannot kill
         #: every replica (recovery needs at least one survivor)
         self.max_crashes = int(max_crashes)
+        self.mtt_drop = mtt_drop
+        self.mtt_dup = mtt_dup
+        self.mtt_delay = mtt_delay
+        self.mtt_corrupt = mtt_corrupt
+        self.mtt_disk_fault = mtt_disk_fault
+        self.msg_fault_duration = float(msg_fault_duration)
+        self.msg_delay = float(msg_delay)
+        self.disk_fault_duration = float(disk_fault_duration)
 
     def _arrivals(self, rng: np.random.Generator, mttf: float, horizon: float) -> list[float]:
         times, t = [], 0.0
@@ -231,6 +456,34 @@ class RandomFaultModel:
                 for d in range(params.n_asus):
                     for t in self._arrivals(rng, self.mtt_flap, horizon):
                         faults.append(link_flap(t, h, d, self.flap_duration))
+        # Message-fault windows per (host, asu) pair.  Drawn after the legacy
+        # classes so legacy-only plans stay bit-identical across versions.
+        msg_classes = (
+            (self.mtt_drop, "drop"),
+            (self.mtt_dup, "dup"),
+            (self.mtt_delay, "delay"),
+            (self.mtt_corrupt, "corrupt"),
+        )
+        for mtt, which in msg_classes:
+            if mtt is None:
+                continue
+            for h in range(params.n_hosts):
+                for d in range(params.n_asus):
+                    for t in self._arrivals(rng, mtt, horizon):
+                        if which == "drop":
+                            faults.append(drop_msg(t, h, d, self.msg_fault_duration))
+                        elif which == "dup":
+                            faults.append(dup_msg(t, h, d, self.msg_fault_duration))
+                        elif which == "delay":
+                            faults.append(
+                                delay_msg(t, h, d, self.msg_fault_duration, self.msg_delay)
+                            )
+                        else:
+                            faults.append(corrupt_msg(t, h, d, self.msg_fault_duration))
+        if self.mtt_disk_fault is not None:
+            for d in range(params.n_asus):
+                for t in self._arrivals(rng, self.mtt_disk_fault, horizon):
+                    faults.append(disk_fault(t, d, self.disk_fault_duration))
         return FaultPlan(faults).validate(params)
 
 
@@ -241,8 +494,10 @@ class Injector:
     :meth:`~repro.emulator.platform.ActivePlatform.fail_node` (processes
     interrupted, traffic dead-lettered).  Degradations scale the target CPU's
     clock and schedule the restore.  Link flaps register a downtime window
-    with the network.  Faults against already-dead nodes are recorded in
-    :attr:`skipped` rather than fired.
+    with the network; message faults register drop/dup/delay/corrupt windows;
+    disk faults register transient read-error windows on the target ASU's
+    disk.  Faults against already-dead nodes are recorded in :attr:`skipped`
+    rather than fired.
     """
 
     def __init__(
@@ -274,16 +529,23 @@ class Injector:
 
     # -- firing ---------------------------------------------------------------
     def _node_for(self, f: Fault):
-        if f.kind in ("crash_asu", "degrade_asu"):
+        if f.kind in ("crash_asu", "degrade_asu", "disk_fault"):
             return self.plat.asus[f.index]
         return self.plat.hosts[f.index]
 
     def _fire(self, f: Fault) -> None:
+        t = self.plat.sim.now
         if f.kind == "link_flap":
             host_id = self.plat.hosts[f.index].node_id
             asu_id = self.plat.asus[f.peer].node_id
-            t = self.plat.sim.now
             self.plat.network.set_link_down(host_id, asu_id, t, t + f.duration)
+            self.injected.append(f)
+        elif f.kind in MESSAGE_FAULT_KINDS:
+            host_id = self.plat.hosts[f.index].node_id
+            asu_id = self.plat.asus[f.peer].node_id
+            self.plat.network.set_msg_fault(
+                host_id, asu_id, f.kind, t, t + f.duration, extra=f.extra
+            )
             self.injected.append(f)
         else:
             node = self._node_for(f)
@@ -292,6 +554,8 @@ class Injector:
                 return
             if f.kind in ("crash_asu", "crash_host"):
                 self.plat.fail_node(node)
+            elif f.kind == "disk_fault":
+                node.disk.set_fault_window(t, t + f.duration)
             else:  # degrade
                 node.cpu.set_speed(f.factor)
                 self.plat.sim.schedule_callback(

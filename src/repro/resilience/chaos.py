@@ -1,0 +1,578 @@
+"""Chaos soak harness: seeded random fault schedules vs. end-to-end invariants.
+
+The reliability claims of :mod:`repro.resilience` are only worth something if
+they hold under *schedules nobody hand-picked*.  This harness sweeps seeded
+:class:`~repro.faults.injector.RandomFaultModel` plans — message drop /
+duplicate / delay / corruption windows, transient disk-read errors, CPU
+degradation, and fail-stop crashes — across two applications on the reliable
+transport:
+
+* **DSM-Sort** run formation (crash recovery + reliable channel combined):
+  the run must complete, and the final two-pass output must be a *sorted
+  permutation* of the input — exact record count, zero duplicates, zero loss;
+* **filter-scan** (:class:`ResilientFilterScan`): the filtered records
+  reaching the host must be the exact multiset a direct evaluation produces,
+  with breaker-open links degrading gracefully to host-side filtering.
+
+Each case also checks **bounded retry amplification** (wire bytes over
+payload bytes) so the protocol cannot pass by brute-force flooding.  A
+**negative control** reruns DSM-Sort with retries disabled under forced drop
+windows and must *lose* records — demonstrating the invariants are earned by
+the retransmission layer, not vacuously true.
+
+Everything is virtual-time deterministic: the same seeds produce a
+byte-identical :class:`ChaosReport` JSON.  Run it via ``python -m repro
+chaos`` (see ``docs/RESILIENCE.md``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..bench.report import SCHEMA_VERSION, render_table
+from ..core.config import DSMConfig
+from ..emulator.params import SystemParams
+from ..emulator.platform import ActivePlatform
+from ..faults.injector import FaultPlan, Injector, RandomFaultModel, drop_msg
+from ..functors.basic import FilterFunctor
+from ..util.distributions import make_workload
+from ..util.records import concat_records
+from ..util.rng import RngRegistry
+from .breaker import BreakerBoard
+from .channel import ReliableEndpoint, RetryPolicy
+from .io import read_resilient
+
+__all__ = ["ChaosReport", "ResilientFilterScan", "chaos_params", "run_chaos"]
+
+
+def chaos_params() -> SystemParams:
+    """Small platform (2 hosts, 4 ASUs) calibrated so chaos runs stay fast."""
+    return SystemParams(
+        n_hosts=2,
+        n_asus=4,
+        cycles_per_compare=100.0,
+        cycles_per_record=300.0,
+        cycles_per_net_byte=1.5,
+        cycles_per_io_byte=0.5,
+        block_records=512,
+    )
+
+
+def _policy_for(t0: float, max_attempts: Optional[int] = None) -> RetryPolicy:
+    """Retry policy scaled to the fault-free makespan ``t0``.
+
+    The first timeout grace must exceed an ack round-trip (else fault-free
+    runs retransmit spuriously) yet stay far below the run length (else a
+    drop window stalls the whole pass); ``t0/50`` sits comfortably between.
+    """
+    return RetryPolicy(
+        timeout=t0 / 50,
+        backoff=2.0,
+        max_backoff=t0 / 10,
+        jitter=0.25,
+        max_attempts=max_attempts,
+        window=64,
+    )
+
+
+def _fault_model(seed: int, t0: float) -> RandomFaultModel:
+    """The per-seed chaos schedule generator for DSM-Sort (crashes included)."""
+    return RandomFaultModel(
+        seed=seed,
+        mttf_asu=8.0 * t0,
+        mttf_host=16.0 * t0,
+        max_crashes=1,
+        mtt_drop=1.5 * t0,
+        mtt_dup=2.0 * t0,
+        mtt_delay=2.0 * t0,
+        mtt_corrupt=2.5 * t0,
+        mtt_disk_fault=2.0 * t0,
+        msg_fault_duration=t0 / 8,
+        msg_delay=t0 / 50,
+        disk_fault_duration=t0 / 10,
+    )
+
+
+def _filterscan_fault_model(seed: int, t0: float) -> RandomFaultModel:
+    """Filter-scan chaos: message/disk/degrade faults, no crashes (the scan
+    has no replica recovery — reliability must come from the channel alone)."""
+    return RandomFaultModel(
+        seed=seed,
+        mtt_degrade=3.0 * t0,
+        degrade_factor=0.5,
+        degrade_duration=t0 / 4,
+        mtt_drop=1.5 * t0,
+        mtt_dup=2.0 * t0,
+        mtt_delay=2.0 * t0,
+        mtt_corrupt=2.5 * t0,
+        mtt_disk_fault=2.0 * t0,
+        msg_fault_duration=t0 / 8,
+        msg_delay=t0 / 50,
+        disk_fault_duration=t0 / 10,
+    )
+
+
+def _amplification(channel_stats: Optional[dict]) -> float:
+    cs = channel_stats or {}
+    payload = cs.get("payload_bytes", 0)
+    if payload == 0:
+        return 1.0
+    return (payload + cs.get("retrans_bytes", 0)) / payload
+
+
+# --------------------------------------------------------------------- apps
+class ResilientFilterScan:
+    """Active filter-scan over the reliable transport, with degradation.
+
+    Per block, the producer consults the link's circuit breaker: healthy →
+    filter at the ASU and ship only survivors (the active-storage win);
+    breaker open → ship the raw block and let the host filter it (graceful
+    degradation: correctness preserved, interconnect savings sacrificed
+    while the link is quarantined).  Reads go through
+    :func:`~repro.resilience.io.read_resilient`, ships through
+    :meth:`~repro.resilience.channel.ReliableEndpoint.send`.
+    """
+
+    def __init__(
+        self,
+        params: SystemParams,
+        n_records: int,
+        seed: int = 0,
+        policy: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+    ):
+        self.params = params
+        self.n_records = int(n_records)
+        self.functor = FilterFunctor(lambda b: b["key"] % 2 == 0, compares=1.0)
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.faults = faults
+        self.seed = int(seed)
+        rngs = RngRegistry(seed)
+        per_asu = self.n_records // params.n_asus
+        self.asu_data = [
+            make_workload(rngs.get(f"w.{d}"), per_asu, "uniform", params.schema)
+            for d in range(params.n_asus)
+        ]
+
+    def expected_keys(self) -> np.ndarray:
+        kept = [self.functor.apply(b)[0] for b in self.asu_data]
+        return np.sort(concat_records(kept, self.params.schema)["key"])
+
+    def run(self, deadline: Optional[float] = None) -> dict:
+        plat = ActivePlatform(self.params)
+        board = BreakerBoard(
+            plat.sim, fail_threshold=5, cooldown=self.policy.timeout * 8
+        )
+        rngs = RngRegistry(self.seed)
+        eps = {
+            node.node_id: ReliableEndpoint(
+                plat, node,
+                rng=rngs.get(f"rel.{node.node_id}"),
+                policy=self.policy, board=board,
+            )
+            for node in [*plat.hosts, *plat.asus]
+        }
+        if self.faults is not None:
+            Injector(plat, self.faults).arm()
+        host = plat.hosts[0]
+        D = self.params.n_asus
+        blk = self.params.block_records
+        rs = self.params.schema.record_size
+        collected: list[np.ndarray] = []
+        n_degraded = [0]
+
+        def producer(d):
+            asu = plat.asus[d]
+            ep = eps[asu.node_id]
+            data = self.asu_data[d]
+            blocks = [data[s : s + blk] for s in range(0, data.shape[0], blk)]
+            for block in blocks:
+                yield from read_resilient(plat.sim, asu.disk, block.shape[0] * rs)
+                staging = block.shape[0] * rs * self.params.cycles_per_io_byte
+                if board.healthy(asu.node_id, host.node_id):
+                    kept = yield from asu.compute(
+                        cycles=staging
+                        + self.functor.cost_cycles(block.shape[0], self.params),
+                        fn=lambda b: self.functor.apply(b)[0],
+                        args=(block,),
+                    )
+                    if kept.shape[0]:
+                        yield from ep.send(
+                            host.node_id, ("data", kept), kept.shape[0] * rs,
+                            tag="data",
+                        )
+                else:
+                    # Breaker open: this link is flapping.  Ship raw and let
+                    # the host filter — degraded but correct.
+                    n_degraded[0] += 1
+                    if staging:
+                        yield from asu.cpu.execute(cycles=staging)
+                    yield from ep.send(
+                        host.node_id, ("raw", block), block.shape[0] * rs,
+                        tag="raw",
+                    )
+            yield from ep.send(host.node_id, ("eof", None), 16, tag="eof")
+
+        def sink():
+            ep = eps[host.node_id]
+            n_eof = 0
+            while n_eof < D:
+                msg = yield from ep.recv()
+                kind, payload = msg.payload
+                if kind == "eof":
+                    n_eof += 1
+                elif kind == "raw":
+                    kept = yield from host.compute(
+                        cycles=self.functor.cost_cycles(
+                            payload.shape[0], self.params
+                        ),
+                        fn=lambda b: self.functor.apply(b)[0],
+                        args=(payload,),
+                    )
+                    if kept.shape[0]:
+                        collected.append(kept)
+                else:
+                    collected.append(payload)
+
+        procs = [
+            plat.spawn(producer(d), name=f"scan{d}", node=plat.asus[d])
+            for d in range(D)
+        ]
+        procs.append(plat.spawn(sink(), name="sink", node=host))
+        done = plat.sim.all_of(procs)
+
+        def _on_done(ev):
+            if not ev.ok:
+                raise ev.value
+            plat.sim.stop()
+
+        done.callbacks.append(_on_done)
+        plat.sim.run(until=deadline)
+        completed = all(p.triggered for p in procs)
+        out = (
+            concat_records(collected, self.params.schema)
+            if collected
+            else np.empty(0, dtype=self.params.schema.dtype)
+        )
+        stats: dict = {}
+        for ep in eps.values():
+            for k, v in ep.stats.as_dict().items():
+                stats[k] = stats.get(k, 0) + v
+        return {
+            "completed": completed,
+            "makespan": plat.sim.now,
+            "keys": np.sort(out["key"]),
+            "net_bytes": plat.network.bytes_total,
+            "channel_stats": stats,
+            "n_breaker_trips": board.n_trips(),
+            "n_degraded_blocks": n_degraded[0],
+        }
+
+
+# ------------------------------------------------------------------- cases
+def _run_dsmsort_case(
+    seed: int, n_records: int, t0: float, amp_bound: float
+) -> dict:
+    from ..dsmsort.runtime import DsmSortJob
+
+    params = chaos_params()
+    cfg = DSMConfig.for_n(n_records, alpha=8, gamma=16)
+    plan = _fault_model(seed, t0).plan(params, horizon=0.8 * t0)
+    job = DsmSortJob(
+        params, cfg, policy="sr", seed=0, faults=plan,
+        transport="reliable", retry_policy=_policy_for(t0),
+        heartbeat_interval=t0 / 40, heartbeat_timeout=t0 / 10,
+    )
+    res = job.run_pass1(deadline=12.0 * t0)
+    sorted_ok = False
+    if res.completed:
+        job.run_pass2()
+        try:
+            job.verify()  # sorted + exact multiset: no loss, no duplicates
+            sorted_ok = True
+        except Exception:
+            sorted_ok = False
+    amp = _amplification(res.channel_stats)
+    invariants = {
+        "completed": bool(res.completed),
+        "sorted_permutation": bool(sorted_ok),
+        "exact_count": bool(res.completed and res.n_durable == n_records),
+        "amplification_bounded": bool(amp <= amp_bound),
+    }
+    cs = res.channel_stats or {}
+    return {
+        "app": "dsmsort",
+        "seed": seed,
+        "n_faults": len(plan),
+        "fault_kinds": sorted(plan.kinds()),
+        "makespan_ratio": res.makespan / t0,
+        "amplification": amp,
+        "n_retransmits": cs.get("n_retransmits", 0),
+        "n_dup_dropped": cs.get("n_dup_dropped", 0),
+        "n_corrupt_dropped": cs.get("n_corrupt_dropped", 0),
+        "n_breaker_trips": res.n_breaker_trips,
+        "n_replayed_frags": res.n_replayed_frags,
+        "n_takeover_blocks": res.n_takeover_blocks,
+        "invariants": invariants,
+        "ok": all(invariants.values()),
+    }
+
+
+def _run_filterscan_case(
+    seed: int, n_records: int, t0: float, amp_bound: float
+) -> dict:
+    params = chaos_params()
+    plan = _filterscan_fault_model(seed, t0).plan(params, horizon=0.8 * t0)
+    app = ResilientFilterScan(
+        params, n_records, seed=0, policy=_policy_for(t0), faults=plan
+    )
+    res = app.run(deadline=12.0 * t0)
+    exact = bool(
+        res["completed"] and np.array_equal(res["keys"], app.expected_keys())
+    )
+    amp = _amplification(res["channel_stats"])
+    invariants = {
+        "completed": bool(res["completed"]),
+        "exact_multiset": exact,
+        "amplification_bounded": bool(amp <= amp_bound),
+    }
+    cs = res["channel_stats"]
+    return {
+        "app": "filterscan",
+        "seed": seed,
+        "n_faults": len(plan),
+        "fault_kinds": sorted(plan.kinds()),
+        "makespan_ratio": res["makespan"] / t0,
+        "amplification": amp,
+        "n_retransmits": cs.get("n_retransmits", 0),
+        "n_dup_dropped": cs.get("n_dup_dropped", 0),
+        "n_corrupt_dropped": cs.get("n_corrupt_dropped", 0),
+        "n_breaker_trips": res["n_breaker_trips"],
+        "n_degraded_blocks": res["n_degraded_blocks"],
+        "invariants": invariants,
+        "ok": all(invariants.values()),
+    }
+
+
+def _run_negative_control(n_records: int, t0: float) -> dict:
+    """Retries disabled + forced drop windows => records must be LOST.
+
+    This is the control group proving the chaos invariants are earned by
+    the retransmission layer: with ``max_attempts=1`` the same drop fault
+    that the positive cases shrug off permanently loses fragments, so the
+    pass cannot complete (the deadline converts the stall into a partial
+    result).
+    """
+    from ..dsmsort.runtime import DsmSortJob
+
+    params = chaos_params()
+    cfg = DSMConfig.for_n(n_records, alpha=8, gamma=16)
+    plan = FaultPlan([
+        drop_msg(0.3 * t0, h, d, 0.15 * t0)
+        for h in range(params.n_hosts)
+        for d in range(params.n_asus)
+    ])
+    job = DsmSortJob(
+        params, cfg, policy="sr", seed=0, faults=plan,
+        transport="reliable",
+        retry_policy=_policy_for(t0, max_attempts=1),
+        heartbeat_interval=t0 / 40, heartbeat_timeout=t0 / 10,
+    )
+    res = job.run_pass1(deadline=4.0 * t0)
+    lost = n_records - max(res.n_durable, 0)
+    return {
+        "completed": bool(res.completed),
+        "n_total": n_records,
+        "n_durable": int(max(res.n_durable, 0)),
+        "lost_records": int(lost),
+        # The control PASSES by FAILING: incomplete and demonstrably lossy.
+        "ok": bool(not res.completed and lost > 0),
+    }
+
+
+# ------------------------------------------------------------------ report
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos soak sweep (JSON-stable, wall-clock free)."""
+
+    n_records: int
+    amp_bound: float
+    apps: list[str]
+    seeds: list[int]
+    baselines: dict[str, float]
+    cases: list[dict] = field(default_factory=list)
+    negative_control: Optional[dict] = None
+    schema_version: int = SCHEMA_VERSION
+
+    def violations(self) -> list[str]:
+        out = []
+        for c in self.cases:
+            for name in sorted(c["invariants"]):
+                if not c["invariants"][name]:
+                    out.append(f"{c['app']}/seed{c['seed']}: {name}")
+        nc = self.negative_control
+        if nc is not None and not nc["ok"]:
+            out.append(
+                "negative_control: retries-disabled run lost no records "
+                "(the invariant suite would be vacuous)"
+            )
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations()
+
+    def as_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "n_records": self.n_records,
+            "amp_bound": self.amp_bound,
+            "apps": list(self.apps),
+            "seeds": list(self.seeds),
+            "baselines": dict(self.baselines),
+            "cases": self.cases,
+            "negative_control": self.negative_control,
+            "ok": self.ok,
+            "violations": self.violations(),
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: two identical sweeps are byte-identical."""
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    def render(self) -> str:
+        rows = []
+        for c in self.cases:
+            rows.append([
+                c["app"], c["seed"], c["n_faults"],
+                f"{c['makespan_ratio']:.2f}", f"{c['amplification']:.3f}",
+                c["n_retransmits"], c["n_breaker_trips"],
+                "ok" if c["ok"] else "FAIL",
+            ])
+        table = render_table(
+            ["app", "seed", "faults", "T/T0", "amp", "retx", "trips", "result"],
+            rows,
+            title=f"chaos soak, N={self.n_records}, "
+            f"{len(self.seeds)} seeds x {len(self.apps)} apps",
+        )
+        lines = [table]
+        nc = self.negative_control
+        if nc is not None:
+            lines.append(
+                f"negative control (retries disabled): lost "
+                f"{nc['lost_records']}/{nc['n_total']} records, "
+                f"completed={nc['completed']} -> "
+                f"{'ok' if nc['ok'] else 'FAIL'}"
+            )
+        v = self.violations()
+        lines.append(
+            "PASS: all invariants held" if not v
+            else "FAIL: " + "; ".join(v)
+        )
+        return "\n".join(lines)
+
+
+# ------------------------------------------------------------------- sweep
+def _dsmsort_t0(n_records: int) -> float:
+    """Fault-free reliable-transport baseline makespan for DSM-Sort."""
+    from ..dsmsort.runtime import DsmSortJob
+
+    params = chaos_params()
+    cfg = DSMConfig.for_n(n_records, alpha=8, gamma=16)
+    # Provisional direct-transport run sizes the retry policy; the real
+    # baseline then runs the same reliable stack the chaos cases use.
+    provisional = DsmSortJob(
+        params, cfg, policy="sr", seed=0, faults=FaultPlan()
+    ).run_pass1().makespan
+    job = DsmSortJob(
+        params, cfg, policy="sr", seed=0, faults=FaultPlan(),
+        transport="reliable", retry_policy=_policy_for(provisional),
+    )
+    return job.run_pass1().makespan
+
+
+def _filterscan_t0(n_records: int) -> float:
+    """Fault-free reliable-transport baseline makespan for filter-scan."""
+    params = chaos_params()
+    provisional = ResilientFilterScan(params, n_records, seed=0).run()["makespan"]
+    app = ResilientFilterScan(
+        params, n_records, seed=0, policy=_policy_for(provisional)
+    )
+    return app.run()["makespan"]
+
+
+_CASE_RUNNERS: dict[str, Callable[..., dict]] = {
+    "dsmsort": _run_dsmsort_case,
+    "filterscan": _run_filterscan_case,
+}
+
+_BASELINES: dict[str, Callable[[int], float]] = {
+    "dsmsort": _dsmsort_t0,
+    "filterscan": _filterscan_t0,
+}
+
+
+def run_chaos(
+    seeds: Union[int, Sequence[int]] = 12,
+    apps: Sequence[str] = ("dsmsort", "filterscan"),
+    n_records: int = 1 << 13,
+    amp_bound: float = 3.5,
+    negative_control: bool = True,
+    seed0: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ChaosReport:
+    """Sweep seeded fault schedules across the apps; return the report.
+
+    ``seeds`` is a count (seeds ``seed0 .. seed0 + seeds - 1``) or an
+    explicit sequence.  Deterministic: identical arguments produce a
+    byte-identical :meth:`ChaosReport.to_json`.
+    """
+    seed_list = (
+        list(range(seed0, seed0 + seeds)) if isinstance(seeds, int) else list(seeds)
+    )
+    for app in apps:
+        if app not in _CASE_RUNNERS:
+            raise ValueError(
+                f"unknown chaos app {app!r}; expected one of "
+                f"{sorted(_CASE_RUNNERS)}"
+            )
+    say = progress if progress is not None else (lambda _msg: None)
+    baselines = {}
+    for app in apps:
+        baselines[app] = _BASELINES[app](n_records)
+        say(f"baseline {app}: T0={baselines[app]:.4f}s")
+    report = ChaosReport(
+        n_records=int(n_records),
+        amp_bound=float(amp_bound),
+        apps=list(apps),
+        seeds=seed_list,
+        baselines=baselines,
+    )
+    for seed in seed_list:
+        for app in apps:
+            case = _CASE_RUNNERS[app](seed, n_records, baselines[app], amp_bound)
+            report.cases.append(case)
+            say(
+                f"{app} seed={seed}: {case['n_faults']} faults, "
+                f"T/T0={case['makespan_ratio']:.2f}, "
+                f"{'ok' if case['ok'] else 'VIOLATION'}"
+            )
+    if negative_control and "dsmsort" in apps:
+        report.negative_control = _run_negative_control(
+            n_records, baselines["dsmsort"]
+        )
+        say(
+            f"negative control: lost "
+            f"{report.negative_control['lost_records']} records "
+            f"({'ok' if report.negative_control['ok'] else 'FAIL'})"
+        )
+    return report

@@ -1,0 +1,58 @@
+"""Resilient disk I/O: retry transient read errors with deterministic backoff.
+
+An injected ``disk_fault`` window (see :func:`repro.faults.disk_fault`) makes
+:meth:`Disk.read <repro.emulator.disk.Disk.read>` raise
+:class:`~repro.emulator.disk.DiskFault` for its duration.  The device
+recovers once the window closes, so the right response is to wait and retry;
+:func:`read_resilient` does that with a fixed doubling backoff — no
+randomness, so retries perturb nothing in fault-free runs and stay
+deterministic under faults.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..emulator.disk import Disk, DiskFault
+from ..sim import Simulator
+
+__all__ = ["read_resilient"]
+
+
+def read_resilient(
+    sim: Simulator,
+    disk: Disk,
+    nbytes: int,
+    retry_delay: float = 0.001,
+    backoff: float = 2.0,
+    max_backoff: float = 0.05,
+    max_attempts: Optional[int] = None,
+):
+    """Process generator: ``disk.read`` with retry on :class:`DiskFault`.
+
+    Waits ``retry_delay`` simulated seconds after the first failure, doubling
+    (up to ``max_backoff``) on each subsequent one.  With ``max_attempts``
+    set, the final :class:`DiskFault` propagates once the budget is spent;
+    by default it retries until the fault window closes.
+    """
+    attempt = 0
+    delay = float(retry_delay)
+    while True:
+        try:
+            n = yield from disk.read(nbytes)
+            return n
+        except DiskFault:
+            attempt += 1
+            if max_attempts is not None and attempt >= max_attempts:
+                raise
+            tracer = sim.tracer
+            if tracer is not None:
+                tracer.instant(
+                    sim.now, disk.name,
+                    f"read-retry #{attempt}", cat="resilience",
+                )
+            m = sim.metrics
+            if m is not None:
+                m.counter("repro_disk_read_retries_total", node=disk.name).inc()
+            yield sim.timeout(delay)
+            delay = min(delay * backoff, max_backoff)

@@ -1,0 +1,154 @@
+"""Tests for repro.resilience.chaos: the chaos soak harness and its CLI.
+
+Small record counts keep the soak fast; the harness itself is deterministic,
+so every assertion here is exact (no flaky tolerance bands).
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.core import DSMConfig
+from repro.dsmsort import DsmSortJob
+from repro.faults import FaultPlan, crash_asu, drop_msg
+from repro.resilience.chaos import (
+    ResilientFilterScan,
+    chaos_params,
+    run_chaos,
+)
+
+N_SMALL = 1 << 12
+
+
+class TestTransportValidation:
+    def _job(self, **kw):
+        params = chaos_params()
+        cfg = DSMConfig.for_n(N_SMALL, alpha=8, gamma=16)
+        return DsmSortJob(params, cfg, policy="sr", seed=0, **kw)
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="transport must be"):
+            self._job(transport="carrier-pigeon")
+
+    def test_reliable_requires_a_fault_plan(self):
+        with pytest.raises(ValueError, match="an empty one is fine"):
+            self._job(transport="reliable")
+
+    def test_lossy_plan_requires_reliable_transport(self):
+        plan = FaultPlan([drop_msg(0.1, 0, 1, 0.05)])
+        with pytest.raises(ValueError, match="transport='reliable'"):
+            self._job(faults=plan)
+
+    def test_crash_only_plan_still_allowed_on_direct(self):
+        # Fail-stop recovery predates the reliable transport and must keep
+        # working without it.
+        self._job(faults=FaultPlan([crash_asu(0.5, 1)]))
+
+    def test_deadline_requires_fault_mode(self):
+        with pytest.raises(ValueError, match="deadline"):
+            self._job().run_pass1(deadline=1.0)
+
+
+class TestResilientFilterScan:
+    def test_fault_free_exact_multiset(self):
+        app = ResilientFilterScan(chaos_params(), N_SMALL, seed=0)
+        res = app.run()
+        assert res["completed"]
+        assert list(res["keys"]) == list(app.expected_keys())
+        assert res["n_degraded_blocks"] == 0
+
+    def test_exact_multiset_under_drop_window(self):
+        params = chaos_params()
+        base = ResilientFilterScan(params, N_SMALL, seed=0)
+        t0 = base.run()["makespan"]
+        # Fragment traffic is front-loaded, so the window must open at t=0
+        # to catch first transmissions (retries then land after it closes).
+        plan = FaultPlan(
+            [drop_msg(0.0, h, d, 0.5 * t0) for h in range(2) for d in range(4)]
+        )
+        app = ResilientFilterScan(params, N_SMALL, seed=0, faults=plan)
+        res = app.run(deadline=12.0 * t0)
+        assert res["completed"]
+        assert list(res["keys"]) == list(app.expected_keys())
+        assert res["channel_stats"]["n_retransmits"] > 0
+
+
+class TestRunChaos:
+    def test_small_soak_all_invariants_hold(self):
+        report = run_chaos(seeds=2, n_records=N_SMALL, progress=None)
+        assert len(report.cases) == 4  # 2 seeds x 2 apps
+        assert report.violations() == []
+        assert report.ok
+        for case in report.cases:
+            assert case["ok"] and all(case["invariants"].values())
+        # At least one case actually exercised the lossy machinery —
+        # otherwise the soak proves nothing.
+        assert any(c["n_retransmits"] > 0 for c in report.cases)
+
+    def test_negative_control_loses_records(self):
+        report = run_chaos(
+            seeds=[0], apps=("dsmsort",), n_records=N_SMALL, progress=None
+        )
+        nc = report.negative_control
+        assert nc is not None and nc["ok"]
+        assert not nc["completed"] and nc["lost_records"] > 0
+        assert nc["n_durable"] + nc["lost_records"] == nc["n_total"]
+
+    def test_report_is_byte_identical_across_runs(self):
+        kw = dict(seeds=[0, 5], apps=("filterscan",), n_records=N_SMALL,
+                  negative_control=False)
+        a = run_chaos(**kw)
+        b = run_chaos(**kw)
+        assert a.to_json() == b.to_json()
+
+    def test_report_round_trips_through_json(self):
+        report = run_chaos(
+            seeds=[0], apps=("filterscan",), n_records=N_SMALL,
+            negative_control=False,
+        )
+        doc = json.loads(report.to_json())
+        assert doc["schema_version"] == report.schema_version
+        assert doc["apps"] == ["filterscan"]
+        assert doc["seeds"] == [0]
+        assert len(doc["cases"]) == 1
+        assert doc["cases"][0]["invariants"]["exact_multiset"] is True
+
+    def test_violation_flips_report_not_ok(self):
+        # An absurd amplification bound (just above 1.0) cannot hold under a
+        # drop-heavy schedule: the report must say so, loudly.
+        report = run_chaos(
+            seeds=[0], apps=("dsmsort",), n_records=N_SMALL,
+            amp_bound=1.0001, negative_control=False,
+        )
+        assert not report.ok
+        assert any("amplification_bounded" in v for v in report.violations())
+        assert "FAIL" in report.render()
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos app"):
+            run_chaos(seeds=1, apps=("sortbench",), n_records=N_SMALL)
+
+
+class TestChaosCli:
+    def test_cli_writes_report_and_exits_zero(self, capsys, tmp_path):
+        out = tmp_path / "chaos.json"
+        rc = main([
+            "chaos", "--n", "12", "--seeds", "1", "--out", str(out),
+        ])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "PASS" in stdout and "negative control" in stdout
+        doc = json.loads(out.read_text())
+        assert {c["app"] for c in doc["cases"]} == {"dsmsort", "filterscan"}
+        assert doc["negative_control"]["ok"] is True
+
+    def test_cli_exits_nonzero_on_violation(self, capsys, tmp_path):
+        out = tmp_path / "chaos.json"
+        rc = main([
+            "chaos", "--n", "12", "--seeds", "1", "--apps", "dsmsort",
+            "--amp-bound", "1.0001", "--no-negative-control",
+            "--out", str(out),
+        ])
+        assert rc == 1
+        assert "VIOLATION" in capsys.readouterr().out

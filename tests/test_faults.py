@@ -11,17 +11,25 @@ from repro.dsmsort import DsmSortJob
 from repro.emulator.params import SystemParams
 from repro.emulator.platform import ActivePlatform
 from repro.faults import (
+    FAULT_KINDS,
     FailureDetector,
     Fault,
     FaultPlan,
     FaultReport,
     Injector,
     RandomFaultModel,
+    corrupt_msg,
     crash_asu,
     crash_host,
     degrade_asu,
     degrade_host,
+    delay_msg,
+    disk_fault,
+    drop_msg,
+    dup_msg,
+    fault_kinds,
     link_flap,
+    register_fault_kind,
 )
 from repro.functors.base import FunctorError
 
@@ -90,6 +98,74 @@ class TestFaultPlan:
         assert (f.t, f.duration) == (0.5, 1.0)
 
 
+class TestFaultKindRegistry:
+    def test_unknown_kind_error_lists_registered(self):
+        with pytest.raises(ValueError, match="registered kinds:.*crash_asu"):
+            Fault(t=0.0, kind="meteor", index=0)
+
+    def test_builtin_kinds_registered(self):
+        assert {
+            "crash_asu", "crash_host", "degrade_asu", "degrade_host",
+            "link_flap", "drop_msg", "dup_msg", "delay_msg", "corrupt_msg",
+            "disk_fault",
+        } <= set(fault_kinds())
+
+    def test_register_custom_kind(self):
+        def needs_duration(f):
+            if f.duration <= 0:
+                raise ValueError("gamma rays need a positive duration")
+
+        register_fault_kind(
+            "test_gamma_ray",
+            validate=needs_duration,
+            describe=lambda f: f"t={f.t:.3f} gamma-ray asu{f.index}",
+        )
+        try:
+            assert "test_gamma_ray" in fault_kinds()
+            f = Fault(t=1.0, kind="test_gamma_ray", index=2, duration=0.5)
+            assert f.describe() == "t=1.000 gamma-ray asu2"
+            with pytest.raises(ValueError, match="positive duration"):
+                Fault(t=1.0, kind="test_gamma_ray", index=2)
+            # A custom kind is a first-class plan citizen.
+            plan = FaultPlan([f]).validate(small_params())
+            assert plan.kinds() == {"test_gamma_ray"}
+        finally:
+            del FAULT_KINDS["test_gamma_ray"]
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_fault_kind("crash_asu")
+
+    def test_message_fault_constructors_validate(self):
+        drop_msg(0.0, 0, 1, 0.5)
+        dup_msg(0.0, 1, 3, 0.5)
+        corrupt_msg(0.0, 0, 0, 0.5)
+        disk_fault(0.0, 2, 0.5)
+        with pytest.raises(ValueError, match="positive duration"):
+            drop_msg(0.0, 0, 1, 0.0)
+        with pytest.raises(ValueError, match="peer"):
+            Fault(t=0.0, kind="dup_msg", index=0, duration=1.0)
+        with pytest.raises(ValueError, match="positive extra delay"):
+            delay_msg(0.0, 0, 1, 0.5, delay=0.0)
+        with pytest.raises(ValueError, match="positive duration"):
+            disk_fault(0.0, 2, -1.0)
+
+    def test_message_fault_target_validation(self):
+        p = small_params()  # 2 hosts, 4 ASUs
+        FaultPlan([drop_msg(0.0, 1, 3, 0.5)]).validate(p)
+        with pytest.raises(ValueError, match="no such host"):
+            FaultPlan([drop_msg(0.0, 2, 0, 0.5)]).validate(p)
+        with pytest.raises(ValueError, match="no such ASU"):
+            FaultPlan([corrupt_msg(0.0, 0, 4, 0.5)]).validate(p)
+        with pytest.raises(ValueError, match="no such ASU"):
+            FaultPlan([disk_fault(0.0, 4, 0.5)]).validate(p)
+
+    def test_plan_kinds(self):
+        plan = FaultPlan([crash_asu(1.0, 0), drop_msg(0.5, 0, 1, 0.2)])
+        assert plan.kinds() == {"crash_asu", "drop_msg"}
+        assert FaultPlan().kinds() == set()
+
+
 class TestRandomFaultModel:
     def test_same_seed_same_plan(self):
         p = small_params()
@@ -109,6 +185,36 @@ class TestRandomFaultModel:
 
     def test_disabled_classes_yield_empty_plan(self):
         assert len(RandomFaultModel(seed=0).plan(small_params(), horizon=10.0)) == 0
+
+    def test_message_and_disk_fault_draws(self):
+        p = small_params()
+        plan = RandomFaultModel(
+            seed=5, mtt_drop=0.3, mtt_dup=0.3, mtt_delay=0.3, mtt_corrupt=0.3,
+            mtt_disk_fault=0.3, msg_fault_duration=0.1, msg_delay=0.01,
+            disk_fault_duration=0.1,
+        ).plan(p, horizon=5.0)
+        assert {
+            "drop_msg", "dup_msg", "delay_msg", "corrupt_msg", "disk_fault"
+        } <= plan.kinds()
+        for f in plan:
+            if f.kind == "delay_msg":
+                assert f.extra == 0.01
+
+    def test_new_draws_do_not_perturb_legacy_plans(self):
+        # The message/disk classes draw *after* the legacy classes from the
+        # same stream, so enabling them leaves the legacy faults unchanged.
+        p = small_params()
+        legacy = RandomFaultModel(seed=5, mttf_asu=1.0, max_crashes=2).plan(
+            p, horizon=5.0
+        )
+        both = RandomFaultModel(
+            seed=5, mttf_asu=1.0, max_crashes=2,
+            mtt_drop=0.5, msg_fault_duration=0.1,
+        ).plan(p, horizon=5.0)
+        assert [f.describe() for f in legacy] == [
+            f.describe() for f in both if f.kind == "crash_asu"
+        ]
+        assert any(f.kind == "drop_msg" for f in both)
 
 
 # ---------------------------------------------------------------------------
@@ -244,6 +350,64 @@ class TestFailureDetector:
         det.start()
         with pytest.raises(RuntimeError, match="already started"):
             det.start()
+
+    def test_heartbeat_exactly_at_deadline_is_not_failure(self):
+        # Binary-exact cadence (0.0625 = 2**-4) so every beat and sweep
+        # instant is a representable float and the arithmetic is exact.
+        # The crash at t=0.26 leaves the last beat at t=0.25; the sweep at
+        # t=0.5 observes silence of *exactly* `timeout` and must not declare
+        # (the monitor uses strict >); the next sweep at 0.5625 does.
+        plat = ActivePlatform(small_params())
+        det = FailureDetector(plat, interval=0.0625, timeout=0.25)
+        det.start()
+        Injector(plat, FaultPlan([crash_asu(0.26, 1)])).arm()
+        plat.sim.run(until=2.0)
+        assert det.detected == {"asu1": 0.5625}
+
+    def test_flap_back_within_detection_interval_not_declared(self):
+        # A node that goes silent for *less* than the timeout and then comes
+        # back must never be declared failed.  The beater stops at the crash
+        # (last beat t=0.25); the node "flaps back" at t=0.40625 — silence of
+        # 0.15625 < timeout — and keeps beating from then on (emulated by
+        # restamping the liveness table, since fail-stops are permanent).
+        plat = ActivePlatform(small_params())
+        det = FailureDetector(plat, interval=0.0625, timeout=0.25)
+        calls = []
+        det.on_failure.append(lambda node, t: calls.append((node.node_id, t)))
+        det.start()
+        Injector(plat, FaultPlan([crash_asu(0.3, 0)])).arm()
+
+        def resume():
+            det._last_beat["asu0"] = plat.sim.now
+            plat.sim.schedule_callback(resume, delay=det.interval)
+
+        plat.sim.schedule_callback(resume, delay=0.40625)
+        plat.sim.run(until=3.0)
+        assert det.detected == {} and calls == []
+
+    def test_flap_back_after_detection_does_not_double_fire(self):
+        # Once declared, a node whose heartbeats reappear within a detection
+        # interval must not fire recovery a second time: `detected` is the
+        # dedup record, and declare_failed is idempotent.
+        plat = ActivePlatform(small_params())
+        det = FailureDetector(plat, interval=0.0625, timeout=0.25)
+        calls = []
+        det.on_failure.append(lambda node, t: calls.append((node.node_id, t)))
+        det.start()
+        Injector(plat, FaultPlan([crash_asu(0.3, 2)])).arm()
+
+        def resume():
+            det._last_beat["asu2"] = plat.sim.now
+            if plat.sim.now < 1.5:
+                plat.sim.schedule_callback(resume, delay=det.interval)
+
+        # Beats resume one beat interval after the declaration at t=0.5625,
+        # then stop again at t=1.5 — neither event may re-fire recovery.
+        plat.sim.schedule_callback(resume, delay=0.625)
+        plat.sim.run(until=4.0)
+        det.declare_failed(plat.asus[2])  # explicit re-declare: idempotent
+        assert calls == [("asu2", 0.5625)]
+        assert det.detected == {"asu2": 0.5625}
 
 
 # ---------------------------------------------------------------------------

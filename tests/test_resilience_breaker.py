@@ -1,0 +1,140 @@
+"""Tests for repro.resilience.breaker: the per-link circuit-breaker protocol."""
+
+import pytest
+
+from repro.metrics import MetricsRegistry
+from repro.resilience import BreakerBoard, CircuitBreaker
+from repro.sim import Simulator
+
+
+def advance(sim, to):
+    """Move the clock to ``to`` (breaker transitions are lazy on the clock)."""
+    sim.schedule_callback(lambda: None, delay=to - sim.now)
+    sim.run()
+
+
+class TestCircuitBreaker:
+    def test_parameter_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="fail_threshold"):
+            CircuitBreaker(sim, "l", fail_threshold=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            CircuitBreaker(sim, "l", cooldown=0.0)
+
+    def test_trips_after_threshold_consecutive_failures(self):
+        sim = Simulator()
+        br = CircuitBreaker(sim, "l", fail_threshold=3, cooldown=1.0)
+        br.record_failure()
+        br.record_failure()
+        assert br.state == CircuitBreaker.CLOSED and br.healthy
+        br.record_failure()
+        assert br.state == CircuitBreaker.OPEN and not br.healthy
+        assert br.n_trips == 1
+
+    def test_success_resets_the_failure_count(self):
+        sim = Simulator()
+        br = CircuitBreaker(sim, "l", fail_threshold=3, cooldown=1.0)
+        for _ in range(10):
+            br.record_failure()
+            br.record_failure()
+            br.record_success()  # never three in a row
+        assert br.state == CircuitBreaker.CLOSED and br.n_trips == 0
+
+    def test_half_open_after_cooldown_then_success_closes(self):
+        sim = Simulator()
+        br = CircuitBreaker(sim, "l", fail_threshold=1, cooldown=0.5)
+        br.record_failure()
+        assert not br.healthy
+        advance(sim, 0.25)
+        assert br.state == CircuitBreaker.OPEN  # cooldown not elapsed
+        advance(sim, 0.75)
+        assert br.state == CircuitBreaker.HALF_OPEN
+        assert br.healthy  # half-open links are probe-able, not quarantined
+        br.record_success()
+        assert br.state == CircuitBreaker.CLOSED
+
+    def test_failure_in_half_open_re_trips(self):
+        sim = Simulator()
+        br = CircuitBreaker(sim, "l", fail_threshold=1, cooldown=0.5)
+        br.record_failure()
+        advance(sim, 1.0)
+        assert br.state == CircuitBreaker.HALF_OPEN
+        br.record_failure()
+        assert br.state == CircuitBreaker.OPEN and br.n_trips == 2
+        # The re-trip restarts the cooldown from now.
+        advance(sim, 1.25)
+        assert br.state == CircuitBreaker.OPEN
+        advance(sim, 1.75)
+        assert br.state == CircuitBreaker.HALF_OPEN
+
+    def test_transition_history(self):
+        sim = Simulator()
+        br = CircuitBreaker(sim, "l", fail_threshold=1, cooldown=0.5)
+        br.record_failure()
+        advance(sim, 1.0)
+        br.state  # observe: lazily records the half-open transition
+        br.record_success()
+        assert [name for _t, name in br.transitions] == [
+            "open", "half-open", "closed"
+        ]
+
+    def test_state_gauge_reports_raw_state(self):
+        sim = Simulator()
+        sim.metrics = MetricsRegistry()
+        br = CircuitBreaker(sim, "host0<->asu1", fail_threshold=1, cooldown=0.5)
+        g = sim.metrics.get("repro_breaker_state", link="host0<->asu1")
+        assert g is not None and g.sample(sim.now) == 0.0
+        br.record_failure()
+        assert g.sample(sim.now) == 1.0
+        # Scraping after the cooldown must NOT advance the lazy transition:
+        # the gauge reads _state raw.
+        advance(sim, 1.0)
+        assert g.sample(sim.now) == 1.0
+        assert br.state == CircuitBreaker.HALF_OPEN  # the property does
+        assert g.sample(sim.now) == 2.0
+        # Transition counters were recorded as well.
+        c = sim.metrics.get("repro_breaker_transitions_total", to="open")
+        assert c is not None and c.value == 1.0
+
+
+class TestBreakerBoard:
+    def test_lazy_creation_on_first_failure(self):
+        sim = Simulator()
+        board = BreakerBoard(sim, fail_threshold=2, cooldown=0.5)
+        assert len(board) == 0
+        # Success on an unknown link allocates nothing (fault-free runs stay
+        # allocation-identical to runs without a board).
+        board.record_success("host0", "asu0")
+        assert len(board) == 0 and board.peek("host0", "asu0") is None
+        assert board.healthy("host0", "asu0")
+        board.record_failure("host0", "asu0")
+        assert len(board) == 1 and board.peek("host0", "asu0") is not None
+
+    def test_key_is_unordered(self):
+        sim = Simulator()
+        board = BreakerBoard(sim, fail_threshold=2, cooldown=0.5)
+        board.record_failure("host0", "asu3")
+        board.record_failure("asu3", "host0")
+        assert len(board) == 1
+        assert not board.healthy("host0", "asu3")
+
+    def test_open_links_and_trip_count(self):
+        sim = Simulator()
+        board = BreakerBoard(sim, fail_threshold=1, cooldown=0.5)
+        board.record_failure("host1", "asu0")
+        board.record_failure("host0", "asu2")
+        board.record_failure("host0", "asu2")  # already open: no extra trip
+        assert board.open_links() == ["asu0<->host1", "asu2<->host0"]
+        assert board.n_trips() == 2
+        board.get("host1", "asu0")  # get() never resets state
+        assert board.n_trips() == 2
+
+    def test_recovery_closes_via_half_open(self):
+        sim = Simulator()
+        board = BreakerBoard(sim, fail_threshold=1, cooldown=0.25)
+        board.record_failure("host0", "asu0")
+        assert not board.healthy("host0", "asu0")
+        advance(sim, 0.5)
+        board.record_success("host0", "asu0")
+        assert board.healthy("host0", "asu0")
+        assert board.open_links() == []
