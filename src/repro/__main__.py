@@ -10,6 +10,8 @@ Usage::
                             [--out metrics.json] [--prom metrics.prom]
     python -m repro chaos   [--n LOG2] [--seeds K] [--seed0 S] [--apps LIST]
                             [--amp-bound X] [--out chaos_report.json]
+    python -m repro recover [--n LOG2] [--seeds K] [--seed S]
+                            [--out recover_report.json]
     python -m repro all     [--n LOG2]
 """
 
@@ -29,7 +31,7 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         choices=[
             "fig9", "fig10", "sweep-c", "sweep-routing", "sweep-gamma",
-            "trace", "metrics", "chaos", "all",
+            "trace", "metrics", "chaos", "recover", "all",
         ],
         help="which experiment to run",
     )
@@ -83,6 +85,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.target == "chaos":
         return _run_chaos(args, n)
+    if args.target == "recover":
+        return _run_recover(args, n)
     if args.target == "trace":
         return _run_trace(n, args.seed, args.out or "trace.json")
     if args.target == "metrics":
@@ -144,6 +148,90 @@ def _run_chaos(args, n: int) -> int:
     print(report.render())
     print(f"wrote chaos report to {out}")
     return 0 if report.ok else 1
+
+
+def _run_recover(args, n: int) -> int:
+    """Checkpoint/restart demonstration: kill the coordinator, resume, verify.
+
+    Runs one uninterrupted reference sort, then ``--seeds`` supervised runs
+    each killed at a different fraction of the reference makespan.  Every
+    resumed run must produce output byte-identical to the reference; the
+    canonical JSON report is written for CI to gate on.  Exits nonzero if
+    any resume diverged.
+    """
+    import hashlib
+    import json
+
+    import numpy as np
+
+    from .bench.report import SCHEMA_VERSION, render_table
+    from .core.config import DSMConfig
+    from .recovery.checkpoint import RecoverableSort
+    from .recovery.supervisor import RestartBudget
+    from .resilience.chaos import chaos_params
+
+    n = min(n, 1 << 14)  # K supervised two-pass sorts; keep the sweep fast
+    params = chaos_params()
+    cfg = DSMConfig.for_n(n, alpha=8, gamma=16)
+
+    ref = RecoverableSort(params, cfg, seed=args.seed, policy="sr")
+    rep0 = ref.run_supervised()
+    ref.verify()
+    t0 = rep0.total_virtual_time
+    out_ref = ref.output()
+    digest = hashlib.sha256(out_ref.tobytes()).hexdigest()
+    print(f"reference: {n} records in {t0:.4f}s, sha256={digest[:16]}")
+
+    k = max(1, args.seeds)
+    rows, cases = [], []
+    for i in range(k):
+        frac = (i + 1) / (k + 1)
+        sort = RecoverableSort(params, cfg, seed=args.seed, policy="sr")
+        rep = sort.run_supervised(
+            crashes=[frac * t0], budget=RestartBudget(max_restarts=3)
+        )
+        identical = bool(rep.completed and np.array_equal(out_ref, sort.output()))
+        resume = rep.total_virtual_time - frac * t0
+        cases.append({
+            "crash_frac": frac,
+            "crash_at": frac * t0,
+            "completed": bool(rep.completed),
+            "n_attempts": rep.n_attempts,
+            "n_crashes": rep.n_crashes,
+            "total_virtual_time": rep.total_virtual_time,
+            "manifest_bytes": int(sort.manifest.bytes_logged),
+            "byte_identical": identical,
+        })
+        rows.append([
+            f"{frac:.2f}", f"{frac * t0:.4f}", rep.n_attempts,
+            f"{rep.total_virtual_time:.4f}", f"{resume:.4f}",
+            "yes" if identical else "NO",
+        ])
+    print()
+    print(render_table(
+        ["kill frac", "kill at (s)", "attempts", "total (s)", "resume (s)",
+         "identical"],
+        rows,
+        title=f"coordinator kill sweep, N={n}, T0={t0:.4f}s",
+    ))
+    ok = all(c["byte_identical"] for c in cases)
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "n_records": n,
+        "seed": args.seed,
+        "t0": t0,
+        "reference_sha256": digest,
+        "cases": cases,
+        "ok": ok,
+    }
+    out = args.out or "recover_report.json"
+    with open(out, "w") as fh:
+        json.dump(report, fh, sort_keys=True, separators=(",", ":"))
+        fh.write("\n")
+    print(f"{'PASS' if ok else 'FAIL'}: "
+          f"{sum(c['byte_identical'] for c in cases)}/{len(cases)} resumes "
+          f"byte-identical -> {out}")
+    return 0 if ok else 1
 
 
 def _run_trace(n: int, seed: int, out: str) -> int:

@@ -50,6 +50,8 @@ class PipelineResult:
     net_bytes: int
     #: records processed per stage instance: {stage: [n per instance]}
     records_per_instance: dict[str, list[int]] = field(default_factory=dict)
+    #: straggler-watch decisions (``StragglerSignal``), speculation mode only
+    straggler_signals: list = field(default_factory=list)
 
 
 class PipelineJob:
@@ -66,6 +68,7 @@ class PipelineJob:
         tracer=None,
         metrics=None,
         scrape_interval=None,
+        speculation=None,
     ):
         if len(asu_data) != params.n_asus:
             raise ValueError(
@@ -74,6 +77,11 @@ class PipelineJob:
         graph.validate()
         PlacementSolver(params).validate(graph, placement)
         self._check_linear(graph)
+        if speculation is not None and metrics is None:
+            # The registry's rate instruments ARE the straggler signal.
+            from ..metrics.registry import MetricsRegistry
+
+            metrics = MetricsRegistry()
         self.params = params
         self.graph = graph
         self.placement = placement
@@ -83,6 +91,11 @@ class PipelineJob:
         self.tracer = tracer
         self.metrics = metrics
         self.scrape_interval = scrape_interval
+        #: repro.recovery.speculate.SpeculationPolicy enabling the straggler
+        #: watch: lagging stage instances become a routing steer-around
+        #: signal, the same mechanism the DSM-Sort speculator feeds through
+        #: the load manager
+        self.speculation = speculation
 
     @staticmethod
     def _check_linear(graph: Dataflow) -> None:
@@ -143,6 +156,23 @@ class PipelineJob:
             name: [0] * len(inst_nodes[name]) for name in order
         }
 
+        # Straggler watch (speculation mode): per-stage sets of instances
+        # currently flagged slow.  pick_instance() steers around them — the
+        # signal changes *routing*, never correctness, exactly like the load
+        # manager's speculative_slow set in the DSM-Sort runtime.
+        spec = self.speculation
+        slow: dict[str, set[int]] = {name: set() for name in order}
+        straggler_signals: list = []
+        # Stages where steering is meaningful: free routing, >1 instance.
+        _pinned = {
+            name for name in order
+            if any(e.kind == "stream" for e in graph.in_edges(name))
+        }
+        watchable = [
+            name for name in order
+            if name not in _pinned and len(inst_nodes[name]) > 1
+        ]
+
         # The sink is a collector on host 0 (results return to the
         # application); its traffic is charged like any other hand-off.
         sink_addr = "pipe.__sink__"
@@ -169,12 +199,21 @@ class PipelineJob:
             )
 
         def pick_instance(src_node, dst_stage, n_records):
-            """Locality-affine choice: stay on this node when possible."""
+            """Locality-affine choice: stay on this node when possible.
+
+            Instances flagged by the straggler watch are steered around —
+            including forfeiting locality — whenever an alternative exists.
+            """
+            avoid = slow[dst_stage]
+            n_inst = len(inst_nodes[dst_stage])
             for k, node in enumerate(inst_nodes[dst_stage]):
-                if node is src_node:
+                if node is src_node and (k not in avoid or n_inst == 1):
                     routers[dst_stage].on_sent(k, n_records)
                     return k
-            k = routers[dst_stage].choose(0, n_records)
+            if avoid and len(avoid) < n_inst:
+                k = routers[dst_stage].pick(0, n_records, avoid=tuple(sorted(avoid)))
+            else:
+                k = routers[dst_stage].choose(0, n_records)
             routers[dst_stage].on_sent(k, n_records)
             return k
 
@@ -268,6 +307,13 @@ class PipelineJob:
                     m.rate("repro_stage_records", stage=stage_name).mark(
                         plat.sim.now, float(n)
                     )
+                    if spec is not None:
+                        # Per-instance series only in speculation mode, so
+                        # pre-speculation registry exports are unchanged.
+                        m.rate(
+                            "repro_stage_records",
+                            stage=stage_name, instance=str(k),
+                        ).mark(plat.sim.now, float(n))
                     m.histogram(
                         "repro_stage_record_latency_seconds", stage=stage_name
                     ).observe((plat.sim.now - t0) / n, n=n)
@@ -291,12 +337,66 @@ class PipelineJob:
                 else:
                     collected.append(msg.payload)
 
+        def straggler_watch():
+            """Flag/clear lagging stage instances from the registry's rates."""
+            from ..recovery.speculate import StragglerSignal, laggard_threshold
+            from ..util.rng import derive_seed
+
+            m = self.metrics
+            rng = np.random.default_rng(derive_seed(spec.seed, "exec-speculate"))
+
+            def avg(name, k, now):
+                inst = m.get("repro_stage_records", stage=name, instance=str(k))
+                return (float(inst.total) if inst is not None else 0.0) / now
+
+            while True:
+                yield plat.sim.timeout(spec.interval)
+                now = plat.sim.now
+                if now < spec.warmup:
+                    continue
+                for name in watchable:
+                    rates = [
+                        avg(name, k, now)
+                        for k in range(len(inst_nodes[name]))
+                    ]
+                    thr = laggard_threshold(rates, spec, rng)
+                    for k, rate in enumerate(rates):
+                        if rate < thr and k not in slow[name]:
+                            slow[name].add(k)
+                            straggler_signals.append(StragglerSignal(
+                                t=now, kind="instance", index=k, rate=rate,
+                                threshold=thr, action="steer",
+                            ))
+                        elif rate >= thr and k in slow[name]:
+                            slow[name].discard(k)
+                            straggler_signals.append(StragglerSignal(
+                                t=now, kind="instance", index=k, rate=rate,
+                                threshold=thr, action="clear",
+                            ))
+
         procs = [plat.spawn(source(d), name=f"src{d}") for d in range(params.n_asus)]
         for name in order:
             for k in range(len(inst_nodes[name])):
                 procs.append(plat.spawn(instance(name, k), name=f"{name}#{k}"))
         procs.append(plat.spawn(sink(), name="sink"))
-        plat.run(wait_for=procs)
+        if spec is not None and watchable:
+            # The watch ticks forever; stop the clock at the job's own
+            # completion instant so the tail tick cannot inflate makespan.
+            plat.spawn(straggler_watch(), name="straggler-watch")
+            done = plat.sim.all_of(procs)
+
+            def _on_done(ev):
+                if not ev.ok:
+                    raise ev.value
+                plat.sim.stop()
+
+            done.callbacks.append(_on_done)
+            plat.sim.run()
+            stuck = [p for p in procs if not p.triggered]
+            if stuck:
+                raise RuntimeError(f"pipeline deadlocked; {len(stuck)} processes stuck")
+        else:
+            plat.run(wait_for=procs)
 
         return PipelineResult(
             makespan=plat.sim.now,
@@ -305,4 +405,5 @@ class PipelineJob:
             asu_cpu_util=[a.cpu.utilization(plat.sim.now) for a in plat.asus],
             net_bytes=plat.network.bytes_total,
             records_per_instance=records_per_instance,
+            straggler_signals=straggler_signals,
         )

@@ -136,6 +136,15 @@ class LoadManager:
         self.n_buckets = n_buckets
         #: simulator whose tracer receives routing-decision counters (optional)
         self._sim = None
+        # Speculation signal (see repro.recovery.speculate): instances the
+        # straggler speculator currently considers slow.  Folded into every
+        # route() as a soft steer-around set, exactly like backpressure and
+        # breaker-open links.  Empty unless a speculator is attached, so
+        # fault-free routing decisions are untouched; the backing gauge
+        # vector is allocated lazily for the same reason (keeps unmetered
+        # and pre-speculation registry exports byte-identical).
+        self._spec_slow: set[int] = set()
+        self._gv_spec = None
 
     def attach_sim(self, sim) -> None:
         """Attach the simulator so routing decisions land in its trace."""
@@ -147,8 +156,13 @@ class LoadManager:
 
         Never routes to a quarantined instance: the router's policy choice is
         masked/remapped onto survivors (see :meth:`Router.pick`).  ``avoid``
-        passes through as the soft steer-around set (breaker-open links).
+        passes through as the soft steer-around set (breaker-open links),
+        merged with any instances the speculator has flagged slow.
         """
+        if self._spec_slow:
+            avoid = tuple(avoid) + tuple(
+                i for i in sorted(self._spec_slow) if i not in avoid
+            )
         inst = self.router.pick(bucket, n_records, avoid=avoid)
         self.router.on_sent(inst, n_records)
         sim = self._sim
@@ -183,6 +197,32 @@ class LoadManager:
         self.router.on_completed(instance, n_records)
         if busy_cycles:
             self._gv_busy.add(instance, busy_cycles)
+
+    # -- speculation feedback --------------------------------------------------
+    def mark_speculative(self, instance: int) -> None:
+        """Flag ``instance`` as a suspected straggler (soft steer-around).
+
+        Unlike :meth:`quarantine` this is advisory and reversible: the
+        instance keeps its routed streams and can still receive fragments
+        when every alternative is worse, but new routing decisions prefer
+        its peers until :meth:`clear_speculative` is called.
+        """
+        if self._gv_spec is None:
+            self._gv_spec = self.registry.gauge_vector(
+                "repro_lm_speculative_slow", len(self.instances)
+            )
+        self._spec_slow.add(instance)
+        self._gv_spec.set(instance, 1.0)
+
+    def clear_speculative(self, instance: int) -> None:
+        """The suspected straggler caught up; stop steering around it."""
+        self._spec_slow.discard(instance)
+        if self._gv_spec is not None:
+            self._gv_spec.set(instance, 0.0)
+
+    @property
+    def speculative_slow(self) -> tuple[int, ...]:
+        return tuple(sorted(self._spec_slow))
 
     # -- backpressure feedback -------------------------------------------------
     def backpressure_begin(self, instance: int, n_records: int) -> None:

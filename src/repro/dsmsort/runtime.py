@@ -81,12 +81,14 @@ class _RunEntry:
     current destination ASU, so the run can be re-replicated if that ASU
     dies before (or after) the write became durable."""
 
-    __slots__ = ("bucket", "run", "dest")
+    __slots__ = ("bucket", "run", "dest", "rid")
 
-    def __init__(self, bucket, run, dest):
+    def __init__(self, bucket, run, dest, rid=None):
         self.bucket = bucket
         self.run = run
         self.dest = dest
+        #: manifest run id (checkpointed runs only)
+        self.rid = rid
 
 
 @dataclass
@@ -111,6 +113,11 @@ class Pass1Result:
     #: False when a ``deadline`` expired before every record was durable
     #: (e.g. the chaos harness's retries-disabled negative control)
     completed: bool = True
+    #: set when a ``crash_coordinator`` fault killed the job mid-pass
+    coordinator_crashed: bool = False
+    #: straggler-speculation counters (``speculation=`` given)
+    n_hedged_shards: int = 0
+    n_hedge_wasted_frags: int = 0
     #: records durable when the pass ended (== the input count if completed)
     n_durable: int = -1
     #: aggregated :class:`~repro.resilience.channel.ChannelStats` totals
@@ -126,6 +133,11 @@ class Pass2Result:
     host_util: list[float]
     asu_cpu_util: list[float]
     n_partial_runs: int
+    #: False when a ``deadline`` stopped the merge before every bucket
+    #: completed (checkpoint/restart: the caller resumes from the manifest)
+    completed: bool = True
+    #: buckets adopted from the manifest's merge frontier instead of merged
+    n_restored_buckets: int = 0
 
 
 class DsmSortJob:
@@ -153,6 +165,9 @@ class DsmSortJob:
         mailbox_capacity: Optional[int] = None,
         breaker_threshold: int = 5,
         breaker_cooldown: Optional[float] = None,
+        manifest=None,
+        routing_seed: Optional[int] = None,
+        speculation=None,
     ):
         if not 0.0 <= background_asu_duty < 1.0:
             raise ValueError("background_asu_duty must be in [0, 1)")
@@ -178,10 +193,35 @@ class DsmSortJob:
                     "cannot mask message loss or transient I/O errors; use "
                     "transport='reliable'"
                 )
+        if manifest is not None and faults is None:
+            raise ValueError(
+                "manifest= runs on the fault-tolerant path; pass a FaultPlan "
+                "(an empty one is fine)"
+            )
+        if speculation is not None and faults is None:
+            raise ValueError(
+                "speculation= runs on the fault-tolerant path; pass a "
+                "FaultPlan (an empty one is fine)"
+            )
+        if speculation is not None and metrics is None:
+            # The speculator reads per-replica progress rates from the
+            # metrics registry, so a speculative run is always metered.
+            from ..metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
         self.params = params
         self.config = config
         self.policy = policy
         self.active = active
+        #: repro.recovery.manifest.RunManifest journaling this job's progress
+        #: (checkpoint/restart); None = no durability layer
+        self.manifest = manifest
+        #: repro.recovery.speculate.SpeculationPolicy enabling the straggler
+        #: speculator during fault-tolerant run formation
+        self.speculation = speculation
+        #: routing RNG seed override: lets a supervisor *re-place* work
+        #: (fresh routing decisions) without changing the workload seed
+        self._routing_seed = int(routing_seed) if routing_seed is not None else int(seed)
         #: fraction of every ASU's CPU consumed by a competing application.
         #: ASUs are *shared* network storage and the competitor has strict
         #: priority (§1: storage-side computation must not interfere with
@@ -210,7 +250,7 @@ class DsmSortJob:
             n_instances=params.n_hosts,
             n_buckets=config.alpha,
             policy=policy,
-            rng=self.rngs.get("routing"),
+            rng=RngRegistry(self._routing_seed).get("routing"),
             weights=self._host_weights,
             registry=metrics,
         )
@@ -289,7 +329,7 @@ class DsmSortJob:
             n_instances=self.params.n_hosts,
             n_buckets=self.config.alpha,
             policy=self.policy,
-            rng=RngRegistry(self.rngs.seed).get("routing"),
+            rng=RngRegistry(self._routing_seed).get("routing"),
             weights=self._host_weights,
             registry=self.metrics,
         )
@@ -589,10 +629,39 @@ class DsmSortJob:
         self._n_replayed_frags = 0
         self._n_reemitted_runs = 0
         self._n_takeover_blocks = 0
+        self._n_hedged_shards = 0
+        self._n_hedge_wasted_frags = 0
+        self._coord_crashed = False
+        #: per-fragment content digests (speculation mode): lets a hedged
+        #: re-distribute verify it reproduced already-shipped fragments
+        #: byte-identically before skipping them
+        self._frag_digests = {} if self.speculation is not None else None
         self.recovered_at: dict[str, float] = {}
         self._complete_ev = Event(plat.sim)
         self._ft_plat = plat
         self._Message = Message
+
+        if self.manifest is not None:
+            # Checkpoint/restart: bind the journal's charged writer to this
+            # platform, then replay it — a fresh manifest replays to nothing,
+            # a crashed predecessor's manifest restores the durable frontier
+            # so producers skip completed blocks and re-ship only what was
+            # lost.  EOF markers are volatile by design: every shard's
+            # producer re-announces EOF on the new platform.
+            self.manifest.bind(plat)
+            state = self.manifest.restore_state()
+            self._shipped = set(state.covered)
+            self._blocks_complete = set(state.blocks_complete)
+            self._ft_durable = state.n_durable
+            for rid, h, bucket, dest, payload in state.live_runs:
+                self.runs_on_asu[dest].append((bucket, payload))
+                # Source host -1: a restored run is disk-durable with exact
+                # frag lineage, so a *new* crash of its original source host
+                # must not discard it (no retained frags exist to replay it
+                # from).  Its lineage host still re-replicates it if the
+                # destination ASU dies — the rid keys the manifest update.
+                self._run_hosts[dest].append(-1)
+                self._run_log[h].append(_RunEntry(bucket, payload, dest, rid))
 
         if self.transport == "reliable":
             # One endpoint per node, each with its own RNG stream (fresh
@@ -646,14 +715,21 @@ class DsmSortJob:
                 name=f"cons{d}", node=plat.asus[d],
             )
         coord = plat.spawn(self._coordinator_ft(plat), name="coordinator")
+        if self.speculation is not None:
+            from ..recovery.speculate import Speculator
+
+            self._speculator = Speculator(self, self.speculation)
+            self._speculator.attach(plat)
         plat.sim.run(until=deadline)
         completed = coord.triggered
-        if not completed and deadline is None:
+        if not completed and deadline is None and not self._coord_crashed:
             raise RuntimeError("fault-tolerant pass 1 never completed (deadlock?)")
         makespan = plat.sim.now
         if completed:
             self._pass1_done = True
             self._pass1_makespan = makespan
+            if self.manifest is not None:
+                self.manifest.log_pass1_done(makespan)
         if self.metrics is not None and self.metrics.collector is not None:
             self.metrics.collector.finalize(makespan)
         self.fault_report = FaultReport.from_run(injector, detector, self.recovered_at)
@@ -685,6 +761,9 @@ class DsmSortJob:
             n_durable=self._ft_durable,
             channel_stats=channel_stats,
             n_breaker_trips=n_trips,
+            coordinator_crashed=self._coord_crashed,
+            n_hedged_shards=self._n_hedged_shards,
+            n_hedge_wasted_frags=self._n_hedge_wasted_frags,
         )
 
     # -- reliable-transport plumbing (falls through to the direct path) -------
@@ -763,7 +842,13 @@ class DsmSortJob:
             block = blocks[i]
             if ra is not None:
                 yield ra.wait_next()
-            else:
+            # A hedged replica (or the hedged original) may have completed
+            # this block while we progressed: skip it.  For a solo producer
+            # the marker can never appear mid-loop, so the plain FT path is
+            # untouched.  The prefetched read above is still consumed.
+            if (shard, i) in self._blocks_complete:
+                continue
+            if ra is None:
                 yield from read_resilient(plat.sim, asu.disk, block.shape[0] * rs)
             t0 = plat.sim.now
             staging = block.shape[0] * rs * self.params.cycles_per_io_byte
@@ -782,7 +867,22 @@ class DsmSortJob:
                 self._n_takeover_blocks += 1
             per_host: dict[int, list[tuple[int, np.ndarray]]] = defaultdict(list)
             for bucket, piece in enumerate(pieces):
-                if piece.shape[0] == 0 or (shard, i, bucket) in self._shipped:
+                if piece.shape[0] == 0:
+                    continue
+                if (shard, i, bucket) in self._shipped:
+                    if self._frag_digests is not None:
+                        # Digest-checked dedup: a skipped fragment must be
+                        # byte-identical to what the competitor shipped —
+                        # catches any nondeterminism in a hedged replay.
+                        from ..recovery.manifest import digest_records
+
+                        prev = self._frag_digests.get((shard, i, bucket))
+                        if prev is not None and prev != digest_records(piece):
+                            raise RuntimeError(
+                                f"hedged replica recomputed fragment "
+                                f"({shard}, {i}, {bucket}) with different "
+                                f"content than the shipped original"
+                            )
                     continue
                 h = self.load_manager.route(
                     bucket, piece.shape[0], avoid=self._avoid_hosts(asu.node_id)
@@ -799,21 +899,48 @@ class DsmSortJob:
                     self.load_manager.backpressure_end(h, n, waited)
                 yield from asu.cpu.execute(cycles=n * rs * cpnb)
                 # Atomic with the post: retention entries + ship markers.
+                # Re-filter against the markers first — first-finisher-wins:
+                # a concurrent hedge may have shipped some of these buckets
+                # while we waited on the window/CPU above.  With no hedge
+                # alive the filter is the identity, so the plain FT path is
+                # bit-identical.
+                dropped = [b for b, _p in frags if (shard, i, b) in self._shipped]
+                if dropped:
+                    self._n_hedge_wasted_frags += len(dropped)
+                    frags = [
+                        (b, p) for b, p in frags if (shard, i, b) not in self._shipped
+                    ]
+                    if not frags:
+                        continue
+                    n = sum(p.shape[0] for _b, p in frags)
                 entries = [_FragEntry(shard, asu.node_id, i, b, p) for b, p in frags]
                 self._frag_log[h].extend(entries)
-                for b, _p in frags:
+                for b, p in frags:
                     self._shipped.add((shard, i, b))
+                    if self._frag_digests is not None:
+                        from ..recovery.manifest import digest_records
+
+                        self._frag_digests[(shard, i, b)] = digest_records(p)
                 self._post_from(
                     asu.node_id, plat.hosts[h].node_id,
                     ("frags", shard, frags, entries), n * rs, tag="frags",
                 )
             self._blocks_complete.add((shard, i))
+            if self.manifest is not None:
+                self.manifest.log_block(
+                    shard, i,
+                    [(b, p.shape[0]) for b, p in enumerate(pieces) if p.shape[0]],
+                )
         if shard not in self._eof_posted:
             yield from asu.cpu.execute(cycles=H * 16 * cpnb)
             # Atomic: the marker guards the whole EOF broadcast, so a crash
             # here either leaves the shard EOF-less (next takeover posts) or
             # fully announced — hosts can never count a shard's EOF twice.
+            # (A hedge racing the original to this point can double-post;
+            # hosts track EOFs as a *set* of shard ids, so that is benign.)
             self._eof_posted.add(shard)
+            if self.manifest is not None:
+                self.manifest.log_shard_done(shard, len(blocks))
             for h in range(H):
                 self._post_from(
                     asu.node_id, plat.hosts[h].node_id, (_EOF, shard, None), 16,
@@ -831,8 +958,16 @@ class DsmSortJob:
         host = plat.hosts[h]
         D = self.params.n_asus
         beta = self.config.beta
+        # Checkpointed runs are cut at *fragment* boundaries (first buffer
+        # crossing beta records is emitted whole, fragments never split
+        # across runs): the manifest can then record a run's lineage as an
+        # exact fragment-key list, and restore coverage is exact.  Sizes
+        # stay within [beta, beta + max fragment); the unjournaled path
+        # keeps the historical exactly-beta cuts, bit-identical.
+        mani = self.manifest is not None
         buffers: dict[int, list[np.ndarray]] = defaultdict(list)
         buffered: dict[int, int] = defaultdict(int)
+        fkeys: dict[int, list] = defaultdict(list)
         eof_from: set[int] = set()
         flushed = False
         while True:
@@ -846,10 +981,12 @@ class DsmSortJob:
                         if buffered[bucket]:
                             batch = concat_records(buffers[bucket], self.params.schema)
                             yield from self._emit_run_ft(
-                                plat, host, h, bucket, batch, rs, sort_cpr
+                                plat, host, h, bucket, batch, rs, sort_cpr,
+                                fkeys=fkeys[bucket] if mani else None,
                             )
                     buffers.clear()
                     buffered.clear()
+                    fkeys.clear()
                 continue
             if kind == "reemit":
                 # Re-replicate runs stranded on dead ASU ``src``.  Riding the
@@ -860,11 +997,28 @@ class DsmSortJob:
                         yield from self._repost_run_ft(plat, host, h, entry, rs)
                 continue
             frags = msg.payload[2]
+            entries = msg.payload[3]
             if flushed:
-                for bucket, piece in frags:
+                for (bucket, piece), e in zip(frags, entries):
                     yield from self._emit_run_ft(
-                        plat, host, h, bucket, piece, rs, sort_cpr
+                        plat, host, h, bucket, piece, rs, sort_cpr,
+                        fkeys=[(e.src_d, e.block, bucket)] if mani else None,
                     )
+                continue
+            if mani:
+                for (bucket, piece), e in zip(frags, entries):
+                    buffers[bucket].append(piece)
+                    fkeys[bucket].append((e.src_d, e.block, bucket))
+                    buffered[bucket] += piece.shape[0]
+                    if buffered[bucket] >= beta:
+                        batch = concat_records(buffers[bucket], self.params.schema)
+                        keys = fkeys[bucket]
+                        buffers[bucket] = []
+                        fkeys[bucket] = []
+                        buffered[bucket] = 0
+                        yield from self._emit_run_ft(
+                            plat, host, h, bucket, batch, rs, sort_cpr, fkeys=keys
+                        )
                 continue
             for bucket, piece in frags:
                 buffers[bucket].append(piece)
@@ -878,8 +1032,13 @@ class DsmSortJob:
                         plat, host, h, bucket, run_src, rs, sort_cpr
                     )
 
-    def _emit_run_ft(self, plat, host, h, bucket, batch, rs, sort_cpr):
-        """Sort one run, log its lineage, stripe it to an alive ASU."""
+    def _emit_run_ft(self, plat, host, h, bucket, batch, rs, sort_cpr, fkeys=None):
+        """Sort one run, log its lineage, stripe it to an alive ASU.
+
+        ``fkeys`` (checkpointed runs) is the exact list of fragment keys the
+        run covers; the run gets a manifest id here, but only becomes a
+        durable journal entry when the destination ASU's write completes.
+        """
         t0 = plat.sim.now
         run = yield from host.compute(
             cycles=batch.shape[0] * sort_cpr,
@@ -896,10 +1055,14 @@ class DsmSortJob:
         # the credit window — the high-volume fragment path is what the
         # window gates; a blocking wait here would break emit atomicity.)
         d = self._next_alive_stripe(h)
-        self._run_log[h].append(_RunEntry(bucket, run, d))
+        rid = None
+        if fkeys is not None and self.manifest is not None:
+            rid = self.manifest.new_rid()
+            self.manifest.register_run(rid, h, bucket, fkeys)
+        self._run_log[h].append(_RunEntry(bucket, run, d, rid))
+        payload = ("run", bucket, run) if rid is None else ("run", bucket, run, rid)
         self._post_from(
-            host.node_id, plat.asus[d].node_id, ("run", bucket, run), nbytes,
-            tag="run",
+            host.node_id, plat.asus[d].node_id, payload, nbytes, tag="run",
         )
 
     def _repost_run_ft(self, plat, host, h, entry, rs):
@@ -907,9 +1070,14 @@ class DsmSortJob:
         yield from host.cpu.execute(cycles=nbytes * self.params.cycles_per_net_byte)
         entry.dest = self._next_alive_stripe(h)
         self._n_reemitted_runs += 1
+        payload = (
+            ("run", entry.bucket, entry.run)
+            if entry.rid is None
+            else ("run", entry.bucket, entry.run, entry.rid)
+        )
         self._post_from(
             host.node_id, plat.asus[entry.dest].node_id,
-            ("run", entry.bucket, entry.run), nbytes, tag="run",
+            payload, nbytes, tag="run",
         )
 
     def _next_alive_stripe(self, h: int) -> int:
@@ -954,6 +1122,8 @@ class DsmSortJob:
             # Atomic: durability record + completion check.
             self.runs_on_asu[d].append((bucket, run))
             self._run_hosts[d].append(src_h)
+            if self.manifest is not None and len(msg.payload) > 3:
+                self.manifest.log_run_durable(msg.payload[3], d, run)
             self._trace_records(
                 plat.sim, f"asu{d}.write", run.shape[0], dt=plat.sim.now - t0
             )
@@ -987,15 +1157,25 @@ class DsmSortJob:
             self._purge_asu_runs(fault.index)
         elif fault.kind == "crash_host":
             self._purge_host_runs(fault.index)
+        elif fault.kind == "crash_coordinator":
+            # Whole-job fail-stop: every volatile structure (host buffers,
+            # in-flight messages, ship markers) dies with this platform.
+            # What survives is exactly the manifest and the run payloads it
+            # references; repro.recovery.checkpoint resumes from there.
+            self._coord_crashed = True
+            self._ft_plat.sim.schedule_callback(self._ft_plat.sim.stop)
 
     def _purge_asu_runs(self, d: int) -> None:
         lost = sum(r.shape[0] for _b, r in self.runs_on_asu[d])
         if lost:
             self._ft_durable -= lost
+        if self.runs_on_asu[d] and self.manifest is not None:
+            self.manifest.log_purge_asu(d)
         self.runs_on_asu[d] = []
         self._run_hosts[d] = []
 
     def _purge_host_runs(self, h: int) -> None:
+        purged = False
         for d in range(self.params.n_asus):
             keep_r, keep_h, lost = [], [], 0
             for (bucket, run), src in zip(self.runs_on_asu[d], self._run_hosts[d]):
@@ -1005,9 +1185,12 @@ class DsmSortJob:
                     keep_r.append((bucket, run))
                     keep_h.append(src)
             if lost:
+                purged = True
                 self.runs_on_asu[d] = keep_r
                 self._run_hosts[d] = keep_h
                 self._ft_durable -= lost
+        if purged and self.manifest is not None:
+            self.manifest.log_purge_host(h)
 
     def _on_detected_ft(self, node, t: float) -> None:
         plat = self._ft_plat
@@ -1131,9 +1314,43 @@ class DsmSortJob:
             if not e.done:
                 self._replay_frag_entry(self._ft_plat, e)
 
+    # ------------------------------------------------------------- restore
+    def restore_pass1(self) -> None:
+        """Adopt a *completed* pass 1 from the manifest without re-running it.
+
+        Used by :class:`~repro.recovery.checkpoint.RecoverableSort` when the
+        coordinator died between the passes: the manifest already holds every
+        durable run (digest-verified on load), so the job can jump straight
+        to :meth:`run_pass2`.
+        """
+        if self.manifest is None:
+            raise RuntimeError("restore_pass1 requires a manifest")
+        from ..recovery.manifest import CheckpointError
+
+        state = self.manifest.restore_state()
+        if not state.pass1_done:
+            raise CheckpointError(
+                "manifest does not record pass-1 completion; resume with "
+                "run_pass1 instead"
+            )
+        D = self.params.n_asus
+        self.runs_on_asu = [[] for _ in range(D)]
+        self._run_hosts = [[] for _ in range(D)]
+        for rid, h, bucket, dest, payload in state.live_runs:
+            self.runs_on_asu[dest].append((bucket, payload))
+            self._run_hosts[dest].append(h)
+        self._pass1_done = True
+        self._pass1_makespan = state.pass1_makespan
+
     # ------------------------------------------------------------------ pass 2
-    def run_pass2(self) -> Pass2Result:
-        """Final merge: γ1-way pre-merge on ASUs, γ2-way completion on hosts."""
+    def run_pass2(self, deadline: Optional[float] = None) -> Pass2Result:
+        """Final merge: γ1-way pre-merge on ASUs, γ2-way completion on hosts.
+
+        ``deadline`` bounds the pass-2 platform clock (used by the recovery
+        harness to model a coordinator crash mid-merge): the simulation stops
+        at that instant and the result comes back with ``completed=False``;
+        buckets merged before the crash are already journalled and survive.
+        """
         if not self._pass1_done:
             raise RuntimeError("run_pass1 first")
         params = self.params
@@ -1160,6 +1377,17 @@ class DsmSortJob:
         self.final_buckets: dict[int, list[np.ndarray]] = defaultdict(list)
         n_partial = 0
 
+        # Merge-frontier restore: buckets the manifest already holds fully
+        # merged (from an attempt that crashed mid-pass-2) are adopted
+        # verbatim — their runs are never re-read off the ASU disks and the
+        # owning host never waits on their done markers.
+        merged_restored: dict[int, np.ndarray] = {}
+        if self.manifest is not None:
+            self.manifest.bind(plat)
+            merged_restored = self.manifest.merged_buckets()
+            for bucket in sorted(merged_restored):
+                self.final_buckets[bucket].append(merged_restored[bucket])
+
         def plan_groups(d):
             """(bucket, runs-or-None) items in bucket order; None = done marker.
 
@@ -1173,6 +1401,8 @@ class DsmSortJob:
                 by_bucket[bucket].append(run)
             items: list[tuple[int, Optional[list[np.ndarray]]]] = []
             for bucket in range(self.config.alpha):
+                if bucket in merged_restored:
+                    continue
                 runs = by_bucket.get(bucket, [])
                 for gi in range(0, len(runs), g1):
                     items.append((bucket, runs[gi : gi + g1]))
@@ -1225,7 +1455,7 @@ class DsmSortJob:
             done_count: dict[int, int] = defaultdict(int)
             my_buckets = [
                 b for b in range(self.config.alpha)
-                if b * H // self.config.alpha == h
+                if b * H // self.config.alpha == h and b not in merged_restored
             ]
             n_finished = 0
 
@@ -1257,6 +1487,8 @@ class DsmSortJob:
                         dt=plat.sim.now - t0,
                     )
                     self.final_buckets[bucket].append(runs[0])
+                    if self.manifest is not None:
+                        self.manifest.log_bucket_merged(bucket, runs[0])
 
             while n_finished < len(my_buckets):
                 msg = yield from host.recv()
@@ -1278,13 +1510,28 @@ class DsmSortJob:
             procs.append(plat.spawn(asu_reader(d, items, buf), name=f"r{d}"))
             procs.append(plat.spawn(asu_merge(d, buf, len(items)), name=f"m{d}"))
         procs += [plat.spawn(host_merge(h), name=f"hm{h}") for h in range(H)]
-        plat.run(wait_for=procs)
+        if deadline is None:
+            plat.run(wait_for=procs)
+            completed = True
+        else:
+            done = plat.sim.all_of(procs)
+
+            def _on_done(ev):
+                if not ev.ok:
+                    raise ev.value
+                plat.sim.stop()
+
+            done.callbacks.append(_on_done)
+            plat.sim.run(until=deadline)
+            completed = all(p.triggered for p in procs)
         makespan = plat.sim.now
         return Pass2Result(
             makespan=makespan,
             host_util=[x.cpu.utilization(makespan) for x in plat.hosts],
             asu_cpu_util=[a.cpu.utilization(makespan) for a in plat.asus],
             n_partial_runs=n_partial,
+            completed=completed,
+            n_restored_buckets=len(merged_restored),
         )
 
     # ------------------------------------------------------------------ checks

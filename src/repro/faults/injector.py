@@ -35,6 +35,7 @@ __all__ = [
     "Injector",
     "FAULT_KINDS",
     "MESSAGE_FAULT_KINDS",
+    "CRASH_FAULT_KINDS",
     "register_fault_kind",
     "fault_kinds",
     "crash_asu",
@@ -131,6 +132,13 @@ class Fault:
         if self.t < 0:
             raise ValueError("fault time must be nonnegative")
         spec.validate(self)
+        if self.duration < 0:
+            # Kinds with their own duration rule reject this above; this
+            # catches windowless kinds handed an end-before-start window.
+            raise ValueError(
+                f"{self.kind} window ends before it starts: start t={self.t:g}, "
+                f"duration {self.duration:g} < 0"
+            )
 
     def describe(self) -> str:
         return FAULT_KINDS[self.kind].describe(self)
@@ -324,16 +332,54 @@ def disk_fault(t: float, asu: int, duration: float) -> Fault:
     return Fault(t=t, kind="disk_fault", index=asu, duration=duration)
 
 
+#: kinds that permanently fail-stop their target; two of these against the
+#: same device can never both fire (the first leaves nothing to kill), so a
+#: plan containing such a pair is a scheduling bug, not a harsher schedule.
+CRASH_FAULT_KINDS = ("crash_asu", "crash_host", "crash_coordinator")
+
+
 class FaultPlan:
-    """An immutable-ish, chronologically sorted fault schedule."""
+    """An immutable-ish, chronologically sorted fault schedule.
+
+    Construction validates the schedule's internal consistency: every entry
+    must be a :class:`Fault` of a registered kind, windows must not end
+    before they start (checked at :class:`Fault` construction), and no two
+    permanent crash faults may target the same device.
+    """
 
     def __init__(self, faults: Iterable[Fault] = ()):
         self.faults: list[Fault] = sorted(faults)
+        self._check_consistency()
 
     def add(self, fault: Fault) -> "FaultPlan":
         self.faults.append(fault)
         self.faults.sort()
+        self._check_consistency()
         return self
+
+    def _check_consistency(self) -> None:
+        crashed: dict[tuple[str, int], Fault] = {}
+        for f in self.faults:
+            if not isinstance(f, Fault):
+                raise TypeError(
+                    f"FaultPlan entries must be Fault instances, got {f!r}"
+                )
+            if f.kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {f.kind!r} in plan; registered "
+                    f"kinds: {', '.join(fault_kinds())}"
+                )
+            if f.kind in CRASH_FAULT_KINDS:
+                key = (f.kind, f.index)
+                prev = crashed.get(key)
+                if prev is not None:
+                    raise ValueError(
+                        f"overlapping crash windows for the same target: "
+                        f"[{prev.describe()}] and [{f.describe()}] — a "
+                        f"crashed device never restarts, so the second "
+                        f"fault could never fire"
+                    )
+                crashed[key] = f
 
     def __iter__(self) -> Iterator[Fault]:
         return iter(self.faults)
@@ -365,6 +411,28 @@ class FaultPlan:
             replace(f, t=f.t * time_factor, duration=f.duration * time_factor)
             for f in self.faults
         )
+
+
+def _first_crash_per_device(
+    crashes: list[tuple[float, int]], cap: int
+) -> list[tuple[float, int]]:
+    """Earliest ``cap`` crashes, at most one per device.
+
+    A device crashed at ``t`` cannot crash again later, and
+    :class:`FaultPlan` now rejects such schedules, so the truncation keeps
+    only each device's first arrival.  With ``cap == 1`` this is identical
+    to the historical ``sorted(crashes)[:1]`` truncation.
+    """
+    picked: list[tuple[float, int]] = []
+    seen: set[int] = set()
+    for t, dev in sorted(crashes):
+        if dev in seen:
+            continue
+        seen.add(dev)
+        picked.append((t, dev))
+        if len(picked) >= cap:
+            break
+    return picked
 
 
 class RandomFaultModel:
@@ -437,13 +505,13 @@ class RandomFaultModel:
             crashes = []
             for d in range(params.n_asus):
                 crashes += [(t, d) for t in self._arrivals(rng, self.mttf_asu, horizon)]
-            for t, d in sorted(crashes)[: self.max_crashes]:
+            for t, d in _first_crash_per_device(crashes, self.max_crashes):
                 faults.append(crash_asu(t, d))
         if self.mttf_host is not None:
             crashes = []
             for h in range(params.n_hosts):
                 crashes += [(t, h) for t in self._arrivals(rng, self.mttf_host, horizon)]
-            for t, h in sorted(crashes)[: self.max_crashes]:
+            for t, h in _first_crash_per_device(crashes, self.max_crashes):
                 faults.append(crash_host(t, h))
         if self.mtt_degrade is not None:
             for d in range(params.n_asus):
@@ -547,7 +615,10 @@ class Injector:
                 host_id, asu_id, f.kind, t, t + f.duration, extra=f.extra
             )
             self.injected.append(f)
-        else:
+        elif f.kind in (
+            "crash_asu", "crash_host", "degrade_asu", "degrade_host",
+            "disk_fault",
+        ):
             node = self._node_for(f)
             if not node.alive:
                 self.skipped.append(f)
@@ -561,6 +632,11 @@ class Injector:
                 self.plat.sim.schedule_callback(
                     lambda cpu=node.cpu: cpu.set_speed(1.0), delay=f.duration
                 )
+            self.injected.append(f)
+        else:
+            # Custom-registered kinds have no built-in platform semantics;
+            # they fire through ``on_fault`` only.  (They used to fall into
+            # the degrade branch and silently rescale a host clock.)
             self.injected.append(f)
         tracer = self.plat.sim.tracer
         if tracer is not None:

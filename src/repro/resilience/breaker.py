@@ -52,6 +52,9 @@ class CircuitBreaker:
         self._state = self.CLOSED
         self._fails = 0
         self._opened_at = 0.0
+        # Instant of the last half-open -> closed transition: a failure
+        # landing at that same instant re-trips (see record_failure).
+        self._closed_at: Optional[float] = None
         #: (t, state-name) history of every transition
         self.transitions: list[tuple[float, str]] = []
         self.n_trips = 0
@@ -92,6 +95,14 @@ class CircuitBreaker:
         if self._state == self.HALF_OPEN:
             self._trip()
         elif self._state == self.CLOSED:
+            if self._closed_at is not None and self.sim.now == self._closed_at:
+                # Same-instant race with the success that just closed the
+                # half-open probe: both outcomes were in flight together, so
+                # the link is still suspect — the failure wins and re-trips
+                # rather than being absorbed as 1 of ``fail_threshold``
+                # fresh-window failures.
+                self._trip()
+                return
             self._fails += 1
             if self._fails >= self.fail_threshold:
                 self._trip()
@@ -101,6 +112,7 @@ class CircuitBreaker:
         self._maybe_half_open()
         self._fails = 0
         if self._state == self.HALF_OPEN:
+            self._closed_at = self.sim.now
             self._set(self.CLOSED)
 
     def _trip(self) -> None:

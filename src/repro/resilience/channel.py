@@ -364,6 +364,32 @@ class ReliableEndpoint:
         msg = yield self.inbox.get()
         return msg
 
+    # -- checkpoint/restart ----------------------------------------------------
+    def dedup_snapshot(self) -> set:
+        """Copy of the (src, seq) dedup set, for durable checkpointing.
+
+        Exactly-once delivery is only as durable as this set: an endpoint
+        restarted *without* it would re-deliver any retransmission of a
+        message it acked before the restart.
+        """
+        return set(self._seen)
+
+    def restore_dedup(self, seen) -> None:
+        """Adopt a :meth:`dedup_snapshot` taken before a restart."""
+        self._seen |= set(seen)
+
+    def shutdown(self) -> None:
+        """Stop this endpoint's receive loop (simulated process restart).
+
+        Pending outbound transfers are cancelled; the mailbox and dedup set
+        are left as-is so a successor endpoint on the same node can adopt
+        them via :meth:`restore_dedup`.
+        """
+        for e in list(self._pending.values()):
+            self._cancel(e)
+        if not self._proc.triggered:
+            self._proc.interrupt(cause="endpoint shutdown")
+
     # -- observability ---------------------------------------------------------
     def _note(self, event: str, e: _Pending) -> None:
         tracer = self.sim.tracer

@@ -358,6 +358,163 @@ def _run_filterscan_case(
     }
 
 
+#: per-n cache of (fault-free two-pass makespan, reference output) for the
+#: recovery app — every seed checks byte-identity against the same reference
+_RECOVERY_REFERENCE: dict[int, tuple[float, np.ndarray]] = {}
+
+
+def _recovery_reference(n_records: int) -> tuple[float, np.ndarray]:
+    from ..dsmsort.runtime import DsmSortJob
+
+    cached = _RECOVERY_REFERENCE.get(n_records)
+    if cached is None:
+        params = chaos_params()
+        cfg = DSMConfig.for_n(n_records, alpha=8, gamma=16)
+        job = DsmSortJob(params, cfg, policy="sr", seed=0, faults=FaultPlan())
+        r1 = job.run_pass1()
+        r2 = job.run_pass2()
+        job.verify()
+        cached = (r1.makespan + r2.makespan, job.collected_output())
+        _RECOVERY_REFERENCE[n_records] = cached
+    return cached
+
+
+def _recovery_t0(n_records: int) -> float:
+    return _recovery_reference(n_records)[0]
+
+
+def _run_recovery_case(
+    seed: int, n_records: int, t0: float, amp_bound: float
+) -> dict:
+    """Coordinator kill at a seeded instant, then checkpoint-restart.
+
+    The invariant is the tentpole's proof of equivalence: whatever the kill
+    instant, the supervised resume must complete and produce output
+    *byte-identical* to the uninterrupted reference, with the manifest
+    showing zero duplicate fragment coverage.
+    """
+    from ..recovery.checkpoint import RecoverableSort
+    from ..recovery.supervisor import RestartBudget
+    from ..util.rng import derive_seed
+
+    params = chaos_params()
+    cfg = DSMConfig.for_n(n_records, alpha=8, gamma=16)
+    _t0, reference = _recovery_reference(n_records)
+    rng = np.random.default_rng(derive_seed(seed, "chaos-recovery"))
+    crash_at = float(rng.uniform(0.05, 0.95)) * t0
+    sort = RecoverableSort(params, cfg, seed=0, policy="sr")
+    rep = sort.run_supervised(
+        crashes=[crash_at], budget=RestartBudget(max_restarts=3)
+    )
+    identical = False
+    dup_frags = -1
+    if rep.completed:
+        sort.verify()
+        identical = bool(np.array_equal(reference, sort.output()))
+        dup_frags = 0
+        try:
+            sort.manifest.check_no_duplicate_coverage()
+        except Exception:
+            dup_frags = 1
+    invariants = {
+        "completed": bool(rep.completed),
+        "byte_identical": identical,
+        "no_duplicate_coverage": dup_frags == 0,
+        "crash_observed": bool(rep.n_crashes >= 1) or crash_at >= t0,
+    }
+    return {
+        "app": "recovery",
+        "seed": seed,
+        "n_faults": 1,
+        "fault_kinds": ["crash_coordinator"],
+        "crash_at_frac": crash_at / t0,
+        "makespan_ratio": rep.total_virtual_time / t0,
+        "amplification": 1.0,
+        "n_retransmits": 0,
+        "n_dup_dropped": 0,
+        "n_corrupt_dropped": 0,
+        "n_breaker_trips": 0,
+        "n_attempts": rep.n_attempts,
+        "n_crashes": rep.n_crashes,
+        "invariants": invariants,
+        "ok": all(invariants.values()),
+    }
+
+
+def _straggler_t0(n_records: int) -> float:
+    """Fault-free two-pass baseline (shared with the recovery reference)."""
+    return _recovery_reference(n_records)[0]
+
+
+def _run_straggler_case(
+    seed: int, n_records: int, t0: float, amp_bound: float
+) -> dict:
+    """A seeded heavy ASU degradation, raced with and without speculation.
+
+    Invariants: both runs complete and verify (exactly-once despite hedged
+    duplicate replicas), and speculation never makes the degraded schedule
+    slower.  The makespan improvement is recorded for the report.
+    """
+    from ..dsmsort.runtime import DsmSortJob
+    from ..faults.injector import degrade_asu
+    from ..recovery.speculate import SpeculationPolicy
+    from ..util.rng import derive_seed
+
+    params = chaos_params()
+    cfg = DSMConfig.for_n(n_records, alpha=8, gamma=16)
+    rng = np.random.default_rng(derive_seed(seed, "chaos-straggler"))
+    victim = int(rng.integers(0, params.n_asus))
+    factor = float(rng.uniform(0.1, 0.3))
+    start = float(rng.uniform(0.01, 0.1)) * t0
+    plan = FaultPlan([degrade_asu(start, victim, duration=8.0 * t0, factor=factor)])
+
+    base = DsmSortJob(params, cfg, policy="sr", seed=0, faults=plan)
+    b1 = base.run_pass1()
+    b2 = base.run_pass2()
+    base.verify()
+    mk_base = b1.makespan + b2.makespan
+
+    policy = SpeculationPolicy(
+        interval=t0 / 25, warmup=t0 / 10, max_hedges=params.n_asus, seed=seed
+    )
+    spec = DsmSortJob(
+        params, cfg, policy="sr", seed=0, faults=plan, speculation=policy
+    )
+    s1 = spec.run_pass1()
+    s2 = spec.run_pass2()
+    verified = True
+    try:
+        spec.verify()  # sorted + exact multiset: hedges added no duplicates
+    except Exception:
+        verified = False
+    mk_spec = s1.makespan + s2.makespan
+    invariants = {
+        "completed": bool(b1.completed and s1.completed),
+        "sorted_permutation": verified,
+        "not_slower": bool(mk_spec <= mk_base * 1.001),
+    }
+    return {
+        "app": "straggler",
+        "seed": seed,
+        "n_faults": 1,
+        "fault_kinds": ["degrade_asu"],
+        "victim": victim,
+        "degrade_factor": factor,
+        "makespan_ratio": mk_spec / t0,
+        "makespan_ratio_nospec": mk_base / t0,
+        "speedup": mk_base / mk_spec if mk_spec else 1.0,
+        "amplification": 1.0,
+        "n_retransmits": 0,
+        "n_dup_dropped": 0,
+        "n_corrupt_dropped": 0,
+        "n_breaker_trips": 0,
+        "n_hedged_shards": s1.n_hedged_shards,
+        "n_hedge_wasted_frags": s1.n_hedge_wasted_frags,
+        "invariants": invariants,
+        "ok": all(invariants.values()),
+    }
+
+
 def _run_negative_control(n_records: int, t0: float) -> dict:
     """Retries disabled + forced drop windows => records must be LOST.
 
@@ -513,11 +670,15 @@ def _filterscan_t0(n_records: int) -> float:
 _CASE_RUNNERS: dict[str, Callable[..., dict]] = {
     "dsmsort": _run_dsmsort_case,
     "filterscan": _run_filterscan_case,
+    "recovery": _run_recovery_case,
+    "straggler": _run_straggler_case,
 }
 
 _BASELINES: dict[str, Callable[[int], float]] = {
     "dsmsort": _dsmsort_t0,
     "filterscan": _filterscan_t0,
+    "recovery": _recovery_t0,
+    "straggler": _straggler_t0,
 }
 
 

@@ -152,3 +152,30 @@ class TestChaosCli:
         ])
         assert rc == 1
         assert "VIOLATION" in capsys.readouterr().out
+
+
+class TestRecoveryChaosApps:
+    def test_recovery_and_straggler_apps_hold_invariants(self):
+        report = run_chaos(
+            seeds=[0], apps=("recovery", "straggler"), n_records=N_SMALL,
+            negative_control=False, progress=None,
+        )
+        assert report.ok, report.violations()
+        by_app = {c["app"]: c for c in report.cases}
+        rec = by_app["recovery"]
+        assert rec["invariants"]["byte_identical"]
+        assert rec["n_crashes"] >= 1 and rec["invariants"]["no_duplicate_coverage"]
+        st = by_app["straggler"]
+        assert st["invariants"]["sorted_permutation"]
+        assert st["speedup"] >= 1.0
+        # the report machinery digests the new apps
+        assert "recovery" in report.render()
+        json.loads(report.to_json())
+
+    def test_default_apps_tuple_unchanged(self):
+        # Existing committed chaos reports must stay byte-identical: the new
+        # apps are opt-in, never part of the default sweep.
+        import inspect
+
+        sig = inspect.signature(run_chaos)
+        assert sig.parameters["apps"].default == ("dsmsort", "filterscan")

@@ -70,3 +70,18 @@ class TestCli:
             main(["--help"])
         assert exc.value.code == 0
         assert "Load-Managed" in capsys.readouterr().out
+
+
+class TestRecoverCli:
+    def test_recover_kill_sweep_byte_identical(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "recover.json"
+        rc = main(["recover", "--n", "12", "--seeds", "2", "--out", str(out)])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "coordinator kill sweep" in stdout and "PASS" in stdout
+        doc = json.loads(out.read_text())
+        assert doc["ok"] is True and len(doc["cases"]) == 2
+        assert all(c["byte_identical"] for c in doc["cases"])
+        assert all(c["n_attempts"] == 2 for c in doc["cases"])

@@ -97,6 +97,22 @@ class TestFaultPlan:
         f = plan.faults[0]
         assert (f.t, f.duration) == (0.5, 1.0)
 
+    def test_window_cannot_end_before_it_starts(self):
+        with pytest.raises(ValueError, match="ends before it starts"):
+            Fault(t=1.0, kind="crash_asu", index=0, duration=-0.5)
+
+    def test_overlapping_crash_windows_same_target_rejected(self):
+        with pytest.raises(ValueError, match="overlapping crash windows"):
+            FaultPlan([crash_asu(1.0, 2), crash_asu(3.0, 2)])
+        with pytest.raises(ValueError, match="overlapping crash windows"):
+            FaultPlan([crash_host(0.5, 0)]).add(crash_host(0.5, 0))
+        # distinct targets (or distinct kinds) never conflict
+        FaultPlan([crash_asu(1.0, 2), crash_asu(3.0, 1), crash_host(1.0, 2)])
+
+    def test_plan_rejects_non_fault_entries(self):
+        with pytest.raises(TypeError, match="must be Fault instances"):
+            FaultPlan([("crash_asu", 0.0, 1)])
+
 
 class TestFaultKindRegistry:
     def test_unknown_kind_error_lists_registered(self):

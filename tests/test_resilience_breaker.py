@@ -67,6 +67,37 @@ class TestCircuitBreaker:
         advance(sim, 1.75)
         assert br.state == CircuitBreaker.HALF_OPEN
 
+    def test_half_open_same_instant_race_failure_wins(self):
+        """Regression: a success and a failure resolving at the same virtual
+        instant as the half-open probe must re-trip, not leave the breaker
+        closed with the failure absorbed as 1 of ``fail_threshold`` fresh
+        failures.  Both outcomes were in flight together, so the link is
+        still suspect."""
+        sim = Simulator()
+        br = CircuitBreaker(sim, "l", fail_threshold=5, cooldown=0.5)
+        for _ in range(5):
+            br.record_failure()
+        assert br.state == CircuitBreaker.OPEN
+        advance(sim, 1.0)
+        assert br.state == CircuitBreaker.HALF_OPEN
+        br.record_success()  # probe ack closes the breaker...
+        assert br.state == CircuitBreaker.CLOSED
+        br.record_failure()  # ...but its twin times out at the same instant
+        assert br.state == CircuitBreaker.OPEN and br.n_trips == 2
+
+    def test_failure_after_half_open_close_at_later_instant_is_fresh(self):
+        """The race rule applies only at the exact closing instant: a later
+        failure starts a fresh fail_threshold window as usual."""
+        sim = Simulator()
+        br = CircuitBreaker(sim, "l", fail_threshold=3, cooldown=0.5)
+        for _ in range(3):
+            br.record_failure()
+        advance(sim, 1.0)
+        br.record_success()  # half-open -> closed at t=1.0
+        advance(sim, 1.5)
+        br.record_failure()  # one of three; not the same instant
+        assert br.state == CircuitBreaker.CLOSED and br.n_trips == 1
+
     def test_transition_history(self):
         sim = Simulator()
         br = CircuitBreaker(sim, "l", fail_threshold=1, cooldown=0.5)
