@@ -1,0 +1,68 @@
+"""Multi-tenant serving — queue policy × offered load sweep (repro.sched).
+
+Three tenants with unequal shares (one an open-loop flooder) submit the
+same seeded mix of DSM-Sorts, filter-scans and R-tree builds to one shared
+3-host / 6-ASU fleet.  The sweep replays that arrival stream under FIFO,
+deficit-round-robin fair share, and preemptive priority-with-aging, at
+offered loads of 0.5x, 1.2x and 3.0x the fleet's measured capacity.
+
+The committed scenario behind the scheduling tentpole's headline claim:
+past saturation, FIFO drains the flooding tenant in arrival order and its
+Jain fairness index collapses, while fair share keeps per-tenant goodput
+in share proportion.  The whole sweep is deterministic — a second run with
+the same seed must reproduce the report byte-for-byte — and the emitted
+``BENCH_serve.json`` is pinned by the regress gate.
+"""
+
+from conftest import bench_n
+
+from repro.sched import run_serve
+from repro.bench.report import write_bench_json
+
+LOADS = (0.5, 1.2, 3.0)
+#: fair share must beat FIFO on Jain fairness by at least this at saturation
+JAIN_MARGIN = 0.05
+
+
+def run_sweep(n_jobs: int):
+    return run_serve(n_jobs=n_jobs, load_factors=LOADS)
+
+
+def _cell(report, policy, factor):
+    return next(
+        c for c in report.cells
+        if c["policy"] == policy and c["load_factor"] == factor
+    )
+
+
+def test_serve_policy_sweep(once):
+    n_jobs = bench_n(quick=40, full=120)
+    report = once(run_sweep, n_jobs)
+    print()
+    print(report.render())
+    write_bench_json("serve", report.as_dict())
+
+    # (1) Every cell accounts for every job: completed + rejected + failed.
+    for c in report.cells:
+        assert c["n_completed"] + c["n_rejected"] + c["n_failed"] == c["n_jobs"]
+
+    # (2) Below saturation the policies are equivalent: everything completes.
+    for policy in ("fifo", "fair", "priority"):
+        under = _cell(report, policy, 0.5)
+        assert under["n_completed"] == under["n_jobs"]
+        assert under["n_rejected"] == 0
+
+    # (3) The headline: fair share beats FIFO on Jain fairness at 3x load.
+    fifo, fair = _cell(report, "fifo", 3.0), _cell(report, "fair", 3.0)
+    assert fair["jain_fairness"] > fifo["jain_fairness"] + JAIN_MARGIN
+
+    # (4) Saturation actually bites under FIFO: queues grow past the
+    # sub-saturation level.
+    assert fifo["queue_depth_p90"] > _cell(report, "fifo", 0.5)["queue_depth_p90"]
+
+    # (5) The priority policy protects the tight-SLO tenant at saturation.
+    prio = _cell(report, "priority", 3.0)
+    assert prio["slo_attainment"] >= fifo["slo_attainment"]
+
+    # (6) Bit-identical reproducibility: same seed, same bytes.
+    assert run_sweep(n_jobs).to_json() == report.to_json()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Serve three tenants' mixed jobs on one shared fleet (repro.sched).
+
+Submits the same seeded open-loop arrival stream — DSM-Sorts, filter-scans
+and R-tree builds from three tenants with unequal shares — to the shared
+active-storage fleet under FIFO and fair-share queueing, at an offered load
+well past the fleet's measured capacity.  FIFO lets the flooding tenant
+drain in arrival order and fairness collapses; deficit-round-robin keeps
+per-tenant goodput proportional to shares.
+
+Run:  python examples/multi_tenant.py [n_jobs]
+"""
+
+import sys
+
+from repro.sched import run_serve
+
+
+def main(n_jobs: int = 40) -> None:
+    report = run_serve(
+        policies=("fifo", "fair"),
+        load_factors=(0.6, 3.0),
+        n_jobs=n_jobs,
+    )
+    print(report.render())
+
+    top = max(c["load_factor"] for c in report.cells)
+    fifo = next(
+        c for c in report.cells
+        if c["policy"] == "fifo" and c["load_factor"] == top
+    )
+    fair = next(
+        c for c in report.cells
+        if c["policy"] == "fair" and c["load_factor"] == top
+    )
+    print(f"\nat {top:.1f}x fleet capacity:")
+    for cell in (fifo, fair):
+        per = ", ".join(
+            f"{name}={t['goodput_units']:.0f}u/share {t['share']:.1f}"
+            for name, t in sorted(cell["per_tenant"].items())
+        )
+        print(f"  {cell['policy']:>4}: jain={cell['jain_fairness']:.3f}  {per}")
+    print(
+        f"\nfair share beats FIFO on Jain fairness at saturation: "
+        f"{fair['jain_fairness']:.3f} > {fifo['jain_fairness']:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 40)

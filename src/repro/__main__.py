@@ -12,6 +12,8 @@ Usage::
                             [--amp-bound X] [--out chaos_report.json]
     python -m repro recover [--n LOG2] [--seeds K] [--seed S]
                             [--out recover_report.json]
+    python -m repro serve   [--jobs N] [--seed S] [--policies LIST]
+                            [--loads LIST] [--out serve_report.json]
     python -m repro all     [--n LOG2]
 """
 
@@ -31,7 +33,7 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         choices=[
             "fig9", "fig10", "sweep-c", "sweep-routing", "sweep-gamma",
-            "trace", "metrics", "chaos", "recover", "all",
+            "trace", "metrics", "chaos", "recover", "serve", "all",
         ],
         help="which experiment to run",
     )
@@ -80,6 +82,19 @@ def main(argv: list[str] | None = None) -> int:
         "--no-negative-control", action="store_true",
         help="chaos: skip the retries-disabled loss demonstration",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=80, metavar="N",
+        help="serve: submissions per offered-load level (default 80)",
+    )
+    parser.add_argument(
+        "--policies", default="fifo,fair,priority", metavar="LIST",
+        help="serve: comma-separated queue policies (default fifo,fair,priority)",
+    )
+    parser.add_argument(
+        "--loads", default="0.5,1.2,3.0", metavar="LIST",
+        help="serve: offered load as multiples of fleet capacity "
+        "(default 0.5,1.2,3.0)",
+    )
     args = parser.parse_args(argv)
     n = 1 << args.n
 
@@ -87,6 +102,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_chaos(args, n)
     if args.target == "recover":
         return _run_recover(args, n)
+    if args.target == "serve":
+        return _run_serve(args)
     if args.target == "trace":
         return _run_trace(n, args.seed, args.out or "trace.json")
     if args.target == "metrics":
@@ -231,6 +248,44 @@ def _run_recover(args, n: int) -> int:
     print(f"{'PASS' if ok else 'FAIL'}: "
           f"{sum(c['byte_identical'] for c in cases)}/{len(cases)} resumes "
           f"byte-identical -> {out}")
+    return 0 if ok else 1
+
+
+def _run_serve(args) -> int:
+    """Multi-tenant serving sweep: queue policies across rising offered load.
+
+    Runs the default 3-tenant, mixed-app scenario under each policy at each
+    offered-load factor and writes the canonical ServeReport JSON (same
+    seed -> byte-identical file).  Exits nonzero if any admitted job
+    vanished (every submission must end rejected, failed, or done).
+    """
+    from .sched import run_serve
+
+    policies = tuple(p for p in args.policies.split(",") if p)
+    try:
+        loads = tuple(float(x) for x in args.loads.split(",") if x)
+    except ValueError:
+        print(f"error: --loads must be comma-separated numbers, got "
+              f"{args.loads!r}", file=sys.stderr)
+        return 2
+    try:
+        report = run_serve(
+            policies=policies, load_factors=loads,
+            n_jobs=args.jobs, seed=args.seed,
+        )
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    print(report.render())
+    ok = all(
+        c["n_jobs"] == c["n_rejected"] + c["n_failed"] + c["n_completed"]
+        for c in report.cells
+    )
+    out = args.out or "serve_report.json"
+    report.write(out)
+    accounted = "all jobs accounted for" if ok else "JOBS LOST"
+    print(f"{'PASS' if ok else 'FAIL'}: {len(report.cells)} cells, "
+          f"{accounted} -> {out}")
     return 0 if ok else 1
 
 

@@ -69,6 +69,7 @@ class PipelineJob:
         metrics=None,
         scrape_interval=None,
         speculation=None,
+        job_id=None,
     ):
         if len(asu_data) != params.n_asus:
             raise ValueError(
@@ -96,6 +97,11 @@ class PipelineJob:
         #: signal, the same mechanism the DSM-Sort speculator feeds through
         #: the load manager
         self.speculation = speculation
+        #: scheduler namespace: ``job=<id>`` label on this job's registry
+        #: instruments so concurrent jobs can share one MetricsRegistry;
+        #: None adds no label (single-job exports unchanged)
+        self.job_id = job_id
+        self._job_labels = {"job": job_id} if job_id is not None else {}
 
     @staticmethod
     def _check_linear(graph: Dataflow) -> None:
@@ -304,18 +310,21 @@ class PipelineJob:
                 m = plat.sim.metrics
                 if m is not None and batch.shape[0]:
                     n = int(batch.shape[0])
-                    m.rate("repro_stage_records", stage=stage_name).mark(
-                        plat.sim.now, float(n)
-                    )
+                    m.rate(
+                        "repro_stage_records", stage=stage_name,
+                        **self._job_labels,
+                    ).mark(plat.sim.now, float(n))
                     if spec is not None:
                         # Per-instance series only in speculation mode, so
                         # pre-speculation registry exports are unchanged.
                         m.rate(
                             "repro_stage_records",
                             stage=stage_name, instance=str(k),
+                            **self._job_labels,
                         ).mark(plat.sim.now, float(n))
                     m.histogram(
-                        "repro_stage_record_latency_seconds", stage=stage_name
+                        "repro_stage_record_latency_seconds", stage=stage_name,
+                        **self._job_labels,
                     ).observe((plat.sim.now - t0) / n, n=n)
                 if out.shape[0]:
                     yield from route_out(node, stage_name, out)
@@ -346,7 +355,10 @@ class PipelineJob:
             rng = np.random.default_rng(derive_seed(spec.seed, "exec-speculate"))
 
             def avg(name, k, now):
-                inst = m.get("repro_stage_records", stage=name, instance=str(k))
+                inst = m.get(
+                    "repro_stage_records", stage=name, instance=str(k),
+                    **self._job_labels,
+                )
                 return (float(inst.total) if inst is not None else 0.0) / now
 
             while True:

@@ -97,6 +97,7 @@ class LoadManager:
         rng: Optional[np.random.Generator] = None,
         weights=None,
         registry: Optional[MetricsRegistry] = None,
+        job_id: Optional[str] = None,
     ):
         self.params = params
         self.policy = policy
@@ -106,17 +107,23 @@ class LoadManager:
         #: the feedback registry (shared with the platform when metering a
         #: run, private otherwise — routing always reads registry signals)
         self.registry = registry if registry is not None else MetricsRegistry()
+        #: scheduler namespace: when several jobs share one registry (the
+        #: multi-tenant scheduler), each job's feedback vectors carry a
+        #: ``job=<id>`` label so they never alias.  None adds no label, so
+        #: single-job registry exports are byte-identical to before.
+        self.job_id = job_id
+        self._job_labels = {"job": job_id} if job_id is not None else {}
         self._gv_backlog = self.registry.gauge_vector(
-            "repro_lm_queue_depth_records", n_instances
+            "repro_lm_queue_depth_records", n_instances, **self._job_labels
         )
         self._gv_routed = self.registry.gauge_vector(
-            "repro_lm_routed_records_total", n_instances
+            "repro_lm_routed_records_total", n_instances, **self._job_labels
         )
         self._gv_busy = self.registry.gauge_vector(
-            "repro_lm_busy_cycles_total", n_instances
+            "repro_lm_busy_cycles_total", n_instances, **self._job_labels
         )
         self._gv_bp = self.registry.gauge_vector(
-            "repro_lm_backpressure_records", n_instances
+            "repro_lm_backpressure_records", n_instances, **self._job_labels
         )
         # A job may rebuild its LoadManager against the same registry (e.g.
         # on a pass re-run): get-or-create returns the existing vectors, so
@@ -209,7 +216,7 @@ class LoadManager:
         """
         if self._gv_spec is None:
             self._gv_spec = self.registry.gauge_vector(
-                "repro_lm_speculative_slow", len(self.instances)
+                "repro_lm_speculative_slow", len(self.instances), **self._job_labels
             )
         self._spec_slow.add(instance)
         self._gv_spec.set(instance, 1.0)
@@ -233,7 +240,9 @@ class LoadManager:
         """The window wait on ``instance`` resolved after ``waited`` seconds."""
         self._gv_bp.add(instance, -float(n_records))
         if waited and self.registry is not None:
-            self.registry.counter("repro_lm_backpressure_seconds_total").inc(waited)
+            self.registry.counter(
+                "repro_lm_backpressure_seconds_total", **self._job_labels
+            ).inc(waited)
 
     # -- diagnostics ---------------------------------------------------------
     def imbalance(self) -> float:

@@ -168,6 +168,8 @@ class DsmSortJob:
         manifest=None,
         routing_seed: Optional[int] = None,
         speculation=None,
+        routing_weights=None,
+        job_id: Optional[str] = None,
     ):
         if not 0.0 <= background_asu_duty < 1.0:
             raise ValueError("background_asu_duty must be in [0, 1)")
@@ -234,12 +236,35 @@ class DsmSortJob:
         self.sorter = BlockSortFunctor(config.beta)
         # Capacity-aware routing ("static information about node capacity",
         # §3.3): the weighted policy splits records in proportion to each
-        # host's clock.
-        self._host_weights = (
-            [params.host_clock_of(h) for h in range(params.n_hosts)]
-            if policy == "weighted"
-            else None
-        )
+        # host's clock — unless the caller (e.g. the scheduler's placement
+        # layer, which knows cross-job wear the job cannot see) supplies
+        # explicit per-host weights.
+        if routing_weights is not None:
+            if policy != "weighted":
+                raise ValueError(
+                    "routing_weights requires policy='weighted', got "
+                    f"policy={policy!r}"
+                )
+            w = [float(x) for x in routing_weights]
+            if len(w) != params.n_hosts:
+                raise ValueError(
+                    f"routing_weights has {len(w)} entries for "
+                    f"{params.n_hosts} hosts"
+                )
+            if any(not np.isfinite(x) or x <= 0 for x in w):
+                raise ValueError(f"routing_weights must be positive, got {w}")
+            self._host_weights = w
+        else:
+            self._host_weights = (
+                [params.host_clock_of(h) for h in range(params.n_hosts)]
+                if policy == "weighted"
+                else None
+            )
+        #: scheduler namespace: labels this job's registry instruments with
+        #: ``job=<id>`` so concurrent jobs can share one MetricsRegistry
+        #: without aliasing; None keeps exports identical to single-job runs
+        self.job_id = job_id
+        self._job_labels = {"job": job_id} if job_id is not None else {}
         #: optional repro.metrics.MetricsRegistry shared by both passes and
         #: by the load manager (its routing feedback = these metrics);
         #: ``scrape_interval`` attaches a zero-perturbation collector.
@@ -253,6 +278,7 @@ class DsmSortJob:
             rng=RngRegistry(self._routing_seed).get("routing"),
             weights=self._host_weights,
             registry=metrics,
+            job_id=job_id,
         )
         # Input: either supplied by the caller (pre-distributed application
         # data, e.g. TerraFlow cell records keyed by elevation) or generated
@@ -332,6 +358,7 @@ class DsmSortJob:
             rng=RngRegistry(self._routing_seed).get("routing"),
             weights=self._host_weights,
             registry=self.metrics,
+            job_id=self.job_id,
         )
         plat_params = self.params
         if self.background_asu_duty > 0.0:
@@ -422,11 +449,13 @@ class DsmSortJob:
             owner = derive_owner(track)
             stage = track.split(".", 1)[-1]
             m.rate(
-                "repro_stage_records", owner=owner, node=owner, stage=stage
+                "repro_stage_records", owner=owner, node=owner, stage=stage,
+                **self._job_labels,
             ).mark(sim.now, float(n))
             if dt is not None:
                 m.histogram(
-                    "repro_stage_record_latency_seconds", stage=stage
+                    "repro_stage_record_latency_seconds", stage=stage,
+                    **self._job_labels,
                 ).observe(dt / n, n=int(n))
 
     def _asu_producer(self, plat: ActivePlatform, d: int, blk: int, rs: int):

@@ -116,6 +116,7 @@ class RecoverableSort:
         speculation=None,
         metrics_factory=None,
         job_kwargs: Optional[dict] = None,
+        job_id: Optional[str] = None,
     ):
         self.params = params
         self.config = config
@@ -127,6 +128,12 @@ class RecoverableSort:
         self.speculation = speculation
         self._metrics_factory = metrics_factory
         self._job_kwargs = dict(job_kwargs or {})
+        #: scheduler namespace: every attempt's DsmSortJob carries this id,
+        #: so two supervised jobs can share one MetricsRegistry (their
+        #: instruments get distinct ``job=<id>`` labels)
+        self.job_id = job_id
+        if job_id is not None:
+            self._job_kwargs.setdefault("job_id", job_id)
         #: the shared journal — the only state that survives a kill
         self.manifest = manifest if manifest is not None else RunManifest()
         #: per-attempt outcomes, in order

@@ -152,8 +152,12 @@ class Speculator:
 
     def _avg_rate(self, now: float, node: str, stage: str) -> float:
         # The runtime marks "repro_stage_records" with (node, stage) labels
-        # (owner= is export metadata, not part of the instrument key).
-        inst = self.job.metrics.get("repro_stage_records", node=node, stage=stage)
+        # (owner= is export metadata, not part of the instrument key), plus
+        # a job=<id> label when the job runs namespaced under the scheduler.
+        labels = getattr(self.job, "_job_labels", {})
+        inst = self.job.metrics.get(
+            "repro_stage_records", node=node, stage=stage, **labels
+        )
         total = float(inst.total) if inst is not None else 0.0
         return total / now if now > 0 else 0.0
 
@@ -219,7 +223,9 @@ class Speculator:
                 action="hedge", shard=shard, helper=helper,
             )
         )
-        job.metrics.counter("repro_speculation_hedges_total").inc()
+        job.metrics.counter(
+            "repro_speculation_hedges_total", **getattr(job, "_job_labels", {})
+        ).inc()
         tracer = plat.sim.tracer
         if tracer is not None:
             tracer.instant(

@@ -98,11 +98,34 @@ class SupervisorReport:
 
 
 class JobSupervisor:
-    """Drives a :class:`RecoverableSort` to completion or abort."""
+    """Drives a :class:`RecoverableSort` to completion or abort.
 
-    def __init__(self, sort, budget: Optional[RestartBudget] = None):
+    Pass ``registry`` to meter the supervision itself
+    (``repro_supervisor_*`` counters).  When several supervised jobs share
+    one registry — the multi-tenant scheduler does exactly this — each
+    supervisor MUST carry a distinct ``job_id``: its counters (and, via the
+    sort's ``job_id``, the job's own stage/routing instruments) are then
+    labelled ``job=<id>`` instead of assuming exclusive ownership of the
+    registry namespace.  ``job_id`` defaults to the sort's own ``job_id``.
+    """
+
+    def __init__(
+        self,
+        sort,
+        budget: Optional[RestartBudget] = None,
+        *,
+        registry=None,
+        job_id: Optional[str] = None,
+    ):
         self.sort = sort
         self.budget = budget if budget is not None else RestartBudget()
+        self.registry = registry
+        self.job_id = job_id if job_id is not None else getattr(sort, "job_id", None)
+        self._job_labels = {"job": self.job_id} if self.job_id is not None else {}
+
+    def _count(self, name: str, dv: float = 1.0, **labels) -> None:
+        if self.registry is not None:
+            self.registry.counter(name, **labels, **self._job_labels).inc(dv)
 
     def run(self, crashes=()) -> SupervisorReport:
         """Attempt the job until done, escalating per failure.
@@ -136,9 +159,14 @@ class JobSupervisor:
                 pause = budget.backoff(consecutive)
                 total_backoff += pause
                 actions.append((attempt_no, rung, pause))
+                self._count("repro_supervisor_escalations_total", rung=rung)
+                self._count("repro_supervisor_backoff_seconds_total", pause)
             crash_at = crashes[attempt_no] if attempt_no < len(crashes) else None
             out = self.sort.attempt(crash_at=crash_at, routing_seed=routing_seed)
             attempt_no += 1
+            self._count("repro_supervisor_attempts_total")
+            if out.crashed:
+                self._count("repro_supervisor_crashes_total")
             if out.completed:
                 return self._report(
                     completed=True, aborted=False, actions=actions,

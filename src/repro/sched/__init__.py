@@ -1,0 +1,70 @@
+"""repro.sched — multi-tenant job scheduler for the shared active-storage
+platform.
+
+Turns the repo's applications (DSM-Sort, filter-scan, R-tree) into
+schedulable units competing for one emulated fleet: admission control with
+per-tenant quotas, pluggable queue policies (FIFO / deficit-round-robin
+fair share / strict priority with aging), exclusive capacity leases with
+wear-balanced packing and queue-aware routing hints, checkpoint-assisted
+preemption for manifest-backed jobs and kill-and-requeue under a restart
+budget for the rest, and an open-loop Poisson workload generator feeding
+the `repro serve` sweep.
+"""
+
+from .job import APP_KINDS, Job, JobSpec, JobState, Quota, ResourceNeed, Tenant
+from .oracle import ServiceOracle
+from .placement import Lease, LeaseManager
+from .queue import (
+    AdmissionController,
+    FairSharePolicy,
+    FifoPolicy,
+    PriorityAgingPolicy,
+    QueuePolicy,
+    make_policy,
+)
+from .report import ServeReport, jain_index, summarize_outcome
+from .scheduler import SchedOutcome, Scheduler
+from .serve import (
+    DEFAULT_LOAD_FACTORS,
+    DEFAULT_POLICIES,
+    default_mix,
+    default_tenants,
+    estimate_capacity,
+    run_serve,
+    serve_params,
+)
+from .workload import Arrival, JobTemplate, OpenLoopWorkload
+
+__all__ = [
+    "APP_KINDS",
+    "AdmissionController",
+    "Arrival",
+    "DEFAULT_LOAD_FACTORS",
+    "DEFAULT_POLICIES",
+    "FairSharePolicy",
+    "FifoPolicy",
+    "Job",
+    "JobSpec",
+    "JobState",
+    "JobTemplate",
+    "Lease",
+    "LeaseManager",
+    "OpenLoopWorkload",
+    "PriorityAgingPolicy",
+    "QueuePolicy",
+    "Quota",
+    "ResourceNeed",
+    "SchedOutcome",
+    "Scheduler",
+    "ServeReport",
+    "ServiceOracle",
+    "Tenant",
+    "default_mix",
+    "default_tenants",
+    "estimate_capacity",
+    "jain_index",
+    "make_policy",
+    "run_serve",
+    "serve_params",
+    "summarize_outcome",
+]

@@ -1,0 +1,209 @@
+"""Schedulable units: job specs, tenants, quotas, and runtime job records.
+
+The paper's platform runs *one* dataflow at a time; the scheduler turns the
+existing applications — DSM-Sort, active filter-scan, distributed R-tree
+query batches — into **schedulable units** competing for one shared fleet of
+hosts and ASUs.  The problem shape follows Benoit/Casanova/Rehn-Sonigo/
+Robert (*Resource Allocation for Multiple Concurrent In-Network
+Stream-Processing Applications*, PAPERS.md): many concurrent operator graphs,
+each with a resource need and a tenant owner, sharing node capacity under a
+fairness/priority policy.
+
+A :class:`JobSpec` is immutable and describes *what* to run (app kind, input
+size, seed) and *how it wants to be treated* (priority, relative SLO
+deadline, resource need).  A :class:`Tenant` owns a stream of specs and
+carries the admission quota and fair-share weight.  A :class:`Job` is the
+scheduler's mutable per-submission record: state machine, timeline, and the
+preemption/restart bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "APP_KINDS",
+    "Job",
+    "JobSpec",
+    "JobState",
+    "Quota",
+    "ResourceNeed",
+    "Tenant",
+]
+
+#: application kinds the scheduler knows how to run, and whether their
+#: progress survives preemption (checkpoint-assisted via the RunManifest —
+#: PR 5's RecoverableSort) or must restart from scratch (kill-and-requeue)
+APP_KINDS = {
+    "dsmsort": {"checkpointable": True},
+    "filterscan": {"checkpointable": False},
+    "rtree": {"checkpointable": False},
+}
+
+
+@dataclass(frozen=True)
+class ResourceNeed:
+    """Fleet slice a job must lease before it can run."""
+
+    n_asus: int = 2
+    n_hosts: int = 1
+
+    def __post_init__(self):
+        if self.n_asus < 1:
+            raise ValueError(f"n_asus must be >= 1, got {self.n_asus}")
+        if self.n_hosts < 1:
+            raise ValueError(f"n_hosts must be >= 1, got {self.n_hosts}")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Immutable description of one schedulable dataflow job."""
+
+    #: application kind (see :data:`APP_KINDS`)
+    app: str
+    #: input size: records for dsmsort/filterscan, rectangles for rtree
+    n_records: int
+    #: workload seed (fixes the generated input, hence the service demand)
+    seed: int = 0
+    #: strict-priority class; higher runs first, never negative
+    priority: int = 0
+    #: relative SLO target in virtual seconds from *arrival* (None = no SLO)
+    deadline: Optional[float] = None
+    #: exclusive fleet slice the job runs on
+    need: ResourceNeed = field(default_factory=ResourceNeed)
+    #: workload distribution for record-generating apps
+    workload: str = "uniform"
+
+    def __post_init__(self):
+        if self.app not in APP_KINDS:
+            raise ValueError(
+                f"unknown app {self.app!r}; expected one of {sorted(APP_KINDS)}"
+            )
+        if self.n_records < 1:
+            raise ValueError(f"n_records must be >= 1, got {self.n_records}")
+        if self.priority < 0:
+            raise ValueError(
+                f"priority must be nonnegative, got {self.priority} "
+                "(use tenant shares, not negative priorities, to deprioritise)"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
+
+    @property
+    def checkpointable(self) -> bool:
+        return APP_KINDS[self.app]["checkpointable"]
+
+    @property
+    def cost_units(self) -> float:
+        """Policy-visible work estimate (records × ASUs leased).
+
+        Used by the fair-share deficit counters *before* the service oracle
+        has measured the job; deliberately crude — fairness accounting only
+        needs relative magnitudes.
+        """
+        return float(self.n_records * self.need.n_asus)
+
+
+@dataclass(frozen=True)
+class Quota:
+    """Per-tenant admission limits (the backpressure boundary)."""
+
+    #: jobs a tenant may have waiting; arrivals beyond this are rejected
+    max_queued: int = 64
+    #: jobs a tenant may have running at once
+    max_running: int = 8
+
+    def __post_init__(self):
+        if self.max_queued < 1:
+            raise ValueError(f"max_queued must be positive, got {self.max_queued}")
+        if self.max_running < 1:
+            raise ValueError(f"max_running must be positive, got {self.max_running}")
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One paying customer of the shared platform."""
+
+    name: str
+    #: fair-share weight (deficit counters are credited share × quantum)
+    share: float = 1.0
+    quota: Quota = field(default_factory=Quota)
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.share <= 0:
+            raise ValueError(f"tenant share must be positive, got {self.share}")
+
+
+class JobState:
+    """Lifecycle of a submitted job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    PREEMPTED = "preempted"
+    DONE = "done"
+    FAILED = "failed"
+    REJECTED = "rejected"
+
+    TERMINAL = (DONE, FAILED, REJECTED)
+
+
+@dataclass
+class Job:
+    """Mutable scheduler-side record of one submission."""
+
+    job_id: str
+    spec: JobSpec
+    tenant: str
+    arrival_t: float
+    state: str = JobState.QUEUED
+    #: first instant the job held a lease (None until scheduled)
+    first_start_t: Optional[float] = None
+    #: start of the *current* run segment
+    start_t: Optional[float] = None
+    finish_t: Optional[float] = None
+    #: virtual time spent holding a lease (all segments, incl. lost work)
+    occupied: float = 0.0
+    #: times the job was checkpoint-preempted (resumes from its manifest)
+    n_preemptions: int = 0
+    #: times the job was killed and requeued (work lost, budget charged)
+    n_restarts: int = 0
+    #: why the job was rejected/failed ("" otherwise)
+    reason: str = ""
+    #: crash instants (elapsed-in-attempt) accumulated from preemptions;
+    #: the checkpointable runner replays these to recover the manifest state
+    crash_instants: list = field(default_factory=list)
+    #: epoch guard: a pending completion event is valid only if it carries
+    #: the epoch it was scheduled under (preemption bumps it)
+    epoch: int = 0
+    #: earliest instant the job may be dispatched again (restart backoff)
+    eligible_t: float = 0.0
+
+    @property
+    def wait(self) -> Optional[float]:
+        if self.first_start_t is None:
+            return None
+        return self.first_start_t - self.arrival_t
+
+    @property
+    def turnaround(self) -> Optional[float]:
+        if self.finish_t is None:
+            return None
+        return self.finish_t - self.arrival_t
+
+    @property
+    def slo_met(self) -> Optional[bool]:
+        """True/False against the spec deadline; None when no SLO declared."""
+        if self.spec.deadline is None:
+            return None
+        if self.finish_t is None:
+            return False
+        return self.turnaround <= self.spec.deadline
+
+    def __repr__(self) -> str:
+        return (
+            f"<Job {self.job_id} {self.spec.app} tenant={self.tenant} "
+            f"{self.state} prio={self.spec.priority}>"
+        )

@@ -1,0 +1,155 @@
+"""The service oracle: real emulated service times for scheduled jobs.
+
+The scheduler never *models* a job's runtime — it **measures** it by running
+the job's actual emulation on the sliced platform its lease grants.  Leases
+are exclusive (disjoint node sets), so the single-job emulation is an exact
+account of the job's service time on the shared fleet.  Everything is
+deterministic in ``(spec, slice shape, routing hints)``, so measured
+makespans are memoized: a workload of thousands of jobs drawn from a
+template mix costs one emulation per distinct template, not per job.
+
+Preemption semantics per app class:
+
+* ``dsmsort`` is **checkpointable**: runs under PR 5's
+  :class:`~repro.recovery.checkpoint.RecoverableSort`, journaling to a
+  :class:`~repro.recovery.manifest.RunManifest`.  A preemption is a
+  ``crash_coordinator`` at the preempt instant; on re-dispatch the oracle
+  *replays* the job's crash history against a fresh manifest and measures
+  the genuine resumed makespan — completed shards/runs/buckets are not
+  re-done, exactly as a production resume would behave.
+* ``filterscan`` / ``rtree`` are **kill-and-requeue**: preemption discards
+  the segment's work; the job restarts from scratch when next dispatched,
+  charged against its :class:`~repro.recovery.supervisor.RestartBudget`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.config import DSMConfig
+from ..emulator.params import SystemParams
+from .job import JobSpec
+
+__all__ = ["ServiceOracle"]
+
+
+def _spec_key(spec: JobSpec, slice_shape: tuple, hints: dict) -> tuple:
+    weights = hints.get("weights")
+    return (
+        spec.app, spec.n_records, spec.workload, spec.seed,
+        slice_shape, hints.get("policy", "sr"),
+        tuple(weights) if weights else None,
+    )
+
+
+def _dsm_config(n_records: int) -> DSMConfig:
+    """Slice-friendly DSM configuration (small alpha/gamma for small jobs)."""
+    return DSMConfig.for_n(n_records, alpha=8, gamma=8)
+
+
+class ServiceOracle:
+    """Measures (and memoizes) per-job service times on leased slices."""
+
+    def __init__(self):
+        #: (spec key, crash history) -> makespan of the *final* attempt
+        self._cache: dict[tuple, float] = {}
+        self.n_emulations = 0
+
+    # -- public api ----------------------------------------------------------
+    def makespan(
+        self,
+        spec: JobSpec,
+        slice_params: SystemParams,
+        hints: Optional[dict] = None,
+        crash_instants: tuple = (),
+    ) -> float:
+        """Service time of the job's next run segment on this slice.
+
+        ``crash_instants`` is the job's preemption history (elapsed virtual
+        seconds into each prior segment); non-empty histories are only valid
+        for checkpointable apps.
+        """
+        hints = hints or {}
+        shape = (slice_params.n_asus, slice_params.n_hosts)
+        key = (_spec_key(spec, shape, hints), tuple(crash_instants))
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        if crash_instants and not spec.checkpointable:
+            raise ValueError(
+                f"app {spec.app!r} is not checkpointable; preempted segments "
+                "cannot resume (kill-and-requeue restarts from scratch)"
+            )
+        runner = getattr(self, f"_run_{spec.app}")
+        t = runner(spec, slice_params, hints, tuple(crash_instants))
+        self._cache[key] = t
+        self.n_emulations += 1
+        return t
+
+    # -- app runners ---------------------------------------------------------
+    def _recoverable(self, spec: JobSpec, slice_params, hints):
+        from ..recovery.checkpoint import RecoverableSort
+
+        policy = hints.get("policy", "sr")
+        weights = hints.get("weights")
+        job_kwargs = {}
+        if weights:
+            job_kwargs["routing_weights"] = tuple(weights)
+        return RecoverableSort(
+            slice_params,
+            _dsm_config(spec.n_records),
+            seed=spec.seed,
+            policy=policy,
+            workload=spec.workload,
+            job_kwargs=job_kwargs or None,
+        )
+
+    def _run_dsmsort(self, spec, slice_params, hints, crash_instants) -> float:
+        """Replay the crash history, then measure the next (final) attempt.
+
+        Each replayed attempt advances the shared manifest exactly as the
+        original preempted segment did (same seed, same slice, same kill
+        instant — the emulation is deterministic), so the final attempt's
+        makespan is the true checkpoint-assisted resume time.
+        """
+        sort = self._recoverable(spec, slice_params, hints)
+        for crash_at in crash_instants:
+            out = sort.attempt(crash_at=crash_at)
+            if out.completed:
+                raise RuntimeError(
+                    f"replayed segment completed before its preempt instant "
+                    f"{crash_at}; scheduler preempted a finished job"
+                )
+        final = sort.attempt()
+        if not final.completed:
+            raise RuntimeError("uninterrupted dsmsort attempt did not complete")
+        sort.verify()
+        return final.makespan
+
+    def _run_filterscan(self, spec, slice_params, hints, crash_instants) -> float:
+        from ..apps.filterscan import FilterScanJob
+
+        job = FilterScanJob(
+            slice_params,
+            spec.n_records,
+            predicate=lambda b: b["key"] % 2 == 0,
+            workload=spec.workload,
+            seed=spec.seed,
+        )
+        stats, out = job.run(active=True)
+        job.verify(out)
+        return stats.makespan
+
+    def _run_rtree(self, spec, slice_params, hints, crash_instants) -> float:
+        from ..apps.rtree.distributed import DistributedRTree
+        from ..apps.rtree.workload import random_points, window_queries
+        from ..util.rng import derive_seed
+
+        rng = np.random.default_rng(derive_seed(spec.seed, "sched-rtree"))
+        rects = random_points(rng, spec.n_records)
+        n_queries = max(16, spec.n_records // 64)
+        windows = window_queries(rng, n_queries)
+        tree = DistributedRTree(rects, slice_params, organisation="partition")
+        return tree.run_queries(windows).makespan

@@ -1,0 +1,164 @@
+"""Capacity leases over the shared fleet, fed by registry gauges.
+
+The scheduler space-shares the platform: a running job holds an **exclusive
+lease** on a slice of ASUs and hosts, so concurrent jobs occupy disjoint
+nodes of one fleet (the paper's "ASUs are shared by multiple applications",
+§3.3, lifted from functor-level interference to whole-job placement).
+Because leases are disjoint, each job's existing single-job emulation on the
+sliced platform is an *exact* account of its service time — no approximation
+of cross-job contention is smuggled in.
+
+All placement signals live in the scheduler's
+:class:`~repro.metrics.MetricsRegistry`:
+
+* ``repro_sched_free_asus`` / ``repro_sched_free_hosts`` — free capacity;
+* ``repro_sched_node_lease_seconds`` (gauge vectors, per node class) —
+  cumulative leased time per node, the *wear* signal the packer balances;
+* ``repro_sched_queue_depth`` — wait-queue depth (scraped for percentiles).
+
+:meth:`LeaseManager.acquire` picks the least-leased free nodes (ties broken
+by index), so load spreads across the fleet the same way the intra-job
+LoadManager spreads fragments across hosts.  :meth:`routing_hints` closes
+the feedback loop downward: the lease's relative node wear becomes the
+routing-policy hint handed to the job's own
+:class:`~repro.core.load_manager.LoadManager`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..emulator.params import SystemParams
+from ..metrics.registry import MetricsRegistry
+from .job import ResourceNeed
+
+__all__ = ["Lease", "LeaseManager"]
+
+
+@dataclass(frozen=True)
+class Lease:
+    """An exclusive slice of the fleet, held by one running job."""
+
+    asus: tuple
+    hosts: tuple
+    t_start: float
+
+    @property
+    def n_asus(self) -> int:
+        return len(self.asus)
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self.hosts)
+
+
+class LeaseManager:
+    """Owns the fleet's free/leased state and the packing decision."""
+
+    def __init__(self, params: SystemParams, registry: Optional[MetricsRegistry] = None):
+        self.params = params
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._free_asus = set(range(params.n_asus))
+        self._free_hosts = set(range(params.n_hosts))
+        #: cumulative leased seconds per node — the wear-balancing signal
+        self._asu_lease = self.registry.gauge_vector(
+            "repro_sched_node_lease_seconds", params.n_asus, node_class="asu"
+        )
+        self._host_lease = self.registry.gauge_vector(
+            "repro_sched_node_lease_seconds", params.n_hosts, node_class="host"
+        )
+        self._g_free_asus = self.registry.gauge("repro_sched_free_asus")
+        self._g_free_hosts = self.registry.gauge("repro_sched_free_hosts")
+        self._g_free_asus.set(float(params.n_asus))
+        self._g_free_hosts.set(float(params.n_hosts))
+        self.n_leases_granted = 0
+
+    # -- capacity queries ----------------------------------------------------
+    def can_place(self, need: ResourceNeed) -> bool:
+        return (
+            len(self._free_asus) >= need.n_asus
+            and len(self._free_hosts) >= need.n_hosts
+        )
+
+    def fits_fleet(self, need: ResourceNeed) -> bool:
+        """Whether the need could *ever* be satisfied by this fleet."""
+        return (
+            need.n_asus <= self.params.n_asus
+            and need.n_hosts <= self.params.n_hosts
+        )
+
+    @property
+    def free_asus(self) -> int:
+        return len(self._free_asus)
+
+    @property
+    def free_hosts(self) -> int:
+        return len(self._free_hosts)
+
+    # -- acquire / release ---------------------------------------------------
+    def _pick(self, free: set, wear, k: int) -> tuple:
+        """k least-leased free nodes (wear ties broken by index)."""
+        order = sorted(free, key=lambda i: (float(wear.values[i]), i))
+        return tuple(order[:k])
+
+    def acquire(self, need: ResourceNeed, now: float) -> Optional[Lease]:
+        if not self.can_place(need):
+            return None
+        asus = self._pick(self._free_asus, self._asu_lease, need.n_asus)
+        hosts = self._pick(self._free_hosts, self._host_lease, need.n_hosts)
+        self._free_asus.difference_update(asus)
+        self._free_hosts.difference_update(hosts)
+        self._g_free_asus.set(float(len(self._free_asus)))
+        self._g_free_hosts.set(float(len(self._free_hosts)))
+        self.n_leases_granted += 1
+        return Lease(asus=asus, hosts=hosts, t_start=now)
+
+    def release(self, lease: Lease, now: float) -> None:
+        held = max(0.0, now - lease.t_start)
+        for i in lease.asus:
+            if i in self._free_asus:
+                raise RuntimeError(f"double release of asu{i}")
+            self._asu_lease.add(i, held)
+        for i in lease.hosts:
+            if i in self._free_hosts:
+                raise RuntimeError(f"double release of host{i}")
+            self._host_lease.add(i, held)
+        self._free_asus.update(lease.asus)
+        self._free_hosts.update(lease.hosts)
+        self._g_free_asus.set(float(len(self._free_asus)))
+        self._g_free_hosts.set(float(len(self._free_hosts)))
+
+    # -- downstream integration ----------------------------------------------
+    def slice_params(self, lease: Lease) -> SystemParams:
+        """The sliced platform a leased job emulates on.
+
+        Node counts shrink to the lease; per-node characteristics (clocks,
+        disks, links) are the fleet's — nodes are homogeneous within a class,
+        so slice identity is positional.
+        """
+        return self.params.with_(
+            n_asus=lease.n_asus, n_hosts=lease.n_hosts,
+            host_clock_multipliers=None,
+        )
+
+    def routing_hints(self, lease: Lease) -> dict:
+        """Queue-aware hints for the leased job's own LoadManager.
+
+        The scheduler knows each leased host's cumulative wear; when wear is
+        uneven the hint asks the job to run its *weighted* routing policy
+        with weights inversely proportional to wear (a fresher node takes
+        more fragments), otherwise the shortest-remaining default stands.
+        The hint is deterministic in the lease, so the service oracle can
+        cache measured makespans per (spec, slice, hints) key.
+        """
+        wear = [float(self._host_lease.values[h]) for h in lease.hosts]
+        if len(wear) > 1 and max(wear) > 0 and max(wear) != min(wear):
+            # Normalise to the heaviest node; invert so wear steers away.
+            # Coarse (1-decimal) buckets keep the hint space small so the
+            # service oracle's (spec, slice, hints) cache stays effective.
+            top = max(wear)
+            weights = tuple(round(2.0 - w / top, 1) for w in wear)
+            if len(set(weights)) > 1:
+                return {"policy": "weighted", "weights": weights}
+        return {"policy": "sr", "weights": None}

@@ -1,0 +1,234 @@
+"""Admission control and the wait queue's scheduling policies.
+
+Admission is the backpressure boundary: when a tenant's offered load exceeds
+its queue quota (or the global queue is full), new work is **rejected at
+arrival** rather than absorbed — the served system stays stable past
+saturation and the rejection counts become a first-class report metric.
+
+The wait queue itself is pluggable.  Three policies, per the scheduler
+tentpole:
+
+* ``fifo`` — arrival order, tenant-blind.  The baseline every fairness claim
+  is measured against: a flooding tenant monopolises the head of the queue.
+* ``fair`` — fair share via **deficit counters** (deficit round-robin across
+  tenants).  Each scheduling round credits every backlogged tenant
+  ``share × quantum`` work units; the tenant with the largest deficit whose
+  head job fits the available capacity runs next and is debited the job's
+  cost.  Work-conserving, starvation-free, and proportional to shares in
+  steady state.
+* ``priority`` — strict priority with **aging**: effective priority is
+  ``spec.priority + age_rate × wait``, so a low class eventually overtakes a
+  saturated high class instead of starving.  Ties break by arrival then id.
+
+Every policy exposes the same two-step protocol: :meth:`select` picks the
+next job that the placement layer reports placeable (a candidate whose slice
+cannot currently be leased is skipped, so one wide job cannot idle the whole
+fleet), and :meth:`charge` settles the fairness accounting once the job
+actually starts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .job import Job, Tenant
+
+__all__ = [
+    "AdmissionController",
+    "FairSharePolicy",
+    "FifoPolicy",
+    "PriorityAgingPolicy",
+    "QueuePolicy",
+    "make_policy",
+]
+
+
+class AdmissionController:
+    """Accept/reject arrivals against per-tenant quotas and a global bound."""
+
+    def __init__(self, tenants: dict[str, Tenant], max_queue_depth: int = 256):
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be positive, got {max_queue_depth}"
+            )
+        self.tenants = dict(tenants)
+        self.max_queue_depth = int(max_queue_depth)
+
+    def admit(
+        self,
+        job: Job,
+        queued: list[Job],
+        running: list[Job],
+    ) -> tuple[bool, str]:
+        """Decide a fresh arrival.  Returns ``(admitted, reason)``."""
+        tenant = self.tenants.get(job.tenant)
+        if tenant is None:
+            return False, f"unknown tenant {job.tenant!r}"
+        if len(queued) >= self.max_queue_depth:
+            return False, f"global queue full ({self.max_queue_depth})"
+        n_queued = sum(1 for j in queued if j.tenant == job.tenant)
+        if n_queued >= tenant.quota.max_queued:
+            return False, (
+                f"tenant {job.tenant!r} queue quota exhausted "
+                f"({tenant.quota.max_queued})"
+            )
+        return True, ""
+
+    def may_run(self, job: Job, running: list[Job]) -> bool:
+        """Per-tenant running-job cap (checked at schedule time)."""
+        tenant = self.tenants[job.tenant]
+        n_running = sum(1 for j in running if j.tenant == job.tenant)
+        return n_running < tenant.quota.max_running
+
+
+class QueuePolicy:
+    """Common interface: ordered selection + post-schedule accounting."""
+
+    name = "abstract"
+
+    def __init__(self, tenants: dict[str, Tenant]):
+        self.tenants = dict(tenants)
+
+    def select(
+        self,
+        queued: list[Job],
+        now: float,
+        placeable: Callable[[Job], bool],
+    ) -> Optional[Job]:
+        """Next job to start, or None if nothing eligible fits."""
+        raise NotImplementedError
+
+    def charge(self, job: Job, cost: float) -> None:
+        """Settle accounting for a job that just started (cost in work units)."""
+
+    def requeue(self, job: Job) -> None:
+        """A preempted/killed job re-entered the queue (hook for subclasses)."""
+
+
+def _arrival_key(job: Job) -> tuple:
+    return (job.arrival_t, job.job_id)
+
+
+class FifoPolicy(QueuePolicy):
+    """Strict arrival order across all tenants."""
+
+    name = "fifo"
+
+    def select(self, queued, now, placeable):
+        for job in sorted(queued, key=_arrival_key):
+            if placeable(job):
+                return job
+        return None
+
+
+class FairSharePolicy(QueuePolicy):
+    """Deficit round-robin across tenants, weighted by tenant share.
+
+    ``quantum`` is the work-unit credit a share-1.0 tenant earns per
+    scheduling round.  Deficits accumulate only while a tenant is backlogged
+    (an idle tenant cannot hoard credit and later starve everyone) and are
+    capped at ``burst_rounds`` rounds of credit.
+    """
+
+    name = "fair"
+
+    def __init__(
+        self,
+        tenants: dict[str, Tenant],
+        quantum: float = 4096.0,
+        burst_rounds: float = 8.0,
+    ):
+        super().__init__(tenants)
+        if quantum <= 0:
+            raise ValueError(f"fair-share quantum must be positive, got {quantum}")
+        if burst_rounds < 1:
+            raise ValueError(
+                f"burst_rounds must be >= 1, got {burst_rounds}"
+            )
+        self.quantum = float(quantum)
+        self.burst_rounds = float(burst_rounds)
+        self.deficit: dict[str, float] = {name: 0.0 for name in self.tenants}
+
+    def _backlogged(self, queued: list[Job]) -> dict[str, list[Job]]:
+        per: dict[str, list[Job]] = {}
+        for job in sorted(queued, key=_arrival_key):
+            per.setdefault(job.tenant, []).append(job)
+        return per
+
+    def select(self, queued, now, placeable):
+        per = self._backlogged(queued)
+        if not per:
+            return None
+        # Credit rounds until some backlogged tenant can afford its oldest
+        # placeable job.  Bounded: each round adds share*quantum to every
+        # backlogged tenant, and job costs are finite.
+        for _round in range(10_000):
+            # Tenants by largest deficit (ties: name, for determinism).
+            order = sorted(per, key=lambda t: (-self.deficit[t], t))
+            for tname in order:
+                head = next((j for j in per[tname] if placeable(j)), None)
+                if head is None:
+                    continue
+                if head.spec.cost_units <= self.deficit[tname]:
+                    return head
+            # Nobody can afford their head job yet: credit one round.
+            progressed = False
+            for tname in per:
+                share = self.tenants[tname].share
+                cap = self.burst_rounds * share * self.quantum
+                before = self.deficit[tname]
+                self.deficit[tname] = min(cap, before + share * self.quantum)
+                progressed = progressed or self.deficit[tname] > before
+            if not progressed:
+                # Every backlogged tenant is at its burst cap and still can't
+                # afford its head job (cost > cap): serve the largest-deficit
+                # placeable head anyway — work conservation beats strictness.
+                for tname in order:
+                    head = next((j for j in per[tname] if placeable(j)), None)
+                    if head is not None:
+                        return head
+                return None
+        raise RuntimeError("fair-share crediting failed to converge")
+
+    def charge(self, job, cost):
+        self.deficit[job.tenant] = self.deficit.get(job.tenant, 0.0) - cost
+
+
+class PriorityAgingPolicy(QueuePolicy):
+    """Strict priority, softened by aging so low classes cannot starve."""
+
+    name = "priority"
+
+    def __init__(self, tenants: dict[str, Tenant], age_rate: float = 0.0):
+        super().__init__(tenants)
+        if age_rate < 0:
+            raise ValueError(f"age_rate must be nonnegative, got {age_rate}")
+        self.age_rate = float(age_rate)
+
+    def effective_priority(self, job: Job, now: float) -> float:
+        return job.spec.priority + self.age_rate * max(0.0, now - job.arrival_t)
+
+    def select(self, queued, now, placeable):
+        order = sorted(
+            queued,
+            key=lambda j: (-self.effective_priority(j, now), j.arrival_t, j.job_id),
+        )
+        for job in order:
+            if placeable(job):
+                return job
+        return None
+
+
+def make_policy(name: str, tenants: dict[str, Tenant], **kwargs) -> QueuePolicy:
+    """Policy factory with validated names and knobs."""
+    factories = {
+        "fifo": FifoPolicy,
+        "fair": FairSharePolicy,
+        "priority": PriorityAgingPolicy,
+    }
+    if name not in factories:
+        raise ValueError(
+            f"unknown scheduling policy {name!r}; expected one of "
+            f"{sorted(factories)}"
+        )
+    return factories[name](tenants, **kwargs)

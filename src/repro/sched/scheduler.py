@@ -1,0 +1,331 @@
+"""The multi-tenant scheduler: a job-level virtual-time event loop.
+
+One :class:`Scheduler` owns the shared fleet.  Jobs arrive (open-loop),
+pass admission control, wait under a pluggable queue policy, lease an
+exclusive slice from the :class:`~repro.sched.placement.LeaseManager`, and
+run for exactly the service time the
+:class:`~repro.sched.oracle.ServiceOracle` *measures* by emulating the job
+on its slice.  Because leases are disjoint, the per-job emulations compose
+into an exact account of the shared platform — the scheduler adds queueing
+and placement on top without approximating the jobs themselves.
+
+Preemption (priority policy, ``preempt=True``): when a queued job's
+effective priority strictly exceeds a running job's, the victim is evicted.
+
+* checkpointable victims (dsmsort) take a **checkpoint-assisted preemption**:
+  the elapsed segment time is recorded as a crash instant and the oracle
+  later replays the crash history against the job's manifest, so completed
+  shards/runs/buckets are not redone;
+* everything else is **kill-and-requeue**: the segment's work is lost, the
+  restart is charged against the job's
+  :class:`~repro.recovery.supervisor.RestartBudget`, and the job backs off
+  exponentially before becoming dispatchable again.  Budget exhaustion fails
+  the job.
+
+Pending completion events are guarded by a per-job *epoch*: preemption bumps
+the epoch, so the stale finish event of an evicted segment is ignored when
+it pops.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..emulator.params import SystemParams
+from ..metrics.registry import MetricsRegistry
+from ..recovery.supervisor import RestartBudget
+from .job import Job, JobState, Tenant
+from .oracle import ServiceOracle
+from .placement import LeaseManager
+from .queue import AdmissionController, PriorityAgingPolicy, QueuePolicy, make_policy
+from .workload import Arrival
+
+__all__ = ["SchedOutcome", "Scheduler"]
+
+# event ordering at equal instants: free capacity first, then wake backed-off
+# jobs, then admit new arrivals — so a same-instant arrival sees the true
+# post-completion queue and fleet
+_EV_FINISH, _EV_WAKE, _EV_ARRIVAL = 0, 1, 2
+
+#: preemption elapsed below this is treated as "no progress worth a replay"
+_MIN_CHECKPOINT_ELAPSED = 1e-9
+
+
+@dataclass
+class SchedOutcome:
+    """Everything the serve report needs from one scheduler run."""
+
+    policy: str
+    jobs: list = field(default_factory=list)
+    #: (t, queue depth) sampled at every event
+    depth_samples: list = field(default_factory=list)
+    #: completion instant of the last job (0.0 if nothing ran)
+    makespan: float = 0.0
+    #: end of the arrival process — the fairness observation window
+    t_last_arrival: float = 0.0
+    n_emulations: int = 0
+    n_rejected: int = 0
+    n_preempted: int = 0
+    n_restarted: int = 0
+    n_failed: int = 0
+
+
+class Scheduler:
+    """Admission + queueing + placement over the shared emulated fleet."""
+
+    def __init__(
+        self,
+        params: SystemParams,
+        tenants: Sequence[Tenant],
+        policy: str = "fifo",
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        oracle: Optional[ServiceOracle] = None,
+        max_queue_depth: int = 256,
+        restart_budget: Optional[RestartBudget] = None,
+        preempt: bool = False,
+        policy_kwargs: Optional[dict] = None,
+    ):
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names: {sorted(names)}")
+        self.params = params
+        self.tenants = {t.name: t for t in tenants}
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.oracle = oracle if oracle is not None else ServiceOracle()
+        self.admission = AdmissionController(self.tenants, max_queue_depth)
+        self.policy: QueuePolicy = make_policy(
+            policy, self.tenants, **(policy_kwargs or {})
+        )
+        self.leases = LeaseManager(params, self.registry)
+        self.budget = restart_budget if restart_budget is not None else RestartBudget()
+        self.preempt = bool(preempt)
+        if self.preempt and not isinstance(self.policy, PriorityAgingPolicy):
+            raise ValueError(
+                "preemption requires the 'priority' policy (fifo/fair are "
+                "run-to-completion)"
+            )
+        # live state
+        self._seen: dict[str, Job] = {}
+        self.queued: list[Job] = []
+        self.running: list[Job] = []
+        self._lease_of: dict[str, object] = {}
+        self._segment_end: dict[str, float] = {}
+        # instruments
+        self._g_depth = self.registry.gauge("repro_sched_queue_depth")
+        self._c_admit = self.registry.counter("repro_sched_jobs_admitted_total")
+        self._c_reject = self.registry.counter("repro_sched_jobs_rejected_total")
+        self._c_done = self.registry.counter("repro_sched_jobs_completed_total")
+        self._c_fail = self.registry.counter("repro_sched_jobs_failed_total")
+        self._c_preempt = self.registry.counter("repro_sched_preemptions_total")
+        self._c_restart = self.registry.counter("repro_sched_restarts_total")
+
+    # -- the event loop ------------------------------------------------------
+    def run(self, arrivals: Sequence[Arrival]) -> SchedOutcome:
+        """Serve the arrival stream to completion and return the outcome."""
+        out = SchedOutcome(policy=self.policy.name)
+        events: list = []
+        seq = 0
+        for i, a in enumerate(sorted(arrivals, key=lambda a: (a.t, a.tenant))):
+            job = Job(
+                job_id=f"j{i:04d}",
+                spec=a.spec,
+                tenant=a.tenant,
+                arrival_t=a.t,
+                eligible_t=a.t,
+            )
+            heapq.heappush(events, (a.t, _EV_ARRIVAL, seq, "arrival", job))
+            seq += 1
+            out.t_last_arrival = max(out.t_last_arrival, a.t)
+        while events:
+            now, _rank, _seq, kind, payload = heapq.heappop(events)
+            if kind == "finish":
+                self._on_finish(now, payload, out)
+            elif kind == "wake":
+                pass  # wakes exist only to trigger the dispatch pass below
+            else:
+                self._on_arrival(now, payload, out)
+            seq = self._dispatch(now, events, seq, out)
+            depth = len(self.queued)
+            self._g_depth.set(float(depth))
+            out.depth_samples.append((now, depth))
+        out.jobs.extend(self._all_jobs)
+        out.n_emulations = self.oracle.n_emulations
+        return out
+
+    # -- event handlers ------------------------------------------------------
+    @property
+    def _all_jobs(self) -> list[Job]:
+        return sorted(self._seen.values(), key=lambda j: j.job_id)
+
+    def _on_arrival(self, now: float, job: Job, out: SchedOutcome) -> None:
+        self._seen[job.job_id] = job
+        if not self.leases.fits_fleet(job.spec.need):
+            ok, reason = False, (
+                f"need {job.spec.need} exceeds fleet "
+                f"({self.params.n_asus} asus, {self.params.n_hosts} hosts)"
+            )
+        else:
+            ok, reason = self.admission.admit(job, self.queued, self.running)
+        if not ok:
+            job.state = JobState.REJECTED
+            job.reason = reason
+            out.n_rejected += 1
+            self._c_reject.inc()
+            return
+        self.queued.append(job)
+        self._c_admit.inc()
+
+    def _on_finish(self, now: float, payload: tuple, out: SchedOutcome) -> None:
+        job_id, epoch = payload
+        job = self._seen[job_id]
+        if epoch != job.epoch or job.state != JobState.RUNNING:
+            return  # stale event from a preempted segment
+        lease = self._lease_of.pop(job.job_id)
+        self.leases.release(lease, now)
+        self._segment_end.pop(job.job_id, None)
+        self.running.remove(job)
+        job.occupied += now - job.start_t
+        job.state = JobState.DONE
+        job.finish_t = now
+        out.makespan = max(out.makespan, now)
+        self._c_done.inc()
+
+    # -- dispatch + preemption ----------------------------------------------
+    def _dispatch(self, now: float, events: list, seq: int, out: SchedOutcome) -> int:
+        while True:
+            eligible = [j for j in self.queued if j.eligible_t <= now]
+            if not eligible:
+                break
+
+            def placeable(j: Job) -> bool:
+                return self.admission.may_run(j, self.running) and self.leases.can_place(
+                    j.spec.need
+                )
+
+            job = self.policy.select(eligible, now, placeable)
+            if job is None:
+                if self.preempt and self._try_preempt(now, eligible, events, out):
+                    continue  # capacity freed: re-run the pass
+                break
+            seq = self._start(now, job, events, seq, out)
+        # a backed-off job with no other trigger needs a wake event
+        pending = [j.eligible_t for j in self.queued if j.eligible_t > now]
+        if pending:
+            t_wake = min(pending)
+            if not any(ev[0] <= t_wake and ev[3] == "wake" for ev in events):
+                heapq.heappush(events, (t_wake, _EV_WAKE, seq, "wake", None))
+                seq += 1
+        return seq
+
+    def _start(
+        self, now: float, job: Job, events: list, seq: int, out: SchedOutcome
+    ) -> int:
+        lease = self.leases.acquire(job.spec.need, now)
+        assert lease is not None, "policy selected an unplaceable job"
+        hints = self.leases.routing_hints(lease)
+        slice_params = self.leases.slice_params(lease)
+        makespan = self.oracle.makespan(
+            job.spec, slice_params, hints, tuple(job.crash_instants)
+        )
+        self.queued.remove(job)
+        self.running.append(job)
+        self._lease_of[job.job_id] = lease
+        job.state = JobState.RUNNING
+        job.start_t = now
+        if job.first_start_t is None:
+            job.first_start_t = now
+        self._segment_end[job.job_id] = now + makespan
+        self.policy.charge(job, job.spec.cost_units)
+        heapq.heappush(
+            events,
+            (now + makespan, _EV_FINISH, seq, "finish", (job.job_id, job.epoch)),
+        )
+        return seq + 1
+
+    def _try_preempt(
+        self, now: float, eligible: list[Job], events: list, out: SchedOutcome
+    ) -> bool:
+        """Evict lower-priority running jobs to place the best queued job.
+
+        Returns True when at least one victim was evicted and the candidate
+        now fits.  Victims are chosen lowest static priority first, newest
+        segment first, and only if the freed nodes actually reach the
+        candidate's need (no pointless evictions).
+        """
+        assert isinstance(self.policy, PriorityAgingPolicy)
+        cands = sorted(
+            (j for j in eligible if self.admission.may_run(j, self.running)),
+            key=lambda j: (
+                -self.policy.effective_priority(j, now), j.arrival_t, j.job_id,
+            ),
+        )
+        if not cands:
+            return False
+        cand = cands[0]
+        # Eviction compares STATIC priority classes only.  Aging orders the
+        # wait queue (so a low class is dispatched eventually) but must not
+        # evict: an aged job preempting a higher class would itself be
+        # preempted right back — a same-instant livelock.
+        victims_pool = sorted(
+            (j for j in self.running if j.spec.priority < cand.spec.priority),
+            key=lambda j: (j.spec.priority, -(j.start_t or 0.0), j.job_id),
+        )
+        need = cand.spec.need
+        free_a, free_h = self.leases.free_asus, self.leases.free_hosts
+        chosen: list[Job] = []
+        for v in victims_pool:
+            if free_a >= need.n_asus and free_h >= need.n_hosts:
+                break
+            lease = self._lease_of[v.job_id]
+            free_a += lease.n_asus
+            free_h += lease.n_hosts
+            chosen.append(v)
+        if not chosen or free_a < need.n_asus or free_h < need.n_hosts:
+            return False
+        for v in chosen:
+            self._evict(now, v, out)
+        return True
+
+    def _evict(self, now: float, job: Job, out: SchedOutcome) -> None:
+        lease = self._lease_of.pop(job.job_id)
+        self.leases.release(lease, now)
+        self._segment_end.pop(job.job_id, None)
+        self.running.remove(job)
+        elapsed = now - job.start_t
+        job.occupied += elapsed
+        job.epoch += 1  # invalidates the in-flight finish event
+        if job.spec.checkpointable and elapsed > _MIN_CHECKPOINT_ELAPSED:
+            # checkpoint-assisted: the manifest keeps the segment's progress
+            job.crash_instants.append(elapsed)
+            job.n_preemptions += 1
+            job.state = JobState.QUEUED
+            job.eligible_t = now
+            out.n_preempted += 1
+            self._c_preempt.inc()
+        elif job.spec.checkpointable:
+            # evicted before doing anything: plain requeue, nothing to replay
+            job.state = JobState.QUEUED
+            job.eligible_t = now
+            out.n_preempted += 1
+            self._c_preempt.inc()
+        else:
+            # kill-and-requeue under the restart budget
+            job.n_restarts += 1
+            out.n_restarted += 1
+            self._c_restart.inc()
+            if job.n_restarts > self.budget.max_restarts:
+                job.state = JobState.FAILED
+                job.reason = (
+                    f"restart budget exhausted: {job.n_restarts} restarts > "
+                    f"max_restarts={self.budget.max_restarts}"
+                )
+                out.n_failed += 1
+                self._c_fail.inc()
+                return
+            job.state = JobState.QUEUED
+            job.eligible_t = now + self.budget.backoff(job.n_restarts)
+        self.queued.append(job)
+        self.policy.requeue(job)

@@ -31,6 +31,7 @@ def load_example(name):
         ("active_filter", "interconnect traffic"),
         ("dataflow_pipeline", "identical outputs"),
         ("fault_recovery", "verified sorted despite the crash"),
+        ("multi_tenant", "fair share beats FIFO on Jain fairness"),
     ],
 )
 def test_example_runs(name, expect, capsys):

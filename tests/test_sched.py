@@ -1,0 +1,476 @@
+"""Tests for repro.sched: specs, admission, policies, leases, oracle,
+scheduler event loop, preemption, and the job-id registry namespacing that
+lets many jobs share one MetricsRegistry."""
+
+import pytest
+
+from repro.core.config import DSMConfig
+from repro.dsmsort.runtime import DsmSortJob
+from repro.metrics import MetricsRegistry
+from repro.recovery import JobSupervisor, RecoverableSort, RestartBudget
+from repro.resilience.chaos import chaos_params
+from repro.sched import (
+    AdmissionController,
+    Arrival,
+    FairSharePolicy,
+    FifoPolicy,
+    Job,
+    JobSpec,
+    JobState,
+    JobTemplate,
+    LeaseManager,
+    OpenLoopWorkload,
+    PriorityAgingPolicy,
+    Quota,
+    ResourceNeed,
+    Scheduler,
+    ServiceOracle,
+    Tenant,
+    make_policy,
+    serve_params,
+)
+
+
+def _tenants():
+    return {
+        "a": Tenant("a", share=2.0, quota=Quota(max_queued=4, max_running=2)),
+        "b": Tenant("b", share=1.0, quota=Quota(max_queued=4, max_running=2)),
+    }
+
+
+def _job(jid, tenant="a", arrival=0.0, app="filterscan", n=256, priority=0,
+         need=None, deadline=None):
+    spec = JobSpec(
+        app=app, n_records=n, priority=priority, deadline=deadline,
+        need=need if need is not None else ResourceNeed(n_asus=2, n_hosts=1),
+    )
+    return Job(job_id=jid, spec=spec, tenant=tenant, arrival_t=arrival,
+               eligible_t=arrival)
+
+
+# ---------------------------------------------------------------- validation
+class TestValidation:
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError, match="unknown app"):
+            JobSpec(app="mapreduce", n_records=10)
+
+    def test_negative_priority_rejected(self):
+        with pytest.raises(ValueError, match="priority must be nonnegative"):
+            JobSpec(app="dsmsort", n_records=10, priority=-1)
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ValueError, match="n_records"):
+            JobSpec(app="dsmsort", n_records=0)
+        with pytest.raises(ValueError, match="deadline"):
+            JobSpec(app="dsmsort", n_records=10, deadline=0.0)
+        with pytest.raises(ValueError, match="n_asus"):
+            ResourceNeed(n_asus=0)
+
+    def test_nonpositive_quota_rejected(self):
+        with pytest.raises(ValueError, match="max_queued"):
+            Quota(max_queued=0)
+        with pytest.raises(ValueError, match="max_running"):
+            Quota(max_running=-3)
+
+    def test_tenant_validation(self):
+        with pytest.raises(ValueError, match="share"):
+            Tenant("t", share=0.0)
+        with pytest.raises(ValueError, match="non-empty"):
+            Tenant("")
+
+    def test_zero_rate_generator_rejected(self):
+        mix = [JobTemplate("t", "a", "filterscan", 128)]
+        with pytest.raises(ValueError, match="rate must be positive"):
+            OpenLoopWorkload(0.0, mix, 5)
+        with pytest.raises(ValueError, match="rate must be positive"):
+            OpenLoopWorkload(float("nan"), mix, 5)
+        with pytest.raises(ValueError, match="n_jobs"):
+            OpenLoopWorkload(1.0, mix, 0)
+        with pytest.raises(ValueError, match="non-empty"):
+            OpenLoopWorkload(1.0, [], 5)
+
+    def test_duplicate_template_names_rejected(self):
+        mix = [JobTemplate("t", "a", "filterscan", 128),
+               JobTemplate("t", "b", "rtree", 64)]
+        with pytest.raises(ValueError, match="duplicate template names"):
+            OpenLoopWorkload(1.0, mix, 5)
+
+    def test_template_weight_validation(self):
+        with pytest.raises(ValueError, match="weight must be positive"):
+            JobTemplate("t", "a", "filterscan", 128, weight=0.0)
+
+    def test_policy_knob_validation(self):
+        tenants = _tenants()
+        with pytest.raises(ValueError, match="unknown scheduling policy"):
+            make_policy("lottery", tenants)
+        with pytest.raises(ValueError, match="quantum"):
+            FairSharePolicy(tenants, quantum=0.0)
+        with pytest.raises(ValueError, match="burst_rounds"):
+            FairSharePolicy(tenants, burst_rounds=0.5)
+        with pytest.raises(ValueError, match="age_rate"):
+            PriorityAgingPolicy(tenants, age_rate=-0.1)
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            AdmissionController(tenants, max_queue_depth=0)
+
+    def test_restart_budget_validation(self):
+        with pytest.raises(ValueError, match="max_restarts"):
+            RestartBudget(max_restarts=-1)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            RestartBudget(backoff_factor=0.5)
+        with pytest.raises(ValueError, match="backoff"):
+            RestartBudget(backoff0=-0.1)
+
+    def test_routing_weights_validation(self):
+        params = chaos_params()
+        cfg = DSMConfig.for_n(512, alpha=4, gamma=8)
+        with pytest.raises(ValueError, match="policy='weighted'"):
+            DsmSortJob(params, cfg, policy="sr", routing_weights=[1.0, 1.0])
+        with pytest.raises(ValueError, match="entries for"):
+            DsmSortJob(params, cfg, policy="weighted", routing_weights=[1.0])
+        with pytest.raises(ValueError, match="positive"):
+            DsmSortJob(params, cfg, policy="weighted",
+                       routing_weights=[1.0, -2.0])
+
+    def test_scheduler_rejects_preempt_without_priority_policy(self):
+        with pytest.raises(ValueError, match="preemption requires"):
+            Scheduler(serve_params(), list(_tenants().values()), "fifo",
+                      preempt=True)
+
+    def test_scheduler_rejects_duplicate_tenants(self):
+        t = Tenant("a")
+        with pytest.raises(ValueError, match="duplicate tenant"):
+            Scheduler(serve_params(), [t, t], "fifo")
+
+
+# ----------------------------------------------------------------- admission
+class TestAdmission:
+    def test_unknown_tenant_rejected(self):
+        adm = AdmissionController(_tenants())
+        ok, reason = adm.admit(_job("j1", tenant="zz"), [], [])
+        assert not ok and "unknown tenant" in reason
+
+    def test_tenant_queue_quota(self):
+        adm = AdmissionController(_tenants())
+        queued = [_job(f"j{i}") for i in range(4)]
+        ok, reason = adm.admit(_job("j9"), queued, [])
+        assert not ok and "queue quota" in reason
+        # another tenant still admits
+        ok, _ = adm.admit(_job("j9", tenant="b"), queued, [])
+        assert ok
+
+    def test_global_queue_bound(self):
+        adm = AdmissionController(_tenants(), max_queue_depth=2)
+        queued = [_job("j0"), _job("j1", tenant="b")]
+        ok, reason = adm.admit(_job("j2", tenant="b"), queued, [])
+        assert not ok and "global queue full" in reason
+
+    def test_may_run_cap(self):
+        adm = AdmissionController(_tenants())
+        running = [_job("j0"), _job("j1")]
+        assert not adm.may_run(_job("j2"), running)
+        assert adm.may_run(_job("j2", tenant="b"), running)
+
+
+# ------------------------------------------------------------------ policies
+class TestPolicies:
+    def test_fifo_orders_by_arrival(self):
+        pol = FifoPolicy(_tenants())
+        jobs = [_job("j2", arrival=2.0), _job("j0", arrival=0.5),
+                _job("j1", arrival=1.0)]
+        assert pol.select(jobs, 3.0, lambda j: True).job_id == "j0"
+        # unplaceable heads are skipped, not blocking
+        assert pol.select(jobs, 3.0, lambda j: j.job_id != "j0").job_id == "j1"
+
+    def test_fair_share_proportional(self):
+        """2:1 shares -> tenant a is picked for ~2/3 of the work units."""
+        pol = FairSharePolicy(_tenants(), quantum=256.0)
+        served = {"a": 0.0, "b": 0.0}
+        queue = [_job(f"a{i}", "a", arrival=i * 0.01) for i in range(40)]
+        queue += [_job(f"b{i}", "b", arrival=i * 0.01) for i in range(40)]
+        for _ in range(30):
+            j = pol.select(queue, 1.0, lambda j: True)
+            pol.charge(j, j.spec.cost_units)
+            served[j.tenant] += j.spec.cost_units
+            queue.remove(j)
+        ratio = served["a"] / served["b"]
+        assert 1.5 < ratio < 2.5, f"share ratio {ratio} not ~2"
+
+    def test_fair_share_work_conserving(self):
+        """A job costlier than the burst cap still runs (never deadlocks)."""
+        pol = FairSharePolicy(_tenants(), quantum=1.0, burst_rounds=1.0)
+        huge = _job("j0", n=100_000)
+        assert pol.select([huge], 0.0, lambda j: True) is huge
+
+    def test_priority_aging_overtakes(self):
+        pol = PriorityAgingPolicy(_tenants(), age_rate=1.0)
+        low_old = _job("j0", arrival=0.0, priority=0)
+        high_new = _job("j1", arrival=9.0, priority=3)
+        # at t=9 the low job has aged 9 units > 3
+        assert pol.select([low_old, high_new], 9.0, lambda j: True) is low_old
+        # with no aging, strict priority wins
+        pol0 = PriorityAgingPolicy(_tenants(), age_rate=0.0)
+        assert pol0.select([low_old, high_new], 9.0, lambda j: True) is high_new
+
+
+# -------------------------------------------------------------------- leases
+class TestLeases:
+    def test_acquire_release_roundtrip(self):
+        lm = LeaseManager(serve_params())
+        need = ResourceNeed(n_asus=4, n_hosts=2)
+        lease = lm.acquire(need, 0.0)
+        assert lease.n_asus == 4 and lease.n_hosts == 2
+        assert lm.free_asus == 2 and lm.free_hosts == 1
+        assert not lm.can_place(ResourceNeed(n_asus=4, n_hosts=1))
+        lm.release(lease, 5.0)
+        assert lm.free_asus == 6 and lm.free_hosts == 3
+        with pytest.raises(RuntimeError, match="double release"):
+            lm.release(lease, 6.0)
+
+    def test_wear_balanced_packing(self):
+        """After a release, the next lease prefers the never-leased nodes."""
+        lm = LeaseManager(serve_params())
+        l1 = lm.acquire(ResourceNeed(n_asus=2, n_hosts=1), 0.0)
+        lm.release(l1, 10.0)
+        l2 = lm.acquire(ResourceNeed(n_asus=2, n_hosts=1), 10.0)
+        assert set(l2.asus).isdisjoint(l1.asus)
+        assert set(l2.hosts).isdisjoint(l1.hosts)
+
+    def test_slice_params_shape(self):
+        lm = LeaseManager(serve_params())
+        lease = lm.acquire(ResourceNeed(n_asus=3, n_hosts=2), 0.0)
+        sliced = lm.slice_params(lease)
+        assert sliced.n_asus == 3 and sliced.n_hosts == 2
+
+    def test_routing_hints_follow_wear(self):
+        lm = LeaseManager(serve_params())
+        # wear one host, then take a lease wide enough to include it
+        # (narrow leases would just avoid the worn node — that IS the
+        # wear balancing working)
+        l1 = lm.acquire(ResourceNeed(n_asus=1, n_hosts=1), 0.0)
+        lm.release(l1, 100.0)
+        l2 = lm.acquire(ResourceNeed(n_asus=6, n_hosts=3), 100.0)
+        hints = lm.routing_hints(l2)
+        assert hints["policy"] == "weighted"
+        # the worn host (weight 1.0) gets less than the fresh one (2.0)
+        assert min(hints["weights"]) == 1.0 and max(hints["weights"]) == 2.0
+        lm.release(l2, 100.0)
+        # single-host leases have nothing to weight
+        l3 = lm.acquire(ResourceNeed(n_asus=1, n_hosts=1), 100.0)
+        assert lm.routing_hints(l3)["policy"] == "sr"
+
+    def test_lease_metrics_exported(self):
+        reg = MetricsRegistry()
+        lm = LeaseManager(serve_params(), reg)
+        lease = lm.acquire(ResourceNeed(n_asus=2, n_hosts=1), 0.0)
+        lm.release(lease, 3.0)
+        gv = reg.get("repro_sched_node_lease_seconds", node_class="asu")
+        assert float(gv.values.sum()) == pytest.approx(6.0)
+        assert reg.get("repro_sched_free_asus").value == 6.0
+
+
+# -------------------------------------------------------------------- oracle
+class TestOracle:
+    def test_memoization(self):
+        o = ServiceOracle()
+        spec = JobSpec(app="filterscan", n_records=512)
+        p = serve_params().with_(n_asus=2, n_hosts=1, host_clock_multipliers=None)
+        t1 = o.makespan(spec, p)
+        assert o.n_emulations == 1
+        t2 = o.makespan(spec, p)
+        assert t2 == t1 and o.n_emulations == 1
+
+    def test_noncheckpointable_resume_rejected(self):
+        o = ServiceOracle()
+        spec = JobSpec(app="rtree", n_records=128)
+        p = serve_params().with_(n_asus=2, n_hosts=1, host_clock_multipliers=None)
+        with pytest.raises(ValueError, match="not checkpointable"):
+            o.makespan(spec, p, crash_instants=(0.01,))
+
+    def test_dsmsort_preempted_resume_measured(self):
+        """A preempted sort's resume is shorter than a cold run (manifest
+        progress survives), and the replayed result still verifies."""
+        o = ServiceOracle()
+        spec = JobSpec(app="dsmsort", n_records=1024)
+        p = serve_params().with_(n_asus=2, n_hosts=1, host_clock_multipliers=None)
+        cold = o.makespan(spec, p)
+        resumed = o.makespan(spec, p, crash_instants=(0.6 * cold,))
+        assert 0.0 < resumed < cold
+
+
+# ----------------------------------------------------------------- scheduler
+def _arrival(t, tenant, app="filterscan", n=512, priority=0, need=None,
+             seed=0):
+    spec = JobSpec(
+        app=app, n_records=n, priority=priority, seed=seed,
+        need=need if need is not None else ResourceNeed(n_asus=2, n_hosts=1),
+    )
+    return Arrival(t=t, spec=spec, tenant=tenant, template=f"{tenant}-{app}")
+
+
+class TestScheduler:
+    def test_accounting_invariant(self):
+        sched = Scheduler(serve_params(), list(_tenants().values()), "fifo")
+        arrivals = [_arrival(0.01 * i, "a" if i % 2 else "b") for i in range(8)]
+        out = sched.run(arrivals)
+        states = [j.state for j in out.jobs]
+        assert states.count(JobState.DONE) == 8
+        assert out.makespan > 0
+        # every queue-depth sample was recorded at an event
+        assert len(out.depth_samples) >= 8
+
+    def test_oversize_need_rejected(self):
+        sched = Scheduler(serve_params(), list(_tenants().values()), "fifo")
+        big = _arrival(0.0, "a", need=ResourceNeed(n_asus=64, n_hosts=64))
+        out = sched.run([big])
+        assert out.jobs[0].state == JobState.REJECTED
+        assert "exceeds fleet" in out.jobs[0].reason
+
+    def test_backpressure_rejects_past_quota(self):
+        tenants = [Tenant("a", quota=Quota(max_queued=2, max_running=1))]
+        sched = Scheduler(serve_params(), tenants, "fifo")
+        # 6 near-simultaneous arrivals, 1 running slot, 2 queue slots
+        out = sched.run([_arrival(0.0001 * i, "a", n=2048) for i in range(6)])
+        assert out.n_rejected > 0
+        done = [j for j in out.jobs if j.state == JobState.DONE]
+        rejected = [j for j in out.jobs if j.state == JobState.REJECTED]
+        assert len(done) + len(rejected) == 6
+
+    def test_priority_preempts_checkpointable(self):
+        """A high-priority arrival evicts the running sort; the sort's
+        progress survives (checkpoint-assisted) and both complete."""
+        tenants = [Tenant("lo"), Tenant("hi")]
+        fleet = serve_params()
+        whole = ResourceNeed(n_asus=6, n_hosts=3)
+        sort = _arrival(0.0, "lo", app="dsmsort", n=2048, priority=0, need=whole)
+        probe = Scheduler(fleet, tenants, "fifo")
+        t_sort = probe.run([sort]).makespan
+        urgent = _arrival(0.5 * t_sort, "hi", app="rtree", n=128, priority=5,
+                          need=whole)
+        sched = Scheduler(fleet, tenants, "priority", preempt=True)
+        out = sched.run([sort, urgent])
+        by_id = {j.job_id: j for j in out.jobs}
+        lo = [j for j in out.jobs if j.tenant == "lo"][0]
+        hi = [j for j in out.jobs if j.tenant == "hi"][0]
+        assert out.n_preempted == 1
+        assert lo.n_preemptions == 1 and len(lo.crash_instants) == 1
+        assert lo.state == JobState.DONE and hi.state == JobState.DONE
+        assert hi.finish_t < lo.finish_t
+        # the preempted sort did NOT restart from scratch: total occupancy
+        # is less than two cold runs
+        assert lo.occupied < 2 * t_sort
+        assert by_id[lo.job_id].epoch == 1  # stale finish event invalidated
+
+    def test_priority_kills_and_requeues_noncheckpointable(self):
+        tenants = [Tenant("lo"), Tenant("hi")]
+        fleet = serve_params()
+        whole = ResourceNeed(n_asus=6, n_hosts=3)
+        scan = _arrival(0.0, "lo", app="filterscan", n=4096, priority=0,
+                        need=whole)
+        probe = Scheduler(fleet, tenants, "fifo")
+        t_scan = probe.run([scan]).makespan
+        urgent = _arrival(0.5 * t_scan, "hi", app="rtree", n=128, priority=5,
+                          need=whole)
+        sched = Scheduler(fleet, tenants, "priority", preempt=True)
+        out = sched.run([scan, urgent])
+        lo = [j for j in out.jobs if j.tenant == "lo"][0]
+        assert out.n_restarted == 1 and lo.n_restarts == 1
+        assert lo.state == JobState.DONE
+        # lost work is visible: occupancy exceeds one clean run
+        assert lo.occupied > t_scan
+
+    def test_restart_budget_exhaustion_fails_job(self):
+        tenants = [Tenant("lo"), Tenant("hi")]
+        fleet = serve_params()
+        whole = ResourceNeed(n_asus=6, n_hosts=3)
+        scan = _arrival(0.0, "lo", app="filterscan", n=8192, priority=0,
+                        need=whole)
+        probe = Scheduler(fleet, tenants, "fifo")
+        t_scan = probe.run([scan]).makespan
+        # a drumbeat of urgent jobs, spaced so the scan re-dispatches (from
+        # scratch) between them and each one lands mid-segment again
+        urgents = [
+            _arrival((0.4 + 0.7 * i) * t_scan, "hi", app="rtree", n=128,
+                     priority=5, need=whole, seed=i)
+            for i in range(4)
+        ]
+        sched = Scheduler(
+            fleet, tenants, "priority", preempt=True,
+            restart_budget=RestartBudget(max_restarts=1, backoff0=1e-4,
+                                         backoff_cap=1e-3),
+        )
+        out = sched.run([scan] + urgents)
+        lo = [j for j in out.jobs if j.tenant == "lo"][0]
+        assert lo.state == JobState.FAILED
+        assert "restart budget exhausted" in lo.reason
+        assert out.n_failed == 1
+
+    def test_fifo_and_fair_identical_when_unsaturated(self):
+        """Below saturation every policy serves everything promptly."""
+        arrivals = [_arrival(0.5 * i, "a" if i % 2 else "b") for i in range(6)]
+        outs = {}
+        for pol in ("fifo", "fair"):
+            sched = Scheduler(serve_params(), list(_tenants().values()), pol)
+            outs[pol] = sched.run(arrivals)
+        assert outs["fifo"].makespan == pytest.approx(outs["fair"].makespan)
+
+
+# ------------------------------------------------- job-id metric namespacing
+class TestJobNamespacing:
+    def test_two_supervised_jobs_share_one_registry(self):
+        """Regression: two supervised sorts metering into ONE registry used
+        to clobber each other's LoadManager gauge vectors (the second job's
+        constructor reset the shared series).  With job ids every instrument
+        is namespaced and both jobs complete and verify."""
+        shared = MetricsRegistry()
+        params = chaos_params()
+        cfg = DSMConfig.for_n(1024, alpha=8, gamma=8)
+        sorts = {}
+        for jid, seed in (("job-a", 0), ("job-b", 1)):
+            s = RecoverableSort(
+                params, cfg, seed=seed, job_id=jid,
+                metrics_factory=lambda: shared,
+            )
+            sup = JobSupervisor(s, registry=shared)
+            assert sup.job_id == jid  # inherited from the sort
+            ref = RecoverableSort(params, cfg, seed=seed)
+            t_ref = ref.attempt().makespan
+            rep = sup.run(crashes=[0.5 * t_ref])
+            assert rep.completed and rep.n_crashes == 1
+            s.verify()
+            sorts[jid] = s
+        # namespaced instruments exist independently for both jobs
+        for jid in ("job-a", "job-b"):
+            gv = shared.get("repro_lm_routed_records_total", job=jid)
+            assert gv is not None and float(gv.values.sum()) > 0
+            att = shared.get("repro_supervisor_attempts_total", job=jid)
+            assert att is not None and att.value == 2.0
+            cr = shared.get("repro_supervisor_crashes_total", job=jid)
+            assert cr is not None and cr.value == 1.0
+
+    def test_no_job_label_without_job_id(self):
+        """Single-job runs stay exactly as before: no job= label anywhere."""
+        reg = MetricsRegistry()
+        params = chaos_params()
+        cfg = DSMConfig.for_n(512, alpha=4, gamma=8)
+        job = DsmSortJob(params, cfg, seed=0, metrics=reg)
+        job.run_pass1()
+        job.run_pass2()
+        job.verify()
+        assert len(reg) > 0
+        for inst in reg.instruments():
+            assert "job" not in inst.labels, inst.key
+
+    def test_dsmsort_job_label_applied(self):
+        reg = MetricsRegistry()
+        params = chaos_params()
+        cfg = DSMConfig.for_n(512, alpha=4, gamma=8)
+        job = DsmSortJob(params, cfg, seed=0, metrics=reg, job_id="x1")
+        job.run_pass1()
+        job.run_pass2()
+        job.verify()
+        assert reg.get("repro_lm_routed_records_total", job="x1") is not None
+        # every instrument the job created carries its namespace
+        labelled = [
+            inst for inst in reg.instruments() if inst.labels.get("job") == "x1"
+        ]
+        assert labelled, "job-labelled instruments missing"

@@ -1,0 +1,160 @@
+"""End-to-end serving tests: determinism of the ServeReport, fairness and
+starvation behaviour at saturation, and the `repro serve` CLI."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.sched import (
+    JobTemplate,
+    Quota,
+    ResourceNeed,
+    Tenant,
+    jain_index,
+    run_serve,
+)
+
+# a compact sweep: well under / well past saturation, all three policies
+LOADS = (0.6, 3.0)
+N_JOBS = 40
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_serve(n_jobs=N_JOBS, load_factors=LOADS)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical(self, report):
+        again = run_serve(n_jobs=N_JOBS, load_factors=LOADS)
+        assert report.to_json() == again.to_json()
+
+    def test_different_seed_differs(self, report):
+        other = run_serve(n_jobs=N_JOBS, load_factors=LOADS, seed=7)
+        assert report.to_json() != other.to_json()
+
+    def test_json_round_trips(self, report):
+        d = json.loads(report.to_json())
+        assert d["schema_version"] == report.schema_version
+        assert len(d["cells"]) == len(LOADS) * 3
+
+
+class TestServeOutcome:
+    def test_all_jobs_accounted(self, report):
+        for c in report.cells:
+            assert (
+                c["n_completed"] + c["n_rejected"] + c["n_failed"] == c["n_jobs"]
+            ), c["policy"]
+
+    def test_under_load_everything_completes(self, report):
+        for c in report.cells:
+            if c["load_factor"] < 1.0:
+                assert c["n_completed"] == c["n_jobs"]
+                assert c["n_rejected"] == 0
+
+    def test_saturation_queues_grow(self, report):
+        lo = report.cell("fifo", report.cells[0]["rate"])
+        hi = [c for c in report.cells
+              if c["policy"] == "fifo" and c["load_factor"] == max(LOADS)][0]
+        assert hi["queue_depth_p90"] > lo["queue_depth_p90"]
+
+    def test_fair_beats_fifo_on_jain_at_saturation(self, report):
+        """The tentpole's headline: share-weighted DRR keeps goodput
+        proportional to shares when a flooding tenant saturates the
+        platform; FIFO drains the flood in arrival order."""
+        top = max(LOADS)
+        fifo = [c for c in report.cells
+                if c["policy"] == "fifo" and c["load_factor"] == top][0]
+        fair = [c for c in report.cells
+                if c["policy"] == "fair" and c["load_factor"] == top][0]
+        assert fair["jain_fairness"] > fifo["jain_fairness"] + 0.05
+
+    def test_priority_protects_slo_tenant(self, report):
+        """webapp (priority 2, tight SLO) should meet its deadlines under
+        the priority policy even at saturation."""
+        top = max(LOADS)
+        prio = [c for c in report.cells
+                if c["policy"] == "priority" and c["load_factor"] == top][0]
+        assert prio["slo_attainment"] is not None
+        assert prio["slo_attainment"] >= 0.9
+
+
+class TestStarvation:
+    def test_fair_share_runs_every_admitted_tenant(self):
+        """Under a 10:1 flood, fair share still eventually completes every
+        admitted quiet-tenant job — nobody starves."""
+        tenants = [
+            Tenant("quiet", share=1.0, quota=Quota(max_queued=16, max_running=2)),
+            Tenant("flood", share=1.0, quota=Quota(max_queued=64, max_running=4)),
+        ]
+        need = ResourceNeed(n_asus=2, n_hosts=1)
+        mix = [
+            JobTemplate("quiet-sort", "quiet", "dsmsort", 1024, need=need,
+                        weight=1.0),
+            JobTemplate("flood-scan", "flood", "filterscan", 4096, need=need,
+                        weight=10.0),
+        ]
+        r = run_serve(
+            tenants=tenants, mix=mix, policies=("fair",), load_factors=(4.0,),
+            n_jobs=60,
+        )
+        cell = r.cells[0]
+        for name, t in cell["per_tenant"].items():
+            admitted = t["submitted"] - t["rejected"]
+            if admitted > 0:
+                assert t["completed"] == admitted, f"{name} starved"
+
+    def test_priority_aging_prevents_starvation(self):
+        """Low-priority work still completes under a high-priority flood
+        because waiting raises effective priority."""
+        tenants = [
+            Tenant("low", share=1.0, quota=Quota(max_queued=16, max_running=2)),
+            Tenant("high", share=1.0, quota=Quota(max_queued=64, max_running=4)),
+        ]
+        need = ResourceNeed(n_asus=2, n_hosts=1)
+        mix = [
+            JobTemplate("low-scan", "low", "filterscan", 2048, need=need,
+                        priority=0, weight=1.0),
+            JobTemplate("high-scan", "high", "filterscan", 4096, need=need,
+                        priority=5, weight=10.0),
+        ]
+        r = run_serve(
+            tenants=tenants, mix=mix, policies=("priority",),
+            load_factors=(4.0,), n_jobs=60,
+        )
+        t = r.cells[0]["per_tenant"]["low"]
+        assert t["completed"] >= t["submitted"] - t["rejected"] - 1
+
+
+class TestJainIndex:
+    def test_uniform_is_one(self):
+        assert jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_monopoly_is_one_over_n(self):
+        assert jain_index([9.0, 0.0, 0.0]) == pytest.approx(1.0 / 3.0)
+
+    def test_empty_and_zero(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+
+class TestServeCli:
+    def test_cli_runs_and_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "serve.json"
+        rc = main([
+            "serve", "--jobs", "12", "--loads", "0.6,2.5",
+            "--policies", "fifo,fair", "--out", str(out),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "PASS" in text and "jain" in text
+        payload = json.loads(out.read_text())
+        assert len(payload["cells"]) == 4
+
+    def test_cli_rejects_bad_loads(self, capsys):
+        assert main(["serve", "--loads", "fast"]) == 2
+        assert main(["serve", "--loads", "-1.0"]) == 2
+
+    def test_cli_rejects_bad_policy(self, capsys):
+        assert main(["serve", "--policies", "lottery"]) == 2
