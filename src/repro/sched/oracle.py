@@ -35,12 +35,23 @@ from .job import JobSpec
 __all__ = ["ServiceOracle"]
 
 
+#: apps whose emulation consumes routing hints; for everything else the
+#: hints are normalized out of the memo key so distinct wear-derived hint
+#: values on an identical (spec, slice) don't trigger redundant emulations
+_HINT_AWARE_APPS = frozenset({"dsmsort"})
+
+
 def _spec_key(spec: JobSpec, slice_shape: tuple, hints: dict) -> tuple:
-    weights = hints.get("weights")
+    if spec.app in _HINT_AWARE_APPS:
+        weights = hints.get("weights")
+        hint_key: tuple = (
+            hints.get("policy", "sr"), tuple(weights) if weights else None,
+        )
+    else:
+        hint_key = ("sr", None)
     return (
         spec.app, spec.n_records, spec.workload, spec.seed,
-        slice_shape, hints.get("policy", "sr"),
-        tuple(weights) if weights else None,
+        slice_shape, *hint_key,
     )
 
 

@@ -9,8 +9,11 @@ on its slice.  Because leases are disjoint, the per-job emulations compose
 into an exact account of the shared platform — the scheduler adds queueing
 and placement on top without approximating the jobs themselves.
 
-Preemption (priority policy, ``preempt=True``): when a queued job's
-effective priority strictly exceeds a running job's, the victim is evicted.
+Preemption (priority policy, ``preempt=True``): when a queued job's static
+priority class strictly exceeds a running job's, the victim is evicted and
+the freed capacity is handed *directly* to the preempting job — it starts in
+the same dispatch pass rather than competing in an open re-dispatch, where a
+heavily aged victim could win the slot back and be evicted again forever.
 
 * checkpointable victims (dsmsort) take a **checkpoint-assisted preemption**:
   the elapsed segment time is recorded as a crash instant and the oracle
@@ -207,8 +210,11 @@ class Scheduler:
 
             job = self.policy.select(eligible, now, placeable)
             if job is None:
-                if self.preempt and self._try_preempt(now, eligible, events, out):
-                    continue  # capacity freed: re-run the pass
+                if self.preempt:
+                    new_seq = self._try_preempt(now, eligible, events, seq, out)
+                    if new_seq is not None:
+                        seq = new_seq  # a candidate preempted and started
+                        continue
                 break
             seq = self._start(now, job, events, seq, out)
         # a backed-off job with no other trigger needs a wake event
@@ -246,14 +252,31 @@ class Scheduler:
         return seq + 1
 
     def _try_preempt(
-        self, now: float, eligible: list[Job], events: list, out: SchedOutcome
-    ) -> bool:
-        """Evict lower-priority running jobs to place the best queued job.
+        self, now: float, eligible: list[Job], events: list, seq: int,
+        out: SchedOutcome,
+    ) -> Optional[int]:
+        """Evict lower-priority running jobs and start a queued job in their
+        place.
 
-        Returns True when at least one victim was evicted and the candidate
-        now fits.  Victims are chosen lowest static priority first, newest
-        segment first, and only if the freed nodes actually reach the
-        candidate's need (no pointless evictions).
+        Candidates are tried best effective priority first, but eviction
+        itself compares STATIC priority classes only.  Aging orders the wait
+        queue (so a low class is dispatched eventually) but must not evict:
+        an aged job preempting a higher class would itself be preempted
+        right back.  The first candidate whose need is reachable by evicting
+        strictly lower classes wins — a top-ranked aged job that cannot
+        evict anyone does not block a lower-ranked high-class job from
+        preempting.
+
+        The winner is started *here*, in the freed capacity, rather than
+        left to an open re-dispatch: a requeued victim can out-age the
+        candidate under a large ``age_rate``, and letting it win the freed
+        slot back would evict it again in an endless same-instant loop.
+        Victims are chosen lowest static priority first, newest segment
+        first, and only if the freed nodes actually reach the candidate's
+        need (no pointless evictions).
+
+        Returns the advanced event sequence number when a candidate started,
+        else None.
         """
         assert isinstance(self.policy, PriorityAgingPolicy)
         cands = sorted(
@@ -262,32 +285,27 @@ class Scheduler:
                 -self.policy.effective_priority(j, now), j.arrival_t, j.job_id,
             ),
         )
-        if not cands:
-            return False
-        cand = cands[0]
-        # Eviction compares STATIC priority classes only.  Aging orders the
-        # wait queue (so a low class is dispatched eventually) but must not
-        # evict: an aged job preempting a higher class would itself be
-        # preempted right back — a same-instant livelock.
-        victims_pool = sorted(
-            (j for j in self.running if j.spec.priority < cand.spec.priority),
-            key=lambda j: (j.spec.priority, -(j.start_t or 0.0), j.job_id),
-        )
-        need = cand.spec.need
-        free_a, free_h = self.leases.free_asus, self.leases.free_hosts
-        chosen: list[Job] = []
-        for v in victims_pool:
-            if free_a >= need.n_asus and free_h >= need.n_hosts:
-                break
-            lease = self._lease_of[v.job_id]
-            free_a += lease.n_asus
-            free_h += lease.n_hosts
-            chosen.append(v)
-        if not chosen or free_a < need.n_asus or free_h < need.n_hosts:
-            return False
-        for v in chosen:
-            self._evict(now, v, out)
-        return True
+        for cand in cands:
+            victims_pool = sorted(
+                (j for j in self.running if j.spec.priority < cand.spec.priority),
+                key=lambda j: (j.spec.priority, -(j.start_t or 0.0), j.job_id),
+            )
+            need = cand.spec.need
+            free_a, free_h = self.leases.free_asus, self.leases.free_hosts
+            chosen: list[Job] = []
+            for v in victims_pool:
+                if free_a >= need.n_asus and free_h >= need.n_hosts:
+                    break
+                lease = self._lease_of[v.job_id]
+                free_a += lease.n_asus
+                free_h += lease.n_hosts
+                chosen.append(v)
+            if not chosen or free_a < need.n_asus or free_h < need.n_hosts:
+                continue
+            for v in chosen:
+                self._evict(now, v, out)
+            return self._start(now, cand, events, seq, out)
+        return None
 
     def _evict(self, now: float, job: Job, out: SchedOutcome) -> None:
         lease = self._lease_of.pop(job.job_id)

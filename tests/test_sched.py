@@ -279,6 +279,29 @@ class TestOracle:
         t2 = o.makespan(spec, p)
         assert t2 == t1 and o.n_emulations == 1
 
+    def test_hints_normalized_for_hint_blind_apps(self):
+        """filterscan/rtree ignore routing hints, so distinct wear-derived
+        hint values on an identical (spec, slice) must hit the same memo
+        entry instead of re-emulating."""
+        o = ServiceOracle()
+        p = serve_params().with_(n_asus=2, n_hosts=1, host_clock_multipliers=None)
+        for app in ("filterscan", "rtree"):
+            spec = JobSpec(app=app, n_records=256)
+            before = o.n_emulations
+            t1 = o.makespan(spec, p, hints={"policy": "sr", "weights": None})
+            t2 = o.makespan(
+                spec, p, hints={"policy": "weighted", "weights": (1.0, 1.4)}
+            )
+            assert t2 == t1
+            assert o.n_emulations == before + 1
+        # dsmsort DOES consume hints: distinct weights are distinct keys
+        p2 = serve_params().with_(n_asus=4, n_hosts=2, host_clock_multipliers=None)
+        spec = JobSpec(app="dsmsort", n_records=1024)
+        before = o.n_emulations
+        o.makespan(spec, p2, hints={"policy": "sr", "weights": None})
+        o.makespan(spec, p2, hints={"policy": "weighted", "weights": (1.0, 2.0)})
+        assert o.n_emulations == before + 2
+
     def test_noncheckpointable_resume_rejected(self):
         o = ServiceOracle()
         spec = JobSpec(app="rtree", n_records=128)
@@ -377,6 +400,67 @@ class TestScheduler:
         assert lo.state == JobState.DONE
         # lost work is visible: occupancy exceeds one clean run
         assert lo.occupied > t_scan
+
+    def test_preemption_no_livelock_under_heavy_aging(self):
+        """Regression: with a large age_rate the evicted victim's aged
+        effective priority exceeds the preemptor's, and open re-dispatch
+        used to hand the freed slot straight back to the victim — evict,
+        re-start, evict, forever at one instant.  Direct lease handoff to
+        the preempting candidate must terminate and run the urgent job
+        first."""
+        tenants = [Tenant("lo"), Tenant("hi")]
+        fleet = serve_params()
+        whole = ResourceNeed(n_asus=6, n_hosts=3)
+        sort = _arrival(0.0, "lo", app="dsmsort", n=2048, priority=0, need=whole)
+        probe = Scheduler(fleet, tenants, "fifo")
+        t_sort = probe.run([sort]).makespan
+        urgent = _arrival(0.5 * t_sort, "hi", app="rtree", n=128, priority=5,
+                          need=whole)
+        sched = Scheduler(
+            fleet, tenants, "priority", preempt=True,
+            policy_kwargs={"age_rate": 1e6},
+        )
+        out = sched.run([sort, urgent])
+        lo = [j for j in out.jobs if j.tenant == "lo"][0]
+        hi = [j for j in out.jobs if j.tenant == "hi"][0]
+        assert lo.state == JobState.DONE and hi.state == JobState.DONE
+        assert out.n_preempted == 1 and lo.n_preemptions == 1
+        # the urgent job took the freed slot at the preemption instant
+        assert hi.first_start_t == pytest.approx(hi.arrival_t)
+        assert hi.finish_t < lo.finish_t
+
+    def test_lower_ranked_high_class_candidate_still_preempts(self):
+        """Regression: when the top effective-priority candidate is an aged
+        low-class job that cannot evict anyone, a lower-ranked high-class
+        candidate must still get to preempt instead of waiting for an
+        unrelated event."""
+        tenants = [Tenant("mid"), Tenant("aged"), Tenant("hi")]
+        fleet = serve_params()
+        whole = ResourceNeed(n_asus=6, n_hosts=3)
+        running = _arrival(0.0, "mid", app="dsmsort", n=2048, priority=2,
+                           need=whole)
+        probe = Scheduler(fleet, tenants, "fifo")
+        t_run = probe.run([running]).makespan
+        # class 0, queued from almost the start: by 0.5*t_run its aged
+        # effective priority dwarfs the fresh class-5 arrival's...
+        aged = _arrival(0.01 * t_run, "aged", app="filterscan", n=512,
+                        priority=0, need=whole)
+        # ...but it cannot evict the class-2 running job; the class-5 can.
+        urgent = _arrival(0.5 * t_run, "hi", app="rtree", n=128, priority=5,
+                          need=whole)
+        sched = Scheduler(
+            fleet, tenants, "priority", preempt=True,
+            policy_kwargs={"age_rate": 1e6},
+        )
+        out = sched.run([running, aged, urgent])
+        by_tenant = {j.tenant: j for j in out.jobs}
+        assert all(j.state == JobState.DONE for j in out.jobs)
+        assert out.n_preempted == 1
+        assert by_tenant["mid"].n_preemptions == 1
+        # the high class preempted at its arrival instant despite ranking
+        # below the aged job on effective priority
+        hi = by_tenant["hi"]
+        assert hi.first_start_t == pytest.approx(hi.arrival_t)
 
     def test_restart_budget_exhaustion_fails_job(self):
         tenants = [Tenant("lo"), Tenant("hi")]
