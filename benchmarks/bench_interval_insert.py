@@ -1,0 +1,49 @@
+"""Microbench: amortized out-of-order IntervalAccumulator.insert.
+
+Modelled spans are back-dated from their completion instant
+(``BusyTracker.add_span`` / ``add_interval``), so busy intervals arrive out
+of start order.  The former eager splice — ``bisect`` + ``list.insert`` +
+prefix-max rebuild from the splice point — cost O(depth) per insert, where
+depth is how far back the span's start lands.  Shallow back-dating is cheap,
+but long modelled spans against a slowly advancing clock (queued write-behind
+reservations, overlapping transfers) make depth grow with run length and the
+accounting quadratic: ~3.5 s for 32k deep inserts versus ~45 ms with the
+pending-buffer lazy merge (~76x on the measurement machine, and growing with
+n).  This bench times that deep-back-dating pattern end to end, query
+included.
+
+No BENCH_*.json is written: wall time is machine-dependent, so this bench
+participates in the wall-clock smoke numbers (``--benchmark-json``) but not
+in the byte-identity regress gate.
+"""
+
+import random
+
+from conftest import bench_n
+
+from repro.util.stats import IntervalAccumulator
+
+N_INSERTS = bench_n(20_000, 200_000)
+
+
+def run_insert_storm(n: int, seed: int = 11, span: float = 200.0) -> float:
+    """n deeply back-dated inserts then one series query.
+
+    Each span ends at an advancing frontier but may have started anywhere in
+    the last ``span`` time units — the splice depth the eager implementation
+    paid per insert grows with n under this pattern.
+    """
+    rng = random.Random(seed)
+    acc = IntervalAccumulator()
+    t = 0.0
+    for _ in range(n):
+        t += rng.uniform(0.0, 0.1)
+        dur = rng.uniform(0.0, span)
+        acc.insert(max(0.0, t - dur), t)
+    # One query pays the single lazy merge.
+    return acc.busy_in(0.0, t)
+
+
+def test_interval_insert_storm(once):
+    busy = once(run_insert_storm, N_INSERTS)
+    assert busy > 0.0

@@ -16,6 +16,22 @@ def bench_n(quick: int, full: int) -> int:
     return full if SCALE == "full" else quick
 
 
+def bench_workers() -> int:
+    """Worker processes for multi-seed sweeps inside benchmarks.
+
+    Benchmarks time wall-clock, so they stay **serial by default** — one
+    process gives comparable numbers across machines.  Set
+    ``REPRO_BENCH_WORKERS`` to fan seed sweeps out via
+    :func:`repro.bench.parallel.parallel_map` (results are merged in seed
+    order, so every BENCH_*.json stays byte-identical at any worker count).
+    """
+    if os.environ.get("REPRO_BENCH_WORKERS"):
+        from repro.bench.parallel import resolve_workers
+
+        return resolve_workers(None)
+    return 1
+
+
 @pytest.fixture
 def once(benchmark):
     """Run the benched callable exactly once (emulations are deterministic)."""

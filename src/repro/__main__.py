@@ -83,6 +83,12 @@ def main(argv: list[str] | None = None) -> int:
         help="chaos: skip the retries-disabled loss demonstration",
     )
     parser.add_argument(
+        "--workers", type=int, default=None, metavar="W",
+        help="chaos/recover: worker processes for the seed sweep (default "
+        "REPRO_BENCH_WORKERS or the CPU count; results are merged in seed "
+        "order, so the report is identical for any worker count)",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=80, metavar="N",
         help="serve: submissions per offered-load level (default 80)",
     )
@@ -158,6 +164,7 @@ def _run_chaos(args, n: int) -> int:
         negative_control=not args.no_negative_control,
         seed0=args.seed0,
         progress=print,
+        workers=args.workers,
     )
     out = args.out or "chaos_report.json"
     report.write(out)
@@ -165,6 +172,39 @@ def _run_chaos(args, n: int) -> int:
     print(report.render())
     print(f"wrote chaos report to {out}")
     return 0 if report.ok else 1
+
+
+def _recover_case(task: tuple) -> dict:
+    """One supervised kill/resume case — module-level so it pickles.
+
+    Byte-identity against the reference output is checked by SHA-256
+    digest, so the (potentially remote) worker never needs the reference
+    array itself.
+    """
+    import hashlib
+
+    from .recovery.checkpoint import RecoverableSort
+    from .recovery.supervisor import RestartBudget
+
+    params, cfg, seed, frac, t0, ref_digest = task
+    sort = RecoverableSort(params, cfg, seed=seed, policy="sr")
+    rep = sort.run_supervised(
+        crashes=[frac * t0], budget=RestartBudget(max_restarts=3)
+    )
+    identical = bool(
+        rep.completed
+        and hashlib.sha256(sort.output().tobytes()).hexdigest() == ref_digest
+    )
+    return {
+        "crash_frac": frac,
+        "crash_at": frac * t0,
+        "completed": bool(rep.completed),
+        "n_attempts": rep.n_attempts,
+        "n_crashes": rep.n_crashes,
+        "total_virtual_time": rep.total_virtual_time,
+        "manifest_bytes": int(sort.manifest.bytes_logged),
+        "byte_identical": identical,
+    }
 
 
 def _run_recover(args, n: int) -> int:
@@ -179,12 +219,10 @@ def _run_recover(args, n: int) -> int:
     import hashlib
     import json
 
-    import numpy as np
-
+    from .bench.parallel import parallel_map
     from .bench.report import SCHEMA_VERSION, render_table
     from .core.config import DSMConfig
     from .recovery.checkpoint import RecoverableSort
-    from .recovery.supervisor import RestartBudget
     from .resilience.chaos import chaos_params
 
     n = min(n, 1 << 14)  # K supervised two-pass sorts; keep the sweep fast
@@ -200,29 +238,20 @@ def _run_recover(args, n: int) -> int:
     print(f"reference: {n} records in {t0:.4f}s, sha256={digest[:16]}")
 
     k = max(1, args.seeds)
-    rows, cases = [], []
-    for i in range(k):
-        frac = (i + 1) / (k + 1)
-        sort = RecoverableSort(params, cfg, seed=args.seed, policy="sr")
-        rep = sort.run_supervised(
-            crashes=[frac * t0], budget=RestartBudget(max_restarts=3)
-        )
-        identical = bool(rep.completed and np.array_equal(out_ref, sort.output()))
-        resume = rep.total_virtual_time - frac * t0
-        cases.append({
-            "crash_frac": frac,
-            "crash_at": frac * t0,
-            "completed": bool(rep.completed),
-            "n_attempts": rep.n_attempts,
-            "n_crashes": rep.n_crashes,
-            "total_virtual_time": rep.total_virtual_time,
-            "manifest_bytes": int(sort.manifest.bytes_logged),
-            "byte_identical": identical,
-        })
+    tasks = [
+        (params, cfg, args.seed, (i + 1) / (k + 1), t0, digest)
+        for i in range(k)
+    ]
+    # Every case is an independent supervised run; fan out across worker
+    # processes, merging in kill-fraction order (deterministic report).
+    cases = parallel_map(_recover_case, tasks, workers=args.workers)
+    rows = []
+    for case in cases:
+        resume = case["total_virtual_time"] - case["crash_at"]
         rows.append([
-            f"{frac:.2f}", f"{frac * t0:.4f}", rep.n_attempts,
-            f"{rep.total_virtual_time:.4f}", f"{resume:.4f}",
-            "yes" if identical else "NO",
+            f"{case['crash_frac']:.2f}", f"{case['crash_at']:.4f}",
+            case["n_attempts"], f"{case['total_virtual_time']:.4f}",
+            f"{resume:.4f}", "yes" if case["byte_identical"] else "NO",
         ])
     print()
     print(render_table(

@@ -2,6 +2,7 @@
 
 from .fig9 import FIG9_ALPHAS, FIG9_ASU_COUNTS, Figure9Result, fig9_params, run_figure9
 from .fig10 import Figure10Result, fig10_params, run_figure10
+from .parallel import parallel_map, resolve_workers
 from .report import ascii_plot, render_series_table, render_table
 from .sweeps import SweepResult, sweep_c, sweep_gamma_split, sweep_routing
 
@@ -15,8 +16,10 @@ __all__ = [
     "fig10_params",
     "run_figure10",
     "ascii_plot",
+    "parallel_map",
     "render_series_table",
     "render_table",
+    "resolve_workers",
     "SweepResult",
     "sweep_c",
     "sweep_gamma_split",

@@ -1,0 +1,157 @@
+"""Warn-only wall-clock smoke check for the benchmark suite.
+
+The byte-identity gate (:mod:`repro.bench.regress`) pins *what* the emulator
+computes; this module watches *how long* it takes.  Wall time is inherently
+machine- and load-dependent (±15% run-to-run noise is normal on shared CI
+runners), so this check never fails a build — it prints ``WARN`` lines for
+benches slower than ``factor`` × baseline and always exits 0.  The hard
+wall-clock *budget* is enforced separately: CI runs the bench suite under
+``timeout``, so a pathological slowdown (e.g. an accidentally quadratic
+accounting path) still fails loudly.
+
+Two modes:
+
+* ``--snapshot <pytest-benchmark json> --out <file>`` — distill a
+  ``--benchmark-json`` dump into the committed ``BENCH_wallclock.json``
+  baseline (bench name → mean seconds, plus machine context).
+* ``--baseline <file> --candidate <pytest-benchmark json>`` — compare a
+  fresh dump against the committed baseline, warn on slowdowns.
+
+The baseline lives at ``benchmarks/BENCH_wallclock.json`` — deliberately
+**outside** ``benchmarks/baseline/``, which the byte-identity gate globs
+(a timing file there would demand a deterministic fresh counterpart).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Optional
+
+__all__ = ["load_times", "snapshot", "compare", "main"]
+
+WALLCLOCK_SCHEMA_VERSION = 1
+DEFAULT_FACTOR = 1.5
+
+
+def load_times(pytest_benchmark_json: str) -> dict[str, float]:
+    """Extract {bench name: mean seconds} from a ``--benchmark-json`` dump."""
+    with open(pytest_benchmark_json) as fh:
+        payload = json.load(fh)
+    return {
+        b["name"]: float(b["stats"]["mean"])
+        for b in payload.get("benchmarks", [])
+    }
+
+
+def snapshot(pytest_benchmark_json: str, note: str = "") -> dict:
+    """Build a committable wall-clock baseline payload."""
+    with open(pytest_benchmark_json) as fh:
+        payload = json.load(fh)
+    machine = payload.get("machine_info", {})
+    return {
+        "schema_version": WALLCLOCK_SCHEMA_VERSION,
+        "note": note
+        or "Mean wall-clock seconds per bench; advisory only (warn-only check).",
+        "machine": {
+            "cpu_count": machine.get("cpu", {}).get("count")
+            if isinstance(machine.get("cpu"), dict)
+            else os.cpu_count(),
+            "python": machine.get("python_version"),
+        },
+        "benches": {
+            name: round(secs, 4)
+            for name, secs in sorted(load_times(pytest_benchmark_json).items())
+        },
+    }
+
+
+def compare(
+    baseline: dict, fresh: dict[str, float], factor: float = DEFAULT_FACTOR
+) -> list[str]:
+    """Return human-readable lines; slowdown lines are prefixed ``WARN``."""
+    lines: list[str] = []
+    base_benches: dict[str, float] = baseline.get("benches", {})
+    for name in sorted(set(base_benches) | set(fresh)):
+        if name not in fresh:
+            lines.append(f"WARN {name}: in baseline but not in this run")
+            continue
+        if name not in base_benches:
+            lines.append(f"new  {name}: {fresh[name]:.3f}s (no baseline)")
+            continue
+        base_t, cand_t = base_benches[name], fresh[name]
+        ratio = cand_t / base_t if base_t > 0 else float("inf")
+        verdict = "WARN" if ratio > factor else "ok  "
+        lines.append(
+            f"{verdict} {name}: {cand_t:.3f}s vs baseline {base_t:.3f}s "
+            f"({ratio:.2f}x, threshold {factor:.2f}x)"
+        )
+    return lines
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.bench.wallclock",
+        description="Warn-only wall-clock comparison for the bench suite.",
+    )
+    ap.add_argument(
+        "--snapshot", metavar="PYTEST_JSON",
+        help="distill a --benchmark-json dump into a committable baseline",
+    )
+    ap.add_argument(
+        "--out", default="benchmarks/BENCH_wallclock.json",
+        help="where --snapshot writes the baseline",
+    )
+    ap.add_argument(
+        "--baseline", default="benchmarks/BENCH_wallclock.json",
+        help="committed wall-clock baseline to compare against",
+    )
+    ap.add_argument(
+        "--candidate", metavar="PYTEST_JSON",
+        help="fresh --benchmark-json dump to check",
+    )
+    ap.add_argument(
+        "--factor", type=float, default=DEFAULT_FACTOR,
+        help=f"warn when candidate > factor x baseline (default {DEFAULT_FACTOR})",
+    )
+    args = ap.parse_args(argv)
+
+    if args.snapshot:
+        payload = snapshot(args.snapshot)
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wallclock: wrote {args.out} ({len(payload['benches'])} benches)")
+        return 0
+
+    if not args.candidate:
+        ap.error("either --snapshot or --candidate is required")
+    if not os.path.isfile(args.baseline):
+        print(
+            f"wallclock: no baseline at {args.baseline!r} — skipping "
+            "(run with --snapshot to create one)"
+        )
+        return 0
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    if baseline.get("schema_version") != WALLCLOCK_SCHEMA_VERSION:
+        print(
+            f"wallclock: baseline schema {baseline.get('schema_version')!r} != "
+            f"{WALLCLOCK_SCHEMA_VERSION} — skipping"
+        )
+        return 0
+    lines = compare(baseline, load_times(args.candidate), factor=args.factor)
+    for line in lines:
+        print(line)
+    n_warn = sum(1 for line in lines if line.startswith("WARN"))
+    print(
+        f"wallclock: {n_warn} warning(s); advisory only, exit 0 "
+        "(hard budget is the CI timeout)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,7 @@ from ..emulator.params import SystemParams
 from ..emulator.platform import ActivePlatform
 from ..functors.distribute import DistributeFunctor
 from ..util.distributions import make_workload
-from ..util.records import concat_records
+from ..util.records import concat_records, sort_records
 from ..util.rng import RngRegistry
 from ..util.validation import check_sorted_permutation
 from .runtime import _EOF
@@ -100,14 +100,19 @@ class OffloadedDsmSort:
             asu = plat.asus[d]
             data = self.asu_data[d]
             blocks = [data[s : s + blk] for s in range(0, data.shape[0], blk)]
-            ra = ReadAhead(plat, asu, [b.shape[0] * rs for b in blocks])
+            # Batched charge paths over the stripe (see runtime._asu_producer).
+            sizes = np.array([b.shape[0] for b in blocks], dtype=np.int64)
+            stripe_bytes = sizes * rs
+            staging_cycles = stripe_bytes * self.params.cycles_per_io_byte
+            dist_cycles = self.dist.cost_cycles_batch(sizes, self.params)
+            ra = ReadAhead(plat, asu, stripe_bytes.tolist())
             for i, block in enumerate(blocks):
                 yield ra.wait_next()
-                staging = block.shape[0] * rs * self.params.cycles_per_io_byte
+                staging = staging_cycles[i]
                 if staging:
                     yield from asu.cpu.execute(cycles=staging)
                 pieces = yield from asu.compute(
-                    cycles=self.dist.cost_cycles(block.shape[0], self.params),
+                    cycles=dist_cycles[i],
                     fn=self.dist.apply,
                     args=(block,),
                 )
@@ -183,7 +188,7 @@ class OffloadedDsmSort:
     def _sort_and_store(self, asu, d, bucket, batch, sort_cpr, rs):
         run = yield from asu.compute(
             cycles=batch.shape[0] * sort_cpr,
-            fn=lambda b: np.sort(b, order="key", kind="stable"),
+            fn=sort_records,
             args=(batch,),
         )
         yield from asu.disk_write(run.shape[0] * rs)
@@ -202,6 +207,6 @@ class OffloadedDsmSort:
                 per_bucket[bucket].append(run)
         for bucket in sorted(per_bucket):
             joined = concat_records(per_bucket[bucket], self.params.schema)
-            pieces.append(np.sort(joined, order="key", kind="stable"))
+            pieces.append(sort_records(joined))
         out = concat_records(pieces, self.params.schema)
         check_sorted_permutation(all_in, out)

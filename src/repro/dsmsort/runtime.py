@@ -47,7 +47,7 @@ from ..resilience.breaker import BreakerBoard
 from ..resilience.channel import REL, ReliableEndpoint, RetryPolicy
 from ..resilience.io import read_resilient
 from ..util.distributions import make_workload
-from ..util.records import concat_records
+from ..util.records import concat_records, sort_records
 from ..util.rng import RngRegistry
 from ..util.validation import check_sorted_permutation
 
@@ -465,17 +465,23 @@ class DsmSortJob:
         data = self.asu_data[d]
         H = self.params.n_hosts
         blocks = [data[s : s + blk] for s in range(0, data.shape[0], blk)]
-        ra = ReadAhead(plat, asu, [b.shape[0] * rs for b in blocks])
+        # The whole block stripe moves through the charge models as one
+        # NumPy op each (bit-identical per element to the scalar paths).
+        sizes = np.array([b.shape[0] for b in blocks], dtype=np.int64)
+        stripe_bytes = sizes * rs
+        staging_cycles = stripe_bytes * self.params.cycles_per_io_byte
+        dist_cycles = self.dist.cost_cycles_batch(sizes, self.params)
+        ra = ReadAhead(plat, asu, stripe_bytes.tolist())
         for i, block in enumerate(blocks):
             yield ra.wait_next()
             if self.active:
                 # Buffer-staging CPU cost of the read, then the distribute.
                 t0 = plat.sim.now
-                staging = block.shape[0] * rs * self.params.cycles_per_io_byte
+                staging = staging_cycles[i]
                 if staging:
                     yield from asu.cpu.execute(cycles=staging)
                 pieces = yield from asu.compute(
-                    cycles=self.dist.cost_cycles(block.shape[0], self.params),
+                    cycles=dist_cycles[i],
                     fn=self.dist.apply,
                     args=(block,),
                 )
@@ -568,7 +574,7 @@ class DsmSortJob:
         t0 = plat.sim.now
         run = yield from host.compute(
             cycles=batch.shape[0] * sort_cpr,
-            fn=lambda b: np.sort(b, order="key", kind="stable"),
+            fn=sort_records,
             args=(batch,),
         )
         self.load_manager.complete(h, batch.shape[0])
@@ -860,8 +866,13 @@ class DsmSortJob:
         pending = [
             i for i in range(len(blocks)) if (shard, i) not in self._blocks_complete
         ]
+        # Batched charge paths over the pending stripe (see _asu_producer).
+        sizes = np.array([b.shape[0] for b in blocks], dtype=np.int64)
+        stripe_bytes = sizes * rs
+        staging_cycles = stripe_bytes * self.params.cycles_per_io_byte
+        dist_cycles = self.dist.cost_cycles_batch(sizes, self.params)
         if ep is None:
-            ra = ReadAhead(plat, asu, [blocks[i].shape[0] * rs for i in pending])
+            ra = ReadAhead(plat, asu, [int(stripe_bytes[i]) for i in pending])
         else:
             # Reliable mode reads sequentially through the retry wrapper: a
             # transient disk-fault window stalls this producer (bounded
@@ -878,13 +889,13 @@ class DsmSortJob:
             if (shard, i) in self._blocks_complete:
                 continue
             if ra is None:
-                yield from read_resilient(plat.sim, asu.disk, block.shape[0] * rs)
+                yield from read_resilient(plat.sim, asu.disk, int(stripe_bytes[i]))
             t0 = plat.sim.now
-            staging = block.shape[0] * rs * self.params.cycles_per_io_byte
+            staging = staging_cycles[i]
             if staging:
                 yield from asu.cpu.execute(cycles=staging)
             pieces = yield from asu.compute(
-                cycles=self.dist.cost_cycles(block.shape[0], self.params),
+                cycles=dist_cycles[i],
                 fn=self.dist.apply,
                 args=(block,),
             )
@@ -1071,7 +1082,7 @@ class DsmSortJob:
         t0 = plat.sim.now
         run = yield from host.compute(
             cycles=batch.shape[0] * sort_cpr,
-            fn=lambda b: np.sort(b, order="key", kind="stable"),
+            fn=sort_records,
             args=(batch,),
         )
         self.load_manager.complete(h, batch.shape[0])

@@ -14,6 +14,11 @@ from __future__ import annotations
 
 from typing import Any, Callable, Hashable, Optional
 
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - transfer_time_batch degrades to lists
+    np = None
+
 from ..sim import Simulator, Store
 
 __all__ = ["Link", "Network", "Message"]
@@ -83,6 +88,22 @@ class Link:
         if tracer is not None and self.name and tx_done > start:
             tracer.span(start, tx_done, self.name, "tx", cat="link")
         return tx_done, tx_done + self.latency
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Unloaded wire time for one message: transmission plus latency."""
+        return nbytes / self.bandwidth + self.latency
+
+    def transfer_time_batch(self, nbytes):
+        """Vectorized :meth:`transfer_time` over a stripe of message sizes.
+
+        Bit-identical per element to the scalar path (same divide, same
+        add); plain-list fallback when NumPy is unavailable.  Unloaded times
+        only — queueing behind earlier messages is the timeline's job
+        (:meth:`reserve`).
+        """
+        if np is None:  # pragma: no cover - exercised via the fallback tests
+            return [n / self.bandwidth + self.latency for n in nbytes]
+        return np.asarray(nbytes, dtype=np.float64) / self.bandwidth + self.latency
 
 
 class Network:

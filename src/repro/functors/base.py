@@ -18,7 +18,10 @@ from __future__ import annotations
 import abc
 import math
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - record batches degrade to lists
+    np = None
 
 from ..emulator.params import SystemParams
 
@@ -70,6 +73,23 @@ class Functor(abc.ABC):
         return n_records * (
             cpr * params.cycles_per_compare + params.cycles_per_record
         )
+
+    def cost_cycles_batch(self, n_records, params: SystemParams):
+        """Vectorized :meth:`cost_cycles` over an array of batch sizes.
+
+        Evaluates the same expression with the same operand grouping, so
+        each element is bit-identical to the scalar path.  Returns a NumPy
+        array (or a plain list when NumPy is unavailable).
+        """
+        cpr = self.compares_per_record()
+        if math.isinf(cpr):
+            raise FunctorError(
+                f"{self.name}: unbounded per-record cost cannot be scheduled"
+            )
+        per_record = cpr * params.cycles_per_compare + params.cycles_per_record
+        if np is None:  # pragma: no cover - exercised via the fallback tests
+            return [n * per_record for n in n_records]
+        return np.asarray(n_records, dtype=np.float64) * per_record
 
     # -- the real computation ----------------------------------------------------
     @abc.abstractmethod

@@ -13,6 +13,7 @@ import math
 import numpy as np
 
 from ..containers.packet import Packet
+from ..util.records import sort_records
 from .base import Functor, FunctorError
 
 __all__ = ["BlockSortFunctor"]
@@ -41,7 +42,7 @@ class BlockSortFunctor(Functor):
 
     def apply(self, batch: np.ndarray) -> list[np.ndarray]:
         """Sort one batch as a single run (batch length is the run length)."""
-        return [np.sort(batch, order="key", kind="stable")]
+        return [sort_records(batch)]
 
     def run_packets(self, batch: np.ndarray) -> list[Packet]:
         """Split a batch into β-record runs, each really sorted and marked.
@@ -51,7 +52,7 @@ class BlockSortFunctor(Functor):
         out = []
         for start in range(0, batch.shape[0], self.beta):
             block = batch[start : start + self.beta]
-            run = np.sort(block, order="key", kind="stable")
+            run = sort_records(block)
             out.append(Packet(run, meta={"sorted": True, "run_len": run.shape[0]}))
         return out
 

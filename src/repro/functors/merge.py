@@ -14,7 +14,7 @@ from typing import Sequence
 import numpy as np
 
 from ..containers.packet import Packet
-from ..util.records import DEFAULT_SCHEMA
+from ..util.records import DEFAULT_SCHEMA, sort_records
 from ..util.validation import check_sorted
 from .base import Functor, FunctorError
 
@@ -38,7 +38,7 @@ def merge_sorted_batches(batches: Sequence[np.ndarray], verify: bool = False) ->
     if len(batches) == 1:
         return batches[0]
     joined = np.concatenate(batches)
-    return np.sort(joined, order="key", kind="stable")
+    return sort_records(joined)
 
 
 class MergeFunctor(Functor):

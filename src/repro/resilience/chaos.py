@@ -682,6 +682,12 @@ _BASELINES: dict[str, Callable[[int], float]] = {
 }
 
 
+def _chaos_case(task: tuple) -> dict:
+    """One (app, seed) chaos case — module-level so it pickles to workers."""
+    app, seed, n_records, baseline, amp_bound = task
+    return _CASE_RUNNERS[app](seed, n_records, baseline, amp_bound)
+
+
 def run_chaos(
     seeds: Union[int, Sequence[int]] = 12,
     apps: Sequence[str] = ("dsmsort", "filterscan"),
@@ -690,12 +696,18 @@ def run_chaos(
     negative_control: bool = True,
     seed0: int = 0,
     progress: Optional[Callable[[str], None]] = None,
+    workers: Optional[int] = None,
 ) -> ChaosReport:
     """Sweep seeded fault schedules across the apps; return the report.
 
     ``seeds`` is a count (seeds ``seed0 .. seed0 + seeds - 1``) or an
     explicit sequence.  Deterministic: identical arguments produce a
     byte-identical :meth:`ChaosReport.to_json`.
+
+    Each (seed, app) case is an independent emulation, so the sweep fans
+    out across ``workers`` processes (default: ``REPRO_BENCH_WORKERS`` or
+    the CPU count); results merge in sweep order, so the report is
+    byte-identical whatever the worker count.
     """
     seed_list = (
         list(range(seed0, seed0 + seeds)) if isinstance(seeds, int) else list(seeds)
@@ -718,15 +730,21 @@ def run_chaos(
         seeds=seed_list,
         baselines=baselines,
     )
-    for seed in seed_list:
-        for app in apps:
-            case = _CASE_RUNNERS[app](seed, n_records, baselines[app], amp_bound)
-            report.cases.append(case)
-            say(
-                f"{app} seed={seed}: {case['n_faults']} faults, "
-                f"T/T0={case['makespan_ratio']:.2f}, "
-                f"{'ok' if case['ok'] else 'VIOLATION'}"
-            )
+    from ..bench.parallel import parallel_map
+
+    tasks = [
+        (app, seed, n_records, baselines[app], amp_bound)
+        for seed in seed_list
+        for app in apps
+    ]
+    for task, case in zip(tasks, parallel_map(_chaos_case, tasks, workers=workers)):
+        app, seed = task[0], task[1]
+        report.cases.append(case)
+        say(
+            f"{app} seed={seed}: {case['n_faults']} faults, "
+            f"T/T0={case['makespan_ratio']:.2f}, "
+            f"{'ok' if case['ok'] else 'VIOLATION'}"
+        )
     if negative_control and "dsmsort" in apps:
         report.negative_control = _run_negative_control(
             n_records, baselines["dsmsort"]

@@ -2,18 +2,37 @@
 
 This is the event queue at the heart of the paper's emulator (§5): it keeps a
 global virtual clock, orders all events in temporal (causal) order, and drives
-process coroutines.  Determinism is guaranteed by breaking time ties with a
-monotonically increasing sequence number, so two runs with the same seed
-produce identical schedules.
+process coroutines.  Determinism is guaranteed by breaking time ties with FIFO
+order among same-time events, so two runs with the same seed produce identical
+schedules.
 
 The design follows the familiar generator-coroutine style (as in SimPy):
 processes are Python generators that ``yield`` events; the kernel resumes a
 process when the event it waits on fires.
+
+Batched event kernel
+--------------------
+
+Internally the queue is *bucketed by timestamp*: a heap orders only the
+distinct event times, and each time maps to a FIFO list of the events posted
+for it.  ``run`` drains one whole same-timestamp bucket ("batch") at a time in
+a tight loop, so the per-event cost is one list append on post plus one index
+step on drain — the heap is touched once per distinct instant instead of once
+per event.  Emulated workloads post most events at already-scheduled instants
+(zero-delay grants, store settles, message deliveries), which is what makes
+this the simulator's main wall-clock lever.
+
+The batching is *exactly* order-preserving: buckets are appended in post
+order, which is ``_seq`` order, so the drain order equals the old per-event
+``(time, seq)`` heap order event for event — schedules (and therefore every
+simulated-time result) are byte-identical to the unbatched kernel.  Events
+posted *during* a drain at the current instant join the open batch at its
+tail, exactly where the old kernel's heap would have placed them.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Iterable, Optional
 
 from .errors import SimError, StopSimulation
@@ -22,6 +41,8 @@ __all__ = ["Event", "Timeout", "AnyOf", "AllOf", "Simulator"]
 
 # Sentinel for "event has no value yet".
 _PENDING = object()
+
+_INF = float("inf")
 
 
 class Event:
@@ -176,12 +197,21 @@ class AllOf(_CompositeEvent):
 
 
 class Simulator:
-    """The event loop: a clock plus a priority queue of triggered events."""
+    """The event loop: a clock plus a time-bucketed queue of triggered events."""
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
-        self._seq = 0  # tie-break: FIFO among same-time events
+        #: distinct event times, a heap — one entry per *bucket*, not per event
+        self._times: list[float] = []
+        #: time -> events posted for that time, in FIFO (``_seq``) order
+        self._buckets: dict[float, list[Event]] = {}
+        #: the batch currently being drained (events at ``_batch_t == now``);
+        #: ``_batch_i`` is the next index.  A partially drained batch survives
+        #: :meth:`stop` so a later ``run`` resumes exactly where it halted.
+        self._batch: Optional[list[Event]] = None
+        self._batch_t = 0.0
+        self._batch_i = 0
+        self._seq = 0  # monotone post counter (FIFO tie-break bookkeeping)
         self._running = False
         self.n_events_processed = 0
         #: optional :class:`repro.trace.Tracer`.  ``None`` (the default)
@@ -191,8 +221,8 @@ class Simulator:
         self.tracer = None
         #: optional :class:`repro.metrics.MetricsRegistry`, same contract as
         #: ``tracer``: ``None`` means every metrics hook is a single attribute
-        #: check.  Its collector (if any) is invoked from :meth:`step` as a
-        #: pure observer — it never enqueues events.
+        #: check.  Its collector (if any) is invoked once per batch as a pure
+        #: observer — it never enqueues events.
         self.metrics = None
 
     # -- event construction helpers ---------------------------------------
@@ -229,25 +259,73 @@ class Simulator:
         if event.callbacks is None:
             raise SimError(f"event {event!r} already processed")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        t = self.now + delay
+        # A zero-delay post while (or right after) draining the batch at the
+        # current instant joins that batch at its tail — identical placement
+        # to the old per-event heap's (t, seq) order.
+        batch = self._batch
+        if batch is not None and t == self._batch_t:
+            batch.append(event)
+            return
+        bucket = self._buckets.get(t)
+        if bucket is None:
+            self._buckets[t] = [event]
+            heappush(self._times, t)
+        else:
+            bucket.append(event)
 
-    # -- execution ----------------------------------------------------------
-    def peek(self) -> float:
-        """Time of the next event, or +inf if the queue is empty."""
-        return self._heap[0][0] if self._heap else float("inf")
+    def _open_batch(self) -> list[Event]:
+        """Pop the earliest bucket, advance the clock, make it current.
 
-    def step(self) -> None:
-        """Process one event: advance the clock and run its callbacks."""
-        t, _seq, event = heapq.heappop(self._heap)
+        Raises IndexError when the queue is empty (same contract heappop had).
+        """
+        t = heappop(self._times)
         if t < self.now:
             raise SimError("time went backwards (corrupt event queue)")
         m = self.metrics
         if m is not None and m.collector is not None:
             # Scrape boundaries in (now, t] before the clock advances: state
             # is constant between events, so this is the exact left-limit
-            # sample at each boundary, with zero events added to the heap.
+            # sample at each boundary, with zero events added to the queue.
+            # One call per batch equals one call per event — for the second
+            # and later events of a batch, time has not moved and the
+            # collector's due-clock makes the call a no-op.
             m.collector.observe(t)
         self.now = t
+        batch = self._buckets.pop(t)
+        self._batch = batch
+        self._batch_t = t
+        self._batch_i = 0
+        return batch
+
+    def at_tail(self) -> bool:
+        """True when the event being processed is the last at this instant.
+
+        Nothing else is scheduled for the current time, so code that would
+        enqueue a zero-delay event and wait for it (a resource grant, a kick
+        for an already-processed target) may instead proceed synchronously
+        without changing the schedule: the queued event would have been
+        processed immediately next, with no event in between.
+        """
+        batch = self._batch
+        return batch is None or self._batch_i >= len(batch)
+
+    # -- execution ----------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next event, or +inf if the queue is empty."""
+        if self._batch is not None and self._batch_i < len(self._batch):
+            return self._batch_t
+        return self._times[0] if self._times else _INF
+
+    def step(self) -> None:
+        """Process one event: advance the clock and run its callbacks."""
+        batch = self._batch
+        i = self._batch_i
+        if batch is None or i >= len(batch):
+            batch = self._open_batch()
+            i = 0
+        self._batch_i = i + 1
+        event = batch[i]
         callbacks = event.callbacks
         event.callbacks = None
         self.n_events_processed += 1
@@ -257,6 +335,11 @@ class Simulator:
     def run(self, until: Optional[float] = None) -> Any:
         """Run until the queue drains or the clock passes ``until``.
 
+        In either exit the clock ends at ``min(until, time of next pending
+        event)`` — i.e. when the queue drains before ``until``, ``now``
+        still advances to ``until`` (nothing can happen in between), matching
+        the early-break branch.
+
         Returns the value of a :class:`StopSimulation` if one was raised
         (e.g. by :meth:`stop`), else ``None``.
         """
@@ -264,14 +347,41 @@ class Simulator:
             raise SimError("simulator is not reentrant")
         self._running = True
         try:
-            while self._heap:
-                if until is not None and self._heap[0][0] > until:
-                    self.now = until
-                    break
+            times = self._times
+            batch = self._batch
+            i = self._batch_i
+            while True:
+                if batch is None or i >= len(batch):
+                    if not times:
+                        break
+                    if until is not None and times[0] > until:
+                        self.now = until
+                        return None
+                    batch = self._open_batch()
+                    i = 0
+                # Drain the whole same-timestamp batch.  Callbacks may append
+                # zero-delay events to ``batch`` mid-drain, so the bound is
+                # re-read every iteration.
+                n_done = 0
                 try:
-                    self.step()
+                    while i < len(batch):
+                        event = batch[i]
+                        i += 1
+                        self._batch_i = i
+                        callbacks = event.callbacks
+                        event.callbacks = None
+                        n_done += 1
+                        for cb in callbacks:
+                            cb(event)
                 except StopSimulation as stop:
                     return stop.value
+                finally:
+                    self.n_events_processed += n_done
+                    self._batch_i = i
+            if until is not None and until > self.now:
+                # Queue drained before the horizon: advance the clock to it
+                # (consistent with the early-break branch above).
+                self.now = until
         finally:
             self._running = False
         return None

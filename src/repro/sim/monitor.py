@@ -103,9 +103,17 @@ class BusyTracker:
         return self.busy_until(t) / t
 
     def utilization_series(self, t_end: float | None = None, dt: float = 0.1):
-        """Windowed utilization samples — the Figure-10 trace data."""
+        """Windowed utilization samples — the Figure-10 trace data.
+
+        A busy interval still open at sampling time contributes its overlap
+        with every window (clipped at each window edge), consistent with
+        :meth:`busy_until` / :meth:`utilization_at` — sampling mid-segment
+        no longer under-reports the segment in flight.
+        """
         t_end = self.sim.now if t_end is None else t_end
-        return self.intervals.utilization_series(t_end, dt)
+        return self.intervals.utilization_series(
+            t_end, dt, open_start=self._busy_since
+        )
 
 
 class ProgressCounter:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from .core import Event, Simulator
+from .core import _PENDING, Event, Simulator
 from .errors import Interrupt, SimError
 
 __all__ = ["Process"]
@@ -23,13 +23,17 @@ class Process(Event):
     on each other simply by yielding the other process.
     """
 
-    __slots__ = ("_gen", "_waiting_on")
+    __slots__ = ("_gen", "_waiting_on", "_send", "_throw")
 
     def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
             raise SimError(f"process body must be a generator, got {generator!r}")
         super().__init__(sim, name or getattr(generator, "__name__", ""))
         self._gen = generator
+        # Bound methods cached once: _step runs once per resume, which is the
+        # hottest non-kernel path in the simulator.
+        self._send = generator.send
+        self._throw = generator.throw
         self._waiting_on: Optional[Event] = None
         # Kick off at the current time (after already-queued events).
         boot = Event(sim)
@@ -66,63 +70,67 @@ class Process(Event):
 
     # -- internal ----------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        if self.triggered:  # interrupted after the event fired
+        if self._value is not _PENDING:  # interrupted after the event fired
             return
         self._waiting_on = None
-        if event._ok:
-            self._step(event.value, throw=False)
-        else:
-            self._step(event.value, throw=True)
+        self._step(event._value, throw=not event._ok)
 
     def _step(self, value: Any, throw: bool) -> None:
-        try:
-            if throw:
-                target = self._gen.throw(value)
-            else:
-                target = self._gen.send(value)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        except Interrupt:
-            # Process chose not to handle its interrupt: treat as clean exit.
-            self.succeed(None)
-            return
-        except BaseException as exc:
-            # Propagate failures to anyone waiting on this process; if nobody
-            # is waiting, re-raise so bugs do not vanish silently.
-            self._ok = False
-            self._value = exc
-            if self.callbacks:
-                self.sim._post(self)
-            else:
-                self.callbacks = None
-                raise
-            return
+        while True:
+            try:
+                if throw:
+                    target = self._throw(value)
+                else:
+                    target = self._send(value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except Interrupt:
+                # Process chose not to handle its interrupt: treat as clean
+                # exit.
+                self.succeed(None)
+                return
+            except BaseException as exc:
+                # Propagate failures to anyone waiting on this process; if
+                # nobody is waiting, re-raise so bugs do not vanish silently.
+                self._ok = False
+                self._value = exc
+                if self.callbacks:
+                    self.sim._post(self)
+                else:
+                    self.callbacks = None
+                    raise
+                return
 
-        if not isinstance(target, Event):
-            raise SimError(
-                f"process {self.name!r} yielded {target!r}; processes must "
-                "yield Event instances"
-            )
-        if target.callbacks is None:
-            # Already processed: resume immediately via the queue so ordering
-            # stays consistent.
-            self._waiting_on = None
-            kick = Event(self.sim)
-            kick.callbacks.append(
-                lambda _ev, t=target: self._resume_processed(t)
-            )
-            kick._ok = True
-            kick._value = None
-            self.sim._post(kick)
-        else:
-            self._waiting_on = target
-            target.callbacks.append(self._resume)
+            if not isinstance(target, Event):
+                raise SimError(
+                    f"process {self.name!r} yielded {target!r}; processes "
+                    "must yield Event instances"
+                )
+            if target.callbacks is None:
+                # Already processed: this process must take its turn BEHIND
+                # events already scheduled at this instant — load-manager
+                # decisions and store FIFO order depend on that fairness.
+                # When it is already last at this instant (at_tail) the turn
+                # is immediate and the kick is elided, order-identically.
+                if self.sim.at_tail():
+                    value = target._value
+                    throw = not target._ok
+                    continue
+                self._waiting_on = None
+                kick = Event(self.sim)
+                kick.callbacks.append(
+                    lambda _ev, t=target: self._resume_processed(t)
+                )
+                kick._ok = True
+                kick._value = None
+                self.sim._post(kick)
+            else:
+                self._waiting_on = target
+                target.callbacks.append(self._resume)
+            return
 
     def _resume_processed(self, target: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
-        if target._ok:
-            self._step(target.value, throw=False)
-        else:
-            self._step(target.value, throw=True)
+        self._step(target._value, throw=not target._ok)

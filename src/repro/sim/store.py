@@ -78,20 +78,56 @@ class Store:
             tracer.counter(self.sim.now, self.name, "depth", float(len(self)))
 
     def put(self, item: Any) -> Event:
-        """Event that fires when ``item`` has been accepted into the store."""
-        ev = StorePut(self, item)
-        self._putters.append(ev)
-        self._settle()
+        """Event that fires when ``item`` has been accepted into the store.
+
+        When the put is accepted immediately *and* the caller runs as the
+        last event of the current instant (``sim.at_tail()``), the
+        acceptance event is returned already processed instead of taking a
+        queue round-trip.  Order-preserving by construction: unfused, the
+        put event would be the very next event processed (it is posted at
+        the tail), so eliding it — and letting any waiting getters' grant
+        events post before the caller continues — reproduces the exact
+        event order of the queued path.
+        """
+        if not self._putters and not self.is_full and self.sim.at_tail():
+            ev = StorePut(self, item)
+            ev._ok = True
+            ev._value = None
+            ev.callbacks = None
+            self.items.append(item)
+            self.n_put += 1
+            if self._getters:
+                self._settle()
+        else:
+            ev = StorePut(self, item)
+            self._putters.append(ev)
+            self._settle()
         self._trace_depth()
         if self._m_depth is not None:
             self._m_depth.poke(float(len(self)))
         return ev
 
     def get(self) -> Event:
-        """Event that fires with the next item."""
-        ev = StoreGet(self.sim)
-        self._getters.append(ev)
-        self._settle()
+        """Event that fires with the next item.
+
+        Symmetric tail fast path to :meth:`put`: with an item available and
+        no getters queued ahead, the grant event would be processed
+        immediately next, so it is returned pre-processed and any blocked
+        putter is admitted into the freed slot first (its grant posts before
+        the caller continues, exactly as in the queued path).
+        """
+        if self.items and not self._getters and self.sim.at_tail():
+            ev = StoreGet(self.sim)
+            ev._ok = True
+            ev._value = self.items.popleft()
+            ev.callbacks = None
+            self.n_got += 1
+            if self._putters:
+                self._settle()
+        else:
+            ev = StoreGet(self.sim)
+            self._getters.append(ev)
+            self._settle()
         self._trace_depth()
         return ev
 
@@ -137,6 +173,25 @@ class PriorityStore(Store):
         super().__init__(sim, capacity, name)
         self._insert_seq = 0
         self._heap: list[tuple[Any, int, Any]] = []
+
+    # The tail fast paths in Store.put/get operate on ``items`` directly,
+    # which would bypass the heap; priority stores always take the queued
+    # path (they are far off the hot loops).
+    def put(self, item: Any) -> Event:
+        ev = StorePut(self, item)
+        self._putters.append(ev)
+        self._settle()
+        self._trace_depth()
+        if self._m_depth is not None:
+            self._m_depth.poke(float(len(self)))
+        return ev
+
+    def get(self) -> Event:
+        ev = StoreGet(self.sim)
+        self._getters.append(ev)
+        self._settle()
+        self._trace_depth()
+        return ev
 
     def __len__(self) -> int:
         return len(self._heap)

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_right
-from dataclasses import dataclass, field
 
 __all__ = ["OnlineStats", "IntervalAccumulator", "TimeSeries"]
 
@@ -68,7 +67,21 @@ class OnlineStats:
         return out
 
 
-@dataclass
+def _merge_by_start(left, right):
+    """Stable merge of two by-start-sorted interval lists, left first on ties."""
+    i = j = 0
+    nl, nr = len(left), len(right)
+    while i < nl and j < nr:
+        if left[i][0] <= right[j][0]:
+            yield left[i]
+            i += 1
+        else:
+            yield right[j]
+            j += 1
+    yield from left[i:]
+    yield from right[j:]
+
+
 class IntervalAccumulator:
     """Accumulates busy time from (start, end) intervals.
 
@@ -82,20 +95,47 @@ class IntervalAccumulator:
     overcommit rather than clipping it.
     """
 
-    starts: list[float] = field(default_factory=list)
-    ends: list[float] = field(default_factory=list)
-    total_busy: float = 0.0
-    #: running prefix maximum of ``ends`` — lets the backward window scan
-    #: stop as soon as no earlier interval can still overlap
-    _max_ends: list[float] = field(default_factory=list, repr=False)
+    __slots__ = ("_starts", "_ends", "total_busy", "_max_ends", "_pending")
+
+    def __init__(self) -> None:
+        self._starts: list[float] = []
+        self._ends: list[float] = []
+        self.total_busy: float = 0.0
+        #: running prefix maximum of ``ends`` — lets the backward window scan
+        #: stop as soon as no earlier interval can still overlap
+        self._max_ends: list[float] = []
+        #: out-of-order intervals awaiting their sorted splice (lazy merge on
+        #: the next query) — keeps :meth:`insert` amortized instead of O(n)
+        self._pending: list[tuple[float, float]] = []
+
+    @property
+    def starts(self) -> list[float]:
+        """Interval starts, sorted (flushes pending out-of-order inserts)."""
+        if self._pending:
+            self._flush()
+        return self._starts
+
+    @property
+    def ends(self) -> list[float]:
+        """Interval ends, in by-start order (flushes pending inserts)."""
+        if self._pending:
+            self._flush()
+        return self._ends
+
+    def __repr__(self) -> str:
+        return (
+            f"IntervalAccumulator(n={len(self._starts) + len(self._pending)}, "
+            f"total_busy={self.total_busy})"
+        )
 
     def add(self, start: float, end: float) -> None:
         if end < start:
             raise ValueError(f"interval end {end} before start {start}")
-        if self.starts and start < self.starts[-1]:
+        starts = self._starts
+        if starts and start < starts[-1]:
             raise ValueError("intervals must be added in start order")
-        self.starts.append(float(start))
-        self.ends.append(float(end))
+        starts.append(float(start))
+        self._ends.append(float(end))
         prev = self._max_ends[-1] if self._max_ends else -math.inf
         self._max_ends.append(max(prev, float(end)))
         self.total_busy += end - start
@@ -103,39 +143,62 @@ class IntervalAccumulator:
     def insert(self, start: float, end: float) -> None:
         """Add an interval at its sorted position (out-of-order tolerant).
 
-        Fast path is an append; an interval starting before the latest start
-        (e.g. a long modelled span ending at the same instant as a short one)
-        is spliced in and the prefix maxima are rebuilt from that point.
+        Fast path is an append.  An interval starting before the latest
+        start (e.g. a long modelled span ending at the same instant as a
+        short one) lands in a pending buffer and is spliced in lazily on
+        the next query — the former eager O(n) list splice plus prefix-max
+        rebuild *per insert* made disk write-behind accounting quadratic on
+        long runs; the lazy merge pays one sort-and-merge per insert→query
+        transition instead.  Query results are identical to the eager
+        splice: the merged order is the stable by-start order either way.
         """
         if end < start:
             raise ValueError(f"interval end {end} before start {start}")
-        if not self.starts or start >= self.starts[-1]:
+        if not self._starts or start >= self._starts[-1]:
             self.add(start, end)
             return
-        i = bisect_right(self.starts, float(start))
-        self.starts.insert(i, float(start))
-        self.ends.insert(i, float(end))
-        prev = self._max_ends[i - 1] if i > 0 else -math.inf
-        del self._max_ends[i:]
-        for j in range(i, len(self.ends)):
-            prev = max(prev, self.ends[j])
-            self._max_ends.append(prev)
+        self._pending.append((float(start), float(end)))
         self.total_busy += end - start
+
+    def _flush(self) -> None:
+        """Merge pending out-of-order intervals into the sorted arrays."""
+        pend = self._pending
+        if not pend:
+            return
+        self._pending = []
+        pend.sort(key=lambda iv: iv[0])  # stable: equal starts keep insert order
+        starts, ends = self._starts, self._ends
+        i = bisect_right(starts, pend[0][0])
+        tail = list(zip(starts[i:], ends[i:]))
+        del starts[i:]
+        del ends[i:]
+        del self._max_ends[i:]
+        prev = self._max_ends[i - 1] if i > 0 else -math.inf
+        # Existing intervals first on ties — where bisect_right would have
+        # spliced each pending interval.
+        for s, e in _merge_by_start(tail, pend):
+            starts.append(s)
+            ends.append(e)
+            prev = max(prev, e)
+            self._max_ends.append(prev)
 
     def busy_in(self, w0: float, w1: float) -> float:
         """Total busy time overlapping window [w0, w1)."""
+        if self._pending:
+            self._flush()
         if w1 <= w0:
             return 0.0
         busy = 0.0
+        starts, ends, max_ends = self._starts, self._ends, self._max_ends
         # First interval that could overlap: starts before w1.
-        hi = bisect_right(self.starts, w1)
+        hi = bisect_right(starts, w1)
         for i in range(hi - 1, -1, -1):
-            if self._max_ends[i] <= w0:
+            if max_ends[i] <= w0:
                 # No interval at or before i reaches into the window: every
-                # earlier end is <= _max_ends[i] <= w0.
+                # earlier end is <= max_ends[i] <= w0.
                 break
-            lo = max(self.starts[i], w0)
-            hi_t = min(self.ends[i], w1)
+            lo = max(starts[i], w0)
+            hi_t = min(ends[i], w1)
             if hi_t > lo:
                 busy += hi_t - lo
         return busy
@@ -147,7 +210,11 @@ class IntervalAccumulator:
         return self.busy_in(w0, w1) / (w1 - w0)
 
     def utilization_series(
-        self, t_end: float, dt: float, t_start: float = 0.0
+        self,
+        t_end: float,
+        dt: float,
+        t_start: float = 0.0,
+        open_start: float | None = None,
     ) -> list[tuple[float, float]]:
         """Sampled utilization over [t_start, t_end) in windows of ``dt``.
 
@@ -156,6 +223,11 @@ class IntervalAccumulator:
         (``t_start + i*dt``) rather than accumulated, so the edge error stays
         at one rounding ulp regardless of run length and the final window is
         neither duplicated nor dropped.
+
+        ``open_start`` accounts a busy interval still in flight at sampling
+        time (start known, end not yet): it contributes its overlap with
+        every window from ``open_start`` on, exactly as ``busy_in`` would
+        count it once closed at ``t_end`` or later.
         """
         if dt <= 0:
             raise ValueError("dt must be positive")
@@ -169,7 +241,12 @@ class IntervalAccumulator:
         for i in range(n):
             w0 = t_start + i * dt
             w1 = min(t_start + (i + 1) * dt, t_end)
-            out.append(((w0 + w1) / 2.0, self.utilization(w0, w1)))
+            busy = self.busy_in(w0, w1)
+            if open_start is not None:
+                lo = max(open_start, w0)
+                if w1 > lo:
+                    busy += w1 - lo
+            out.append(((w0 + w1) / 2.0, busy / (w1 - w0) if w1 > w0 else 0.0))
         return out
 
 
