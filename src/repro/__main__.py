@@ -14,6 +14,9 @@ Usage::
                             [--out recover_report.json]
     python -m repro serve   [--jobs N] [--seed S] [--policies LIST]
                             [--loads LIST] [--out serve_report.json]
+    python -m repro critpath [--n LOG2] [--seed S] [--out blame.json]
+                            [--folded stacks.folded] [--what-if disk=2.0]
+                            [--validate] [--serve]
     python -m repro all     [--n LOG2]
 """
 
@@ -33,7 +36,8 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         choices=[
             "fig9", "fig10", "sweep-c", "sweep-routing", "sweep-gamma",
-            "trace", "metrics", "chaos", "recover", "serve", "all",
+            "trace", "metrics", "chaos", "recover", "serve", "critpath",
+            "all",
         ],
         help="which experiment to run",
     )
@@ -101,6 +105,25 @@ def main(argv: list[str] | None = None) -> int:
         help="serve: offered load as multiples of fleet capacity "
         "(default 0.5,1.2,3.0)",
     )
+    parser.add_argument(
+        "--folded", default=None, metavar="PATH",
+        help="critpath: also write the folded-stack flamegraph input file",
+    )
+    parser.add_argument(
+        "--what-if", default=None, metavar="SPEC", dest="what_if",
+        help="critpath: comma-separated bucket=factor speedups to replay "
+        "through the graph (e.g. disk=2.0)",
+    )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="critpath: re-run with scaled params and report the what-if "
+        "prediction error (disk/cpu buckets only)",
+    )
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="critpath: profile a multi-tenant scheduler cell (with SLO "
+        "burn-rate alerts) instead of a single sort",
+    )
     args = parser.parse_args(argv)
     n = 1 << args.n
 
@@ -110,6 +133,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_recover(args, n)
     if args.target == "serve":
         return _run_serve(args)
+    if args.target == "critpath":
+        return _run_critpath(args, n)
     if args.target == "trace":
         return _run_trace(n, args.seed, args.out or "trace.json")
     if args.target == "metrics":
@@ -316,6 +341,51 @@ def _run_serve(args) -> int:
     print(f"{'PASS' if ok else 'FAIL'}: {len(report.cells)} cells, "
           f"{accounted} -> {out}")
     return 0 if ok else 1
+
+
+def _run_critpath(args, n: int) -> int:
+    """Causal critical-path profile: blame buckets, flamegraph, timeline.
+
+    Sort mode traces a two-pass DSM-Sort on a small Figure-9 cell; serve
+    mode profiles one multi-tenant scheduler cell with SLO burn-rate
+    monitoring attached.  The blame JSON and folded-stack outputs are
+    byte-deterministic for a given (n, seed).
+    """
+    from .obs import folded_stacks, render_timeline, run_critpath, run_critpath_serve
+
+    what_if = None
+    if args.what_if:
+        what_if = {}
+        try:
+            for part in args.what_if.split(","):
+                bucket, factor = part.split("=")
+                what_if[bucket.strip()] = float(factor)
+        except ValueError:
+            print(f"error: --what-if expects bucket=factor[,...], got "
+                  f"{args.what_if!r}", file=sys.stderr)
+            return 2
+    if args.validate and not what_if:
+        what_if = {"disk": 2.0}
+
+    if args.serve:
+        report, graph, _serve = run_critpath_serve(
+            n_jobs=args.jobs, seed=args.seed
+        )
+    else:
+        n = min(n, 1 << 14)  # a traced cell, not a benchmark sweep
+        report, graph = run_critpath(
+            n, seed=args.seed, what_if=what_if, validate=args.validate
+        )
+    print(report.render())
+    print(render_timeline(graph))
+    out = args.out or "critpath_blame.json"
+    report.write(out)
+    print(f"wrote blame vector to {out}")
+    if args.folded:
+        with open(args.folded, "w") as fh:
+            fh.write(folded_stacks(graph))
+        print(f"wrote folded stacks to {args.folded}")
+    return 0
 
 
 def _run_trace(n: int, seed: int, out: str) -> int:

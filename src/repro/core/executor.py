@@ -285,6 +285,16 @@ class PipelineJob:
             n_eof = 0
             while n_eof < n_producers:
                 msg = yield box.get()
+                tracer = plat.sim.tracer
+                if tracer is not None and msg.deliver_at is not None:
+                    # Causal edge: batch left the instance mailbox for this
+                    # stage's CPU — mailbox residence is the stage's queue wait.
+                    tracer.flow(
+                        msg.deliver_at,
+                        f"mbox:{self._instance_addr(stage_name, k)}",
+                        plat.sim.now, f"{node.node_id}.cpu",
+                        stage_name, cat="queue",
+                    )
                 if msg.nbytes:
                     overhead = msg.nbytes * params.cycles_per_net_byte
                     yield from node.cpu.execute(cycles=overhead)
@@ -297,6 +307,7 @@ class PipelineJob:
                     cycles=functor.cost_cycles(batch.shape[0], params),
                     fn=lambda b: functor.apply(b)[0],
                     args=(batch,),
+                    label=stage_name,
                 )
                 records_per_instance[stage_name][k] += int(batch.shape[0])
                 tracer = plat.sim.tracer
@@ -337,9 +348,17 @@ class PipelineJob:
             box = plat.network.mailbox(sink_addr)
             while n_eof < len(inst_nodes[last]):
                 msg = yield box.get()
+                tracer = plat.sim.tracer
+                if tracer is not None and msg.deliver_at is not None:
+                    tracer.flow(
+                        msg.deliver_at, f"mbox:{sink_addr}",
+                        plat.sim.now, f"{sink_node.node_id}.cpu",
+                        "sink", cat="queue",
+                    )
                 if msg.nbytes:
                     yield from sink_node.cpu.execute(
-                        cycles=msg.nbytes * params.cycles_per_net_byte
+                        cycles=msg.nbytes * params.cycles_per_net_byte,
+                        label="sink",
                     )
                 if msg.payload is _EOF:
                     n_eof += 1

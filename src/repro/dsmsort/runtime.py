@@ -413,6 +413,11 @@ class DsmSortJob:
         makespan = plat.sim.now
         self._pass1_done = True
         self._pass1_makespan = makespan
+        if self.tracer is not None:
+            # Job-phase aggregate span: excluded from causal-graph node sets
+            # (cat="phase") but anchors the sid/parent chain for pass 2.
+            self.tracer.span(0.0, makespan, "job", "pass1",
+                             cat="phase", sid="pass1")
         if self.metrics is not None and self.metrics.collector is not None:
             self.metrics.collector.finalize(makespan)
         n_runs = sum(len(r) for r in self.runs_on_asu)
@@ -763,6 +768,9 @@ class DsmSortJob:
         if completed:
             self._pass1_done = True
             self._pass1_makespan = makespan
+            if self.tracer is not None:
+                self.tracer.span(0.0, makespan, "job", "pass1",
+                                 cat="phase", sid="pass1")
             if self.manifest is not None:
                 self.manifest.log_pass1_done(makespan)
         if self.metrics is not None and self.metrics.collector is not None:
@@ -1565,6 +1573,13 @@ class DsmSortJob:
             plat.sim.run(until=deadline)
             completed = all(p.triggered for p in procs)
         makespan = plat.sim.now
+        if self.tracer is not None:
+            self.tracer.span(0.0, makespan, "job", "pass2",
+                             cat="phase", sid="pass2", parent="pass1")
+            # Causal edge across the offset boundary: both endpoints land at
+            # the stitched pass-1 makespan, linking the two phase spans.
+            self.tracer.flow(0.0, "job", 0.0, "job", "pass1->pass2",
+                             cat="phase")
         return Pass2Result(
             makespan=makespan,
             host_util=[x.cpu.utilization(makespan) for x in plat.hosts],

@@ -107,6 +107,7 @@ class Cpu:
         cycles: Optional[float] = None,
         fn: Optional[Callable[..., Any]] = None,
         args: tuple = (),
+        label: Optional[str] = None,
     ):
         """Process generator: run an execution segment on this CPU.
 
@@ -114,7 +115,10 @@ class Cpu:
         the segment's cost.  In modeled mode the cost is ``cycles``; in
         measured mode it is the measured wall time converted to cycles at
         ``measured_reference_hz`` (the paper's scaled-cycle-counter method).
-        Returns ``fn``'s result.
+        Returns ``fn``'s result.  ``label`` (optional) names the emitted
+        trace span after the work being run — a stage or functor name —
+        which is what the critical-path profiler folds flamegraph frames
+        from; accounting is unchanged.
 
         Use as ``result = yield from cpu.execute(cycles=..., fn=..., args=...)``.
         """
@@ -143,7 +147,7 @@ class Cpu:
                 self._m_cycles.inc(charge)
             if dt > 0:
                 busy = self.busy
-                busy.begin()
+                busy.begin(label)
                 yield Timeout(self.sim, dt)
                 busy.end()
             return result

@@ -74,6 +74,11 @@ class Disk:
         self._last_write_done = 0.0
         self.stats = DiskStats()
         self.busy = BusyTracker(sim, name=name, cat="disk")
+        #: CPU track of the owning node, for causal I/O flow edges
+        #: ("asu0.disk" -> "asu0.cpu")
+        self._cpu_track = (
+            name[: -len(".disk")] + ".cpu" if name.endswith(".disk") else name
+        )
         #: injected transient-read-error windows: list of (t0, t1)
         self._fault_windows: list[tuple[float, float]] = []
         self._m_read = None
@@ -117,15 +122,17 @@ class Disk:
             return [float(n) / self.rate for n in nbytes]
         return np.asarray(nbytes, dtype=np.float64) / self.rate
 
-    def _enqueue(self, nbytes: int) -> tuple[float, float]:
+    def _enqueue(self, nbytes: int, op: str) -> tuple[float, float]:
         """Reserve timeline for a transfer; returns (start, finish)."""
         start = max(self.sim.now, self._free_at)
         finish = start + self.transfer_time(nbytes)
         self._free_at = finish
         # Record the busy span at enqueue time: timeline starts are monotone
-        # (and add_interval tolerates overlap regardless).
+        # (and add_interval tolerates overlap regardless).  The span is
+        # labelled with the operation so traces distinguish the read stream
+        # from write-behind drains.
         if finish > start:
-            self.busy.add_interval(start, finish)
+            self.busy.add_interval(start, finish, label=op)
         return start, finish
 
     def _trace_bytes(self) -> None:
@@ -172,9 +179,20 @@ class Disk:
         self._trace_bytes()
         if self._m_read is not None:
             self._m_read.inc(float(nbytes))
-        _start, finish = self._enqueue(nbytes)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            # Causal issue edge: the caller's CPU activity gates this
+            # transfer's place in the disk timeline.
+            tracer.flow(self.sim.now, self._cpu_track, self.sim.now,
+                        self.name, "read", cat="queue")
+        _start, finish = self._enqueue(nbytes, "read")
         if finish > self.sim.now:
             yield self.sim.timeout(finish - self.sim.now)
+        if tracer is not None:
+            # Completion edge: whoever consumes these bytes was gated by
+            # the transfer — lets the critical path cross into disk time.
+            tracer.flow(self.sim.now, self.name, self.sim.now,
+                        self._cpu_track, "read-done", cat="queue")
         return int(nbytes)
 
     def write(self, nbytes: int):
@@ -191,11 +209,20 @@ class Disk:
         self._trace_bytes()
         if self._m_write is not None:
             self._m_write.inc(float(nbytes))
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.flow(self.sim.now, self._cpu_track, self.sim.now,
+                        self.name, "write", cat="queue")
         wait_until = max(self.sim.now, self._last_write_done)
-        _start, finish = self._enqueue(nbytes)
+        _start, finish = self._enqueue(nbytes, "write")
         self._last_write_done = finish
         if wait_until > self.sim.now:
             yield self.sim.timeout(wait_until - self.sim.now)
+        if tracer is not None:
+            # Write-behind: the caller only stalls for the previous write's
+            # drain — the completion edge binds to that earlier transfer.
+            tracer.flow(self.sim.now, self.name, self.sim.now,
+                        self._cpu_track, "write-done", cat="queue")
         return int(nbytes)
 
     def drain(self):

@@ -190,6 +190,14 @@ class Network:
     def _reserve_path(self, src: Hashable, dst: Hashable, nbytes: int) -> tuple[float, float]:
         """Reserve link (and backplane) capacity; returns (tx_done, deliver_at)."""
         ln = self.link(src, dst)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            # Causal issue edge: the sender's CPU activity gates this
+            # message's place in the link timeline (without it the link lane
+            # is a root of the causal graph and upstream work is invisible
+            # to the critical-path walk).
+            tracer.flow(self.sim.now, f"{src}.cpu", self.sim.now, ln.name,
+                        "tx", cat="queue")
         tx_done, deliver_at = ln.reserve(nbytes)
         if self._backplane is not None:
             bp_done, _ = self._backplane.reserve(nbytes)
@@ -283,6 +291,21 @@ class Network:
                     lambda m=copy: self._deliver(m), delay=deliver_at - self.sim.now
                 )
         msg.deliver_at = deliver_at
+        tracer = self.sim.tracer
+        if tracer is not None:
+            # Causal edge: the message leaves its link's tx span (whose end is
+            # exactly the reserved tx_done ≤ deliver_at - latency) and lands in
+            # the destination mailbox at the delivery instant.  The graph
+            # builder matches the edge source to the link span ending at or
+            # before the departure instant.
+            tracer.flow(
+                max(self.sim.now, deliver_at - self.latency),
+                f"link:{msg.src}->{msg.dst}",
+                deliver_at,
+                f"mbox:{msg.dst}",
+                msg.tag or "msg",
+                cat="net",
+            )
         self.sim.schedule_callback(
             lambda m=msg: self._deliver(m), delay=deliver_at - self.sim.now
         )

@@ -98,15 +98,30 @@ class Node:
     def recv(self):
         """Process generator: receive the next message, charging copy cost."""
         msg = yield self.mailbox.get()
+        tracer = self.sim.tracer
+        if tracer is not None:
+            deliver_at = getattr(msg, "deliver_at", None)
+            if deliver_at is not None:
+                # Causal edge: mailbox residence (delivery -> consumption).
+                # The gap between the two instants is queue wait the
+                # critical-path profiler attributes to the mailbox.
+                tracer.flow(
+                    deliver_at, f"mbox:{self.node_id}",
+                    self.sim.now, f"{self.node_id}.cpu",
+                    getattr(msg, "tag", "") or "recv", cat="queue",
+                )
         overhead = msg.nbytes * self.params.cycles_per_net_byte
         if overhead:
             yield from self.cpu.execute(cycles=overhead)
         self._trace_net("bytes_in", msg.nbytes)
         return msg
 
-    def compute(self, cycles: Optional[float] = None, fn=None, args=()):
+    def compute(self, cycles: Optional[float] = None, fn=None, args=(),
+                label: Optional[str] = None):
         """Process generator: run an execution segment on this node's CPU."""
-        result = yield from self.cpu.execute(cycles=cycles, fn=fn, args=args)
+        result = yield from self.cpu.execute(
+            cycles=cycles, fn=fn, args=args, label=label
+        )
         return result
 
     def __repr__(self) -> str:

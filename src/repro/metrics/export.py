@@ -136,4 +136,9 @@ def prometheus_text(registry, t: Optional[float] = None) -> str:
             lines.append(f'{name}_bucket{pre}le="+Inf"}} {inst.count}')
             lines.append(f"{name}_sum{lbl} {_fmt(inst.sum)}")
             lines.append(f"{name}_count{lbl} {inst.count}")
+            # Tail latency is the SLO signal (ROADMAP item 2 asks for p999
+            # explicitly); exported as a companion gauge since the native
+            # histogram type carries buckets, not quantiles.
+            type_line(f"{name}_p999", "gauge")
+            lines.append(f"{name}_p999{lbl} {_fmt(inst.quantile(0.999))}")
     return "\n".join(lines) + "\n"

@@ -300,11 +300,18 @@ class Histogram(Instrument):
 
         Returns the geometric midpoint of the bucket containing the q-th
         ranked observation, clamped to the exact observed [min, max].
+        Edge cases: ``q=0`` returns the exact observed minimum, ``q=1`` the
+        exact observed maximum, and an empty histogram returns NaN (the
+        exporters sanitise it to null).
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile {q} outside [0, 1]")
         if self.count == 0:
             return NAN
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
         rank = max(1, math.ceil(q * self.count))
         if rank <= self.underflow:
             return min(self.min, 0.0)
@@ -319,6 +326,16 @@ class Histogram(Instrument):
 
     def sample(self, t: float) -> float:  # scalar view: the running count
         return float(self.count)
+
+    def snapshot(self) -> dict:
+        """Structured snapshot: count/sum/min/max plus p50/p95/p99/p999.
+
+        The tail quantile (p999) is what the "millions of users" latency
+        targets gate on — a p99 alone hides one-in-a-thousand stalls.
+        Alias of :meth:`final`; exported through both the JSON and
+        Prometheus exporters.
+        """
+        return self.final()
 
     def final(self) -> dict:
         return {
@@ -335,6 +352,7 @@ class Histogram(Instrument):
             "p50": self.quantile(0.50),
             "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
         }
 
 

@@ -1,0 +1,38 @@
+"""Causal observability: critical-path profiling, blame attribution, and
+SLO burn-rate monitoring over the traced platform.
+
+Layers on the zero-overhead tracing hooks (``repro.trace``): the emulator
+emits spans and cross-node flow edges, :class:`CausalGraph` assembles them
+into a program activity graph, and the critical path through that graph
+explains *why* the makespan is what it is — with blame buckets, PERT
+slack, and a what-if estimator.  :class:`SLOMonitor` evaluates
+multi-window burn-rate rules over the scheduler's per-tenant SLO events in
+simulated time.  See docs/CRITPATH.md.
+"""
+
+from .critpath import (
+    CritPathReport,
+    critpath_params,
+    folded_stacks,
+    render_timeline,
+    run_critpath,
+    run_critpath_serve,
+)
+from .graph import BLAME_BUCKETS, CausalGraph, GraphNode
+from .slo import BurnRule, SLOAlert, SLOMonitor, default_rules
+
+__all__ = [
+    "BLAME_BUCKETS",
+    "BurnRule",
+    "CausalGraph",
+    "CritPathReport",
+    "GraphNode",
+    "SLOAlert",
+    "SLOMonitor",
+    "critpath_params",
+    "default_rules",
+    "folded_stacks",
+    "render_timeline",
+    "run_critpath",
+    "run_critpath_serve",
+]

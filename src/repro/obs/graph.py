@@ -1,0 +1,355 @@
+"""Causal program-activity graph over a recorded trace.
+
+Builds a DAG out of a :class:`~repro.trace.Tracer`'s spans (device busy
+segments, CPU execution segments, scheduler segments) and flow edges
+(message deliveries, mailbox residence, phase stitching):
+
+* **lane edges** connect consecutive spans on the same track — a device
+  serves one segment after another, so each segment causally waits for its
+  predecessor's completion;
+* **flow edges** connect spans on *different* tracks: the producer-side
+  span whose end precedes the flow's departure instant to the consumer-side
+  span that starts at (or covers) the arrival instant.  Tracks that carry
+  flow endpoints but no spans (mailboxes) get zero-duration *virtual*
+  nodes, which still participate in lane ordering so mailbox FIFO order is
+  causal.
+
+Job-level aggregate spans (``cat="phase"``) are excluded from the node set:
+they span entire passes and would trivially dominate any path.
+
+The **critical path** is extracted by walking backward from the last node
+to finish, always following the predecessor that finished last — the chain
+of activities such that shortening anything off the chain cannot shorten
+the makespan.  :meth:`CausalGraph.blame` folds the chain into deterministic
+blame buckets (cpu / disk / net / queue-wait / breaker-backoff /
+scheduler-queueing / preemption / service) that sum exactly to the path's
+end time.  :meth:`CausalGraph.slack` runs the PERT backward pass (latest
+finish minus actual finish).  :meth:`CausalGraph.what_if` replays the graph
+forward with per-bucket speedups, preserving every recorded inter-node lag
+(including pipelined overlap, as a negative lag), so a speedup factor of
+1.0 everywhere reproduces the recorded timeline exactly.
+
+All outputs are pure functions of the trace: same seed, same bytes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Optional
+
+__all__ = ["BLAME_BUCKETS", "CAT_BUCKET", "CausalGraph", "GraphNode"]
+
+#: span category -> blame bucket for time spent *in* a critical-path node
+CAT_BUCKET = {
+    "cpu": "cpu",
+    "disk": "disk",
+    "link": "net",
+    "net": "net",
+    "breaker-backoff": "breaker-backoff",
+    "sched-queue": "scheduler-queueing",
+    "sched-run": "service",
+    "preemption": "preemption",
+}
+
+#: flow/lane category -> blame bucket for *gaps* between critical-path nodes
+EDGE_BUCKET = {
+    "net": "net",
+    "queue": "queue-wait",
+    "lane": "queue-wait",
+    "phase": "queue-wait",
+}
+
+#: every bucket a blame vector carries, in canonical order
+BLAME_BUCKETS = (
+    "cpu",
+    "disk",
+    "net",
+    "queue-wait",
+    "breaker-backoff",
+    "scheduler-queueing",
+    "preemption",
+    "service",
+    "other",
+)
+
+#: tolerance when matching flow endpoints to span boundaries
+_EPS = 1e-9
+
+
+class GraphNode:
+    """One activity: a recorded span, or a zero-duration virtual point."""
+
+    __slots__ = ("idx", "t0", "t1", "track", "name", "cat", "virtual")
+
+    def __init__(self, idx, t0, t1, track, name, cat, virtual=False):
+        self.idx = idx
+        self.t0 = t0
+        self.t1 = t1
+        self.track = track
+        self.name = name
+        self.cat = cat
+        self.virtual = virtual
+
+    @property
+    def dur(self) -> float:
+        return self.t1 - self.t0
+
+    def key(self) -> tuple:
+        """Total order consistent with causality (edges only go key-upward)."""
+        return (self.t0, self.t1, self.idx)
+
+    def __repr__(self) -> str:
+        v = " virtual" if self.virtual else ""
+        return (
+            f"<GraphNode {self.track}/{self.name} "
+            f"[{self.t0:.6f},{self.t1:.6f}] {self.cat}{v}>"
+        )
+
+
+class CausalGraph:
+    """Program activity graph assembled from a tracer's spans and flows."""
+
+    def __init__(self) -> None:
+        self.nodes: list[GraphNode] = []
+        #: idx -> list of (pred_idx, edge_cat)
+        self.preds: dict[int, list[tuple[int, str]]] = {}
+        #: idx -> list of (succ_idx, edge_cat)
+        self.succs: dict[int, list[tuple[int, str]]] = {}
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_tracer(cls, tracer) -> "CausalGraph":
+        g = cls()
+        for (t0, t1, track, name, cat) in tracer.spans:
+            if cat == "phase":
+                continue  # pass-level aggregates would dominate every path
+            g._add_node(t0, t1, track, name, cat)
+
+        # Index real spans per track before virtual-point creation so flow
+        # matching never binds to another flow's virtual endpoint.
+        by_track: dict[str, _Lane] = {}
+        grouped: dict[str, list[GraphNode]] = {}
+        for n in g.nodes:
+            grouped.setdefault(n.track, []).append(n)
+        for track, lst in grouped.items():
+            by_track[track] = _Lane(lst)
+
+        flow_edges: list[tuple[GraphNode, GraphNode, str]] = []
+        virtual_at: dict[tuple[str, float], GraphNode] = {}
+        _empty = _Lane([])
+
+        def _virtual(track: str, t: float) -> GraphNode:
+            key = (track, t)
+            node = virtual_at.get(key)
+            if node is None:
+                node = g._add_node(t, t, track, "·", "virtual", virtual=True)
+                virtual_at[key] = node
+            return node
+
+        for (t0, src_track, t1, dst_track, name, cat) in tracer.flows:
+            src = by_track.get(src_track, _empty).match_src(t0)
+            if src is None:
+                src = _virtual(src_track, t0)
+            dst = by_track.get(dst_track, _empty).match_dst(t1)
+            if dst is None:
+                dst = _virtual(dst_track, t1)
+            flow_edges.append((src, dst, cat))
+
+        # Lane edges: consecutive activities on a track (virtual included).
+        lanes: dict[str, list[GraphNode]] = {}
+        for n in g.nodes:
+            lanes.setdefault(n.track, []).append(n)
+        for lane in lanes.values():
+            lane.sort(key=GraphNode.key)
+            for a, b in zip(lane, lane[1:]):
+                g._add_edge(a, b, "lane")
+        for src, dst, cat in flow_edges:
+            g._add_edge(src, dst, cat)
+        return g
+
+    def _add_node(self, t0, t1, track, name, cat, virtual=False) -> GraphNode:
+        node = GraphNode(len(self.nodes), t0, t1, track, name, cat, virtual)
+        self.nodes.append(node)
+        return node
+
+    def _add_edge(self, src: GraphNode, dst: GraphNode, cat: str) -> None:
+        # Acyclicity guard: keep only key-increasing edges, so the node key
+        # order is a topological order and every walk terminates.
+        if src.idx == dst.idx or not (src.key() < dst.key()):
+            return
+        self.preds.setdefault(dst.idx, []).append((src.idx, cat))
+        self.succs.setdefault(src.idx, []).append((dst.idx, cat))
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        return max((n.t1 for n in self.nodes), default=0.0)
+
+    def n_edges(self) -> int:
+        return sum(len(v) for v in self.succs.values())
+
+    def _chain(self) -> list[tuple[GraphNode, Optional[str]]]:
+        """Backward walk from the last finisher: (node, cat of edge into it).
+
+        At each step follow the predecessor that finished last — the one
+        whose completion gated this node's start.  Deterministic tie-breaks
+        by node key.
+        """
+        if not self.nodes:
+            return []
+        cur = max(self.nodes, key=lambda n: (n.t1, n.key()))
+        chain: list[tuple[GraphNode, Optional[str]]] = []
+        in_cat: Optional[str] = None
+        seen = set()
+        while cur.idx not in seen:
+            seen.add(cur.idx)
+            chain.append((cur, in_cat))
+            preds = self.preds.get(cur.idx)
+            if not preds:
+                break
+            best_idx, best_cat = max(
+                preds, key=lambda pc: (self.nodes[pc[0]].t1, self.nodes[pc[0]].key())
+            )
+            in_cat = best_cat
+            cur = self.nodes[best_idx]
+        chain.reverse()
+        # After reversal each entry's recorded cat is the edge *out of* it
+        # (into the next entry) — shift so entries carry their own in-edge.
+        out: list[tuple[GraphNode, Optional[str]]] = []
+        for i, (node, _) in enumerate(chain):
+            out.append((node, None if i == 0 else chain[i - 1][1]))
+        return out
+
+    def critical_path(self) -> list[GraphNode]:
+        """The chain of activities whose completion gated the makespan."""
+        return [n for n, _cat in self._chain()]
+
+    def blame(self) -> dict[str, float]:
+        """Fold the critical path into blame buckets.
+
+        Walks the chain in time order keeping a ``prev_end`` watermark:
+        a *gap* before a node is billed to the bucket of the edge that
+        carried the dependency (a network flow's gap is wire/queue time, a
+        lane gap is queue-wait); the node's own span past the watermark is
+        billed to its category's bucket.  Buckets sum exactly to the path's
+        end time.
+        """
+        buckets = {b: 0.0 for b in BLAME_BUCKETS}
+        prev_end = 0.0
+        for node, in_cat in self._chain():
+            gap = node.t0 - prev_end
+            if gap > 0.0:
+                bucket = EDGE_BUCKET.get(in_cat or "lane", "queue-wait")
+                buckets[bucket] += gap
+                prev_end = node.t0
+            contrib = node.t1 - max(node.t0, prev_end)
+            if contrib > 0.0:
+                buckets[CAT_BUCKET.get(node.cat, "other")] += contrib
+            prev_end = max(prev_end, node.t1)
+        return buckets
+
+    def totals(self) -> dict[str, float]:
+        """Aggregate busy time per bucket over *all* nodes (not just the
+        path) — surfaces activity on disconnected lanes (e.g. breaker
+        backoff) that the path never crosses."""
+        buckets = {b: 0.0 for b in BLAME_BUCKETS}
+        for n in self.nodes:
+            if n.virtual:
+                continue
+            buckets[CAT_BUCKET.get(n.cat, "other")] += n.dur
+        return buckets
+
+    def slack(self) -> list[tuple[GraphNode, float]]:
+        """PERT backward pass: latest finish minus actual finish per node.
+
+        Zero slack marks the critical chain; large slack marks activities
+        that could slip without moving the makespan.
+        """
+        makespan = self.makespan
+        order = sorted(self.nodes, key=GraphNode.key)
+        lf: dict[int, float] = {}
+        for node in reversed(order):
+            succs = self.succs.get(node.idx)
+            if not succs:
+                lf[node.idx] = makespan
+            else:
+                lf[node.idx] = min(
+                    lf[s] - self.nodes[s].dur for s, _cat in succs
+                )
+        return [(n, lf[n.idx] - n.t1) for n in order]
+
+    def what_if(self, speedups: dict[str, float]) -> float:
+        """Predicted makespan when each bucket's node durations are divided
+        by its speedup factor (``{"disk": 2.0}`` = disks twice as fast).
+
+        Forward replay in topological order.  A source keeps its recorded
+        start.  Every other node identifies its *gating* predecessor — the
+        one that finished last, i.e. whose completion actually triggered
+        this node — and starts at ``new_finish(gating) + (t0 - gating.t1)``:
+        the recorded lag relative to the trigger, positive (scheduling
+        delta, preserved) or negative (pipelined overlap, preserved).
+        Non-gating predecessors impose pure precedence (no recorded gap is
+        pinned to them — their gap was *caused by* the gating pred, and
+        evaporates if the gating pred speeds up).  With all factors 1.0
+        this reproduces the recorded timeline.
+        """
+        for bucket, f in speedups.items():
+            if f <= 0:
+                raise ValueError(f"speedup for {bucket!r} must be positive, got {f}")
+        new_t1: dict[int, float] = {}
+        finish = 0.0
+        for node in sorted(self.nodes, key=GraphNode.key):
+            factor = speedups.get(CAT_BUCKET.get(node.cat, "other"), 1.0)
+            dur = node.dur / factor
+            preds = self.preds.get(node.idx)
+            if not preds:
+                nt0 = node.t0
+            else:
+                gate, _cat = max(
+                    preds,
+                    key=lambda pc: (self.nodes[pc[0]].t1, self.nodes[pc[0]].key()),
+                )
+                nt0 = new_t1[gate] + (node.t0 - self.nodes[gate].t1)
+                for p, _c in preds:
+                    if p != gate and new_t1[p] > nt0:
+                        nt0 = new_t1[p]
+            new_t1[node.idx] = nt0 + dur
+            if new_t1[node.idx] > finish:
+                finish = new_t1[node.idx]
+        return finish
+
+
+# -- flow-endpoint matching ---------------------------------------------------
+class _Lane:
+    """Per-track span index: by-start order for dst lookups and lane edges,
+    by-end order for src lookups."""
+
+    __slots__ = ("by_start", "starts", "by_end", "ends")
+
+    def __init__(self, nodes: list[GraphNode]):
+        self.by_start = sorted(nodes, key=GraphNode.key)
+        self.starts = [n.t0 for n in self.by_start]
+        self.by_end = sorted(nodes, key=lambda n: (n.t1, n.idx))
+        self.ends = [n.t1 for n in self.by_end]
+
+    def match_src(self, t: float) -> Optional[GraphNode]:
+        """Producer side: the last span finishing at or before the departure
+        instant; else the span covering it (the flow left mid-span)."""
+        i = bisect_right(self.ends, t + _EPS)
+        if i > 0:
+            return self.by_end[i - 1]
+        for n in reversed(self.by_start):
+            if n.t0 <= t + _EPS and n.t1 >= t - _EPS:
+                return n
+        return None
+
+    def match_dst(self, t: float) -> Optional[GraphNode]:
+        """Consumer side: the first span starting at or after the arrival
+        instant; else the span covering it (consumer already busy)."""
+        i = bisect_left(self.starts, t - _EPS)
+        if i < len(self.by_start):
+            return self.by_start[i]
+        for n in reversed(self.by_start):
+            if n.t0 <= t + _EPS and n.t1 >= t - _EPS:
+                return n
+        return None

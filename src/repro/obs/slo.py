@@ -1,0 +1,193 @@
+"""Multi-window burn-rate SLO monitoring in simulated time.
+
+Implements the standard SRE multi-window, multi-burn-rate alerting policy
+over the scheduler's per-tenant SLO event stream: each job contributes
+*good* / *bad* events (predicted at dispatch time, actual at completion),
+and a :class:`BurnRule` fires when the error-budget burn rate exceeds its
+factor over **both** a long and a short window — the long window for
+significance, the short window so alerts clear quickly once the burn stops.
+
+``burn = error_rate / (1 - target)``: burn 1.0 consumes exactly the error
+budget over the period; burn 14.4 (the classic page threshold) exhausts a
+30-day budget in 2.5 days.  Windows and rates here are in *virtual*
+seconds — everything is deterministic and replayable.
+
+Because the scheduler records a *predicted* event at dispatch (service
+time is known from the oracle before the job runs), a tenant whose jobs
+are being dispatched past their deadlines raises an alert strictly before
+the first miss lands in the :class:`~repro.sched.report.ServeReport`.
+
+An optional :class:`~repro.metrics.registry.MetricsRegistry` receives a
+``repro_slo_burn_alert`` gauge per (tenant, rule) — 1.0 while the alert is
+active — which wait-queue policies may read to shed or boost tenants.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["BurnRule", "SLOAlert", "SLOMonitor", "default_rules"]
+
+
+@dataclass(frozen=True)
+class BurnRule:
+    """One multi-window burn-rate alerting rule."""
+
+    #: rule name (appears in alerts and gauge labels)
+    name: str
+    #: availability target in (0, 1), e.g. 0.9 = 90% of jobs meet their SLO
+    target: float
+    #: long window (virtual seconds): the significance window
+    long_window: float
+    #: short window (virtual seconds): the fast-clear window
+    short_window: float
+    #: burn-rate threshold; both windows must exceed it to fire
+    factor: float = 1.0
+
+    def __post_init__(self):
+        if not (0.0 < self.target < 1.0):
+            raise ValueError(f"target must be in (0,1), got {self.target}")
+        if self.long_window <= 0 or self.short_window <= 0:
+            raise ValueError("windows must be positive")
+        if self.short_window > self.long_window:
+            raise ValueError(
+                f"short window {self.short_window} exceeds long window "
+                f"{self.long_window}"
+            )
+        if self.factor <= 0:
+            raise ValueError(f"factor must be positive, got {self.factor}")
+
+    @property
+    def budget(self) -> float:
+        return 1.0 - self.target
+
+
+@dataclass(frozen=True)
+class SLOAlert:
+    """One rising-edge alert: a (tenant, rule) pair started burning."""
+
+    t: float
+    tenant: str
+    rule: str
+    burn_long: float
+    burn_short: float
+
+    def as_dict(self) -> dict:
+        return {
+            "t": self.t,
+            "tenant": self.tenant,
+            "rule": self.rule,
+            "burn_long": self.burn_long,
+            "burn_short": self.burn_short,
+        }
+
+
+def default_rules() -> list[BurnRule]:
+    """A page-style fast-burn rule and a ticket-style slow-burn rule."""
+    return [
+        BurnRule("fast-burn", target=0.9, long_window=2.0, short_window=0.25,
+                 factor=2.0),
+        BurnRule("slow-burn", target=0.9, long_window=10.0, short_window=1.0,
+                 factor=1.0),
+    ]
+
+
+class SLOMonitor:
+    """Evaluates burn-rate rules over per-tenant SLO event streams."""
+
+    def __init__(self, rules: Optional[list[BurnRule]] = None, *, registry=None):
+        self.rules = list(rules) if rules is not None else default_rules()
+        names = [r.name for r in self.rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names: {sorted(names)}")
+        self.registry = registry
+        #: per-tenant event window: (t, good) in arrival order
+        self._events: dict[str, deque] = {}
+        #: rising-edge alerts in firing order
+        self.alerts: list[SLOAlert] = []
+        #: (tenant, rule) -> currently firing?
+        self._active: dict[tuple[str, str], bool] = {}
+        self._gauges: dict[tuple[str, str], object] = {}
+
+    # -- feeding -------------------------------------------------------------
+    def record(self, t: float, tenant: str, good: bool) -> None:
+        """Feed one SLO event (a job met / will meet its deadline, or not)
+        and re-evaluate every rule for the tenant at virtual time ``t``."""
+        q = self._events.get(tenant)
+        if q is None:
+            q = self._events[tenant] = deque()
+        q.append((t, bool(good)))
+        horizon = t - max(r.long_window for r in self.rules)
+        while q and q[0][0] < horizon:
+            q.popleft()
+        self._evaluate(t, tenant)
+
+    # -- evaluation ----------------------------------------------------------
+    def burn(self, tenant: str, window: float, target: float, now: float) -> float:
+        """Error-budget burn rate over ``[now - window, now]``."""
+        q = self._events.get(tenant)
+        if not q:
+            return 0.0
+        t0 = now - window
+        total = bad = 0
+        for t, good in q:
+            if t >= t0 and t <= now:
+                total += 1
+                if not good:
+                    bad += 1
+        if total == 0:
+            return 0.0
+        return (bad / total) / (1.0 - target)
+
+    def _evaluate(self, now: float, tenant: str) -> None:
+        for rule in self.rules:
+            bl = self.burn(tenant, rule.long_window, rule.target, now)
+            bs = self.burn(tenant, rule.short_window, rule.target, now)
+            firing = bl > rule.factor and bs > rule.factor
+            key = (tenant, rule.name)
+            was = self._active.get(key, False)
+            if firing and not was:
+                self.alerts.append(SLOAlert(now, tenant, rule.name, bl, bs))
+            self._active[key] = firing
+            if self.registry is not None:
+                gauge = self._gauges.get(key)
+                if gauge is None:
+                    gauge = self.registry.gauge(
+                        "repro_slo_burn_alert", tenant=tenant, rule=rule.name
+                    )
+                    self._gauges[key] = gauge
+                gauge.set(1.0 if firing else 0.0)
+
+    # -- reading -------------------------------------------------------------
+    def is_firing(self, tenant: str, rule: str) -> bool:
+        return self._active.get((tenant, rule), False)
+
+    def first_alert(self, tenant: str) -> Optional[SLOAlert]:
+        for a in self.alerts:
+            if a.tenant == tenant:
+                return a
+        return None
+
+    def as_dict(self) -> dict:
+        """Deterministic summary: every alert plus the final firing states."""
+        return {
+            "rules": [
+                {"name": r.name, "target": r.target, "factor": r.factor,
+                 "long_window": r.long_window, "short_window": r.short_window}
+                for r in self.rules
+            ],
+            "alerts": [a.as_dict() for a in self.alerts],
+            "firing": {
+                f"{tenant}/{rule}": True
+                for (tenant, rule), on in sorted(self._active.items())
+                if on
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<SLOMonitor rules={len(self.rules)} "
+            f"tenants={len(self._events)} alerts={len(self.alerts)}>"
+        )

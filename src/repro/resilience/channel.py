@@ -134,7 +134,8 @@ class ChannelStats:
 class _Pending:
     """One unacked outbound message."""
 
-    __slots__ = ("seq", "dst", "payload", "nbytes", "tag", "attempt", "acked", "cancelled")
+    __slots__ = ("seq", "dst", "payload", "nbytes", "tag", "attempt", "acked",
+                 "cancelled", "deadline_t")
 
     def __init__(self, seq: int, dst: Hashable, payload: Any, nbytes: int, tag: str):
         self.seq = seq
@@ -145,6 +146,10 @@ class _Pending:
         self.attempt = 0
         self.acked = False
         self.cancelled = False
+        #: instant the current attempt's retransmit timer was armed at
+        #: (expected delivery); the grace between it and the actual
+        #: retransmission is traced as breaker backoff
+        self.deadline_t = 0.0
 
 
 class ReliableEndpoint:
@@ -230,6 +235,7 @@ class ReliableEndpoint:
         # future when the link is backed up) plus the policy grace.  A dropped
         # message has no delivery instant; retry after the bare grace.
         deliver_at = msg.deliver_at if msg.deliver_at is not None else self.sim.now
+        e.deadline_t = deliver_at
         grace = self.policy.grace(e.attempt, self.rng)
         delay = max(0.0, deliver_at - self.sim.now) + grace
         self.sim.schedule_callback(lambda entry=e: self._on_timeout(entry), delay=delay)
@@ -237,6 +243,15 @@ class ReliableEndpoint:
     def _on_timeout(self, e: _Pending) -> None:
         if e.acked or e.cancelled:
             return
+        tracer = self.sim.tracer
+        if tracer is not None and self.sim.now > e.deadline_t:
+            # The expo-backoff grace the sender sat out before acting on this
+            # timeout: a first-class blame bucket on the critical path.
+            tracer.span(
+                e.deadline_t, self.sim.now,
+                f"{self.node.node_id}.backoff", f"grace {e.tag}".strip(),
+                cat="breaker-backoff",
+            )
         if not self.node.alive or e.dst in self._dead_peers:
             self._cancel(e)
             return
@@ -299,6 +314,16 @@ class ReliableEndpoint:
         waited = self.sim.now - t0
         if waited:
             self.stats.window_wait_time += waited
+            tracer = self.sim.tracer
+            if tracer is not None:
+                # Credit-window stall: the sender was ready but the channel
+                # held it back (backpressure) — traced so the critical-path
+                # profiler can blame transport backoff, not the sender's CPU.
+                tracer.span(
+                    t0, self.sim.now,
+                    f"{self.node.node_id}.backoff", f"window {dst_id}",
+                    cat="breaker-backoff",
+                )
         return waited
 
     def cancel_peer(self, peer) -> None:

@@ -90,6 +90,8 @@ class Scheduler:
         restart_budget: Optional[RestartBudget] = None,
         preempt: bool = False,
         policy_kwargs: Optional[dict] = None,
+        tracer=None,
+        slo_monitor=None,
     ):
         names = [t.name for t in tenants]
         if len(set(names)) != len(names):
@@ -110,12 +112,22 @@ class Scheduler:
                 "preemption requires the 'priority' policy (fifo/fair are "
                 "run-to-completion)"
             )
+        #: optional repro.trace.Tracer — scheduler-level spans land on
+        #: ``sched:<tenant>:<job_id>`` tracks (queued / run / preemption
+        #: segments) so the critical-path profiler can blame queueing and
+        #: preemption separately from emulated service time
+        self.tracer = tracer
+        #: optional repro.obs.SLOMonitor fed at dispatch time (predicted
+        #: at-risk, strictly before the miss is recorded at finish) and at
+        #: completion (actual outcome)
+        self.slo_monitor = slo_monitor
         # live state
         self._seen: dict[str, Job] = {}
         self.queued: list[Job] = []
         self.running: list[Job] = []
         self._lease_of: dict[str, object] = {}
         self._segment_end: dict[str, float] = {}
+        self._queue_enter: dict[str, float] = {}
         # instruments
         self._g_depth = self.registry.gauge("repro_sched_queue_depth")
         self._c_admit = self.registry.counter("repro_sched_jobs_admitted_total")
@@ -178,6 +190,7 @@ class Scheduler:
             out.n_rejected += 1
             self._c_reject.inc()
             return
+        self._queue_enter[job.job_id] = now
         self.queued.append(job)
         self._c_admit.inc()
 
@@ -190,6 +203,16 @@ class Scheduler:
         self.leases.release(lease, now)
         self._segment_end.pop(job.job_id, None)
         self.running.remove(job)
+        if self.tracer is not None:
+            self.tracer.span(
+                job.start_t, now, f"sched:{job.tenant}:{job.job_id}",
+                job.spec.app, cat="sched-run",
+                sid=f"{job.job_id}.run", parent=f"{job.job_id}.queue",
+            )
+        if self.slo_monitor is not None and job.spec.deadline is not None:
+            self.slo_monitor.record(
+                now, job.tenant, good=(now - job.arrival_t) <= job.spec.deadline
+            )
         job.occupied += now - job.start_t
         job.state = JobState.DONE
         job.finish_t = now
@@ -239,6 +262,20 @@ class Scheduler:
         self.queued.remove(job)
         self.running.append(job)
         self._lease_of[job.job_id] = lease
+        enter_t = self._queue_enter.pop(job.job_id, now)
+        if self.tracer is not None and now > enter_t:
+            self.tracer.span(
+                enter_t, now, f"sched:{job.tenant}:{job.job_id}",
+                "queued", cat="sched-queue", sid=f"{job.job_id}.queue",
+            )
+        if self.slo_monitor is not None and job.spec.deadline is not None:
+            # Predicted at-risk signal at *dispatch* time: if the measured
+            # service time already overruns the deadline, the burn-rate
+            # alert can fire strictly before the miss lands in ServeReport.
+            self.slo_monitor.record(
+                now, job.tenant,
+                good=(now + makespan - job.arrival_t) <= job.spec.deadline,
+            )
         job.state = JobState.RUNNING
         job.start_t = now
         if job.first_start_t is None:
@@ -313,6 +350,11 @@ class Scheduler:
         self._segment_end.pop(job.job_id, None)
         self.running.remove(job)
         elapsed = now - job.start_t
+        if self.tracer is not None and elapsed > 0.0:
+            self.tracer.span(
+                job.start_t, now, f"sched:{job.tenant}:{job.job_id}",
+                f"evicted:{job.spec.app}", cat="preemption",
+            )
         job.occupied += elapsed
         job.epoch += 1  # invalidates the in-flight finish event
         if job.spec.checkpointable and elapsed > _MIN_CHECKPOINT_ELAPSED:
@@ -345,5 +387,6 @@ class Scheduler:
                 return
             job.state = JobState.QUEUED
             job.eligible_t = now + self.budget.backoff(job.n_restarts)
+        self._queue_enter[job.job_id] = now
         self.queued.append(job)
         self.policy.requeue(job)

@@ -133,8 +133,17 @@ def run_serve(
     n_jobs: int = 60,
     seed: int = 0,
     restart_budget: Optional[RestartBudget] = None,
+    tracer=None,
+    slo_monitor=None,
 ) -> ServeReport:
-    """Run the policy × load sweep and return the deterministic report."""
+    """Run the policy × load sweep and return the deterministic report.
+
+    ``tracer`` / ``slo_monitor`` (both default ``None`` — zero overhead and
+    byte-identical reports without them) are threaded into every scheduler
+    cell: the tracer collects ``sched:<tenant>:<job_id>`` spans for the
+    critical-path profiler, the :class:`~repro.obs.SLOMonitor` is fed
+    predicted/actual SLO events for burn-rate alerting.
+    """
     params = params if params is not None else serve_params()
     tenants = list(tenants) if tenants is not None else default_tenants()
     mix = list(mix) if mix is not None else default_mix()
@@ -183,6 +192,8 @@ def run_serve(
                 policy_kwargs=(
                     {"age_rate": 0.05} if policy == "priority" else None
                 ),
+                tracer=tracer,
+                slo_monitor=slo_monitor,
             )
             outcome = sched.run(arrivals)
             cell = summarize_outcome(outcome, sched.tenants, rate)

@@ -25,20 +25,27 @@ class BusyTracker:
     def __init__(self, sim: Simulator, name: str = "", cat: str = "busy"):
         self.sim = sim
         self.name = name
-        #: trace category (and span label) for segments of this device
+        #: trace category (and default span label) for segments of this device
         self.cat = cat
         self.intervals = IntervalAccumulator()
         self._busy_since: float | None = None
+        self._busy_label: str | None = None
 
-    def _trace(self, start: float, end: float) -> None:
+    def _trace(self, start: float, end: float, label: str | None = None) -> None:
         tracer = self.sim.tracer
         if tracer is not None and end > start:
-            tracer.span(start, end, self.name or "busy", self.cat, cat=self.cat)
+            tracer.span(
+                start, end, self.name or "busy", label or self.cat, cat=self.cat
+            )
 
-    def begin(self) -> None:
+    def begin(self, label: str | None = None) -> None:
+        """Open a busy interval; ``label`` (optional) names the emitted trace
+        span — e.g. the functor/stage running on a CPU — instead of the
+        generic category.  Accounting is identical either way."""
         if self._busy_since is not None:
             raise RuntimeError(f"{self.name}: begin() while already busy")
         self._busy_since = self.sim.now
+        self._busy_label = label
 
     def end(self) -> None:
         if self._busy_since is None:
@@ -46,9 +53,10 @@ class BusyTracker:
         start = self._busy_since
         self.intervals.add(start, self.sim.now)
         self._busy_since = None
-        self._trace(start, self.sim.now)
+        self._trace(start, self.sim.now, self._busy_label)
+        self._busy_label = None
 
-    def add_span(self, duration: float) -> None:
+    def add_span(self, duration: float, label: str | None = None) -> None:
         """Record a busy span ending now (for modelled, non-reentrant work).
 
         The start is clamped to t=0 (a span longer than the elapsed clock is
@@ -59,13 +67,13 @@ class BusyTracker:
         end = self.sim.now
         start = max(0.0, end - duration)
         self.intervals.insert(start, end)
-        self._trace(start, end)
+        self._trace(start, end, label)
 
-    def add_interval(self, start: float, end: float) -> None:
+    def add_interval(self, start: float, end: float, label: str | None = None) -> None:
         """Record an explicit [start, end) busy interval (timeline devices
         reserve service time ahead of the clock, e.g. disk write-behind)."""
         self.intervals.insert(start, end)
-        self._trace(start, end)
+        self._trace(start, end, label)
 
     def end_if_busy(self) -> None:
         """Close an open busy interval if one exists.

@@ -43,18 +43,25 @@ def to_chrome(tracer: Tracer) -> dict[str, Any]:
                 "args": {"name": track},
             }
         )
-    for t0, t1, track, name, cat in tracer.spans:
-        events.append(
-            {
-                "ph": "X",
-                "name": name,
-                "cat": cat,
-                "ts": _us(t0),
-                "dur": _us(t1 - t0),
-                "pid": _PID,
-                "tid": tids[track],
-            }
-        )
+    span_meta = tracer.span_meta
+    for i, (t0, t1, track, name, cat) in enumerate(tracer.spans):
+        ev: dict[str, Any] = {
+            "ph": "X",
+            "name": name,
+            "cat": cat,
+            "ts": _us(t0),
+            "dur": _us(t1 - t0),
+            "pid": _PID,
+            "tid": tids[track],
+        }
+        meta = span_meta.get(i)
+        if meta is not None:
+            sid, parent = meta
+            args: dict[str, Any] = {"sid": sid}
+            if parent is not None:
+                args["parent"] = parent
+            ev["args"] = args
+        events.append(ev)
     for t, track, name, cat in tracer.instants:
         events.append(
             {
@@ -76,6 +83,33 @@ def to_chrome(tracer: Tracer) -> dict[str, Any]:
                 "pid": _PID,
                 "tid": tids[track],
                 "args": {name: value},
+            }
+        )
+    # Flow edges: one s/f pair per recorded flow.  Ids are assigned by
+    # enumeration order (recording order is deterministic), never hashed,
+    # so the export stays byte-stable.
+    for i, (t0, src_track, t1, dst_track, name, cat) in enumerate(tracer.flows):
+        events.append(
+            {
+                "ph": "s",
+                "id": i + 1,
+                "name": name,
+                "cat": cat,
+                "ts": _us(t0),
+                "pid": _PID,
+                "tid": tids[src_track],
+            }
+        )
+        events.append(
+            {
+                "ph": "f",
+                "bp": "e",
+                "id": i + 1,
+                "name": name,
+                "cat": cat,
+                "ts": _us(t1),
+                "pid": _PID,
+                "tid": tids[dst_track],
             }
         )
     return {"traceEvents": events, "displayTimeUnit": "ms"}

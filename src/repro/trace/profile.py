@@ -93,7 +93,12 @@ class ProfileReport:
         return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
 
     def render(self) -> str:
-        """Aligned text table (lazy import keeps trace free of bench deps)."""
+        """Aligned text table (lazy import keeps trace free of bench deps).
+
+        Rows are ordered by busy time descending (ties by track name) so the
+        hottest stage — the critical-path suspect — reads first; ``stall%``
+        is the fraction of the makespan the track sat idle.
+        """
         from ..bench.report import render_table
 
         rows = [
@@ -105,11 +110,13 @@ class ProfileReport:
                 int(s.records),
                 s.rate,
                 s.stall,
+                f"{(100.0 * s.stall / self.makespan) if self.makespan > 0 else 0.0:.1f}",
             )
-            for s in self.stages
+            for s in sorted(self.stages, key=lambda s: (-s.busy, s.track))
         ]
         table = render_table(
-            ["track", "cat", "busy(s)", "spans", "records", "rec/s", "stall(s)"],
+            ["track", "cat", "busy(s)", "spans", "records", "rec/s", "stall(s)",
+             "stall%"],
             rows,
             title=f"profile — makespan {self.makespan:.4f}s",
         )

@@ -23,6 +23,15 @@ Design rules:
 Tracks are free-form strings naming the entity an event belongs to
 (``"asu0.cpu"``, ``"host1.sort"``, ``"link:host0->asu3"``); categories group
 events of one kind (``"cpu"``, ``"disk"``, ``"link"``, ``"fault"``).
+
+Causal structure (repro.obs) is layered on top of the flat storage without
+changing it: a span may optionally carry a **span id** and a **parent id**
+(kept in a sparse side table so the 5-tuple shape — and the byte-identity of
+traces that never use ids — is preserved), and cross-track **flow edges**
+link a departure instant on one track to an arrival instant on another
+(message dispatch → delivery, mailbox residence → consumption, pass 1 →
+pass 2).  Flows export as Chrome ``s``/``f`` events and feed the
+:class:`~repro.obs.graph.CausalGraph` program-activity graph.
 """
 
 from __future__ import annotations
@@ -33,7 +42,8 @@ __all__ = ["Tracer"]
 class Tracer:
     """Collects simulated-time trace events.  Attach via ``sim.tracer``."""
 
-    __slots__ = ("spans", "instants", "counters", "offset", "_cum")
+    __slots__ = ("spans", "instants", "counters", "flows", "span_meta",
+                 "offset", "_cum")
 
     def __init__(self) -> None:
         #: (t0, t1, track, name, cat) — completed busy/work segments
@@ -42,6 +52,12 @@ class Tracer:
         self.instants: list[tuple[float, str, str, str]] = []
         #: (t, track, name, value) — sampled counter values
         self.counters: list[tuple[float, str, str, float]] = []
+        #: (t0, src_track, t1, dst_track, name, cat) — causal edges: something
+        #: that left ``src_track`` at ``t0`` arrived on ``dst_track`` at ``t1``
+        self.flows: list[tuple[float, str, float, str, str, str]] = []
+        #: sparse side table: span index -> (sid, parent) for spans recorded
+        #: with explicit ids; spans without ids never allocate an entry
+        self.span_meta: dict[int, tuple[str, str | None]] = {}
         #: added to every recorded time — lets multi-phase jobs (pass 1 then
         #: pass 2, each on a fresh platform whose clock restarts at 0) share
         #: one contiguous timeline
@@ -49,9 +65,41 @@ class Tracer:
         self._cum: dict[tuple[str, str], float] = {}
 
     # -- recording ---------------------------------------------------------
-    def span(self, t0: float, t1: float, track: str, name: str, cat: str = "span") -> None:
-        """Record a completed segment [t0, t1) on ``track``."""
+    def span(
+        self,
+        t0: float,
+        t1: float,
+        track: str,
+        name: str,
+        cat: str = "span",
+        sid: str | None = None,
+        parent: str | None = None,
+    ) -> None:
+        """Record a completed segment [t0, t1) on ``track``.
+
+        ``sid`` gives the span an explicit id and ``parent`` links it to
+        another span's id — both optional and stored out-of-band, so spans
+        without ids keep the flat 5-tuple layout.
+        """
         self.spans.append((t0 + self.offset, t1 + self.offset, track, name, cat))
+        if sid is not None:
+            self.span_meta[len(self.spans) - 1] = (sid, parent)
+
+    def flow(
+        self,
+        t0: float,
+        src_track: str,
+        t1: float,
+        dst_track: str,
+        name: str,
+        cat: str = "flow",
+    ) -> None:
+        """Record a causal edge: left ``src_track`` at ``t0``, arrived on
+        ``dst_track`` at ``t1``.  Both instants get the phase offset, so
+        flow edges stitch across multi-pass timelines exactly like spans."""
+        self.flows.append(
+            (t0 + self.offset, src_track, t1 + self.offset, dst_track, name, cat)
+        )
 
     def instant(self, t: float, track: str, name: str, cat: str = "instant") -> None:
         """Record a point event at ``t`` on ``track``."""
@@ -76,6 +124,9 @@ class Tracer:
         seen = {s[2] for s in self.spans}
         seen.update(i[1] for i in self.instants)
         seen.update(c[1] for c in self.counters)
+        for f in self.flows:
+            seen.add(f[1])
+            seen.add(f[3])
         return sorted(seen)
 
     def t_max(self) -> float:
@@ -87,20 +138,26 @@ class Tracer:
             t = max(t, max(i[0] for i in self.instants))
         if self.counters:
             t = max(t, max(c[0] for c in self.counters))
+        if self.flows:
+            t = max(t, max(f[2] for f in self.flows))
         return t
 
     def n_events(self) -> int:
-        return len(self.spans) + len(self.instants) + len(self.counters)
+        return (len(self.spans) + len(self.instants) + len(self.counters)
+                + len(self.flows))
 
     def clear(self) -> None:
         self.spans.clear()
         self.instants.clear()
         self.counters.clear()
+        self.flows.clear()
+        self.span_meta.clear()
         self._cum.clear()
         self.offset = 0.0
 
     def __repr__(self) -> str:
         return (
             f"<Tracer {len(self.spans)} span(s), {len(self.counters)} "
-            f"counter sample(s), {len(self.instants)} instant(s)>"
+            f"counter sample(s), {len(self.instants)} instant(s), "
+            f"{len(self.flows)} flow(s)>"
         )

@@ -377,3 +377,51 @@ class TestRegressGate:
                 doc = json.load(fh)
             assert doc["schema_version"] == BENCH_SCHEMA_VERSION
             assert doc["params"]["c"] == 8.0
+
+
+class TestHistogramSnapshot:
+    def _filled(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_test_seconds")
+        for v in np.random.default_rng(7).exponential(0.01, size=2000):
+            h.observe(float(v))
+        return reg, h
+
+    def test_final_carries_count_sum_and_p999(self):
+        _reg, h = self._filled()
+        doc = h.final()
+        assert doc["count"] == 2000
+        assert doc["sum"] == pytest.approx(h.sum)
+        assert doc["min"] == h.min and doc["max"] == h.max
+        assert doc["p99"] <= doc["p999"] <= doc["max"]
+
+    def test_snapshot_is_final_alias(self):
+        _reg, h = self._filled()
+        assert h.snapshot() == h.final()
+
+    def test_empty_histogram_snapshot(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_test_seconds")
+        doc = h.final()
+        assert doc["count"] == 0 and doc["sum"] == 0.0
+        assert doc["min"] is None and doc["max"] is None
+        assert math.isnan(doc["p999"])
+
+    def test_quantile_exact_endpoints(self):
+        _reg, h = self._filled()
+        assert h.quantile(0.0) == h.min
+        assert h.quantile(1.0) == h.max
+        h.observe(123.456)
+        assert h.quantile(1.0) == 123.456
+
+    def test_prometheus_p999_gauge(self):
+        reg, h = self._filled()
+        text = prometheus_text(reg, t=1.0)
+        assert "# TYPE repro_test_seconds_p999 gauge" in text
+        line = next(
+            ln for ln in text.splitlines()
+            if ln.startswith("repro_test_seconds_p999")
+        )
+        assert float(line.split()[-1]) == pytest.approx(h.quantile(0.999))
+        # count and sum still rendered alongside the new tail gauge
+        assert "repro_test_seconds_count 2000" in text

@@ -1,0 +1,400 @@
+"""Tests for repro.obs: causal graph, critical path, blame attribution,
+what-if replay, SLO burn-rate monitoring, and the critpath CLI."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    BLAME_BUCKETS,
+    BurnRule,
+    CausalGraph,
+    SLOMonitor,
+    folded_stacks,
+    render_timeline,
+    run_critpath,
+    run_critpath_serve,
+)
+from repro.trace import Tracer
+
+
+# ---------------------------------------------------------------------------
+# CausalGraph on hand-built traces
+# ---------------------------------------------------------------------------
+class TestCausalGraph:
+    def _two_node_flow(self):
+        tr = Tracer()
+        tr.span(0.0, 1.0, "asu0.cpu", "produce", cat="cpu")
+        tr.span(2.0, 3.0, "host0.cpu", "consume", cat="cpu")
+        tr.flow(1.0, "asu0.cpu", 2.0, "host0.cpu", "msg", cat="net")
+        return CausalGraph.from_tracer(tr)
+
+    def test_flow_connects_tracks(self):
+        g = self._two_node_flow()
+        assert len(g.nodes) == 2
+        path = g.critical_path()
+        assert [n.name for n in path] == ["produce", "consume"]
+
+    def test_blame_sums_to_makespan(self):
+        g = self._two_node_flow()
+        blame = g.blame()
+        assert sum(blame.values()) == pytest.approx(g.makespan)
+        assert blame["cpu"] == pytest.approx(2.0)
+        assert blame["net"] == pytest.approx(1.0)  # the 1s flow gap
+
+    def test_lane_gap_is_queue_wait(self):
+        tr = Tracer()
+        tr.span(0.0, 1.0, "a.cpu", "x", cat="cpu")
+        tr.span(3.0, 4.0, "a.cpu", "y", cat="cpu")
+        g = CausalGraph.from_tracer(tr)
+        blame = g.blame()
+        assert blame["queue-wait"] == pytest.approx(2.0)
+        assert blame["cpu"] == pytest.approx(2.0)
+
+    def test_virtual_nodes_bridge_spanless_tracks(self):
+        tr = Tracer()
+        tr.span(0.0, 1.0, "a.cpu", "tx", cat="cpu")
+        tr.flow(1.0, "a.cpu", 1.5, "mbox:b", "deliver", cat="net")
+        tr.flow(1.5, "mbox:b", 2.0, "b.cpu", "consume", cat="queue")
+        tr.span(2.0, 3.0, "b.cpu", "work", cat="cpu")
+        g = CausalGraph.from_tracer(tr)
+        virtual = [n for n in g.nodes if n.virtual]
+        assert len(virtual) == 1 and virtual[0].track == "mbox:b"
+        path = g.critical_path()
+        assert [n.track for n in path] == ["a.cpu", "mbox:b", "b.cpu"]
+
+    def test_phase_spans_excluded(self):
+        tr = Tracer()
+        tr.span(0.0, 10.0, "job", "pass1", cat="phase", sid="pass1")
+        tr.span(1.0, 2.0, "a.cpu", "x", cat="cpu")
+        g = CausalGraph.from_tracer(tr)
+        assert len(g.nodes) == 1
+        assert g.nodes[0].cat == "cpu"
+
+    def test_slack_zero_on_critical_chain(self):
+        g = self._two_node_flow()
+        slack = dict((n.name, s) for n, s in g.slack())
+        assert slack["consume"] == pytest.approx(0.0)
+        # producer could slip by the 1s flow gap without moving the makespan
+        assert slack["produce"] == pytest.approx(1.0)
+
+    def test_preemption_and_sched_cats_bucketed(self):
+        tr = Tracer()
+        tr.span(0.0, 1.0, "sched:t:j0", "queued", cat="sched-queue")
+        tr.span(1.0, 2.0, "sched:t:j0", "evicted:app", cat="preemption")
+        tr.span(2.0, 5.0, "sched:t:j0", "app", cat="sched-run")
+        g = CausalGraph.from_tracer(tr)
+        blame = g.blame()
+        assert blame["scheduler-queueing"] == pytest.approx(1.0)
+        assert blame["preemption"] == pytest.approx(1.0)
+        assert blame["service"] == pytest.approx(3.0)
+
+
+class TestWhatIf:
+    def test_identity_replay(self):
+        tr = Tracer()
+        tr.span(0.0, 1.0, "a.disk", "read", cat="disk")
+        tr.flow(1.0, "a.disk", 1.0, "a.cpu", "read-done", cat="queue")
+        tr.span(1.0, 2.0, "a.cpu", "work", cat="cpu")
+        g = CausalGraph.from_tracer(tr)
+        assert g.what_if({}) == pytest.approx(g.makespan)
+        assert g.what_if({"disk": 1.0, "cpu": 1.0}) == pytest.approx(g.makespan)
+
+    def test_disk_speedup_compresses_disk_bound_chain(self):
+        tr = Tracer()
+        tr.span(0.0, 2.0, "a.disk", "read", cat="disk")
+        tr.flow(2.0, "a.disk", 2.0, "a.cpu", "read-done", cat="queue")
+        tr.span(2.0, 2.5, "a.cpu", "work", cat="cpu")
+        g = CausalGraph.from_tracer(tr)
+        # 2s disk -> 1s; cpu work slides earlier: 2.5 -> 1.5
+        assert g.what_if({"disk": 2.0}) == pytest.approx(1.5)
+
+    def test_gating_pred_wins_over_non_gating(self):
+        # cpu chain is dense but each link waits on a slower disk read;
+        # halving disk time must compress the chain.
+        tr = Tracer()
+        t = 0.0
+        for i in range(3):
+            tr.span(t, t + 1.0, "a.disk", f"read{i}", cat="disk")
+            tr.flow(t + 1.0, "a.disk", t + 1.0, "a.cpu", "done", cat="queue")
+            tr.span(t + 1.0, t + 1.1, "a.cpu", f"work{i}", cat="cpu")
+            t += 1.0
+        g = CausalGraph.from_tracer(tr)
+        predicted = g.what_if({"disk": 2.0})
+        assert predicted < g.makespan * 0.7
+
+    def test_invalid_factor_raises(self):
+        g = CausalGraph.from_tracer(Tracer())
+        with pytest.raises(ValueError):
+            g.what_if({"disk": 0.0})
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: traced sort -> graph -> blame -> what-if validation
+# ---------------------------------------------------------------------------
+class TestCritPathSort:
+    @pytest.fixture(scope="class")
+    def sort_run(self):
+        return run_critpath(1 << 12, seed=3, what_if={"disk": 2.0}, validate=True)
+
+    def test_blame_covers_makespan(self, sort_run):
+        report, graph = sort_run
+        blame = report.blame
+        assert sum(blame.values()) == pytest.approx(report.makespan)
+        # a Figure-9 cell exercises cpu, disk, and the network
+        assert blame["cpu"] > 0.0
+        assert blame["disk"] > 0.0
+
+    def test_blame_byte_deterministic(self, sort_run):
+        report, _g = sort_run
+        report2, _g2 = run_critpath(
+            1 << 12, seed=3, what_if={"disk": 2.0}, validate=True
+        )
+        assert report.to_json() == report2.to_json()
+
+    def test_what_if_within_10pct_of_rerun(self, sort_run):
+        report, _g = sort_run
+        w = report.what_if
+        assert w["measured_makespan"] is not None
+        assert w["error_pct"] <= 10.0, w
+
+    def test_folded_stacks_deterministic_microseconds(self, sort_run):
+        _report, graph = sort_run
+        s1 = folded_stacks(graph)
+        s2 = folded_stacks(graph)
+        assert s1 == s2
+        for line in s1.strip().split("\n"):
+            stack, _, weight = line.rpartition(" ")
+            assert stack and int(weight) >= 0
+            assert stack.split(";")[0] in BLAME_BUCKETS
+
+    def test_timeline_renders(self, sort_run):
+        _report, graph = sort_run
+        text = render_timeline(graph)
+        assert "#" in text and "asu0" in text
+
+    def test_report_json_roundtrip(self, sort_run):
+        report, _g = sort_run
+        doc = json.loads(report.to_json())
+        assert doc["schema_version"] == 1
+        assert set(doc["blame"]) == set(BLAME_BUCKETS)
+
+    def test_tracing_zero_perturbation(self, sort_run):
+        # the traced makespan equals an untraced run's makespan
+        report, _g = sort_run
+        from repro.core.config import ConfigSolver
+        from repro.dsmsort import DsmSortJob
+        from repro.obs import critpath_params
+
+        params = critpath_params()
+        cfg = ConfigSolver(params).config_for_alpha(1 << 12, 8)
+        job = DsmSortJob(params, cfg, policy="sr", seed=3)
+        m = job.run_pass1().makespan + job.run_pass2().makespan
+        assert m == report.makespan
+
+
+# ---------------------------------------------------------------------------
+# SLO burn-rate monitoring
+# ---------------------------------------------------------------------------
+class TestSLOMonitor:
+    RULE = BurnRule("r", target=0.9, long_window=10.0, short_window=1.0,
+                    factor=1.0)
+
+    def test_no_alert_while_healthy(self):
+        mon = SLOMonitor([self.RULE])
+        for i in range(50):
+            mon.record(0.1 * i, "t", good=True)
+        assert mon.alerts == []
+        assert not mon.is_firing("t", "r")
+
+    def test_alert_fires_on_sustained_burn(self):
+        mon = SLOMonitor([self.RULE])
+        for i in range(20):
+            mon.record(0.1 * i, "t", good=True)
+        for i in range(20, 40):
+            mon.record(0.1 * i, "t", good=(i % 2 == 0))  # 50% bad >> 10% budget
+        assert mon.is_firing("t", "r")
+        assert len(mon.alerts) >= 1
+        assert mon.first_alert("t").tenant == "t"
+
+    def test_short_window_gates_stale_burn(self):
+        # a burst of misses long ago must not alert once the short window
+        # is clean again
+        mon = SLOMonitor([self.RULE])
+        for i in range(10):
+            mon.record(0.1 * i, "t", good=False)
+        n_after_burst = len(mon.alerts)
+        for i in range(50):
+            mon.record(2.0 + 0.1 * i, "t", good=True)
+        assert not mon.is_firing("t", "r")
+        assert len(mon.alerts) == n_after_burst
+
+    def test_tenants_independent(self):
+        mon = SLOMonitor([self.RULE])
+        for i in range(30):
+            mon.record(0.1 * i, "bad", good=False)
+            mon.record(0.1 * i, "good", good=True)
+        assert mon.is_firing("bad", "r")
+        assert not mon.is_firing("good", "r")
+
+    def test_registry_gauge_tracks_state(self):
+        from repro.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        mon = SLOMonitor([self.RULE], registry=reg)
+        for i in range(30):
+            mon.record(0.1 * i, "t", good=False)
+        gauge = reg.gauge("repro_slo_burn_alert", tenant="t", rule="r")
+        assert gauge.value == 1.0
+        for i in range(100):
+            mon.record(4.0 + 0.1 * i, "t", good=True)
+        assert gauge.value == 0.0
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError):
+            BurnRule("x", target=1.5, long_window=1.0, short_window=0.1)
+        with pytest.raises(ValueError):
+            BurnRule("x", target=0.9, long_window=1.0, short_window=2.0)
+        with pytest.raises(ValueError):
+            SLOMonitor([self.RULE, self.RULE])
+
+    def test_as_dict_deterministic(self):
+        def build():
+            mon = SLOMonitor([self.RULE])
+            for i in range(40):
+                mon.record(0.1 * i, "t", good=(i % 3 == 0))
+            return json.dumps(mon.as_dict(), sort_keys=True)
+
+        assert build() == build()
+
+
+# ---------------------------------------------------------------------------
+# serve-mode integration: scheduler spans + alerts-before-miss
+# ---------------------------------------------------------------------------
+class TestCritPathServe:
+    @pytest.fixture(scope="class")
+    def serve_run(self):
+        return run_critpath_serve(n_jobs=40, seed=0, policy="fifo",
+                                  load_factor=6.0)
+
+    def test_outcome_unchanged_by_observability(self, serve_run):
+        _report, _graph, serve = serve_run
+        from repro.sched import run_serve
+
+        plain = run_serve(policies=("fifo",), load_factors=(6.0,),
+                          n_jobs=40, seed=0)
+        assert serve.cells[0] == plain.cells[0]
+
+    def test_sched_tracks_present(self, serve_run):
+        _report, graph, _serve = serve_run
+        cats = {n.cat for n in graph.nodes}
+        assert "sched-queue" in cats and "sched-run" in cats
+
+    def test_saturated_cell_raises_alerts(self, serve_run):
+        report, _graph, serve = serve_run
+        assert report.slo["alerts"], "saturated fifo cell must burn budget"
+        assert serve.cells[0]["slo_attainment"] < 1.0
+
+    def test_alert_fires_before_first_recorded_miss(self):
+        # The monitor is fed the *predicted* outcome at dispatch time, so
+        # an at-risk tenant alerts before any miss is actually recorded at
+        # job completion.
+        from repro.sched import (
+            Arrival,
+            JobSpec,
+            ResourceNeed,
+            Scheduler,
+            Tenant,
+        )
+        from repro.sched.serve import serve_params
+
+        def arrivals(deadline):
+            return [
+                Arrival(
+                    t=0.001 * i,
+                    spec=JobSpec(
+                        app="filterscan", n_records=1024, seed=0,
+                        deadline=deadline,
+                        need=ResourceNeed(n_asus=2, n_hosts=1),
+                    ),
+                    tenant="t",
+                    template="t-filterscan",
+                )
+                for i in range(10)
+            ]
+
+        # probe run: pick a deadline roughly half the jobs will miss
+        probe = Scheduler(serve_params(), [Tenant("t")], "fifo")
+        out = probe.run(arrivals(None))
+        turnarounds = sorted(j.turnaround for j in out.jobs)
+        deadline = turnarounds[len(turnarounds) // 2]
+
+        mon = SLOMonitor([
+            BurnRule("fast", target=0.9, long_window=out.makespan,
+                     short_window=out.makespan / 8.0, factor=1.0),
+        ])
+        sched = Scheduler(serve_params(), [Tenant("t")], "fifo",
+                          slo_monitor=mon)
+        out2 = sched.run(arrivals(deadline))
+        misses = [j for j in out2.jobs if j.slo_met is False]
+        assert misses, "probe-derived deadline must produce misses"
+        assert mon.alerts, "burn-rate rule must fire on an at-risk tenant"
+        first_alert = mon.first_alert("t")
+        assert first_alert.t <= min(j.finish_t for j in misses)
+
+    def test_blame_uses_scheduler_buckets(self, serve_run):
+        report, _graph, _serve = serve_run
+        assert report.blame["scheduler-queueing"] + report.blame["service"] > 0.0
+
+    def test_report_deterministic(self, serve_run):
+        report, _graph, _serve = serve_run
+        report2, _g2, _s2 = run_critpath_serve(
+            n_jobs=40, seed=0, policy="fifo", load_factor=6.0
+        )
+        assert report.to_json() == report2.to_json()
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+class TestCritPathCLI:
+    def test_cli_writes_deterministic_artifacts(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out1 = tmp_path / "b1.json"
+        out2 = tmp_path / "b2.json"
+        f1 = tmp_path / "s1.folded"
+        f2 = tmp_path / "s2.folded"
+        args = ["critpath", "--n", "11", "--seed", "3"]
+        assert main(args + ["--out", str(out1), "--folded", str(f1)]) == 0
+        assert main(args + ["--out", str(out2), "--folded", str(f2)]) == 0
+        assert out1.read_bytes() == out2.read_bytes()
+        assert f1.read_bytes() == f2.read_bytes()
+        doc = json.loads(out1.read_text())
+        assert doc["mode"] == "sort"
+        assert sum(doc["blame"].values()) == pytest.approx(doc["makespan"])
+        assert "critical path blame" in capsys.readouterr().out
+
+    def test_cli_matches_committed_golden(self, tmp_path, capsys):
+        # same invocation as the critpath-smoke CI job; regenerate the
+        # golden with `python -m repro critpath --n 11 --seed 3 --out
+        # benchmarks/baseline/CRITPATH_blame.json` if a change is deliberate
+        import pathlib
+
+        from repro.__main__ import main
+
+        golden = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks" / "baseline" / "CRITPATH_blame.json"
+        )
+        out = tmp_path / "blame.json"
+        assert main(["critpath", "--n", "11", "--seed", "3",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert out.read_bytes() == golden.read_bytes()
+
+    def test_cli_what_if_parse_error(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["critpath", "--what-if", "disk=fast"]) == 2
+        assert "--what-if" in capsys.readouterr().err

@@ -178,3 +178,88 @@ class TestTracedRun:
         payload = json.loads(rep.to_json())
         assert payload["makespan"] == rep.makespan
         assert rep.to_json() == rep.to_json()
+
+
+class TestFlows:
+    def test_flow_recorded_and_offset_applied(self):
+        tr = Tracer()
+        tr.flow(0.0, "a", 1.0, "b", "msg", cat="net")
+        tr.offset = 10.0
+        tr.flow(0.0, "b", 0.5, "c", "msg2", cat="queue")
+        assert tr.flows[0] == (0.0, "a", 1.0, "b", "msg", "net")
+        assert tr.flows[1] == (10.0, "b", 10.5, "c", "msg2", "queue")
+        assert tr.n_events() == 2
+        assert tr.t_max() == 10.5
+        assert tr.tracks() == ["a", "b", "c"]
+        tr.clear()
+        assert tr.flows == []
+
+    def test_chrome_flow_pairs(self):
+        tr = Tracer()
+        tr.span(0.0, 1.0, "a", "x")
+        tr.span(2.0, 3.0, "b", "y")
+        tr.flow(1.0, "a", 2.0, "b", "msg", cat="net")
+        events = to_chrome(tr)["traceEvents"]
+        start = [e for e in events if e["ph"] == "s"]
+        finish = [e for e in events if e["ph"] == "f"]
+        assert len(start) == len(finish) == 1
+        assert start[0]["id"] == finish[0]["id"] == 1
+        assert start[0]["name"] == finish[0]["name"] == "msg"
+        assert start[0]["cat"] == "net"
+        assert finish[0]["bp"] == "e"
+        assert start[0]["ts"] == 1.0 * 1e6 and finish[0]["ts"] == 2.0 * 1e6
+
+    def test_chrome_span_sid_parent_args(self):
+        tr = Tracer()
+        tr.span(0.0, 1.0, "a", "anon")
+        tr.span(1.0, 2.0, "a", "child", sid="c1", parent="p0")
+        events = [e for e in to_chrome(tr)["traceEvents"] if e["ph"] == "X"]
+        anon = next(e for e in events if e["name"] == "anon")
+        child = next(e for e in events if e["name"] == "child")
+        assert "args" not in anon or "sid" not in anon.get("args", {})
+        assert child["args"] == {"sid": "c1", "parent": "p0"}
+
+    def test_offset_stitching_with_flows_byte_identical(self):
+        # pass-1 + pass-2 recorded via offset stitching must serialise
+        # identically to the same events recorded on one continuous clock
+        stitched = Tracer()
+        stitched.span(0.0, 1.0, "a", "p1", sid="s1")
+        stitched.flow(1.0, "a", 1.0, "b", "hand-off", cat="queue")
+        stitched.offset = 1.0
+        stitched.span(0.0, 0.5, "b", "p2", sid="s2", parent="s1")
+        stitched.flow(0.25, "b", 0.5, "a", "ack", cat="net")
+
+        flat = Tracer()
+        flat.span(0.0, 1.0, "a", "p1", sid="s1")
+        flat.flow(1.0, "a", 1.0, "b", "hand-off", cat="queue")
+        flat.span(1.0, 1.5, "b", "p2", sid="s2", parent="s1")
+        flat.flow(1.25, "b", 1.5, "a", "ack", cat="net")
+
+        assert chrome_dumps(stitched) == chrome_dumps(flat)
+
+    def test_traced_sort_emits_flows(self):
+        tracer = Tracer()
+        _traced_sort(n=1 << 12, tracer=tracer)
+        cats = {f[5] for f in tracer.flows}
+        assert "queue" in cats  # disk issue/completion + mailbox edges
+        # pass-1 -> pass-2 stitching leaves flows in both halves
+        p1_end = tracer.spans[-1][0]
+        assert any(f[0] < p1_end for f in tracer.flows)
+        assert any(f[0] > 0 for f in tracer.flows)
+
+
+class TestProfileRender:
+    def test_render_sorted_busy_desc_with_stall_pct(self):
+        tr = Tracer()
+        tr.span(0.0, 1.0, "cold", "x", cat="cpu")
+        tr.span(0.0, 3.0, "hot", "y", cat="disk")
+        tr.span(3.0, 4.0, "warm", "z", cat="cpu")
+        rep = ProfileReport.from_tracer(tr)
+        text = rep.render()
+        assert "stall%" in text
+        lines = [ln for ln in text.splitlines()
+                 if ln.lstrip().startswith(("hot", "warm", "cold"))]
+        first_cols = [ln.split()[0] for ln in lines]
+        assert first_cols == ["hot", "cold", "warm"]  # busy desc, ties by name
+        # cold is idle 3 of 4 seconds -> 75.0% stall
+        assert "75.0" in lines[1]
