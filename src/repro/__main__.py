@@ -36,8 +36,8 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         choices=[
             "fig9", "fig10", "sweep-c", "sweep-routing", "sweep-gamma",
-            "trace", "metrics", "chaos", "recover", "serve", "critpath",
-            "all",
+            "trace", "metrics", "chaos", "recover", "replicate", "serve",
+            "critpath", "all",
         ],
         help="which experiment to run",
     )
@@ -131,6 +131,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_chaos(args, n)
     if args.target == "recover":
         return _run_recover(args, n)
+    if args.target == "replicate":
+        return _run_replicate(args, n)
     if args.target == "serve":
         return _run_serve(args)
     if args.target == "critpath":
@@ -302,6 +304,157 @@ def _run_recover(args, n: int) -> int:
     print(f"{'PASS' if ok else 'FAIL'}: "
           f"{sum(c['byte_identical'] for c in cases)}/{len(cases)} resumes "
           f"byte-identical -> {out}")
+    return 0 if ok else 1
+
+
+_REPLICATE_HB = dict(heartbeat_interval=0.002, heartbeat_timeout=0.008)
+
+
+def _replicate_case(task: tuple) -> dict:
+    """One kill case of the replication sweep — module-level so it pickles.
+
+    Runs a replicated (or r=1 baseline) sort with one ASU killed at a fixed
+    instant and checks the end-to-end contract: the job completes, the
+    output is byte-identical to the uninterrupted reference, and with r >= 2
+    recovery is pure promotion — zero fragment replay AND zero run
+    re-emission.
+    """
+    import hashlib
+
+    from .core.config import DSMConfig  # noqa: F401  (unpickled params use it)
+    from .dsmsort.runtime import DsmSortJob
+    from .faults.injector import FaultPlan, crash_asu
+    from .replica import ReplicationConfig
+
+    params, cfg, seed, r, asu, frac, t_kill, ref_digest = task
+    job = DsmSortJob(
+        params, cfg, policy="sr", seed=seed,
+        faults=FaultPlan([crash_asu(t_kill, asu)]),
+        replication=ReplicationConfig(r=r) if r > 1 else ReplicationConfig(r=1),
+        **_REPLICATE_HB,
+    )
+    r1 = job.run_pass1()
+    job.run_pass2()
+    job.verify()
+    digest = hashlib.sha256(job.collected_output().tobytes()).hexdigest()
+    zero_replay = r1.n_replayed_frags == 0 and r1.n_reemitted_runs == 0
+    ok = bool(
+        r1.completed
+        and digest == ref_digest
+        and (r < 2 or zero_replay)
+    )
+    return {
+        "r": r,
+        "asu": asu,
+        "kill_frac": frac,
+        "kill_at": t_kill,
+        "completed": bool(r1.completed),
+        "makespan": r1.makespan,
+        "n_replayed_frags": int(r1.n_replayed_frags),
+        "n_reemitted_runs": int(r1.n_reemitted_runs),
+        "n_promoted_runs": int(r1.n_promoted_runs),
+        "n_repaired_copies": int(r1.n_repaired_copies),
+        "byte_identical": bool(digest == ref_digest),
+        "ok": ok,
+    }
+
+
+def _run_replicate(args, n: int) -> int:
+    """Replication kill sweep: every ASU, several instants, r in {1,2,3}.
+
+    One uninterrupted reference fixes the expected output bytes (identical
+    for every r — replication changes placement, never content).  Each case
+    kills one ASU at one fraction of the fault-free makespan; r >= 2 cases
+    must complete with zero fragment replay and zero run re-emission
+    (promotion-based takeover), and every case must reproduce the reference
+    bytes.  The canonical JSON report is written for CI to gate on.
+    """
+    import hashlib
+    import json
+
+    from .bench.parallel import parallel_map
+    from .bench.report import SCHEMA_VERSION, render_table
+    from .core.config import DSMConfig
+    from .dsmsort.runtime import DsmSortJob
+    from .faults.injector import FaultPlan
+    from .replica import ReplicationConfig
+    from .resilience.chaos import chaos_params
+
+    n = min(n, 1 << 14)  # many two-pass sorts; keep the sweep fast
+    params = chaos_params()
+    cfg = DSMConfig.for_n(n, alpha=8, gamma=16)
+    r_values = (1, 2, 3)
+
+    # Fault-free references: one per r for the makespan overhead baseline;
+    # the output digest is shared (content is placement-independent).
+    t0 = {}
+    digest = None
+    for r in r_values:
+        job = DsmSortJob(
+            params, cfg, policy="sr", seed=args.seed,
+            faults=FaultPlan([]), replication=ReplicationConfig(r=r),
+            **_REPLICATE_HB,
+        )
+        res = job.run_pass1()
+        job.run_pass2()
+        job.verify()
+        t0[r] = res.makespan
+        d = hashlib.sha256(job.collected_output().tobytes()).hexdigest()
+        if digest is None:
+            digest = d
+        elif d != digest:
+            print(f"FAIL: fault-free r={r} output diverged from r=1")
+            return 1
+    print(f"reference: {n} records, sha256={digest[:16]}, "
+          + ", ".join(f"t0[r={r}]={t0[r]:.4f}s" for r in r_values))
+
+    k = max(1, args.seeds)
+    fracs = [(i + 1) / (k + 1) for i in range(k)]
+    tasks = [
+        (params, cfg, args.seed, r, asu, frac, frac * t0[r], digest)
+        for r in r_values
+        for asu in range(params.n_asus)
+        for frac in fracs
+    ]
+    cases = parallel_map(_replicate_case, tasks, workers=args.workers)
+
+    rows = []
+    for r in r_values:
+        sub = [c for c in cases if c["r"] == r]
+        overhead = [c["makespan"] - t0[r] for c in sub]
+        rows.append([
+            r, len(sub),
+            sum(c["n_replayed_frags"] for c in sub),
+            sum(c["n_reemitted_runs"] for c in sub),
+            sum(c["n_promoted_runs"] for c in sub),
+            f"{sum(overhead) / len(sub):.4f}",
+            "yes" if all(c["byte_identical"] for c in sub) else "NO",
+            "yes" if all(c["ok"] for c in sub) else "NO",
+        ])
+    print()
+    print(render_table(
+        ["r", "cases", "replayed", "reemitted", "promoted",
+         "mean recovery (s)", "identical", "ok"],
+        rows,
+        title=f"ASU kill sweep, N={n}, {params.n_asus} ASUs x "
+              f"{len(fracs)} instants",
+    ))
+    ok = all(c["ok"] for c in cases)
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "n_records": n,
+        "seed": args.seed,
+        "t0": {str(r): t0[r] for r in r_values},
+        "reference_sha256": digest,
+        "cases": cases,
+        "ok": ok,
+    }
+    out = args.out or "replicate_report.json"
+    with open(out, "w") as fh:
+        json.dump(report, fh, sort_keys=True, separators=(",", ":"))
+        fh.write("\n")
+    print(f"{'PASS' if ok else 'FAIL'}: {sum(c['ok'] for c in cases)}/"
+          f"{len(cases)} kill cases clean -> {out}")
     return 0 if ok else 1
 
 

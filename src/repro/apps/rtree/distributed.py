@@ -24,6 +24,7 @@ reports per-query latency and batch throughput for either organisation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -68,12 +69,17 @@ class DistributedRTree:
         organisation: str = "partition",
         page: int = 64,
         replication: int = 2,
+        placement: str = "modulo",
+        placement_seed: int = 0,
     ):
         if organisation not in ("partition", "stripe", "hybrid"):
             raise ValueError("organisation must be 'partition', 'stripe' or 'hybrid'")
+        if placement not in ("modulo", "asura"):
+            raise ValueError("placement must be 'modulo' or 'asura'")
         self.params = params
         self.organisation = organisation
         self.page = page
+        self.placement = placement
         self.rects = np.atleast_2d(np.asarray(rects, dtype=np.float64))
         D = params.n_asus
         n = self.rects.shape[0]
@@ -94,10 +100,50 @@ class DistributedRTree:
             n_groups = max(1, D // self.replication)
             base = RTree(self.rects, page=page)
             group_chunks = np.array_split(base.order, n_groups)
-            # ASU d serves group d % n_groups: each group gets >= replication
-            # replicas spread across the ASU population.
-            chunks = [group_chunks[d % n_groups] for d in range(D)]
+            if placement == "asura":
+                # ASURA draws (repro.replica): group g's subtree lands on
+                # the replica set the deterministic draw sequence picks, so
+                # growing the fleet relocates ~1/(D+1) of the replica slots
+                # instead of reshuffling every group the way modulo does.
+                from ...replica import ReplicaPlacement
+
+                asura = ReplicaPlacement(D, seed=placement_seed)
+                self._group_replicas = [
+                    asura.replicas(g, self.replication)
+                    for g in range(n_groups)
+                ]
+            else:
+                # ASU d serves group d % n_groups: each group gets >=
+                # replication replicas spread across the ASU population.
+                self._group_replicas = [
+                    [d for d in range(D) if d % n_groups == g]
+                    for g in range(n_groups)
+                ]
+            chunks = [
+                np.concatenate(
+                    [group_chunks[g] for g in range(n_groups)
+                     if d in self._group_replicas[g]]
+                    or [np.empty(0, dtype=np.int64)]
+                )
+                for d in range(D)
+            ]
             self._n_groups = n_groups
+            #: per-group MBR — hybrid query routing is group-level, so the
+            #: replica choice is independent of which ASUs hold the group
+            self._group_mbrs = np.stack(
+                [
+                    union_mbr(self.rects[c]) if c.shape[0] else
+                    np.array([np.inf, np.inf, -np.inf, -np.inf])
+                    for c in group_chunks
+                ]
+            )
+            #: per-group (global ids, subtree) — every replica of a group
+            #: holds an identical copy, so a search only touches the chosen
+            #: group's subtree even on an ASU that stores several groups
+            self._group_trees = [
+                (np.asarray(c, dtype=np.int64), RTree(self.rects[c], page=page))
+                for c in group_chunks
+            ]
         else:
             # Stripe: deal round-robin so every ASU sees every region.
             chunks = [np.arange(d, n, D, dtype=np.int64) for d in range(D)]
@@ -125,32 +171,51 @@ class DistributedRTree:
         so repeated calls for the same window may return different (equally
         correct) replica choices — by design, that is the load spreading.
         """
+        return [d for d, _g in self._targets(window)]
+
+    def _targets(self, window: np.ndarray) -> list[tuple[int, Optional[int]]]:
+        """(ASU, group) visit list; group is None outside the hybrid layout.
+
+        A hybrid search is *group-scoped*: the chosen replica only searches
+        the selected group's subtree, so an ASU storing several groups (the
+        ASURA placement allows this) never double-reports neighbours.
+        """
         from .geometry import intersects
 
         D = self.params.n_asus
         if self.organisation == "stripe":
-            return list(range(D))
-        mask = intersects(self.host_mbrs, np.asarray(window, dtype=np.float64))
-        hits = [int(i) for i in np.nonzero(mask)[0]]
+            return [(d, None) for d in range(D)]
         if self.organisation != "hybrid":
-            return hits
-        # One replica per distinct group, chosen round-robin per group.
-        groups = sorted({d % self._n_groups for d in hits})
-        out = []
-        for group in groups:
-            replicas = [d for d in range(D) if d % self._n_groups == group]
+            mask = intersects(
+                self.host_mbrs, np.asarray(window, dtype=np.float64)
+            )
+            return [(int(i), None) for i in np.nonzero(mask)[0]]
+        # One replica per intersecting group, chosen round-robin per group.
+        mask = intersects(
+            self._group_mbrs, np.asarray(window, dtype=np.float64)
+        )
+        out: list[tuple[int, Optional[int]]] = []
+        for group in (int(g) for g in np.nonzero(mask)[0]):
+            replicas = self._group_replicas[group]
             cursor = self._replica_rr.get(group, 0)
-            out.append(replicas[cursor % len(replicas)])
+            out.append((replicas[cursor % len(replicas)], group))
             self._replica_rr[group] = cursor + 1
         return out
+
+    def _search_scope(self, d: int, group: Optional[int]):
+        """(global ids, subtree) a visit searches on ASU ``d``."""
+        if group is None:
+            return self.asu_ids[d], self.asu_trees[d]
+        return self._group_trees[group]
 
     def query_local(self, window: np.ndarray) -> np.ndarray:
         """Pure (non-emulated) distributed query, for correctness checks."""
         out = []
-        for d in self.asus_for(window):
-            local_ids, _v = self.asu_trees[d].query(window)
+        for d, g in self._targets(window):
+            ids, tree = self._search_scope(d, g)
+            local_ids, _v = tree.query(window)
             if local_ids.shape[0]:
-                out.append(self.asu_ids[d][local_ids])
+                out.append(ids[local_ids])
         ids = np.concatenate(out) if out else np.empty(0, dtype=np.int64)
         return np.sort(ids)
 
@@ -171,7 +236,7 @@ class DistributedRTree:
 
         # Resolve targets once: the hybrid organisation's replica rotation is
         # stateful, so every participant must see the same decision.
-        targets_per_query = [self.asus_for(w) for w in windows]
+        targets_per_query = [self._targets(w) for w in windows]
         fanouts = [len(t) for t in targets_per_query]
         n_replies_expected = sum(fanouts)
 
@@ -186,9 +251,10 @@ class DistributedRTree:
                 if not targets:
                     # No ASU subtree overlaps: the host tree answers alone.
                     latencies[qi] = plat.sim.now - issue_time[qi]
-                for d in targets:
+                for d, g in targets:
                     yield from host.send_async(
-                        plat.asus[d], ("query", qi, w), QUERY_MSG_BYTES, tag="q"
+                        plat.asus[d], ("query", qi, w, g), QUERY_MSG_BYTES,
+                        tag="q",
                     )
             # Collect replies.
             outstanding = {qi: len(t) for qi, t in enumerate(targets_per_query)}
@@ -204,16 +270,19 @@ class DistributedRTree:
         def asu_proc(d):
             nonlocal total_visits
             asu = plat.asus[d]
-            expected = sum(1 for t in targets_per_query if d in t)
+            expected = sum(
+                1 for t in targets_per_query for td, _g in t if td == d
+            )
             for _ in range(expected):
                 msg = yield from asu.recv()
-                _kind, qi, w = msg.payload
-                local_ids, visits = self.asu_trees[d].query(w)
+                _kind, qi, w, g = msg.payload
+                gids, tree = self._search_scope(d, g)
+                local_ids, visits = tree.query(w)
                 total_visits += visits
                 # Leaf pages stream off the local disk.
                 yield from asu.disk.read(visits * self.page * 32)
                 yield from asu.cpu.execute(cycles=visits * CYCLES_PER_VISIT)
-                ids = self.asu_ids[d][local_ids] if local_ids.shape[0] else local_ids
+                ids = gids[local_ids] if local_ids.shape[0] else local_ids
                 nbytes = QUERY_MSG_BYTES + ids.shape[0] * 8
                 yield from asu.send_async(host, ("reply", qi, ids), nbytes, tag="r")
 

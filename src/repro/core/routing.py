@@ -38,7 +38,26 @@ __all__ = [
     "WeightedCapacity",
     "AdaptiveSwitch",
     "make_router",
+    "pick_least_loaded",
 ]
+
+
+def pick_least_loaded(
+    values: np.ndarray, candidates: Sequence[int]
+) -> Optional[int]:
+    """Least-loaded candidate by a live gauge-vector array, lowest index wins.
+
+    The JSQ decision rule factored out for callers that steer over a
+    *different* instance axis than a :class:`Router` owns — e.g. the replica
+    layer picks read/repair sources among an ASU subset using the same
+    registry gauge-vector feedback mechanism the load manager routes functor
+    work with.  Deterministic: ties break toward the lowest index.
+    """
+    best = None
+    for i in candidates:
+        if best is None or values[i] < values[best]:
+            best = i
+    return best
 
 
 class Router(abc.ABC):

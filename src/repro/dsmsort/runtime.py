@@ -38,6 +38,7 @@ from ..core.load_manager import LoadManager
 from ..emulator.params import SystemParams
 from ..emulator.platform import ActivePlatform
 from ..faults.detector import FailureDetector
+from ..faults.errors import UnrecoverableJobError
 from ..faults.injector import MESSAGE_FAULT_KINDS, FaultPlan, Injector
 from ..faults.report import FaultReport
 from ..functors.blocksort import BlockSortFunctor
@@ -125,6 +126,14 @@ class Pass1Result:
     channel_stats: Optional[dict] = None
     #: circuit-breaker trips across all links (reliable transport only)
     n_breaker_trips: int = 0
+    #: replication counters (``replication=`` given): runs kept durable by
+    #: in-place promotion after an ASU crash, copies restored by the
+    #: anti-entropy loop, fresh copies posted for fully-stranded sets, and
+    #: sets still below target when the pass ended
+    n_promoted_runs: int = 0
+    n_repaired_copies: int = 0
+    n_retargeted_copies: int = 0
+    n_underreplicated: int = 0
 
 
 @dataclass
@@ -170,6 +179,7 @@ class DsmSortJob:
         speculation=None,
         routing_weights=None,
         job_id: Optional[str] = None,
+        replication=None,
     ):
         if not 0.0 <= background_asu_duty < 1.0:
             raise ValueError("background_asu_duty must be in [0, 1)")
@@ -205,6 +215,25 @@ class DsmSortJob:
                 "speculation= runs on the fault-tolerant path; pass a "
                 "FaultPlan (an empty one is fine)"
             )
+        if replication is not None and faults is None:
+            raise ValueError(
+                "replication= runs on the fault-tolerant path; pass a "
+                "FaultPlan (an empty one is fine)"
+            )
+        if replication is not None and replication.r > params.n_asus:
+            raise ValueError(
+                f"replication factor {replication.r} exceeds the fleet size "
+                f"({params.n_asus} ASUs)"
+            )
+        if (
+            faults is not None
+            and "lose_replica" in faults.kinds()
+            and replication is None
+        ):
+            raise ValueError(
+                "fault plan injects lose_replica but the job has no "
+                "replication layer to absorb media loss; pass replication="
+            )
         if speculation is not None and metrics is None:
             # The speculator reads per-replica progress rates from the
             # metrics registry, so a speculative run is always metered.
@@ -221,6 +250,10 @@ class DsmSortJob:
         #: repro.recovery.speculate.SpeculationPolicy enabling the straggler
         #: speculator during fault-tolerant run formation
         self.speculation = speculation
+        #: repro.replica.ReplicationConfig enabling r-way run replication
+        #: during fault-tolerant run formation; None = single-copy runs
+        self.replication = replication
+        self._replica_mgr = None
         #: routing RNG seed override: lets a supervisor *re-place* work
         #: (fresh routing decisions) without changing the workload seed
         self._routing_seed = int(routing_seed) if routing_seed is not None else int(seed)
@@ -350,6 +383,7 @@ class DsmSortJob:
         # Re-runnable: clear per-run state (runs, router counters, RNG).
         self.runs_on_asu = [[] for _ in range(self.params.n_asus)]
         self._pass1_done = False
+        self._replica_mgr = None
         self.load_manager = LoadManager(
             self.params,
             n_instances=self.params.n_hosts,
@@ -681,6 +715,17 @@ class DsmSortJob:
         self._ft_plat = plat
         self._Message = Message
 
+        if self.replication is not None:
+            from ..replica.manager import ReplicationManager
+
+            self._replica_mgr = ReplicationManager(
+                self.replication, D,
+                registry=self.metrics,
+                manifest=self.manifest,
+                tracer=self.tracer,
+                job_labels=self._job_labels,
+            )
+
         if self.manifest is not None:
             # Checkpoint/restart: bind the journal's charged writer to this
             # platform, then replay it — a fresh manifest replays to nothing,
@@ -701,7 +746,12 @@ class DsmSortJob:
                 # from).  Its lineage host still re-replicates it if the
                 # destination ASU dies — the rid keys the manifest update.
                 self._run_hosts[dest].append(-1)
-                self._run_log[h].append(_RunEntry(bucket, payload, dest, rid))
+                if self._replica_mgr is not None:
+                    # The replica manager takes over re-replication duty
+                    # (keyed by rid); anti-entropy tops the run back to r.
+                    self._replica_mgr.adopt_restored(rid, h, bucket, payload, dest)
+                else:
+                    self._run_log[h].append(_RunEntry(bucket, payload, dest, rid))
 
         if self.transport == "reliable":
             # One endpoint per node, each with its own RNG stream (fresh
@@ -754,6 +804,8 @@ class DsmSortJob:
                 self._asu_consumer_ft(plat, d, rs),
                 name=f"cons{d}", node=plat.asus[d],
             )
+        if self._replica_mgr is not None:
+            plat.spawn(self._repair_loop_ft(plat, rs), name="repair")
         coord = plat.spawn(self._coordinator_ft(plat), name="coordinator")
         if self.speculation is not None:
             from ..recovery.speculate import Speculator
@@ -807,6 +859,22 @@ class DsmSortJob:
             coordinator_crashed=self._coord_crashed,
             n_hedged_shards=self._n_hedged_shards,
             n_hedge_wasted_frags=self._n_hedge_wasted_frags,
+            n_promoted_runs=(
+                0 if self._replica_mgr is None
+                else self._replica_mgr.n_promoted_runs
+            ),
+            n_repaired_copies=(
+                0 if self._replica_mgr is None
+                else self._replica_mgr.n_repaired_copies
+            ),
+            n_retargeted_copies=(
+                0 if self._replica_mgr is None
+                else self._replica_mgr.n_retargeted_copies
+            ),
+            n_underreplicated=(
+                0 if self._replica_mgr is None
+                else len(self._replica_mgr.under_replicated_keys())
+            ),
         )
 
     # -- reliable-transport plumbing (falls through to the direct path) -------
@@ -852,7 +920,7 @@ class DsmSortJob:
         for node in [*plat.asus, *plat.hosts]:
             if node.alive:
                 return self._endpoints[node.node_id]
-        raise RuntimeError("no alive node left to replay from")
+        raise UnrecoverableJobError("no alive node left to replay from")
 
     def _produce_shard_ft(self, plat: ActivePlatform, owner: int, shard: int, blk: int, rs: int):
         """Stream ``shard``'s input, distribute, route, ship — resumable.
@@ -1044,6 +1112,9 @@ class DsmSortJob:
                     if entry.dest == src:
                         yield from self._repost_run_ft(plat, host, h, entry, rs)
                 continue
+            if kind == "reemit_set":
+                yield from self._reemit_sets_ft(plat, host, h, msg.payload[2], rs)
+                continue
             frags = msg.payload[2]
             entries = msg.payload[3]
             if flushed:
@@ -1098,6 +1169,11 @@ class DsmSortJob:
             plat.sim, f"host{h}.sort", batch.shape[0], dt=plat.sim.now - t0
         )
         nbytes = run.shape[0] * rs
+        if self._replica_mgr is not None:
+            yield from self._emit_run_replicated(
+                plat, host, h, bucket, run, nbytes, fkeys
+            )
+            return
         yield from host.cpu.execute(cycles=nbytes * self.params.cycles_per_net_byte)
         # Atomic: destination choice + lineage entry + post.  (Runs bypass
         # the credit window — the high-volume fragment path is what the
@@ -1112,6 +1188,65 @@ class DsmSortJob:
         self._post_from(
             host.node_id, plat.asus[d].node_id, payload, nbytes, tag="run",
         )
+
+    def _reemit_sets_ft(self, plat, host, h, keys, rs):
+        """Fan fresh copies out for sets fully stranded by an ASU crash.
+
+        Riding the host mailbox serialises this behind in-flight emits; each
+        set re-checks its state after the NIC charge, so a set repaired or
+        purged meanwhile is skipped rather than double-shipped.
+        """
+        mgr = self._replica_mgr
+        cpnb = self.params.cycles_per_net_byte
+        for key in keys:
+            st = mgr.sets.get(key)
+            if st is None or st.copies or st.targets:
+                continue  # repaired, re-planned, or purged meanwhile
+            if len(self._dead_asus) >= self.params.n_asus:
+                raise UnrecoverableJobError("no alive ASU to replicate runs onto")
+            nbytes = int(st.run.shape[0]) * rs
+            k = max(1, min(mgr.config.r, self.params.n_asus - len(self._dead_asus)))
+            yield from host.cpu.execute(cycles=nbytes * cpnb * k)
+            # Atomic: fresh targets + posts (see _emit_run_replicated).
+            st = mgr.sets.get(key)
+            if st is None:
+                continue
+            targets = mgr.retarget(key)
+            if not targets:
+                continue
+            self._n_reemitted_runs += 1
+            for dst in targets:
+                self._post_from(
+                    host.node_id, plat.asus[dst].node_id,
+                    ("runr", st.bucket, st.run, key), nbytes, tag="run",
+                )
+
+    def _emit_run_replicated(self, plat, host, h, bucket, run, nbytes, fkeys):
+        """Replicated emit: fan the sorted run out to its placement targets.
+
+        NIC cost is charged per planned copy; the region after the charge is
+        yield-free and re-validates the plan against the current dead set
+        (:meth:`ReplicationManager.register_emit`), so a fail-stop can only
+        land before the whole fan-out or after it — never between the set
+        registration and its posts.
+        """
+        mgr = self._replica_mgr
+        k = max(1, min(mgr.config.r, self.params.n_asus - len(self._dead_asus)))
+        yield from host.cpu.execute(
+            cycles=nbytes * self.params.cycles_per_net_byte * k
+        )
+        rid = None
+        if fkeys is not None and self.manifest is not None:
+            rid = self.manifest.new_rid()
+            self.manifest.register_run(rid, h, bucket, fkeys)
+        key, targets = mgr.register_emit(h, bucket, run, rid=rid)
+        if not targets:
+            raise UnrecoverableJobError("no alive ASU to replicate runs onto")
+        for d in targets:
+            self._post_from(
+                host.node_id, plat.asus[d].node_id,
+                ("runr", bucket, run, key), nbytes, tag="run",
+            )
 
     def _repost_run_ft(self, plat, host, h, entry, rs):
         nbytes = entry.run.shape[0] * rs
@@ -1150,13 +1285,16 @@ class DsmSortJob:
                     continue
                 self._stripe_next[h] = d + 1
                 return d
-        raise RuntimeError("no alive ASU to stripe runs onto")
+        raise UnrecoverableJobError("no alive ASU to stripe runs onto")
 
     def _asu_consumer_ft(self, plat: ActivePlatform, d: int, rs: int):
         """Perpetual consumer: make runs durable, drop quarantined hosts'."""
         asu = plat.asus[d]
         while True:
             msg = yield from self._recv_node(asu)
+            if msg.payload[0] == "runr":
+                yield from self._consume_replica_ft(plat, asu, d, rs, msg)
+                continue
             if msg.payload[0] != "run":
                 continue
             bucket, run = msg.payload[1], msg.payload[2]
@@ -1178,6 +1316,87 @@ class DsmSortJob:
             self._ft_durable += run.shape[0]
             if self._ft_durable >= self._ft_total and not self._complete_ev.triggered:
                 self._complete_ev.succeed()
+
+    def _consume_replica_ft(self, plat, asu, d, rs, msg):
+        """Make one replica copy durable; the manager owns the accounting.
+
+        Handles host-emitted fan-out, stranded-set re-emits, and asu->asu
+        repair copies alike — the liveness check keys on the *set's* source
+        host, never on ``msg.src`` (a repair copy's wire source is an ASU).
+        """
+        mgr = self._replica_mgr
+        bucket, run, key = msg.payload[1], msg.payload[2], msg.payload[3]
+        st = None if mgr is None else mgr.sets.get(key)
+        if st is None or (st.src_host >= 0 and st.src_host in self._dead_hosts):
+            return  # orphan of a purged set; frag replay covers its records
+        t0 = plat.sim.now
+        yield from asu.disk_write(run.shape[0] * rs)
+        st = mgr.sets.get(key)
+        if st is None or (st.src_host >= 0 and st.src_host in self._dead_hosts):
+            return  # the set died during our write; its purge already ran
+        # Atomic: durability record + completion check.
+        delta, fresh = mgr.copy_durable(key, d)
+        if fresh:
+            self.runs_on_asu[d].append((bucket, run))
+            # Manifest-restored sets keep the legacy -1 tag: a new crash of
+            # their lineage host must not discard the physical copies.
+            self._run_hosts[d].append(-1 if key[0] == 1 else st.src_host)
+            self._trace_records(
+                plat.sim, f"asu{d}.write", run.shape[0], dt=plat.sim.now - t0
+            )
+        if delta:
+            self._ft_durable += delta
+            if self._ft_durable >= self._ft_total and not self._complete_ev.triggered:
+                self._complete_ev.succeed()
+
+    def _repair_loop_ft(self, plat: ActivePlatform, rs: int):
+        """Anti-entropy: re-replicate under-replicated sets in the background.
+
+        A simulated-time process tied to no node, so it survives every
+        crash.  Each cycle walks the under-replicated sets in deterministic
+        key order, reads the least-loaded alive copy (read steering over the
+        ``repro_replica_read_bytes`` gauge vector), posts one fresh copy
+        asu->asu, and paces itself to the configured bandwidth budget so
+        repair traffic shares the fleet with foreground work instead of
+        stampeding it.
+        """
+        mgr = self._replica_mgr
+        cfg = mgr.config
+        bw = cfg.repair_bandwidth
+        if bw is None:
+            # Default budget: a quarter of one disk's streaming rate.
+            bw = self.params.disk_rate * 0.25
+        while True:
+            yield plat.sim.timeout(cfg.repair_interval)
+            for key in mgr.under_replicated_keys():
+                st = mgr.sets.get(key)
+                if st is None or not st.copies or st.repair_inflight:
+                    continue  # stranded sets take the reemit path instead
+                src = mgr.pick_read_copy(st)
+                dest = mgr.next_repair_target(key)
+                if src is None or dest is None:
+                    continue
+                nbytes = int(st.run.shape[0]) * rs
+                # Atomic mark: the copy is in flight before any yield, so a
+                # concurrent sweep cannot schedule the same repair twice.
+                st.targets.add(dest)
+                st.repair_inflight.add(dest)
+                yield from plat.asus[src].disk.read(nbytes)
+                st = mgr.sets.get(key)
+                if st is None:
+                    continue
+                if dest in self._dead_asus or src not in st.copies:
+                    # Source or destination died during the read: unwind the
+                    # in-flight mark and let the next cycle re-plan.
+                    st.targets.discard(dest)
+                    st.repair_inflight.discard(dest)
+                    continue
+                mgr.note_read(src, nbytes)
+                self._post_from(
+                    plat.asus[src].node_id, plat.asus[dest].node_id,
+                    ("runr", st.bucket, st.run, key), nbytes, tag="run",
+                )
+                yield plat.sim.timeout(nbytes / bw)
 
     def _coordinator_ft(self, plat: ActivePlatform):
         """Stop the clock once every input record is durable (post-drain)."""
@@ -1205,6 +1424,17 @@ class DsmSortJob:
             self._purge_asu_runs(fault.index)
         elif fault.kind == "crash_host":
             self._purge_host_runs(fault.index)
+        elif fault.kind == "lose_replica":
+            # Media loss on an alive ASU: its durable copies vanish but the
+            # node keeps serving.  Promotion keeps satisfied sets counted;
+            # the anti-entropy loop restores the lost redundancy.
+            d = fault.index
+            delta = self._replica_mgr.lose_copies_on(
+                d, now=self._ft_plat.sim.now
+            )
+            self._ft_durable += delta
+            self.runs_on_asu[d] = []
+            self._run_hosts[d] = []
         elif fault.kind == "crash_coordinator":
             # Whole-job fail-stop: every volatile structure (host buffers,
             # in-flight messages, ship markers) dies with this platform.
@@ -1214,6 +1444,16 @@ class DsmSortJob:
             self._ft_plat.sim.schedule_callback(self._ft_plat.sim.stop)
 
     def _purge_asu_runs(self, d: int) -> None:
+        if self._replica_mgr is not None:
+            # The manager re-derives counting per set: surviving copies keep
+            # satisfied sets counted (promotion), only sets that lost their
+            # write policy subtract.  It also rewrites the manifest frontier
+            # (purge the dead ASU, re-log promoted sets at a survivor).
+            delta = self._replica_mgr.on_asu_crash(d, now=self._ft_plat.sim.now)
+            self._ft_durable += delta
+            self.runs_on_asu[d] = []
+            self._run_hosts[d] = []
+            return
         lost = sum(r.shape[0] for _b, r in self.runs_on_asu[d])
         if lost:
             self._ft_durable -= lost
@@ -1223,6 +1463,20 @@ class DsmSortJob:
         self._run_hosts[d] = []
 
     def _purge_host_runs(self, h: int) -> None:
+        if self._replica_mgr is not None:
+            # Manager-owned accounting and manifest purge; the physical
+            # filter below still removes every copy tagged with the dead
+            # host (restored sets carry -1 and survive, matching legacy).
+            self._ft_durable += self._replica_mgr.on_host_crash(h)
+            for d in range(self.params.n_asus):
+                keep = [
+                    (e, src)
+                    for e, src in zip(self.runs_on_asu[d], self._run_hosts[d])
+                    if src != h
+                ]
+                self.runs_on_asu[d] = [e for e, _s in keep]
+                self._run_hosts[d] = [src for _e, src in keep]
+            return
         purged = False
         for d in range(self.params.n_asus):
             keep_r, keep_h, lost = [], [], 0
@@ -1280,14 +1534,31 @@ class DsmSortJob:
                         else None
                     )
                 )
-            for h in range(self.params.n_hosts):
-                if h not in self._dead_hosts:
+            if self._replica_mgr is not None:
+                # Promotion already kept satisfied sets durable at the crash
+                # instant; only fully-stranded sets (no copy, no in-flight
+                # target) need their source host to fan out fresh copies.
+                pending = self._replica_mgr.pending_reemits
+                for h in sorted(pending):
+                    keys = tuple(pending[h])
+                    if not keys or h < 0 or h in self._dead_hosts:
+                        continue
                     plat.hosts[h].mailbox.put(
                         self._Message(
                             "system", plat.hosts[h].node_id,
-                            ("reemit", d, None), 0, tag="ctl",
+                            ("reemit_set", h, keys), 0, tag="ctl",
                         )
                     )
+                pending.clear()
+            else:
+                for h in range(self.params.n_hosts):
+                    if h not in self._dead_hosts:
+                        plat.hosts[h].mailbox.put(
+                            self._Message(
+                                "system", plat.hosts[h].node_id,
+                                ("reemit", d, None), 0, tag="ctl",
+                            )
+                        )
         else:
             h = node.index
             if h in self._dead_hosts:
@@ -1309,7 +1580,7 @@ class DsmSortJob:
             cand = (d + step) % D
             if cand not in self._dead_asus:
                 return cand
-        raise RuntimeError("no alive ASU for shard takeover")
+        raise UnrecoverableJobError("no alive ASU for shard takeover")
 
     def _replay_frag_entry(self, plat: ActivePlatform, e: _FragEntry) -> None:
         """Re-route one retained fragment to a surviving host.
@@ -1436,6 +1707,16 @@ class DsmSortJob:
             for bucket in sorted(merged_restored):
                 self.final_buckets[bucket].append(merged_restored[bucket])
 
+        # Replicated pass 1: every run exists on up to r ASUs, but the merge
+        # must read each run exactly once.  The manager assigns every run to
+        # its least-loaded alive copy holder (greedy over the read-bytes
+        # gauge vector), so pass-2 read load spreads across the replica sets.
+        replica_plan = (
+            self._replica_mgr.read_plan()
+            if self._replica_mgr is not None
+            else None
+        )
+
         def plan_groups(d):
             """(bucket, runs-or-None) items in bucket order; None = done marker.
 
@@ -1445,7 +1726,8 @@ class DsmSortJob:
             the pipelined-phases execution of §3.3.
             """
             by_bucket: dict[int, list[np.ndarray]] = defaultdict(list)
-            for bucket, run in self.runs_on_asu[d]:
+            local = self.runs_on_asu[d] if replica_plan is None else replica_plan[d]
+            for bucket, run in local:
                 by_bucket[bucket].append(run)
             items: list[tuple[int, Optional[list[np.ndarray]]]] = []
             for bucket in range(self.config.alpha):

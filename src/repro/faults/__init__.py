@@ -18,6 +18,7 @@ the DSM-Sort runtime re-runs lost run-formation work
 """
 
 from .detector import FailureDetector
+from .errors import UnrecoverableJobError
 from .injector import (
     FAULT_KINDS,
     MESSAGE_FAULT_KINDS,
@@ -37,6 +38,7 @@ from .injector import (
     dup_msg,
     fault_kinds,
     link_flap,
+    lose_replica,
     register_fault_kind,
 )
 from .report import FaultReport
@@ -49,6 +51,7 @@ __all__ = [
     "RandomFaultModel",
     "FailureDetector",
     "FaultReport",
+    "UnrecoverableJobError",
     "FAULT_KINDS",
     "MESSAGE_FAULT_KINDS",
     "register_fault_kind",
@@ -63,4 +66,5 @@ __all__ = [
     "delay_msg",
     "corrupt_msg",
     "disk_fault",
+    "lose_replica",
 ]

@@ -1,0 +1,29 @@
+"""Typed error hierarchy for unrecoverable failure states.
+
+The fault-tolerant runtime distinguishes *recoverable* losses (a dead ASU
+whose runs can be re-emitted, a dead host whose fragments can be replayed)
+from *dead ends* where no redundancy is left — every host gone, every ASU
+gone, or no surviving copy of required state.  Dead ends used to surface as
+bare ``RuntimeError``s that crashed the caller; they are now typed so the
+:class:`~repro.recovery.supervisor.JobSupervisor` escalation ladder can
+catch them and convert the attempt into a clean ``abort`` outcome instead
+of an unhandled traceback.
+
+``UnrecoverableJobError`` subclasses ``RuntimeError`` so call sites that
+already guarded with ``except RuntimeError`` keep working unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = ["UnrecoverableJobError"]
+
+
+class UnrecoverableJobError(RuntimeError):
+    """No redundancy left: the job cannot make progress under any schedule.
+
+    Raised by the DSM-Sort FT runtime when every node of a required class is
+    dead (nothing to replay from, nothing to stripe onto, nothing to take
+    over a shard).  The supervisor treats it as terminal for the job —
+    retry/replace/restore cannot help when the whole fleet is gone — and
+    reports a clean abort with the reason attached.
+    """

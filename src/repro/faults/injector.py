@@ -48,6 +48,7 @@ __all__ = [
     "delay_msg",
     "corrupt_msg",
     "disk_fault",
+    "lose_replica",
 ]
 
 
@@ -258,6 +259,11 @@ register_fault_kind(
     validate_targets=_targets_asu,
     describe=lambda f: f"t={f.t:.3f} disk-fault asu{f.index} for {f.duration:.3f}s",
 )
+register_fault_kind(
+    "lose_replica",
+    validate_targets=_targets_asu,
+    describe=lambda f: f"t={f.t:.3f} lose-replica asu{f.index}",
+)
 
 
 # -- constructors --------------------------------------------------------------
@@ -330,6 +336,18 @@ def disk_fault(t: float, asu: int, duration: float) -> Fault:
     write-behind cache absorbs them).
     """
     return Fault(t=t, kind="disk_fault", index=asu, duration=duration)
+
+
+def lose_replica(t: float, asu: int) -> Fault:
+    """Silently discard every replica copy stored on ASU ``asu`` at ``t``.
+
+    Models media loss (a scrubbed-out disk) on an otherwise healthy node:
+    the ASU keeps serving, but the :class:`~repro.replica.ReplicationManager`
+    must detect the under-replication and re-replicate in the background.
+    A no-op for jobs that do not replicate (the ASU's own state is intact);
+    fires through the injector's custom-kind branch (``on_fault`` only).
+    """
+    return Fault(t=t, kind="lose_replica", index=asu)
 
 
 #: kinds that permanently fail-stop their target; two of these against the
@@ -466,6 +484,7 @@ class RandomFaultModel:
         msg_fault_duration: float = 0.02,
         msg_delay: float = 0.002,
         disk_fault_duration: float = 0.05,
+        mtt_lose_replica: Optional[float] = None,
     ):
         self.seed = int(seed)
         self.mttf_asu = mttf_asu
@@ -486,6 +505,7 @@ class RandomFaultModel:
         self.msg_fault_duration = float(msg_fault_duration)
         self.msg_delay = float(msg_delay)
         self.disk_fault_duration = float(disk_fault_duration)
+        self.mtt_lose_replica = mtt_lose_replica
 
     def _arrivals(self, rng: np.random.Generator, mttf: float, horizon: float) -> list[float]:
         times, t = [], 0.0
@@ -552,6 +572,14 @@ class RandomFaultModel:
             for d in range(params.n_asus):
                 for t in self._arrivals(rng, self.mtt_disk_fault, horizon):
                     faults.append(disk_fault(t, d, self.disk_fault_duration))
+        # Replica-loss windows, drawn strictly after every legacy class.
+        # Draw-order contract (pinned by tests/test_replication.py): any new
+        # fault class appends its draws *here*, after all existing ones, so
+        # enabling it cannot shift the draws of a committed seeded plan.
+        if self.mtt_lose_replica is not None:
+            for d in range(params.n_asus):
+                for t in self._arrivals(rng, self.mtt_lose_replica, horizon):
+                    faults.append(lose_replica(t, d))
         return FaultPlan(faults).validate(params)
 
 

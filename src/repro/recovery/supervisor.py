@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..faults.errors import UnrecoverableJobError
 from ..util.rng import derive_seed
 from .manifest import RunManifest
 
@@ -162,7 +163,20 @@ class JobSupervisor:
                 self._count("repro_supervisor_escalations_total", rung=rung)
                 self._count("repro_supervisor_backoff_seconds_total", pause)
             crash_at = crashes[attempt_no] if attempt_no < len(crashes) else None
-            out = self.sort.attempt(crash_at=crash_at, routing_seed=routing_seed)
+            try:
+                out = self.sort.attempt(crash_at=crash_at, routing_seed=routing_seed)
+            except UnrecoverableJobError as exc:
+                # The fleet itself is gone (nothing to replay from / stripe
+                # onto / take a shard over): no ladder rung can help, so
+                # convert the dead end into a clean abort instead of letting
+                # the typed RuntimeError crash the caller.
+                self._count("repro_supervisor_attempts_total")
+                self._count("repro_supervisor_unrecoverable_total")
+                return self._report(
+                    completed=False, aborted=True, actions=actions,
+                    total_backoff=total_backoff,
+                    reason=f"unrecoverable: {exc}",
+                )
             attempt_no += 1
             self._count("repro_supervisor_attempts_total")
             if out.crashed:

@@ -1,0 +1,26 @@
+"""repro.replica — deterministic placement and r-way run replication.
+
+Two layers:
+
+- :mod:`~repro.replica.placement` — ASURA-style deterministic shard ->
+  ordered-replica-set mapping: uniform within sampling noise, and resizing
+  the fleet N -> N±1 relocates only ~1/N of assignments;
+- :mod:`~repro.replica.manager` — the :class:`ReplicationManager` run by the
+  fault-tolerant DSM-Sort pass: write fan-out under an ``all``/``quorum``
+  policy, promotion-based takeover on ASU crash (zero run re-emission when
+  r >= 2), gauge-steered read plans, and the anti-entropy repair loop.
+
+See ``docs/REPLICATION.md`` for the design and the promotion-vs-replay
+decision table.
+"""
+
+from .manager import ReplicaSet, ReplicationConfig, ReplicationManager
+from .placement import SEGMENT, ReplicaPlacement
+
+__all__ = [
+    "ReplicaPlacement",
+    "ReplicaSet",
+    "ReplicationConfig",
+    "ReplicationManager",
+    "SEGMENT",
+]

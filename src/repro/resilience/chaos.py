@@ -515,6 +515,129 @@ def _run_straggler_case(
     }
 
 
+#: fixed arrival-stream length for the scheduler chaos app: long enough to
+#: force preemptions and restart-budget kills at 3x overload, short enough
+#: that one case stays in the same cost band as the other apps
+_SCHED_CHAOS_JOBS = 30
+#: offered load as a multiple of measured fleet capacity — deep saturation,
+#: so admission control, preemption and the restart budget all fire
+_SCHED_CHAOS_OVERLOAD = 3.0
+
+
+def _scheduler_t0(n_records: int) -> float:
+    """Ideal drain time of the chaos arrival stream (offered work / capacity).
+
+    The scheduler app has no fault-free twin — overload *is* the chaos — so
+    the makespan ratio is normalised against the work-conserving lower bound
+    instead.
+    """
+    from ..sched import ServiceOracle, default_mix, estimate_capacity, serve_params
+
+    capacity = estimate_capacity(serve_params(), default_mix(), ServiceOracle())
+    return _SCHED_CHAOS_JOBS / capacity
+
+
+def _scheduler_once(seed: int, rate: float) -> tuple:
+    """One overloaded priority-preemption scheduler run; returns evidence."""
+    from ..recovery.supervisor import RestartBudget
+    from ..sched import (
+        JobState,
+        OpenLoopWorkload,
+        Scheduler,
+        ServiceOracle,
+        default_mix,
+        default_tenants,
+        serve_params,
+        summarize_outcome,
+    )
+
+    arrivals = OpenLoopWorkload(
+        rate, default_mix(), _SCHED_CHAOS_JOBS, seed=seed
+    ).generate()
+    sched = Scheduler(
+        serve_params(),
+        default_tenants(),
+        "priority",
+        oracle=ServiceOracle(),
+        restart_budget=RestartBudget(max_restarts=1),
+        preempt=True,
+        policy_kwargs={"age_rate": 0.05},
+    )
+    outcome = sched.run(arrivals)
+    cell = summarize_outcome(outcome, sched.tenants, rate)
+    return sched, outcome, cell, JobState
+
+
+def _run_scheduler_case(
+    seed: int, n_records: int, t0: float, amp_bound: float
+) -> dict:
+    """Multi-tenant scheduler at 3x overload: preemption + restart budget.
+
+    The chaos here is *contention*, not injected faults: a seeded Poisson
+    stream at triple the fleet's measured capacity drives strict-priority
+    preemption, quota rejections and restart-budget kills simultaneously.
+    Invariants: every admitted job reaches a terminal state (no job leaked
+    mid-preemption), the queues and lease table drain to empty, the metrics
+    counters agree exactly with the outcome, and a second run of the same
+    seed reproduces the summary cell byte-for-byte.
+    """
+    import json as _json
+
+    rate = _SCHED_CHAOS_OVERLOAD * (_SCHED_CHAOS_JOBS / t0)
+    sched, outcome, cell, JobState = _scheduler_once(seed, rate)
+    jobs = outcome.jobs
+    n_done = sum(1 for j in jobs if j.state == JobState.DONE)
+    n_failed = sum(1 for j in jobs if j.state == JobState.FAILED)
+    n_rejected = sum(1 for j in jobs if j.state == JobState.REJECTED)
+    reg = sched.registry
+
+    _s2, _o2, cell2, _ = _scheduler_once(seed, rate)
+    canon = _json.dumps(cell, sort_keys=True, separators=(",", ":"))
+    canon2 = _json.dumps(cell2, sort_keys=True, separators=(",", ":"))
+
+    invariants = {
+        "all_terminal": all(j.state in JobState.TERMINAL for j in jobs),
+        "accounting_exact": n_done + n_failed + n_rejected == len(jobs),
+        "queues_drained": not sched.queued and not sched.running,
+        "leases_released": not sched._lease_of,
+        "counters_consistent": (
+            reg.counter("repro_sched_jobs_completed_total").value == n_done
+            and reg.counter("repro_sched_jobs_failed_total").value == n_failed
+            and reg.counter("repro_sched_jobs_rejected_total").value
+            == outcome.n_rejected
+            and reg.counter("repro_sched_preemptions_total").value
+            == outcome.n_preempted
+        ),
+        # which contention lever fires (preemption, quota rejection, budget
+        # kill) varies per seed; the case only proves itself non-vacuous if
+        # at least one did
+        "overload_exercised": bool(
+            outcome.n_preempted + outcome.n_rejected + outcome.n_restarted > 0
+        ),
+        "deterministic_replay": canon == canon2,
+    }
+    return {
+        "app": "scheduler",
+        "seed": seed,
+        "n_faults": int(outcome.n_preempted + outcome.n_failed),
+        "fault_kinds": ["overload", "preempt", "restart_budget"],
+        "makespan_ratio": outcome.makespan / t0,
+        "amplification": 1.0,
+        "n_retransmits": 0,
+        "n_dup_dropped": 0,
+        "n_corrupt_dropped": 0,
+        "n_breaker_trips": 0,
+        "n_jobs": len(jobs),
+        "n_done": n_done,
+        "n_rejected": int(outcome.n_rejected),
+        "n_preempted": int(outcome.n_preempted),
+        "n_restarted": int(outcome.n_restarted),
+        "n_failed": n_failed,
+        "invariants": invariants,
+        "ok": all(invariants.values()),
+    }
+
+
 def _run_negative_control(n_records: int, t0: float) -> dict:
     """Retries disabled + forced drop windows => records must be LOST.
 
@@ -672,6 +795,7 @@ _CASE_RUNNERS: dict[str, Callable[..., dict]] = {
     "filterscan": _run_filterscan_case,
     "recovery": _run_recovery_case,
     "straggler": _run_straggler_case,
+    "scheduler": _run_scheduler_case,
 }
 
 _BASELINES: dict[str, Callable[[int], float]] = {
@@ -679,6 +803,7 @@ _BASELINES: dict[str, Callable[[int], float]] = {
     "filterscan": _filterscan_t0,
     "recovery": _recovery_t0,
     "straggler": _straggler_t0,
+    "scheduler": _scheduler_t0,
 }
 
 

@@ -36,9 +36,9 @@ __all__ = [
 #: progress survives preemption (checkpoint-assisted via the RunManifest —
 #: PR 5's RecoverableSort) or must restart from scratch (kill-and-requeue)
 APP_KINDS = {
-    "dsmsort": {"checkpointable": True},
-    "filterscan": {"checkpointable": False},
-    "rtree": {"checkpointable": False},
+    "dsmsort": {"checkpointable": True, "replicable": True},
+    "filterscan": {"checkpointable": False, "replicable": False},
+    "rtree": {"checkpointable": False, "replicable": False},
 }
 
 
@@ -48,12 +48,26 @@ class ResourceNeed:
 
     n_asus: int = 2
     n_hosts: int = 1
+    #: run-replication factor the job runs with (see repro.replica); every
+    #: replica needs a distinct ASU inside the exclusive lease, so the slice
+    #: itself must be wide enough
+    replication: int = 1
 
     def __post_init__(self):
         if self.n_asus < 1:
             raise ValueError(f"n_asus must be >= 1, got {self.n_asus}")
         if self.n_hosts < 1:
             raise ValueError(f"n_hosts must be >= 1, got {self.n_hosts}")
+        if self.replication < 1:
+            raise ValueError(
+                f"replication must be >= 1, got {self.replication}"
+            )
+        if self.replication > self.n_asus:
+            raise ValueError(
+                f"replication factor {self.replication} exceeds the leased "
+                f"slice ({self.n_asus} ASUs): every run replica needs a "
+                "distinct ASU"
+            )
 
 
 @dataclass(frozen=True)
@@ -89,6 +103,13 @@ class JobSpec:
             )
         if self.deadline is not None and self.deadline <= 0:
             raise ValueError(f"deadline must be positive, got {self.deadline}")
+        if self.need.replication > 1 and not APP_KINDS[self.app].get(
+            "replicable", False
+        ):
+            raise ValueError(
+                f"app {self.app!r} does not support run replication; only "
+                "manifest-backed apps can write replicated runs"
+            )
 
     @property
     def checkpointable(self) -> bool:

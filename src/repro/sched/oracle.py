@@ -51,7 +51,7 @@ def _spec_key(spec: JobSpec, slice_shape: tuple, hints: dict) -> tuple:
         hint_key = ("sr", None)
     return (
         spec.app, spec.n_records, spec.workload, spec.seed,
-        slice_shape, *hint_key,
+        spec.need.replication, slice_shape, *hint_key,
     )
 
 
@@ -108,6 +108,12 @@ class ServiceOracle:
         job_kwargs = {}
         if weights:
             job_kwargs["routing_weights"] = tuple(weights)
+        if spec.need.replication > 1:
+            from ..replica import ReplicationConfig
+
+            job_kwargs["replication"] = ReplicationConfig(
+                r=spec.need.replication
+            )
         return RecoverableSort(
             slice_params,
             _dsm_config(spec.n_records),

@@ -73,6 +73,24 @@ class TestCli:
 
 
 class TestRecoverCli:
+    def test_replicate_kill_sweep(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "replicate.json"
+        rc = main(["replicate", "--n", "11", "--seeds", "1", "--out", str(out)])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "ASU kill sweep" in stdout and "PASS" in stdout
+        doc = json.loads(out.read_text())
+        assert doc["ok"] is True
+        # 3 r-values x 4 ASUs x 1 kill instant
+        assert len(doc["cases"]) == 12
+        assert all(c["byte_identical"] for c in doc["cases"])
+        replicated = [c for c in doc["cases"] if c["r"] >= 2]
+        assert replicated
+        assert all(c["n_reemitted_runs"] == 0 for c in replicated)
+        assert all(c["n_replayed_frags"] == 0 for c in replicated)
+
     def test_recover_kill_sweep_byte_identical(self, capsys, tmp_path):
         import json
 

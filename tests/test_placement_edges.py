@@ -1,0 +1,148 @@
+"""Edge cases for Placement.migrate_off / PlacementSolver.repair.
+
+The happy paths (least-loaded survivor choice, duplicate-replica drop,
+repair-then-revalidate) live in tests/test_faults.py; these pin the failure
+edges and the quarantine workflow the fault injector leans on.
+"""
+
+import pytest
+
+from repro.core.placement import Placement, PlacementSolver
+from repro.emulator.params import SystemParams
+from repro.functors import (
+    BlockSortFunctor,
+    Dataflow,
+    DistributeFunctor,
+    FunctorError,
+    MergeFunctor,
+)
+
+
+def small_params(**over):
+    base = dict(n_hosts=2, n_asus=4)
+    base.update(over)
+    return SystemParams(**base)
+
+
+def sort_graph():
+    g = Dataflow()
+    g.add_stage("distribute", DistributeFunctor.uniform(16), est_records=1000)
+    g.add_stage(
+        "blocksort", BlockSortFunctor(1024), replicas=2, est_records=1000
+    )
+    g.add_stage("merge", MergeFunctor(8), est_records=1000)
+    g.connect(Dataflow.SOURCE, "distribute", kind="set", est_records=1000)
+    g.connect("distribute", "blocksort", kind="set", est_records=1000)
+    g.connect("blocksort", "merge", kind="set", est_records=1000)
+    g.connect("merge", Dataflow.SINK, kind="stream", est_records=1000)
+    return g
+
+
+class TestMigrateOffEdges:
+    def test_unknown_node_class(self):
+        p = Placement()
+        p.assign("scan", "asu", [0])
+        with pytest.raises(FunctorError, match="unknown node class"):
+            p.migrate_off("disk", 0, alive=[1])
+
+    def test_failed_node_hosting_nothing_is_a_noop(self):
+        p = Placement()
+        p.assign("scan", "asu", [1])
+        p.assign("agg", "host", [0])
+        moves = p.migrate_off("asu", 0, alive=[1, 2])
+        assert moves == []
+        assert p.of("scan").instances == [1]
+        assert p.of("agg").instances == [0]
+
+    def test_alive_list_containing_only_the_failed_node(self):
+        p = Placement()
+        p.assign("scan", "asu", [0])
+        with pytest.raises(FunctorError, match="no surviving"):
+            p.migrate_off("asu", 0, alive=[0])
+
+    def test_stage_cannot_silently_vanish(self):
+        # Cascading failures shrink the replica set one drop at a time; the
+        # final failure hits the no-survivor guard, never an empty stage.
+        p = Placement()
+        p.assign("scan", "asu", [0, 1])
+        assert p.migrate_off("asu", 0, alive=[1]) == [("scan", 0, -1)]
+        assert p.of("scan").instances == [1]
+        with pytest.raises(FunctorError, match="no surviving"):
+            p.migrate_off("asu", 1, alive=[1])
+        # The placement is untouched by the refused migration.
+        assert p.of("scan").instances == [1]
+
+    def test_ties_break_to_lowest_index(self):
+        p = Placement()
+        p.assign("scan", "asu", [0])
+        moves = p.migrate_off("asu", 0, alive=[0, 3, 2])
+        # survivors 2 and 3 both hold zero replicas; 2 wins deterministically
+        assert moves == [("scan", 0, 2)]
+
+    def test_host_class_migration(self):
+        p = Placement()
+        p.assign("merge", "host", [0])
+        p.assign("scan", "asu", [0])
+        moves = p.migrate_off("host", 0, alive=[0, 1])
+        assert moves == [("merge", 0, 1)]
+        # The ASU assignment of the same index is untouched.
+        assert p.of("scan").instances == [0]
+
+
+class TestSolverRepairEdges:
+    def test_repair_defaults_alive_to_whole_class(self):
+        g = sort_graph()
+        p = Placement()
+        p.assign("distribute", "asu", [3])
+        p.assign("blocksort", "host", [0, 1])
+        p.assign("merge", "host", [1])
+        solver = PlacementSolver(small_params())
+        moves = solver.repair(g, p, "asu", 3)
+        assert moves == [("distribute", 3, 0)]
+        solver.validate(g, p)
+
+    def test_repair_rejects_out_of_range_survivor(self):
+        # A bogus alive list migrates, then re-validation catches it: the
+        # placement never escapes repair() in a state the platform rejects.
+        g = sort_graph()
+        p = Placement()
+        p.assign("distribute", "asu", [0])
+        p.assign("blocksort", "host", [0, 1])
+        p.assign("merge", "host", [1])
+        solver = PlacementSolver(small_params())
+        with pytest.raises(FunctorError, match="out of range"):
+            solver.repair(g, p, "asu", 0, alive=[7])
+
+    def test_repair_around_quarantine_then_cleared(self):
+        # Quarantine = exclude from alive. The displaced stage must land on
+        # the non-quarantined survivor; once the quarantine clears, a later
+        # repair may use the node again.
+        g = sort_graph()
+        p = Placement()
+        p.assign("distribute", "asu", [0])
+        p.assign("blocksort", "host", [0, 1])
+        p.assign("merge", "host", [1])
+        solver = PlacementSolver(small_params())
+        # asu1 quarantined: survivors are 2 and 3 only
+        moves = solver.repair(g, p, "asu", 0, alive=[2, 3])
+        assert moves == [("distribute", 0, 2)]
+        # quarantine cleared: asu1 is back in the candidate set and wins the
+        # least-loaded tie at the lowest index
+        moves = solver.repair(g, p, "asu", 2, alive=[1, 3])
+        assert moves == [("distribute", 2, 1)]
+        solver.validate(g, p)
+
+    def test_repair_of_replicated_stage_keeps_instances_distinct(self):
+        g = sort_graph()
+        p = Placement()
+        p.assign("distribute", "asu", [0])
+        p.assign("blocksort", "host", [0, 1])
+        p.assign("merge", "host", [0])
+        solver = PlacementSolver(small_params())
+        # host0 dies; blocksort's displaced replica cannot double up on
+        # host1 (already a replica), so it is dropped, while merge moves.
+        moves = solver.repair(g, p, "host", 0)
+        assert ("blocksort", 0, -1) in moves
+        assert ("merge", 0, 1) in moves
+        assert p.of("blocksort").instances == [1]
+        solver.validate(g, p)

@@ -218,6 +218,60 @@ class TestHybridOrganisation:
             )
 
 
+class TestAsuraPlacement:
+    def test_bad_placement_name(self, rng):
+        with pytest.raises(ValueError, match="placement"):
+            DistributedRTree(
+                random_points(rng, 100), small_params(4), "hybrid",
+                placement="hash",
+            )
+
+    def test_asura_query_correct(self, rng):
+        # Under ASURA an ASU may hold several groups; the group-scoped
+        # search must still return the exact brute-force result set.
+        pts = random_points(rng, 2000)
+        dt = DistributedRTree(
+            pts, small_params(8), organisation="hybrid", page=32,
+            replication=2, placement="asura",
+        )
+        base = RTree(pts, page=32)
+        for w in window_queries(rng, 15):
+            assert np.array_equal(dt.query_local(w), base.query_brute(w))
+
+    def test_asura_emulated_run(self, rng):
+        pts = random_points(rng, 2000)
+        dt = DistributedRTree(
+            pts, small_params(8), organisation="hybrid", page=16,
+            replication=2, placement="asura",
+        )
+        stats = dt.run_queries(window_queries(rng, 16, window=40.0))
+        assert stats.n_queries == 16
+        assert stats.makespan > 0
+
+    def test_asura_groups_replicated_and_deterministic(self, rng):
+        pts = random_points(rng, 1000)
+        mk = lambda seed: DistributedRTree(
+            pts, small_params(8), "hybrid", page=32, replication=2,
+            placement="asura", placement_seed=seed,
+        )
+        a, b, c = mk(0), mk(0), mk(7)
+        assert a._group_replicas == b._group_replicas
+        assert a._group_replicas != c._group_replicas
+        for reps in a._group_replicas:
+            assert len(reps) == 2 and len(set(reps)) == 2
+
+    def test_modulo_layout_unchanged(self, rng):
+        # The default placement must keep the historical layout: ASU d
+        # serves group d % n_groups, so d and d + n_groups hold equal ids.
+        pts = random_points(rng, 1000)
+        dt = DistributedRTree(
+            pts, small_params(8), "hybrid", page=32, replication=2
+        )
+        assert dt._group_replicas == [[g, g + 4] for g in range(4)]
+        for d in range(4):
+            assert np.array_equal(dt.asu_ids[d], dt.asu_ids[d + 4])
+
+
 class TestOnlineMaintenance:
     def _tree(self, rng, n=2000, threshold=256):
         from repro.apps.rtree import OnlineDistributedRTree

@@ -66,6 +66,22 @@ class TestValidation:
         with pytest.raises(ValueError, match="n_asus"):
             ResourceNeed(n_asus=0)
 
+    def test_replication_validation(self):
+        with pytest.raises(ValueError, match="replication must be >= 1"):
+            ResourceNeed(replication=0)
+        with pytest.raises(ValueError, match="exceeds the leased slice"):
+            ResourceNeed(n_asus=2, replication=3)
+        with pytest.raises(ValueError, match="does not support run replication"):
+            JobSpec(
+                app="filterscan", n_records=256,
+                need=ResourceNeed(n_asus=2, replication=2),
+            )
+        # dsmsort is manifest-backed, so a replicated need is legal.
+        JobSpec(
+            app="dsmsort", n_records=256,
+            need=ResourceNeed(n_asus=2, replication=2),
+        )
+
     def test_nonpositive_quota_rejected(self):
         with pytest.raises(ValueError, match="max_queued"):
             Quota(max_queued=0)
@@ -278,6 +294,22 @@ class TestOracle:
         assert o.n_emulations == 1
         t2 = o.makespan(spec, p)
         assert t2 == t1 and o.n_emulations == 1
+
+    def test_replicated_need_measures_separately(self):
+        # The replication factor is part of the service identity: r=2 writes
+        # every run twice, so it must not share a memo entry with r=1.
+        o = ServiceOracle()
+        p = serve_params().with_(n_asus=2, n_hosts=1, host_clock_multipliers=None)
+        t1 = o.makespan(
+            JobSpec(app="dsmsort", n_records=2048,
+                    need=ResourceNeed(n_asus=2, replication=1)), p
+        )
+        t2 = o.makespan(
+            JobSpec(app="dsmsort", n_records=2048,
+                    need=ResourceNeed(n_asus=2, replication=2)), p
+        )
+        assert o.n_emulations == 2
+        assert t2 > t1  # the replica writes cost real service time
 
     def test_hints_normalized_for_hint_blind_apps(self):
         """filterscan/rtree ignore routing hints, so distinct wear-derived
