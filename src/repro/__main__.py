@@ -10,6 +10,8 @@ Usage::
                             [--out metrics.json] [--prom metrics.prom]
     python -m repro chaos   [--n LOG2] [--seeds K] [--seed0 S] [--apps LIST]
                             [--amp-bound X] [--out chaos_report.json]
+                            [--list-apps]
+    python -m repro partition [--n LOG2] [--out partition_report.json]
     python -m repro recover [--n LOG2] [--seeds K] [--seed S]
                             [--out recover_report.json]
     python -m repro serve   [--jobs N] [--seed S] [--policies LIST]
@@ -36,8 +38,8 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         choices=[
             "fig9", "fig10", "sweep-c", "sweep-routing", "sweep-gamma",
-            "trace", "metrics", "chaos", "recover", "replicate", "serve",
-            "critpath", "all",
+            "trace", "metrics", "chaos", "recover", "replicate", "partition",
+            "serve", "critpath", "all",
         ],
         help="which experiment to run",
     )
@@ -87,6 +89,10 @@ def main(argv: list[str] | None = None) -> int:
         help="chaos: skip the retries-disabled loss demonstration",
     )
     parser.add_argument(
+        "--list-apps", action="store_true",
+        help="chaos: list the registered chaos apps and exit",
+    )
+    parser.add_argument(
         "--workers", type=int, default=None, metavar="W",
         help="chaos/recover: worker processes for the seed sweep (default "
         "REPRO_BENCH_WORKERS or the CPU count; results are merged in seed "
@@ -133,6 +139,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_recover(args, n)
     if args.target == "replicate":
         return _run_replicate(args, n)
+    if args.target == "partition":
+        return _run_partition(args, n)
     if args.target == "serve":
         return _run_serve(args)
     if args.target == "critpath":
@@ -180,8 +188,12 @@ def _run_chaos(args, n: int) -> int:
     Writes the canonical ChaosReport JSON artifact and exits nonzero if any
     invariant was violated, so CI can gate on it directly.
     """
-    from .resilience.chaos import run_chaos
+    from .resilience.chaos import list_chaos_apps, run_chaos
 
+    if args.list_apps:
+        for name, summary in list_chaos_apps():
+            print(f"{name:12s} {summary}")
+        return 0
     apps = tuple(a.strip() for a in args.apps.split(",") if a.strip())
     report = run_chaos(
         seeds=args.seeds,
@@ -455,6 +467,174 @@ def _run_replicate(args, n: int) -> int:
         fh.write("\n")
     print(f"{'PASS' if ok else 'FAIL'}: {sum(c['ok'] for c in cases)}/"
           f"{len(cases)} kill cases clean -> {out}")
+    return 0 if ok else 1
+
+
+def _partition_case(task: tuple) -> dict:
+    """One grid point of the partition sweep — module-level so it pickles.
+
+    Runs the replicated sort (r=2, network-borne detection) under one
+    seeded cut and checks the split-brain-safety contract: the job
+    completes, the two-pass output verifies as a sorted permutation, and
+    its bytes are identical to the uninterrupted reference — no double
+    writes crossed an epoch fence, no records died with the cut.
+    """
+    import hashlib
+
+    from .core.config import DSMConfig  # noqa: F401  (unpickled params use it)
+    from .dsmsort.runtime import DsmSortJob
+    from .faults.injector import FaultPlan, crash_asu, crash_host, partition
+    from .replica import ReplicationConfig
+    from .resilience.chaos import _policy_for
+
+    (params, cfg, cut_asus, cut_hosts, dur_frac, asymmetry, kill,
+     t0, ref_digest) = task
+    start = 0.25 * t0
+    duration = dur_frac * t0
+    faults = [partition(start, cut_asus, hosts=cut_hosts,
+                        duration=duration, asymmetry=asymmetry)]
+    if kill:
+        t_kill = start + 0.4 * duration
+        if cut_asus:
+            faults.append(crash_asu(t_kill, cut_asus[0]))
+        else:
+            faults.append(crash_host(t_kill, cut_hosts[0]))
+    job = DsmSortJob(
+        params, cfg, policy="sr", seed=0, faults=FaultPlan(faults),
+        transport="reliable", retry_policy=_policy_for(t0),
+        replication=ReplicationConfig(r=2),
+        heartbeat_interval=t0 / 40, heartbeat_timeout=t0 / 10,
+        detection_mode="network", probe_timeout=t0 / 10,
+    )
+    r1 = job.run_pass1(deadline=20.0 * t0)
+    sorted_ok = False
+    digest = None
+    if r1.completed:
+        job.run_pass2()
+        try:
+            job.verify()
+            sorted_ok = True
+        except Exception:
+            sorted_ok = False
+        digest = hashlib.sha256(job.collected_output().tobytes()).hexdigest()
+    identical = bool(sorted_ok and digest == ref_digest)
+    cut = [f"asu{d}" for d in cut_asus] + [f"host{h}" for h in cut_hosts]
+    return {
+        "cut": ",".join(cut),
+        "asymmetry": asymmetry,
+        "duration_frac": dur_frac,
+        "killed_in_cut": bool(kill),
+        "completed": bool(r1.completed),
+        "makespan": r1.makespan,
+        "n_epoch_rejections": int(r1.n_epoch_rejections),
+        "n_readmitted": int(r1.n_readmitted),
+        "n_reconciled_runs": int(r1.n_reconciled_runs),
+        "n_divergent_copies": int(r1.n_divergent_copies),
+        "n_dup_frags_dropped": int(r1.n_dup_frags_dropped),
+        "n_takeover_blocks": int(r1.n_takeover_blocks),
+        "view_epoch": int(r1.view_epoch),
+        "byte_identical": identical,
+        "ok": bool(r1.completed and sorted_ok and identical),
+    }
+
+
+def _run_partition(args, n: int) -> int:
+    """Partition sweep: cut group x window length x asymmetry x mid-cut kill.
+
+    Every grid point runs the replicated sort (r=2) with network-borne
+    failure detection under one cut and must reproduce the fault-free
+    reference bytes — the end-to-end proof that epoch fencing makes
+    takeover split-brain safe (docs/PARTITIONS.md).  The sweep additionally
+    requires that at least one asymmetric ("out") scenario rejected
+    stale-epoch writes: the fences must be *observed* working, not just
+    never tested.  Canonical JSON report for CI; exits nonzero on any
+    violation.
+    """
+    import hashlib
+    import json
+
+    from .bench.parallel import parallel_map
+    from .bench.report import SCHEMA_VERSION, render_table
+    from .core.config import DSMConfig
+    from .dsmsort.runtime import DsmSortJob
+    from .faults.injector import FaultPlan
+    from .replica import ReplicationConfig
+    from .resilience.chaos import _dsmsort_t0, _policy_for, chaos_params
+
+    n = min(n, 1 << 13)  # 36 replicated two-pass sorts; keep the sweep fast
+    params = chaos_params()
+    cfg = DSMConfig.for_n(n, alpha=8, gamma=16)
+    t0 = _dsmsort_t0(n)
+
+    ref = DsmSortJob(
+        params, cfg, policy="sr", seed=args.seed, faults=FaultPlan([]),
+        transport="reliable",
+        retry_policy=_policy_for(t0), replication=ReplicationConfig(r=2),
+        heartbeat_interval=t0 / 40, heartbeat_timeout=t0 / 10,
+        detection_mode="network", probe_timeout=t0 / 10,
+    )
+    ref.run_pass1()
+    ref.run_pass2()
+    ref.verify()
+    digest = hashlib.sha256(ref.collected_output().tobytes()).hexdigest()
+    print(f"reference: {n} records, T0={t0:.4f}s, sha256={digest[:16]}")
+
+    cuts = [((1,), ()), ((1, 2), ()), ((), (1,))]
+    dur_fracs = [0.08, 0.5]
+    asymmetries = ["both", "out", "in"]
+    tasks = [
+        (params, cfg, cut_asus, cut_hosts, dur_frac, asym, kill, t0, digest)
+        for cut_asus, cut_hosts in cuts
+        for dur_frac in dur_fracs
+        for asym in asymmetries
+        for kill in (False, True)
+    ]
+    cases = parallel_map(_partition_case, tasks, workers=args.workers)
+
+    rows = [
+        [
+            c["cut"], c["asymmetry"], f"{c['duration_frac']:.2f}",
+            "yes" if c["killed_in_cut"] else "no",
+            c["n_epoch_rejections"], c["n_readmitted"],
+            c["n_reconciled_runs"], c["view_epoch"],
+            "yes" if c["byte_identical"] else "NO",
+            "ok" if c["ok"] else "FAIL",
+        ]
+        for c in cases
+    ]
+    print()
+    print(render_table(
+        ["cut", "mode", "dur/T0", "kill", "rejects", "readmits",
+         "reconciled", "epoch", "identical", "result"],
+        rows,
+        title=f"partition sweep, N={n}, r=2, {len(cases)} cuts",
+    ))
+    # the fences must be observed rejecting stale writes somewhere in the
+    # asymmetric half of the grid, or the no-split-brain claim is vacuous
+    fencing_exercised = any(
+        c["n_epoch_rejections"] > 0
+        for c in cases
+        if c["asymmetry"] in ("out", "both")
+    )
+    ok = all(c["ok"] for c in cases) and fencing_exercised
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "n_records": n,
+        "seed": args.seed,
+        "t0": t0,
+        "reference_sha256": digest,
+        "fencing_exercised": fencing_exercised,
+        "cases": cases,
+        "ok": ok,
+    }
+    out = args.out or "partition_report.json"
+    with open(out, "w") as fh:
+        json.dump(report, fh, sort_keys=True, separators=(",", ":"))
+        fh.write("\n")
+    print(f"{'PASS' if ok else 'FAIL'}: {sum(c['ok'] for c in cases)}/"
+          f"{len(cases)} cuts clean, "
+          f"fencing {'exercised' if fencing_exercised else 'NEVER FIRED'} "
+          f"-> {out}")
     return 0 if ok else 1
 
 

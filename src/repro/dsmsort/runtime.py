@@ -38,7 +38,7 @@ from ..core.load_manager import LoadManager
 from ..emulator.params import SystemParams
 from ..emulator.platform import ActivePlatform
 from ..faults.detector import FailureDetector
-from ..faults.errors import UnrecoverableJobError
+from ..faults.errors import StaleEpochError, UnrecoverableJobError
 from ..faults.injector import MESSAGE_FAULT_KINDS, FaultPlan, Injector
 from ..faults.report import FaultReport
 from ..functors.blocksort import BlockSortFunctor
@@ -134,6 +134,19 @@ class Pass1Result:
     n_repaired_copies: int = 0
     n_retargeted_copies: int = 0
     n_underreplicated: int = 0
+    #: membership counters (``detection_mode="network"``): writes rejected
+    #: with a stale epoch, nodes re-admitted after a heal, physical copies
+    #: reconciled back (digest-verified) on re-admission, copies refused for
+    #: digest divergence, confirmations withheld by the detector's majority
+    #: guard, duplicate fragments dropped by the host-side global filter,
+    #: and the view's final epoch (0 = no view)
+    n_epoch_rejections: int = 0
+    n_readmitted: int = 0
+    n_reconciled_runs: int = 0
+    n_divergent_copies: int = 0
+    n_quarantine_holds: int = 0
+    n_dup_frags_dropped: int = 0
+    view_epoch: int = 0
 
 
 @dataclass
@@ -180,6 +193,8 @@ class DsmSortJob:
         routing_weights=None,
         job_id: Optional[str] = None,
         replication=None,
+        detection_mode: str = "timer",
+        probe_timeout: Optional[float] = None,
     ):
         if not 0.0 <= background_asu_duty < 1.0:
             raise ValueError("background_asu_duty must be in [0, 1)")
@@ -198,13 +213,28 @@ class DsmSortJob:
                 "FaultPlan (an empty one is fine)"
             )
         if faults is not None and transport == "direct":
-            lossy = faults.kinds() & {*MESSAGE_FAULT_KINDS, "disk_fault"}
+            lossy = faults.kinds() & {*MESSAGE_FAULT_KINDS, "disk_fault", "partition"}
             if lossy:
                 raise ValueError(
                     f"fault plan injects {sorted(lossy)} but transport='direct' "
                     "cannot mask message loss or transient I/O errors; use "
                     "transport='reliable'"
                 )
+        if detection_mode not in ("timer", "network"):
+            raise ValueError(
+                f"detection_mode must be 'timer' or 'network', got "
+                f"{detection_mode!r}"
+            )
+        if detection_mode == "network" and faults is None:
+            raise ValueError(
+                "detection_mode='network' runs on the fault-tolerant path; "
+                "pass a FaultPlan (an empty one is fine)"
+            )
+        if detection_mode == "network" and speculation is not None:
+            raise ValueError(
+                "speculation= is incompatible with detection_mode='network': "
+                "hedged shard ownership would race the epoch-fenced takeover"
+            )
         if manifest is not None and faults is None:
             raise ValueError(
                 "manifest= runs on the fault-tolerant path; pass a FaultPlan "
@@ -350,6 +380,14 @@ class DsmSortJob:
         self.faults = faults
         self.heartbeat_interval = float(heartbeat_interval)
         self.heartbeat_timeout = float(heartbeat_timeout)
+        #: "timer" = zero-cost heartbeats (fail-stop only, no false suspicion);
+        #: "network" = heartbeats as real messages + indirect probes, so cuts
+        #: are *detected* and confirmations are fenced by membership epochs
+        #: (docs/PARTITIONS.md).  Timer mode leaves legacy runs byte-identical.
+        self.detection_mode = detection_mode
+        self.probe_timeout = probe_timeout
+        #: repro.membership.ViewService of the current FT pass (network mode)
+        self.view = None
         #: "direct" posts straight onto the network (the paper's lossless
         #: emulation); "reliable" runs every host<->ASU exchange through a
         #: :class:`~repro.resilience.channel.ReliableEndpoint` so injected
@@ -384,6 +422,7 @@ class DsmSortJob:
         self.runs_on_asu = [[] for _ in range(self.params.n_asus)]
         self._pass1_done = False
         self._replica_mgr = None
+        self.view = None
         self.load_manager = LoadManager(
             self.params,
             n_instances=self.params.n_hosts,
@@ -706,6 +745,19 @@ class DsmSortJob:
         self._n_hedged_shards = 0
         self._n_hedge_wasted_frags = 0
         self._coord_crashed = False
+        # Membership state (network detection mode; empty/idle otherwise).
+        self._fenced_asus: set[int] = set()
+        #: global frag exactly-once authority: (src_d, block, bucket) -> the
+        #: _FragEntry whose host actually buffered the records (membership
+        #: mode only — the fail-stop model needs no cross-host dedup because
+        #: a crashed producer can never re-ship what a takeover re-ships)
+        self._frags_accepted: dict[tuple, "_FragEntry"] = {}
+        #: per-ASU (key, digest) snapshots taken at expulsion, offered back
+        #: through ReplicationManager.readopt_copy on re-admission
+        self._readmit_stash: dict[int, list] = {}
+        self._n_readmitted = 0
+        self._n_reconciled_runs = 0
+        self._n_dup_frags_dropped = 0
         #: per-fragment content digests (speculation mode): lets a hedged
         #: re-distribute verify it reproduced already-shipped fragments
         #: byte-identically before skipping them
@@ -779,11 +831,29 @@ class DsmSortJob:
             self._endpoints = None
             self.breaker_board = None
 
+        if self.detection_mode == "network":
+            # Membership view: epochs fence replica writes and manifest
+            # appends, so an expelled-but-alive node's in-flight mutations
+            # are rejected (typed) instead of silently racing the takeover.
+            from ..membership import ViewService
+
+            self.view = ViewService(
+                [f"asu{d}" for d in range(D)] + [f"host{h}" for h in range(H)],
+                metrics=self.metrics,
+            )
+            if self._replica_mgr is not None:
+                self._replica_mgr.attach_view(self.view)
+            if self.manifest is not None:
+                self.manifest.attach_view(self.view)
+
         injector = Injector(plat, self.faults, on_fault=self._on_fault_ft)
         detector = FailureDetector(
-            plat, interval=self.heartbeat_interval, timeout=self.heartbeat_timeout
+            plat, interval=self.heartbeat_interval, timeout=self.heartbeat_timeout,
+            mode=self.detection_mode, probe_timeout=self.probe_timeout,
         )
         detector.on_failure.append(self._on_detected_ft)
+        if self.view is not None:
+            detector.on_readmit.append(self._on_readmit_ft)
         self.injector, self.detector = injector, detector
         injector.arm()
         detector.start()
@@ -875,6 +945,18 @@ class DsmSortJob:
                 0 if self._replica_mgr is None
                 else len(self._replica_mgr.under_replicated_keys())
             ),
+            n_epoch_rejections=(
+                0 if self.view is None else self.view.n_rejections
+            ),
+            n_readmitted=self._n_readmitted,
+            n_reconciled_runs=self._n_reconciled_runs,
+            n_divergent_copies=(
+                0 if self._replica_mgr is None
+                else self._replica_mgr.n_divergent_copies
+            ),
+            n_quarantine_holds=detector.n_quarantine_holds,
+            n_dup_frags_dropped=self._n_dup_frags_dropped,
+            view_epoch=0 if self.view is None else self.view.epoch,
         )
 
     # -- reliable-transport plumbing (falls through to the direct path) -------
@@ -915,12 +997,32 @@ class DsmSortJob:
         )
 
     def _alive_endpoint(self) -> ReliableEndpoint:
-        """Any endpoint on an alive node — replay source when the origin died."""
+        """Any endpoint on an alive node — replay source when the origin died.
+
+        In membership mode the node must also be a current view member: an
+        expelled node's endpoint would retransmit into the cut that got it
+        expelled, stalling the replay until the heal.
+        """
         plat = self._ft_plat
         for node in [*plat.asus, *plat.hosts]:
-            if node.alive:
+            if node.alive and (
+                self.view is None or self.view.is_member(node.node_id)
+            ):
                 return self._endpoints[node.node_id]
         raise UnrecoverableJobError("no alive node left to replay from")
+
+    def _producer_fenced(self, owner: int, shard: int) -> bool:
+        """Zombie check: an expelled producer must stop shipping.
+
+        Only meaningful in membership mode — a fail-stopped producer's
+        process dies with its node, so the legacy path never observes a
+        producer that outlived its ownership.  Checked at the top of every
+        yield-free ship region, so expulsion (which lands in a simulator
+        callback, i.e. at a yield) can never split a marker from its post.
+        """
+        if self.view is None:
+            return False
+        return owner in self._fenced_asus or self._shard_owner.get(shard) != owner
 
     def _produce_shard_ft(self, plat: ActivePlatform, owner: int, shard: int, blk: int, rs: int):
         """Stream ``shard``'s input, distribute, route, ship — resumable.
@@ -964,6 +1066,8 @@ class DsmSortJob:
             # untouched.  The prefetched read above is still consumed.
             if (shard, i) in self._blocks_complete:
                 continue
+            if self._producer_fenced(owner, shard):
+                return  # expelled mid-stream: the fenced takeover owns the rest
             if ra is None:
                 yield from read_resilient(plat.sim, asu.disk, int(stripe_bytes[i]))
             t0 = plat.sim.now
@@ -1015,6 +1119,20 @@ class DsmSortJob:
                     self.load_manager.backpressure_end(h, n, waited)
                 yield from asu.cpu.execute(cycles=n * rs * cpnb)
                 # Atomic with the post: retention entries + ship markers.
+                # Expulsion can only land at the yields above, so this check
+                # opens the yield-free region — a zombie can never pair a
+                # marker with a post the view no longer sanctions.
+                if self._producer_fenced(owner, shard):
+                    return
+                if self.view is not None and h in self._dead_hosts:
+                    # The destination died (or was expelled) while we waited
+                    # on its window: the cancel released us, but posting now
+                    # would vanish into the cut with no dead-letter.  Reroute
+                    # the batch to a live host (quarantine already steers the
+                    # router away from the corpse).
+                    h = self.load_manager.route(
+                        frags[0][0], n, avoid=self._avoid_hosts(asu.node_id)
+                    )
                 # Re-filter against the markers first — first-finisher-wins:
                 # a concurrent hedge may have shipped some of these buckets
                 # while we waited on the window/CPU above.  With no hedge
@@ -1049,6 +1167,8 @@ class DsmSortJob:
                 )
         if shard not in self._eof_posted:
             yield from asu.cpu.execute(cycles=H * 16 * cpnb)
+            if self._producer_fenced(owner, shard):
+                return  # the takeover announces EOF under the new epoch
             # Atomic: the marker guards the whole EOF broadcast, so a crash
             # here either leaves the shard EOF-less (next takeover posts) or
             # fully announced — hosts can never count a shard's EOF twice.
@@ -1117,6 +1237,34 @@ class DsmSortJob:
                 continue
             frags = msg.payload[2]
             entries = msg.payload[3]
+            if self.view is not None:
+                if h in self._dead_hosts:
+                    # Expelled (possibly still alive): the expulsion-time
+                    # replay handed these records to survivors — buffering
+                    # them here would strand them behind the run fence.
+                    continue
+                fresh = []
+                for f, e in zip(frags, entries):
+                    fkey = (e.src_d, e.block, e.bucket)
+                    owner = self._frags_accepted.get(fkey)
+                    if owner is e:
+                        self._n_dup_frags_dropped += 1
+                        continue  # duplicate delivery of the accepted entry
+                    if owner is not None:
+                        # Another host already buffered these records (a
+                        # fenced takeover re-shipped what a zombie had in
+                        # flight): drop, and retire this retention entry so
+                        # a later host death cannot replay it into a dup.
+                        e.done = True
+                        self._n_dup_frags_dropped += 1
+                        continue
+                    self._frags_accepted[fkey] = e
+                    fresh.append((f, e))
+                if not fresh:
+                    continue
+                if len(fresh) < len(frags):
+                    frags = [f for f, _e in fresh]
+                    entries = [e for _f, e in fresh]
             if flushed:
                 for (bucket, piece), e in zip(frags, entries):
                     yield from self._emit_run_ft(
@@ -1158,6 +1306,11 @@ class DsmSortJob:
         run covers; the run gets a manifest id here, but only becomes a
         durable journal entry when the destination ASU's write completes.
         """
+        if self.view is not None and h in self._dead_hosts:
+            # Membership mode: an expelled host may still be running (a cut,
+            # not a crash).  Its records were replayed to survivors, so a
+            # zombie emit would only register sets the consumers must drop.
+            return
         t0 = plat.sim.now
         run = yield from host.compute(
             cycles=batch.shape[0] * sort_cpr,
@@ -1305,6 +1458,10 @@ class DsmSortJob:
             yield from asu.disk_write(run.shape[0] * rs)
             if src_h in self._dead_hosts:
                 continue  # emitter died during our write; the purge ran
+            if self.view is not None and not self._epoch_guard(
+                asu.node_id, "run write"
+            ):
+                continue  # fenced: this ASU was expelled while we wrote
             # Atomic: durability record + completion check.
             self.runs_on_asu[d].append((bucket, run))
             self._run_hosts[d].append(src_h)
@@ -1334,8 +1491,14 @@ class DsmSortJob:
         st = mgr.sets.get(key)
         if st is None or (st.src_host >= 0 and st.src_host in self._dead_hosts):
             return  # the set died during our write; its purge already ran
-        # Atomic: durability record + completion check.
-        delta, fresh = mgr.copy_durable(key, d)
+        # Atomic: durability record + completion check.  With a view
+        # attached, the manager validates this ASU's epoch first: a copy
+        # landing here after our expulsion is the typed split-brain
+        # rejection the partition sweep asserts on.
+        try:
+            delta, fresh = mgr.copy_durable(key, d)
+        except StaleEpochError:
+            return
         if fresh:
             self.runs_on_asu[d].append((bucket, run))
             # Manifest-restored sets keep the legacy -1 tag: a new crash of
@@ -1421,14 +1584,18 @@ class DsmSortJob:
         """Ground-truth accounting at the crash instant: data on the dead
         device is gone *now*, whatever the detector believes."""
         if fault.kind == "crash_asu":
+            self._readmit_stash.pop(fault.index, None)
             self._purge_asu_runs(fault.index)
         elif fault.kind == "crash_host":
             self._purge_host_runs(fault.index)
         elif fault.kind == "lose_replica":
             # Media loss on an alive ASU: its durable copies vanish but the
             # node keeps serving.  Promotion keeps satisfied sets counted;
-            # the anti-entropy loop restores the lost redundancy.
+            # the anti-entropy loop restores the lost redundancy.  Loss also
+            # voids any expulsion-time snapshot — a re-admission must not
+            # readopt copies the media no longer holds.
             d = fault.index
+            self._readmit_stash.pop(d, None)
             delta = self._replica_mgr.lose_copies_on(
                 d, now=self._ft_plat.sim.now
             )
@@ -1505,6 +1672,8 @@ class DsmSortJob:
             if d in self._dead_asus:
                 return
             self._dead_asus.add(d)
+            if self.view is not None:
+                self._fence_asu_ft(node, d, t)
             if self._endpoints is not None:
                 # Stop retransmitting to the corpse and release window
                 # waiters; undeliverable payloads are covered by log-based
@@ -1564,14 +1733,30 @@ class DsmSortJob:
             if h in self._dead_hosts:
                 return
             self._dead_hosts.add(h)
+            if self.view is not None:
+                # Expelled hosts are fenced by the consumer-side dead-host
+                # checks (their runs drop) and never re-enlisted; the view
+                # still records the change so epochs stay honest.
+                self.view.expel(nid, t)
             if self._endpoints is not None:
                 for ep in self._endpoints.values():
                     ep.cancel_peer(nid)
             self.load_manager.quarantine(h)
             self._purge_host_runs(h)  # idempotent; the crash hook already ran
             for e in self._frag_log.pop(h, []):
-                if not e.done:
-                    self._replay_frag_entry(plat, e)
+                if e.done:
+                    continue
+                if self.view is not None:
+                    fkey = (e.src_d, e.block, e.bucket)
+                    owner = self._frags_accepted.get(fkey)
+                    if owner is not None and owner is not e:
+                        # Stale retention: another host buffered these
+                        # records — replaying this copy would double-count.
+                        e.done = True
+                        continue
+                    # Transfer the exactly-once authority with the replay.
+                    self._frags_accepted.pop(fkey, None)
+                self._replay_frag_entry(plat, e)
             self.recovered_at[nid] = plat.sim.now
 
     def _next_alive_asu(self, d: int) -> int:
@@ -1581,6 +1766,114 @@ class DsmSortJob:
             if cand not in self._dead_asus:
                 return cand
         raise UnrecoverableJobError("no alive ASU for shard takeover")
+
+    # -- membership-mode fencing and re-admission (docs/PARTITIONS.md) --------
+    def _epoch_guard(self, nid: str, op: str) -> bool:
+        """Validate ``nid``'s token for ``op``; False (counted) on stale."""
+        try:
+            self.view.validate(nid, op=op)
+        except StaleEpochError:
+            return False
+        return True
+
+    def _fence_asu_ft(self, node, d: int, t: float) -> None:
+        """Expel an ASU from the view and unwind its zombie state.
+
+        For an alive-but-unreachable node this additionally snapshots which
+        replica copies it held, with content digests, so a later
+        re-admission can offer them back verified
+        (:meth:`~repro.replica.manager.ReplicationManager.readopt_copy`).
+        Dead or alive, the node's in-doubt ship state is unwound — every
+        fragment it shipped that no host has proven accepted, plus the EOF
+        announcements of its shards — so the fenced takeover re-produces
+        exactly the data whose delivery the cut left in doubt; the
+        host-side accepted-fragment authority dedups whichever copies did
+        land.
+        """
+        nid = node.node_id
+        if node.alive:
+            if self._replica_mgr is not None:
+                from ..recovery.manifest import digest_records
+
+                mgr = self._replica_mgr
+                self._readmit_stash[d] = [
+                    (key, digest_records(st.run))
+                    for key, st in sorted(mgr.sets.items())
+                    if d in st.copies
+                ]
+            self._fenced_asus.add(d)
+        if self._endpoints is not None:
+            # Stop the retransmission churn into the cut.  The cancelled
+            # pendings are NOT the unwind source below: a crash's timeouts
+            # may already have cancelled and dropped them.
+            self._endpoints[nid].fence_outbound(tags=("frags", "eof"))
+        # Unwind in-doubt ship state from the producer-side retention log:
+        # every fragment this node shipped that no host has proven accepted
+        # goes back to not-shipped, so the fenced takeover re-produces it.
+        # Copies that did land (in flight through an open direction, or
+        # delivered before the cut) are dedup'd by the host-side
+        # accepted-fragment authority, so the unwind can never double-count.
+        for entries in self._frag_log.values():
+            for e in entries:
+                if e.done or e.src_node != nid:
+                    continue
+                fkey = (e.src_d, e.block, e.bucket)
+                if fkey in self._frags_accepted:
+                    continue  # a host holds these records; markers stand
+                self._shipped.discard(fkey)
+                self._blocks_complete.discard((e.src_d, e.block))
+        # Re-announce EOF for every shard the node owned: its broadcasts may
+        # have died in the cut, and hosts track EOFs as a set of shard ids,
+        # so a duplicate announcement is benign while a missing one wedges
+        # every host's flush forever.
+        for shard, owner in self._shard_owner.items():
+            if owner == d:
+                self._eof_posted.discard(shard)
+        self.view.expel(nid, t)
+
+    def _on_readmit_ft(self, node, t: float) -> None:
+        """A confirmed node's heartbeats resumed: re-admit under a new epoch.
+
+        The fresh admission epoch outranks everything the node stamped while
+        expelled, so its queued zombie writes stay rejected forever; from
+        here on it is a valid replica target again.  Physical run copies it
+        kept through the expulsion are offered back one by one with content
+        digests — verified copies are re-adopted (counting toward the
+        durable total and pass-2 read steering), divergent ones refused and
+        left to anti-entropy.  Expelled *hosts* rejoin the view only: their
+        buffered state was replayed to survivors at expulsion, so
+        re-enlisting them would double-count.
+        """
+        nid = node.node_id
+        self.view.admit(nid, t)
+        self._n_readmitted += 1
+        if self._endpoints is not None:
+            for ep in self._endpoints.values():
+                ep.revive_peer(nid)
+        if not nid.startswith("asu"):
+            return
+        d = node.index
+        self._dead_asus.discard(d)
+        self._fenced_asus.discard(d)
+        mgr = self._replica_mgr
+        if mgr is None:
+            return
+        mgr.on_asu_readmit(d)
+        delta_total = 0
+        for key, digest in self._readmit_stash.pop(d, ()):
+            delta, adopted = mgr.readopt_copy(key, d, digest)
+            if adopted:
+                st = mgr.sets[key]
+                self.runs_on_asu[d].append((st.bucket, st.run))
+                # -1: a readopted copy is digest-verified durable state; a
+                # later crash of its lineage host must not discard it.
+                self._run_hosts[d].append(-1)
+                self._n_reconciled_runs += 1
+            delta_total += delta
+        if delta_total:
+            self._ft_durable += delta_total
+            if self._ft_durable >= self._ft_total and not self._complete_ev.triggered:
+                self._complete_ev.succeed()
 
     def _replay_frag_entry(self, plat: ActivePlatform, e: _FragEntry) -> None:
         """Re-route one retained fragment to a surviving host.
@@ -1604,10 +1897,12 @@ class DsmSortJob:
             )
         else:
             ep = self._endpoints[e.src_node]
-            if not ep.node.alive:
-                # The retaining producer died too: replay from any survivor
-                # (hosts key fragments by the payload's shard id, not by the
-                # wire-level source).
+            if not ep.node.alive or (
+                self.view is not None and not self.view.is_member(e.src_node)
+            ):
+                # The retaining producer died (or was expelled into a cut):
+                # replay from any surviving member (hosts key fragments by
+                # the payload's shard id, not by the wire-level source).
                 ep = self._alive_endpoint()
             ep.post(plat.hosts[h2].node_id, payload, n * rs, tag="frags")
 

@@ -33,7 +33,8 @@ class Message:
     destination mailbox — so senders can size retransmission timeouts.
     """
 
-    __slots__ = ("src", "dst", "payload", "nbytes", "tag", "corrupted", "deliver_at")
+    __slots__ = ("src", "dst", "payload", "nbytes", "tag", "corrupted", "deliver_at",
+                 "inbox")
 
     def __init__(self, src: Hashable, dst: Hashable, payload: Any, nbytes: int, tag: str = ""):
         nbytes = int(nbytes)
@@ -54,6 +55,9 @@ class Message:
         self.tag = tag
         self.corrupted = False
         self.deliver_at: Optional[float] = None
+        #: override delivery target (a Store) — used by out-of-band receivers
+        #: like the network-borne failure detector; None = the dst mailbox
+        self.inbox = None
 
     def __repr__(self) -> str:
         return f"<Message {self.src}->{self.dst} {self.nbytes}B {self.tag!r}>"
@@ -149,6 +153,12 @@ class Network:
         self._downtimes: dict[frozenset, list[tuple[float, float]]] = {}
         #: message-fault windows per unordered node pair: (t0, t1, kind, extra)
         self._msg_faults: dict[frozenset, list[tuple[float, float, str, float]]] = {}
+        #: partition windows: mutable [t0, t1, minority_group, mode] entries
+        #: (mutable so :meth:`heal_partitions` can truncate active cuts)
+        self._partitions: list[list] = []
+        #: messages lost to an active partition cut (not dead-lettered: the
+        #: destination is alive, the route is gone)
+        self.n_partition_dropped = 0
         #: messages perturbed by fault windows, by kind
         self.msg_fault_counts: dict[str, int] = {
             "drop_msg": 0, "dup_msg": 0, "delay_msg": 0, "corrupt_msg": 0,
@@ -253,6 +263,68 @@ class Network:
             (float(t0), float(t1), kind, float(extra))
         )
 
+    def set_partition(self, group, t0: float, t1: float, mode: str = "both") -> None:
+        """Cut the network between ``group`` and everyone else over [t0, t1).
+
+        ``group`` is the minority side (node ids).  Any message whose
+        (src, dst) straddles the cut in a severed direction while the window
+        is active is silently lost at dispatch time — the reservation is
+        spent, nothing arrives, and nothing is dead-lettered (the destination
+        is alive; only the route is gone).  ``mode`` selects the severed
+        direction(s) relative to the minority: ``"both"``, ``"out"``
+        (minority→majority only), or ``"in"`` (majority→minority only).
+        Surviving a cut therefore requires retransmission
+        (:mod:`repro.resilience.channel`) outliving the window, plus the
+        membership fencing described in docs/PARTITIONS.md.
+        """
+        if t1 <= t0:
+            raise ValueError(f"empty partition window [{t0}, {t1})")
+        if mode not in ("both", "out", "in"):
+            raise ValueError(f"unknown partition mode {mode!r}")
+        g = frozenset(group)
+        if not g:
+            raise ValueError("partition needs a nonempty minority group")
+        self._partitions.append([float(t0), float(t1), g, mode])
+
+    def heal_partitions(self, t: float) -> int:
+        """Truncate every partition window active at ``t``; returns the count.
+
+        Windows that already closed are untouched; windows scheduled to open
+        *after* ``t`` still will (a heal repairs today's cut, it does not
+        cancel tomorrow's).
+        """
+        healed = 0
+        for w in self._partitions:
+            if w[0] <= t < w[1]:
+                w[1] = float(t)
+                healed += 1
+        return healed
+
+    def _partition_blocks(self, src: Hashable, dst: Hashable) -> bool:
+        """True if an active cut severs the src→dst direction right now."""
+        now = self.sim.now
+        for t0, t1, group, mode in self._partitions:
+            if not (t0 <= now < t1):
+                continue
+            src_in = src in group
+            if src_in == (dst in group):
+                continue  # same side of this cut
+            if mode == "both" or (mode == "out") == src_in:
+                return True
+        return False
+
+    def _note_partition_drop(self, msg: Message) -> None:
+        self.n_partition_dropped += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                self.sim.now, "net",
+                f"partition-drop {msg.tag}:{msg.src}->{msg.dst}", cat="fault",
+            )
+        m = self.sim.metrics
+        if m is not None:
+            m.counter("repro_net_partition_dropped_total").inc()
+
     def _note_msg_fault(self, msg: Message, kind: str) -> None:
         self.msg_fault_counts[kind] += 1
         tracer = self.sim.tracer
@@ -267,6 +339,9 @@ class Network:
 
     def _dispatch(self, msg: Message, deliver_at: float) -> None:
         """Apply any active message-fault windows, then schedule delivery."""
+        if self._partitions and self._partition_blocks(msg.src, msg.dst):
+            self._note_partition_drop(msg)
+            return  # lost to the cut: the reservation is spent, nothing arrives
         spans = self._msg_faults.get(frozenset((msg.src, msg.dst)))
         if spans:
             now = self.sim.now
@@ -287,6 +362,7 @@ class Network:
                 copy = Message(msg.src, msg.dst, msg.payload, msg.nbytes, msg.tag)
                 copy.corrupted = msg.corrupted
                 copy.deliver_at = deliver_at
+                copy.inbox = msg.inbox
                 self.sim.schedule_callback(
                     lambda m=copy: self._deliver(m), delay=deliver_at - self.sim.now
                 )
@@ -349,6 +425,9 @@ class Network:
             if self.dead_letter_hook is not None:
                 self.dead_letter_hook(msg)
             return
+        if msg.inbox is not None:
+            msg.inbox.put(msg)
+            return
         self._mailboxes[msg.dst].put(msg)
 
     # -- operations -----------------------------------------------------------
@@ -369,7 +448,8 @@ class Network:
             yield self.sim.timeout(tx_done - self.sim.now)
         return msg
 
-    def post(self, src: Hashable, dst: Hashable, payload: Any, nbytes: int, tag: str = "") -> Message:
+    def post(self, src: Hashable, dst: Hashable, payload: Any, nbytes: int,
+             tag: str = "", inbox=None) -> Message:
         """Non-blocking send: reserve the link now, deliver later.
 
         The sender does not wait for transmission — the paper's model assumes
@@ -378,10 +458,17 @@ class Network:
         :meth:`~repro.emulator.node.Node.send_async`).  Link serialisation is
         still modelled: messages posted to the same link queue behind each
         other and arrive in order.
+
+        ``inbox`` redirects delivery into a caller-owned :class:`Store`
+        instead of the destination mailbox — out-of-band traffic (heartbeats,
+        probes) that must still ride the real network (and so still suffers
+        partitions, flaps, and message faults) without mixing into the
+        application's receive loop.
         """
         if dst not in self._mailboxes:
             raise KeyError(f"destination {dst!r} not registered")
         msg = Message(src, dst, payload, nbytes, tag)
+        msg.inbox = inbox
         _tx_done, deliver_at = self._reserve_path(src, dst, nbytes)
         self._traffic(msg)
         self._dispatch(msg, deliver_at)

@@ -37,8 +37,12 @@ from .injector import (
     drop_msg,
     dup_msg,
     fault_kinds,
+    heal,
+    indices_of,
     link_flap,
     lose_replica,
+    mask_of,
+    partition,
     register_fault_kind,
 )
 from .report import FaultReport
@@ -67,4 +71,8 @@ __all__ = [
     "corrupt_msg",
     "disk_fault",
     "lose_replica",
+    "partition",
+    "heal",
+    "mask_of",
+    "indices_of",
 ]

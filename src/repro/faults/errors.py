@@ -15,7 +15,7 @@ already guarded with ``except RuntimeError`` keep working unchanged.
 
 from __future__ import annotations
 
-__all__ = ["UnrecoverableJobError"]
+__all__ = ["UnrecoverableJobError", "StaleEpochError", "StaleLeaseError"]
 
 
 class UnrecoverableJobError(RuntimeError):
@@ -27,3 +27,42 @@ class UnrecoverableJobError(RuntimeError):
     retry/replace/restore cannot help when the whole fleet is gone — and
     reports a clean abort with the reason attached.
     """
+
+
+class StaleEpochError(RuntimeError):
+    """A fenced operation presented an epoch older than its writer's fence.
+
+    Membership epochs are fencing tokens (docs/PARTITIONS.md): every
+    authority-side mutation — a replica write becoming durable, a manifest
+    journal append, a lease completion — names the node it acts for and the
+    epoch that node last learned.  A node expelled from the view keeps its
+    stale token until re-admission, so its writes are rejected here instead
+    of corrupting promoted state.  Callers on the zombie side catch this,
+    count the rejection, and drop the operation; it is *not* a job-fatal
+    condition (the survivors already own the data).
+    """
+
+    def __init__(self, node, token, fence, op: str = "write"):
+        self.node = node
+        self.token = token
+        self.fence = fence
+        self.op = op
+        super().__init__(
+            f"stale-epoch {op} from {node}: token {token} < fence {fence} "
+            f"(node expelled from the membership view; re-admission issues "
+            f"a fresh epoch)"
+        )
+
+
+class StaleLeaseError(StaleEpochError):
+    """A job tried to complete against a lease revoked by the scheduler.
+
+    Leases carry the epoch of the grant; preemption (or a partition-driven
+    re-grant) revokes the lease and bumps the manager's epoch, so the old
+    holder's finish event no longer validates.  The scheduler counts the
+    rejection and re-dispatches — the preempted attempt cannot publish its
+    result against resources it no longer owns.
+    """
+
+    def __init__(self, node, token, fence):
+        super().__init__(node, token, fence, op="lease completion")

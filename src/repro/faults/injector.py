@@ -49,6 +49,10 @@ __all__ = [
     "corrupt_msg",
     "disk_fault",
     "lose_replica",
+    "partition",
+    "heal",
+    "mask_of",
+    "indices_of",
 ]
 
 
@@ -266,6 +270,84 @@ register_fault_kind(
 )
 
 
+# -- partition kinds -----------------------------------------------------------
+#: ``factor`` encoding for partition asymmetry (the Fault dataclass is frozen,
+#: so the cut direction rides in an existing numeric field)
+PARTITION_MODES = {0.0: "both", 1.0: "out", 2.0: "in"}
+
+
+def mask_of(indices: Iterable[int]) -> int:
+    """Pack device indices into the bitmask carried by a partition fault."""
+    m = 0
+    for i in indices:
+        if i < 0:
+            raise ValueError(f"negative device index {i} in partition group")
+        m |= 1 << int(i)
+    return m
+
+
+def indices_of(mask: int) -> tuple[int, ...]:
+    """Unpack a partition bitmask back into sorted device indices."""
+    out, i, m = [], 0, int(mask)
+    while m:
+        if m & 1:
+            out.append(i)
+        m >>= 1
+        i += 1
+    return tuple(out)
+
+
+def _check_partition(f: Fault) -> None:
+    _check_duration(f)
+    if f.index < 0 or f.peer < 0:
+        raise ValueError("partition masks must be nonnegative (index=ASU mask, "
+                         "peer=host mask)")
+    if f.index == 0 and f.peer == 0:
+        raise ValueError("partition needs a nonempty minority group")
+    if f.factor not in PARTITION_MODES:
+        raise ValueError(
+            f"partition factor {f.factor} must encode an asymmetry mode: "
+            f"{PARTITION_MODES}"
+        )
+
+
+def _targets_partition(f: Fault, p: SystemParams) -> None:
+    if f.index >> p.n_asus:
+        raise ValueError(f"{f.describe()}: ASU mask exceeds D={p.n_asus}")
+    if f.peer >> p.n_hosts:
+        raise ValueError(f"{f.describe()}: host mask exceeds H={p.n_hosts}")
+    if indices_of(f.index) == tuple(range(p.n_asus)) and \
+            indices_of(f.peer) == tuple(range(p.n_hosts)):
+        raise ValueError(f"{f.describe()}: the minority group is the whole "
+                         f"platform — nothing is on the other side of the cut")
+
+
+def _describe_partition(f: Fault) -> str:
+    group = [f"asu{d}" for d in indices_of(f.index)]
+    group += [f"host{h}" for h in indices_of(f.peer)]
+    mode = PARTITION_MODES[f.factor]
+    return (f"t={f.t:.3f} partition {{{','.join(group)}}} ({mode}) "
+            f"for {f.duration:.3f}s")
+
+
+def _check_heal(f: Fault) -> None:
+    if f.index != 0 or f.peer not in (-1, 0):
+        raise ValueError("heal takes no target (it ends every active cut)")
+
+
+register_fault_kind(
+    "partition",
+    validate=_check_partition,
+    validate_targets=_targets_partition,
+    describe=_describe_partition,
+)
+register_fault_kind(
+    "heal",
+    validate=_check_heal,
+    describe=lambda f: f"t={f.t:.3f} heal (end all partitions)",
+)
+
+
 # -- constructors --------------------------------------------------------------
 def crash_asu(t: float, index: int) -> Fault:
     """Fail-stop ASU ``index`` at time ``t`` (permanent)."""
@@ -348,6 +430,43 @@ def lose_replica(t: float, asu: int) -> Fault:
     fires through the injector's custom-kind branch (``on_fault`` only).
     """
     return Fault(t=t, kind="lose_replica", index=asu)
+
+
+def partition(t: float, asus: Iterable[int], hosts: Iterable[int] = (),
+              duration: float = 0.25, asymmetry: str = "both") -> Fault:
+    """Cut the network between a minority group and the rest of the platform.
+
+    ``asus``/``hosts`` name the minority side; every path that crosses the
+    cut silently loses its messages (no dead-letter — the destination is
+    alive, the *route* is gone) over ``[t, t + duration)``.  Paths within
+    the minority and within the majority are untouched.  ``asymmetry``
+    picks the severed direction relative to the minority:
+
+    * ``"both"`` — symmetric cut, neither direction crosses;
+    * ``"out"``  — minority→majority severed, inbound still delivered
+      (the classic zombie case: the node hears the world but cannot ack);
+    * ``"in"``   — majority→minority severed, outbound still delivered
+      (heartbeats keep flowing, so a network-borne detector stays quiet).
+
+    Nodes keep running throughout — partitions never kill processes, which
+    is exactly what makes them dangerous to a fail-stop takeover protocol.
+    """
+    return Fault(
+        t=t, kind="partition", index=mask_of(asus), peer=mask_of(hosts),
+        duration=duration,
+        factor={"both": 0.0, "out": 1.0, "in": 2.0}[asymmetry],
+    )
+
+
+def heal(t: float) -> Fault:
+    """End every partition window still active at ``t``.
+
+    Truncates each open cut to ``t`` (windows already closed are untouched)
+    so a seeded plan can model repair crews arriving early.  Re-admission of
+    expelled nodes is *not* automatic: it happens when their heartbeats
+    resume through the healed network (see docs/PARTITIONS.md).
+    """
+    return Fault(t=t, kind="heal", index=0, peer=0)
 
 
 #: kinds that permanently fail-stop their target; two of these against the
@@ -485,6 +604,10 @@ class RandomFaultModel:
         msg_delay: float = 0.002,
         disk_fault_duration: float = 0.05,
         mtt_lose_replica: Optional[float] = None,
+        mtt_partition: Optional[float] = None,
+        partition_duration: float = 0.25,
+        partition_asymmetry: str = "mixed",
+        partition_max_asus: int = 1,
     ):
         self.seed = int(seed)
         self.mttf_asu = mttf_asu
@@ -506,6 +629,16 @@ class RandomFaultModel:
         self.msg_delay = float(msg_delay)
         self.disk_fault_duration = float(disk_fault_duration)
         self.mtt_lose_replica = mtt_lose_replica
+        self.mtt_partition = mtt_partition
+        self.partition_duration = float(partition_duration)
+        if partition_asymmetry not in ("mixed", "both", "out", "in"):
+            raise ValueError(
+                f"partition_asymmetry {partition_asymmetry!r} must be 'mixed' "
+                f"or one of the cut modes 'both'/'out'/'in'"
+            )
+        self.partition_asymmetry = partition_asymmetry
+        #: size of the minority ASU group each drawn cut isolates
+        self.partition_max_asus = int(partition_max_asus)
 
     def _arrivals(self, rng: np.random.Generator, mttf: float, horizon: float) -> list[float]:
         times, t = [], 0.0
@@ -573,13 +706,31 @@ class RandomFaultModel:
                 for t in self._arrivals(rng, self.mtt_disk_fault, horizon):
                     faults.append(disk_fault(t, d, self.disk_fault_duration))
         # Replica-loss windows, drawn strictly after every legacy class.
-        # Draw-order contract (pinned by tests/test_replication.py): any new
-        # fault class appends its draws *here*, after all existing ones, so
-        # enabling it cannot shift the draws of a committed seeded plan.
+        # Draw-order contract (pinned by tests/test_replication.py and
+        # tests/test_membership.py): any new fault class appends its draws
+        # *here*, after all existing ones, so enabling it cannot shift the
+        # draws of a committed seeded plan.
         if self.mtt_lose_replica is not None:
             for d in range(params.n_asus):
                 for t in self._arrivals(rng, self.mtt_lose_replica, horizon):
                     faults.append(lose_replica(t, d))
+        # Partition cuts: one Poisson stream for the whole platform (a cut is
+        # a fabric event, not a per-device one).  Each arrival isolates a
+        # contiguous minority ASU group and draws its asymmetry.  Drawn after
+        # lose_replica per the draw-order contract above.
+        if self.mtt_partition is not None:
+            group_size = max(1, min(self.partition_max_asus, params.n_asus - 1))
+            for t in self._arrivals(rng, self.mtt_partition, horizon):
+                start = int(rng.integers(params.n_asus))
+                group = [(start + k) % params.n_asus for k in range(group_size)]
+                if self.partition_asymmetry == "mixed":
+                    mode = ("both", "out", "in")[int(rng.integers(3))]
+                else:
+                    mode = self.partition_asymmetry
+                faults.append(
+                    partition(t, group, duration=self.partition_duration,
+                              asymmetry=mode)
+                )
         return FaultPlan(faults).validate(params)
 
 
@@ -642,6 +793,16 @@ class Injector:
             self.plat.network.set_msg_fault(
                 host_id, asu_id, f.kind, t, t + f.duration, extra=f.extra
             )
+            self.injected.append(f)
+        elif f.kind == "partition":
+            group = [self.plat.asus[d].node_id for d in indices_of(f.index)]
+            group += [self.plat.hosts[h].node_id for h in indices_of(f.peer)]
+            self.plat.network.set_partition(
+                group, t, t + f.duration, mode=PARTITION_MODES[f.factor]
+            )
+            self.injected.append(f)
+        elif f.kind == "heal":
+            self.plat.network.heal_partitions(t)
             self.injected.append(f)
         elif f.kind in (
             "crash_asu", "crash_host", "degrade_asu", "degrade_host",

@@ -1,0 +1,21 @@
+"""repro.membership — epoch-fenced membership views for partition tolerance.
+
+The paper's platform assumes fail-stop ASUs; a network partition breaks
+that assumption because a node can be *unreachable* without being *dead*.
+This package provides the authority that keeps takeover safe anyway: a
+:class:`ViewService` that issues monotonically increasing epochs on every
+membership change.  Epochs are fencing tokens — replica writes, manifest
+journal appends, and scheduler lease completions present the epoch their
+node last learned, and operations from an expelled (zombie) node are
+rejected with :class:`~repro.faults.errors.StaleEpochError` instead of
+corrupting promoted state.
+
+See docs/PARTITIONS.md for the end-to-end design (fault kinds, detection
+modes, fencing rules, heal-time reconciliation).
+"""
+
+from __future__ import annotations
+
+from .view import ViewService
+
+__all__ = ["ViewService"]

@@ -1,0 +1,142 @@
+"""Epoch-issuing membership views — the fencing authority for takeover.
+
+A :class:`ViewService` owns the *view*: the set of nodes currently allowed
+to mutate promoted state.  Every membership change (expulsion on confirmed
+failure, re-admission on heal) bumps a monotonically increasing **epoch**.
+The rules that make split-brain impossible are small and worth stating
+exactly:
+
+* Nodes in the view learn each new epoch the moment it is issued (the view
+  announcement is modelled as instantaneous — the authority and the
+  fenced resources live on the surviving / majority side together, so no
+  extra message round is simulated for it).
+* An **expelled** node keeps the stale token it last learned.  It cannot
+  observe later epochs until re-admitted, exactly like a partitioned
+  process that stopped receiving view changes.
+* :meth:`validate` accepts an operation iff the acting node is a current
+  member *and* its token is at least the epoch of its own latest
+  admission.  In-flight operations from healthy members therefore survive
+  unrelated view changes (their token may trail the global epoch), while
+  any operation stamped by a zombie — expelled, possibly still running —
+  raises :class:`~repro.faults.errors.StaleEpochError`.
+* Re-admission issues a *fresh* epoch and resets the node's fence to it,
+  so writes the zombie queued before expulsion can never slip in later:
+  their token predates the new admission epoch by construction.
+
+The service is deliberately free of I/O: detectors decide *when* to expel
+or re-admit; replica managers, manifests, and lease managers decide *what*
+to fence.  This class only issues epochs and answers validate().
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..faults.errors import StaleEpochError
+
+__all__ = ["ViewService"]
+
+
+class ViewService:
+    """Monotone-epoch membership view with fencing-token validation."""
+
+    def __init__(self, members: Iterable[str], metrics=None):
+        self.epoch = 1
+        self._members: set[str] = set(members)
+        #: epoch of each node's latest admission — the fence it must clear
+        self._fence: dict[str, int] = {m: 1 for m in self._members}
+        #: last epoch each node learned (members track the view; expelled
+        #: nodes freeze at whatever they knew when the partition cut them off)
+        self._token: dict[str, int] = {m: 1 for m in self._members}
+        #: (virtual time, epoch, change, node) — genesis plus every change
+        self.history: list[tuple[float, int, str, str]] = [
+            (0.0, 1, "genesis", ",".join(sorted(self._members)))
+        ]
+        self.n_rejections = 0
+        self._m = metrics
+        if metrics is not None:
+            self._g_epoch = metrics.gauge("repro_view_epoch")
+            self._g_members = metrics.gauge("repro_view_members")
+            self._c_changes = metrics.counter("repro_view_changes_total")
+            self._c_rejected = metrics.counter("repro_epoch_rejections_total")
+            self._g_epoch.set(1.0)
+            self._g_members.set(float(len(self._members)))
+        else:
+            self._g_epoch = self._g_members = None
+            self._c_changes = self._c_rejected = None
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def members(self) -> frozenset:
+        return frozenset(self._members)
+
+    def is_member(self, nid: str) -> bool:
+        return nid in self._members
+
+    def token(self, nid: str) -> int:
+        """The epoch ``nid`` currently believes — what it stamps on writes."""
+        return self._token.get(nid, 0)
+
+    def fence(self, nid: str) -> Optional[int]:
+        """Epoch of ``nid``'s latest admission (None if never admitted)."""
+        return self._fence.get(nid)
+
+    # -- membership changes ----------------------------------------------------
+    def _bump(self, now: float, change: str, nid: str) -> int:
+        self.epoch += 1
+        for m in self._members:
+            self._token[m] = self.epoch
+        self.history.append((now, self.epoch, change, nid))
+        if self._g_epoch is not None:
+            self._g_epoch.set(float(self.epoch))
+            self._g_members.set(float(len(self._members)))
+            self._c_changes.inc()
+        return self.epoch
+
+    def expel(self, nid: str, now: float = 0.0) -> int:
+        """Remove ``nid`` from the view; returns the new epoch.
+
+        The expelled node's token is deliberately *not* updated — it holds
+        whatever it last learned, which is what makes its in-flight writes
+        fail :meth:`validate` from this instant on.
+        """
+        if nid not in self._members:
+            return self.epoch
+        self._members.discard(nid)
+        return self._bump(now, "expel", nid)
+
+    def admit(self, nid: str, now: float = 0.0) -> int:
+        """(Re-)admit ``nid`` under a fresh epoch; returns that epoch.
+
+        The fence moves up to the admission epoch, so anything the node
+        stamped while expelled stays permanently invalid.
+        """
+        if nid in self._members:
+            return self.epoch
+        self._members.add(nid)
+        epoch = self._bump(now, "admit", nid)
+        self._fence[nid] = epoch
+        self._token[nid] = epoch  # the admission reply carries the new view
+        return epoch
+
+    # -- fencing ---------------------------------------------------------------
+    def validate(self, nid: str, token: Optional[int] = None,
+                 op: str = "write") -> int:
+        """Check an operation acting for ``nid``; raise on a stale epoch.
+
+        ``token`` defaults to the node's current belief (the common case:
+        the operation was stamped just before arriving).  Returns the token
+        actually validated, so callers can log it.
+        """
+        tok = self._token.get(nid, 0) if token is None else token
+        fence = self._fence.get(nid, self.epoch + 1)
+        if nid not in self._members or tok < fence:
+            self.n_rejections += 1
+            if self._c_rejected is not None:
+                self._c_rejected.inc()
+            raise StaleEpochError(nid, tok, fence if nid in self._fence else None, op=op)
+        return tok
+
+    def __repr__(self) -> str:
+        return (f"<ViewService epoch={self.epoch} members={sorted(self._members)} "
+                f"rejections={self.n_rejections}>")

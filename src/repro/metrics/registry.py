@@ -482,6 +482,15 @@ class MetricsRegistry:
         sample NaN from now on (absent, not frozen — §repro.faults)."""
         self.dead_nodes.add(node_id)
 
+    def mark_alive(self, node_id: str) -> None:
+        """Undo :meth:`mark_dead` for a re-admitted node.
+
+        A partitioned node was never actually dead — once the failure
+        detector clears the suspicion (heal-time re-admission,
+        docs/PARTITIONS.md) its gauges must resume sampling live values
+        instead of staying NaN forever."""
+        self.dead_nodes.discard(node_id)
+
     # -- collector binding ----------------------------------------------------
     def bind_collector(self, sim, interval: Optional[float] = None):
         """Attach (or re-attach) the scrape collector to a simulator.

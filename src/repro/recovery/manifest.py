@@ -100,6 +100,21 @@ class RunManifest:
         self._preferred_asu = 0
         self._pending_bytes = 0
         self._kick = None
+        #: membership view fencing journal appends (None = fail-stop trust)
+        self._view = None
+
+    def attach_view(self, view) -> None:
+        """Fence run-durability appends with a membership view.
+
+        With a view attached, :meth:`log_run_durable` validates the
+        destination ASU's epoch before journalling (raising
+        :class:`~repro.faults.errors.StaleEpochError` for an expelled
+        writer) and stamps each ``run`` entry with the epoch it was
+        accepted under, so the journal records *which view* vouched for
+        every durable run.  Without a view the journal format is unchanged
+        byte-for-byte.
+        """
+        self._view = view
 
     # ------------------------------------------------------------- charging
     def bind(self, plat, asu_index: int = 0) -> None:
@@ -172,13 +187,20 @@ class RunManifest:
         if meta is None:
             raise CheckpointError(f"run rid={rid} became durable but was never registered")
         host, bucket, frag_keys = meta
-        self._payloads[rid] = payload
-        self._append({
+        entry = {
             "op": "run", "rid": rid, "host": host, "bucket": bucket,
             "dest": int(dest), "n": int(payload.shape[0]),
             "digest": digest_records(payload),
             "frags": [list(k) for k in frag_keys],
-        })
+        }
+        if self._view is not None:
+            # Fenced append: an expelled dest raises StaleEpochError before
+            # anything is journalled; accepted entries record their epoch.
+            entry["epoch"] = self._view.validate(
+                f"asu{int(dest)}", op="manifest append"
+            )
+        self._payloads[rid] = payload
+        self._append(entry)
 
     def log_block(self, shard: int, block: int, frags: list) -> None:
         """Distribute block ``(shard, block)`` finished shipping.

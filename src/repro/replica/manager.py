@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..core.routing import pick_least_loaded
+from ..faults.errors import StaleEpochError
 from .placement import ReplicaPlacement
 
 __all__ = ["ReplicaSet", "ReplicationConfig", "ReplicationManager"]
@@ -137,6 +138,8 @@ class ReplicationManager:
         self.sets: dict[tuple, ReplicaSet] = {}
         self._dead: set[int] = set()
         self._seq = 0
+        #: membership view fencing replica writes (None = fail-stop trust)
+        self.view = None
         labels = job_labels or {}
         self._gv_copies = registry.gauge_vector(
             "repro_replica_copies", n_asus, index_label="asu", **labels
@@ -163,6 +166,21 @@ class ReplicationManager:
         self.n_lost_runs = 0
         self.n_repaired_copies = 0
         self.n_retargeted_copies = 0
+        self.n_fenced_writes = 0
+        self.n_readopted_copies = 0
+        self.n_divergent_copies = 0
+
+    # -- membership fencing ---------------------------------------------------
+    def attach_view(self, view) -> None:
+        """Fence writes with a membership view (docs/PARTITIONS.md).
+
+        With a view attached, :meth:`copy_durable` validates the destination
+        node's epoch before accepting the write, so a copy landing on an
+        expelled-but-alive ASU raises
+        :class:`~repro.faults.errors.StaleEpochError` instead of silently
+        mutating state the survivors no longer expect to change.
+        """
+        self.view = view
 
     # -- counting invariant ---------------------------------------------------
     def _needed(self, st: ReplicaSet) -> int:
@@ -239,7 +257,19 @@ class ReplicationManager:
         job's durable count (non-zero only when the write policy is newly
         satisfied), and whether this copy is new at ``dest`` (the caller
         appends the physical run exactly once per holder).
+
+        With a view attached, the write is fenced: a ``dest`` outside the
+        current membership (or holding a stale admission token) raises
+        :class:`~repro.faults.errors.StaleEpochError` — the typed rejection
+        the partition story depends on, replacing the silent no-op that the
+        fail-stop model could afford.
         """
+        if self.view is not None:
+            try:
+                self.view.validate(f"asu{dest}", op="replica write")
+            except StaleEpochError:
+                self.n_fenced_writes += 1
+                raise
         st = self.sets.get(key)
         if st is None or dest in self._dead:
             return 0, False
@@ -355,6 +385,45 @@ class ReplicationManager:
             )
         self._refresh_under_gauge()
         return delta
+
+    def on_asu_readmit(self, d: int) -> None:
+        """ASU ``d`` rejoined the view: make it a valid target again.
+
+        Physical copies it still holds are *not* trusted here — they were
+        written under a dead epoch as far as the survivors know; the caller
+        offers them back one by one through :meth:`readopt_copy` with a
+        digest, and anything that doesn't verify stays discarded.
+        """
+        self._dead.discard(d)
+        self._refresh_under_gauge()
+
+    def readopt_copy(self, key, d: int, digest: str) -> tuple[int, bool]:
+        """Offer a copy a returning ASU kept through its expulsion.
+
+        Adopts the copy iff the set still exists, ``d`` does not already
+        hold it, and ``digest`` matches the authoritative run — a divergent
+        copy (the signature of a split-brain write) is counted and refused,
+        leaving repair to the anti-entropy loop.  Returns
+        ``(durable_delta, adopted)``; the delta is non-zero only when the
+        set was stranded and this copy newly satisfies the write policy.
+        """
+        from ..recovery.manifest import digest_records
+
+        st = self.sets.get(key)
+        if st is None or d in self._dead:
+            return 0, False
+        if digest_records(st.run) != digest:
+            self.n_divergent_copies += 1
+            return 0, False
+        if d in st.copies:
+            return 0, False
+        st.targets.discard(d)
+        st.copies.add(d)
+        self._gv_copies.add(d, 1.0)
+        self.n_readopted_copies += 1
+        delta = self._recount(st)
+        self._refresh_under_gauge()
+        return delta, True
 
     def on_host_crash(self, h: int) -> int:
         """Drop every set originated by dead host ``h``; returns the delta.

@@ -340,6 +340,37 @@ class ReliableEndpoint:
                 if not ev.triggered:
                     ev.succeed()
 
+    def revive_peer(self, peer) -> None:
+        """Resume reliable delivery to a re-admitted peer (a healed cut).
+
+        Undoes :meth:`cancel_peer`'s dead-peer mark only; transfers cancelled
+        while the peer was out stay cancelled — the membership layer decides
+        what (if anything) to re-send under the new epoch.
+        """
+        self._dead_peers.discard(self._node_id(peer))
+
+    def fence_outbound(self, tags=None) -> list:
+        """Cancel this endpoint's unacked outbound transfers; return them.
+
+        The membership layer calls this when the owning node is *expelled*
+        while still alive: a zombie's queued retransmissions must stop so a
+        fenced takeover can re-ship the same data without racing it.  The
+        returned :class:`_Pending` entries let the caller unwind whatever
+        state markers were paired with the original posts (credit windows
+        are released per entry, so fenced deliveries leak none).  ``tags``
+        restricts cancellation to those message tags; the receive loop stays
+        up — the node still acks/dedups inbound traffic and resumes service
+        if later re-admitted.
+        """
+        cancelled = []
+        for e in list(self._pending.values()):
+            if tags is not None and e.tag not in tags:
+                continue
+            if not e.acked and not e.cancelled:
+                cancelled.append(e)
+                self._cancel(e)
+        return cancelled
+
     # -- receiving -------------------------------------------------------------
     def _receiver(self):
         node = self.node

@@ -46,7 +46,10 @@ from .breaker import BreakerBoard
 from .channel import ReliableEndpoint, RetryPolicy
 from .io import read_resilient
 
-__all__ = ["ChaosReport", "ResilientFilterScan", "chaos_params", "run_chaos"]
+__all__ = [
+    "ChaosReport", "ResilientFilterScan", "chaos_params", "list_chaos_apps",
+    "run_chaos",
+]
 
 
 def chaos_params() -> SystemParams:
@@ -277,6 +280,7 @@ class ResilientFilterScan:
 def _run_dsmsort_case(
     seed: int, n_records: int, t0: float, amp_bound: float
 ) -> dict:
+    """DSM-Sort run formation under seeded message/disk/crash chaos."""
     from ..dsmsort.runtime import DsmSortJob
 
     params = chaos_params()
@@ -325,6 +329,7 @@ def _run_dsmsort_case(
 def _run_filterscan_case(
     seed: int, n_records: int, t0: float, amp_bound: float
 ) -> dict:
+    """Active filter-scan on the reliable channel, degrading via breakers."""
     params = chaos_params()
     plan = _filterscan_fault_model(seed, t0).plan(params, horizon=0.8 * t0)
     app = ResilientFilterScan(
@@ -510,6 +515,112 @@ def _run_straggler_case(
         "n_breaker_trips": 0,
         "n_hedged_shards": s1.n_hedged_shards,
         "n_hedge_wasted_frags": s1.n_hedge_wasted_frags,
+        "invariants": invariants,
+        "ok": all(invariants.values()),
+    }
+
+
+def _run_partition_case(
+    seed: int, n_records: int, t0: float, amp_bound: float
+) -> dict:
+    """Seeded network cut against the membership / epoch-fencing stack.
+
+    Each seed draws one partition scenario — minority group (one or two
+    ASUs), asymmetry mode, window length, and optionally a fail-stop kill of
+    a cut node *while it is unreachable* — and runs the replicated sort
+    (r=2) with the network-borne failure detector.  Invariants: the job
+    completes, the output is a sorted permutation, and it is byte-identical
+    to the fault-free reference — i.e. no split-brain double-writes leaked
+    past the epoch fences and no records were lost to the cut.  Long cuts
+    that silence heartbeats must actually disrupt (expulsion observed), so
+    the fencing claims are non-vacuous.
+    """
+    from ..dsmsort.runtime import DsmSortJob
+    from ..faults.injector import crash_asu, partition
+    from ..replica import ReplicationConfig
+    from ..util.records import sort_records
+    from ..util.rng import derive_seed
+
+    params = chaos_params()
+    cfg = DSMConfig.for_n(n_records, alpha=8, gamma=16)
+    rng = np.random.default_rng(derive_seed(seed, "chaos-partition"))
+    n_cut = int(rng.integers(1, 3))
+    cut = tuple(sorted(
+        int(d) for d in rng.choice(params.n_asus, size=n_cut, replace=False)
+    ))
+    asymmetry = ("both", "out", "in")[int(rng.integers(0, 3))]
+    long_cut = bool(rng.integers(0, 2))
+    duration = (0.5 if long_cut else 0.08) * t0
+    start = float(rng.uniform(0.15, 0.35)) * t0
+    faults = [partition(start, cut, duration=duration, asymmetry=asymmetry)]
+    kill = bool(long_cut and n_cut == 1 and rng.integers(0, 2))
+    if kill:
+        # the split-brain acid test: the node dies while partitioned, so
+        # "crashed" and "unreachable" are indistinguishable until the heal
+        faults.append(crash_asu(start + 0.4 * duration, cut[0]))
+    plan = FaultPlan(faults)
+    job = DsmSortJob(
+        params, cfg, policy="sr", seed=0, faults=plan,
+        transport="reliable", retry_policy=_policy_for(t0),
+        replication=ReplicationConfig(r=2),
+        heartbeat_interval=t0 / 40, heartbeat_timeout=t0 / 10,
+        detection_mode="network", probe_timeout=t0 / 10,
+    )
+    res = job.run_pass1(deadline=20.0 * t0)
+    sorted_ok = False
+    identical = False
+    if res.completed:
+        job.run_pass2()
+        try:
+            job.verify()  # sorted + exact multiset: no loss, no duplicates
+            sorted_ok = True
+        except Exception:
+            sorted_ok = False
+        if sorted_ok:
+            ref = sort_records(concat_records(job.asu_data, params.schema))
+            identical = bool(np.array_equal(job.collected_output(), ref))
+    amp = _amplification(res.channel_stats)
+    # "in" cuts never silence the minority's outbound heartbeats, so the
+    # detector must stay quiet; "both"/"out" cuts longer than the detection
+    # horizon must expel — and re-admit once heartbeats resume (unless the
+    # node was killed mid-cut, in which case only the expulsion epoch shows)
+    disruptive = long_cut and asymmetry in ("both", "out")
+    invariants = {
+        "completed": bool(res.completed),
+        "sorted_permutation": bool(sorted_ok),
+        "byte_identical_no_split_brain": identical,
+        # a cut legitimately amplifies: every pending into the severed route
+        # retransmits (bounded by backoff) for the whole window, so the
+        # partition app earns twice the flood allowance of the other apps
+        "amplification_bounded": bool(amp <= 2.0 * amp_bound),
+        "disruption_observed": bool(
+            not disruptive
+            or res.n_readmitted >= 1
+            or (kill and res.view_epoch >= 2)
+        ),
+    }
+    cs = res.channel_stats or {}
+    return {
+        "app": "partition",
+        "seed": seed,
+        "n_faults": len(plan),
+        "fault_kinds": sorted(plan.kinds()),
+        "cut_asus": list(cut),
+        "asymmetry": asymmetry,
+        "duration_frac": duration / t0,
+        "killed_in_cut": kill,
+        "makespan_ratio": res.makespan / t0,
+        "amplification": amp,
+        "n_retransmits": cs.get("n_retransmits", 0),
+        "n_dup_dropped": cs.get("n_dup_dropped", 0),
+        "n_corrupt_dropped": cs.get("n_corrupt_dropped", 0),
+        "n_breaker_trips": res.n_breaker_trips,
+        "n_epoch_rejections": int(res.n_epoch_rejections),
+        "n_readmitted": int(res.n_readmitted),
+        "n_reconciled_runs": int(res.n_reconciled_runs),
+        "n_divergent_copies": int(res.n_divergent_copies),
+        "n_dup_frags_dropped": int(res.n_dup_frags_dropped),
+        "view_epoch": int(res.view_epoch),
         "invariants": invariants,
         "ok": all(invariants.values()),
     }
@@ -796,6 +907,7 @@ _CASE_RUNNERS: dict[str, Callable[..., dict]] = {
     "recovery": _run_recovery_case,
     "straggler": _run_straggler_case,
     "scheduler": _run_scheduler_case,
+    "partition": _run_partition_case,
 }
 
 _BASELINES: dict[str, Callable[[int], float]] = {
@@ -804,7 +916,20 @@ _BASELINES: dict[str, Callable[[int], float]] = {
     "recovery": _recovery_t0,
     "straggler": _straggler_t0,
     "scheduler": _scheduler_t0,
+    # the partition app runs the same reliable-transport sort, so it shares
+    # the dsmsort fault-free baseline
+    "partition": _dsmsort_t0,
 }
+
+
+def list_chaos_apps() -> list[tuple[str, str]]:
+    """Registered chaos apps with one-line summaries (for ``--list-apps``)."""
+    out = []
+    for name in sorted(_CASE_RUNNERS):
+        doc = _CASE_RUNNERS[name].__doc__ or ""
+        first = doc.strip().splitlines()[0].strip() if doc.strip() else ""
+        out.append((name, first))
+    return out
 
 
 def _chaos_case(task: tuple) -> dict:

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..emulator.params import SystemParams
+from ..faults.errors import StaleLeaseError
 from ..metrics.registry import MetricsRegistry
 from .job import ResourceNeed
 
@@ -38,11 +39,18 @@ __all__ = ["Lease", "LeaseManager"]
 
 @dataclass(frozen=True)
 class Lease:
-    """An exclusive slice of the fleet, held by one running job."""
+    """An exclusive slice of the fleet, held by one running job.
+
+    ``epoch`` is the grant's fencing token: preemption (or any other
+    revocation) retires the epoch, so a completion presented against a
+    revoked lease fails :meth:`LeaseManager.check` with a typed
+    :class:`~repro.faults.errors.StaleLeaseError` instead of silently
+    racing the re-grant (docs/PARTITIONS.md §fencing)."""
 
     asus: tuple
     hosts: tuple
     t_start: float
+    epoch: int = 0
 
     @property
     def n_asus(self) -> int:
@@ -73,6 +81,11 @@ class LeaseManager:
         self._g_free_asus.set(float(params.n_asus))
         self._g_free_hosts.set(float(params.n_hosts))
         self.n_leases_granted = 0
+        self.n_leases_revoked = 0
+        #: monotone grant counter — each lease's fencing epoch
+        self.epoch = 0
+        #: epochs retired by revocation; completions against them are stale
+        self._revoked: set[int] = set()
 
     # -- capacity queries ----------------------------------------------------
     def can_place(self, need: ResourceNeed) -> bool:
@@ -112,7 +125,26 @@ class LeaseManager:
         self._g_free_asus.set(float(len(self._free_asus)))
         self._g_free_hosts.set(float(len(self._free_hosts)))
         self.n_leases_granted += 1
-        return Lease(asus=asus, hosts=hosts, t_start=now)
+        self.epoch += 1
+        return Lease(asus=asus, hosts=hosts, t_start=now, epoch=self.epoch)
+
+    def revoke(self, lease: Lease, now: float) -> None:
+        """Release a lease *and* retire its epoch (preemption/eviction).
+
+        After revocation the old holder can no longer complete against the
+        lease: :meth:`check` raises for its epoch forever.
+        """
+        self.release(lease, now)
+        self._revoked.add(lease.epoch)
+        self.n_leases_revoked += 1
+
+    def check(self, lease: Lease) -> None:
+        """Validate a completion's lease; raise if its epoch was revoked."""
+        if lease.epoch in self._revoked:
+            raise StaleLeaseError(
+                f"lease(asus={lease.asus},hosts={lease.hosts})",
+                lease.epoch, self.epoch,
+            )
 
     def release(self, lease: Lease, now: float) -> None:
         held = max(0.0, now - lease.t_start)

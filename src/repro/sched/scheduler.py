@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..emulator.params import SystemParams
+from ..faults.errors import StaleLeaseError
 from ..metrics.registry import MetricsRegistry
 from ..recovery.supervisor import RestartBudget
 from .job import Job, JobState, Tenant
@@ -128,6 +129,8 @@ class Scheduler:
         self._lease_of: dict[str, object] = {}
         self._segment_end: dict[str, float] = {}
         self._queue_enter: dict[str, float] = {}
+        #: stale finish events that correctly failed the lease epoch check
+        self.n_stale_lease_rejections = 0
         # instruments
         self._g_depth = self.registry.gauge("repro_sched_queue_depth")
         self._c_admit = self.registry.counter("repro_sched_jobs_admitted_total")
@@ -195,11 +198,20 @@ class Scheduler:
         self._c_admit.inc()
 
     def _on_finish(self, now: float, payload: tuple, out: SchedOutcome) -> None:
-        job_id, epoch = payload
+        job_id, epoch, seg_lease = payload
         job = self._seen[job_id]
         if epoch != job.epoch or job.state != JobState.RUNNING:
-            return  # stale event from a preempted segment
+            # Stale event from a preempted segment.  Its lease was revoked at
+            # eviction, so completing against it must fail the typed check —
+            # the fencing invariant the membership layer also relies on.
+            if seg_lease is not None:
+                try:
+                    self.leases.check(seg_lease)
+                except StaleLeaseError:
+                    self.n_stale_lease_rejections += 1
+            return
         lease = self._lease_of.pop(job.job_id)
+        self.leases.check(lease)  # a valid completion's epoch is never revoked
         self.leases.release(lease, now)
         self._segment_end.pop(job.job_id, None)
         self.running.remove(job)
@@ -284,7 +296,8 @@ class Scheduler:
         self.policy.charge(job, job.spec.cost_units)
         heapq.heappush(
             events,
-            (now + makespan, _EV_FINISH, seq, "finish", (job.job_id, job.epoch)),
+            (now + makespan, _EV_FINISH, seq, "finish",
+             (job.job_id, job.epoch, lease)),
         )
         return seq + 1
 
@@ -346,7 +359,9 @@ class Scheduler:
 
     def _evict(self, now: float, job: Job, out: SchedOutcome) -> None:
         lease = self._lease_of.pop(job.job_id)
-        self.leases.release(lease, now)
+        # Revoke (not merely release): the evicted segment's in-flight finish
+        # event still holds this lease, and it must fail the epoch check.
+        self.leases.revoke(lease, now)
         self._segment_end.pop(job.job_id, None)
         self.running.remove(job)
         elapsed = now - job.start_t

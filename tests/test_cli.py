@@ -103,3 +103,14 @@ class TestRecoverCli:
         assert doc["ok"] is True and len(doc["cases"]) == 2
         assert all(c["byte_identical"] for c in doc["cases"])
         assert all(c["n_attempts"] == 2 for c in doc["cases"])
+
+
+class TestChaosCli:
+    def test_list_apps_names_every_registered_app(self, capsys):
+        assert main(["chaos", "--list-apps"]) == 0
+        out = capsys.readouterr().out
+        for app in ("dsmsort", "filterscan", "partition", "scheduler"):
+            assert app in out
+        # Each line carries a one-line summary, not just the name.
+        lines = [l for l in out.splitlines() if l.strip()]
+        assert all(len(l.split(None, 1)) == 2 for l in lines)

@@ -354,3 +354,154 @@ class TestDedupCheckpointRestore:
         plat.sim.run(until=2.0)
         assert sorted(got) == sorted(list(range(4)) * 2)  # duplicates!
         assert ep_dst2.stats.n_delivered == 4  # all replays re-delivered
+
+
+class TestPartitionLengthDelays:
+    """Partition-scale outages against the reliable channel: dedup must hold
+    across a breaker open/re-close cycle, and epoch-fenced cancellations must
+    leak no flow-control credits (docs/PARTITIONS.md)."""
+
+    def test_exactly_once_across_partition_window(self):
+        # A symmetric cut outliving many retry timeouts: every in-flight
+        # message is silently lost to the route for the whole window, yet
+        # retransmission outlives the cut and exactly-once holds.
+        plat = ActivePlatform(small_params())
+        src, dst = plat.asus[0], plat.hosts[0]
+        rngs = RngRegistry(7)
+        policy = RetryPolicy(timeout=0.002, max_backoff=0.02)
+        eps = {
+            n.node_id: ReliableEndpoint(
+                plat, n, rng=rngs.get(f"rel.{n.node_id}"), policy=policy
+            )
+            for n in (src, dst)
+        }
+        plat.network.set_partition({src.node_id}, 0.0, 0.2)
+        got = []
+
+        def sender():
+            for i in range(16):
+                yield from eps[src.node_id].send(dst.node_id, ("m", i), 256, tag="m")
+
+        def receiver():
+            while True:
+                msg = yield from eps[dst.node_id].recv()
+                got.append(msg.payload[1])
+
+        plat.spawn(sender(), name="sender", node=src)
+        plat.spawn(receiver(), name="receiver", node=dst)
+        plat.sim.run(until=5.0)
+        assert sorted(got) == list(range(16))
+        assert plat.network.n_partition_dropped > 0
+        assert eps[src.node_id].stats.n_retransmits > 0
+
+    def test_dedup_holds_across_breaker_open_and_reclose(self):
+        # A partition-length delay window: originals arrive long after the
+        # sender presumed them lost, so the receiver sees original+retransmit
+        # pairs.  The storm trips the breaker; after the window it re-closes.
+        # The dedup filter must absorb every late copy through both phases.
+        plat = ActivePlatform(small_params())
+        board = BreakerBoard(plat.sim, fail_threshold=3, cooldown=0.1)
+        src, dst = plat.asus[0], plat.hosts[0]
+        rngs = RngRegistry(7)
+        policy = RetryPolicy(timeout=0.002, max_backoff=0.01)
+        ep_src = ReliableEndpoint(
+            plat, src, rng=rngs.get("a"), policy=policy, board=board
+        )
+        ep_dst = ReliableEndpoint(plat, dst, rng=rngs.get("b"), policy=policy,
+                                  board=board)
+        plat.network.set_msg_fault(
+            src.node_id, dst.node_id, "delay_msg", 0.0, 0.2, 0.05
+        )
+        got = []
+
+        def sender():
+            for i in range(16):
+                yield from ep_src.send(dst.node_id, ("m", i), 256, tag="m")
+
+        def receiver():
+            while True:
+                msg = yield from ep_dst.recv()
+                got.append(msg.payload[1])
+
+        plat.spawn(sender(), name="sender", node=src)
+        plat.spawn(receiver(), name="receiver", node=dst)
+        plat.sim.run(until=0.15)
+        assert board.n_trips() >= 1  # the delay storm opened the breaker
+        plat.sim.schedule_callback(lambda: None, delay=3.0)
+        plat.sim.run(until=3.5)
+        assert sorted(got) == list(range(16))  # exactly once, no replays
+        assert ep_dst.stats.n_dup_dropped > 0  # late copies were absorbed
+        assert board.healthy(src.node_id, dst.node_id)  # breaker re-closed
+
+    def test_fenced_deliveries_leak_no_credits(self):
+        # fence_outbound releases the credit of every cancelled transfer:
+        # a sender blocked on the window at fencing time must wake, and the
+        # window must be fully available afterwards.
+        plat = ActivePlatform(small_params())
+        src, dst = plat.asus[0], plat.hosts[0]
+        ep = ReliableEndpoint(
+            plat, src, policy=RetryPolicy(timeout=0.002, max_backoff=0.02, window=2)
+        )
+        # Posts into a cut: never acked (the partition swallows them).
+        plat.network.set_partition({src.node_id}, 0.0, 10.0)
+        ep.post(dst.node_id, "x", 64, tag="frags")
+        ep.post(dst.node_id, "y", 64, tag="eof")
+        assert ep.inflight(dst.node_id) == 2
+        woke = []
+
+        def blocked():
+            w = yield from ep.wait_window(dst.node_id)
+            woke.append(w)
+
+        plat.spawn(blocked(), name="blocked", node=src)
+        fenced = []
+        plat.sim.schedule_callback(
+            lambda: fenced.extend(ep.fence_outbound(tags=("frags", "eof"))),
+            delay=0.05,
+        )
+        plat.sim.run(until=1.0)
+        assert [e.payload for e in fenced] == ["x", "y"]
+        assert all(e.cancelled and not e.acked for e in fenced)
+        assert woke and woke[0] > 0.0  # the waiter was released...
+        assert ep.inflight(dst.node_id) == 0  # ...and no credit leaked
+
+    def test_fence_outbound_filters_by_tag(self):
+        plat = ActivePlatform(small_params())
+        src, dst = plat.asus[0], plat.hosts[0]
+        ep = ReliableEndpoint(plat, src, policy=RetryPolicy(timeout=0.002,
+                                                            max_backoff=0.02))
+        plat.network.set_partition({src.node_id}, 0.0, 10.0)
+        ep.post(dst.node_id, "data", 64, tag="frags")
+        ep.post(dst.node_id, "ctl", 64, tag="lease")
+        fenced = ep.fence_outbound(tags=("frags",))
+        assert [e.payload for e in fenced] == ["data"]
+        assert ep.inflight(dst.node_id) == 1  # the untagged transfer stands
+
+    def test_revive_peer_resumes_delivery_without_resurrecting_cancels(self):
+        # cancel_peer (expulsion) stops retransmission; revive_peer (heal +
+        # re-admission) resumes delivery for *new* traffic only — transfers
+        # cancelled while the peer was out stay cancelled.
+        plat = ActivePlatform(small_params())
+        src, dst = plat.asus[0], plat.hosts[0]
+        rngs = RngRegistry(7)
+        policy = RetryPolicy(timeout=0.002, max_backoff=0.02)
+        ep_src = ReliableEndpoint(plat, src, rng=rngs.get("a"), policy=policy)
+        ep_dst = ReliableEndpoint(plat, dst, rng=rngs.get("b"), policy=policy)
+        plat.network.set_partition({src.node_id}, 0.0, 0.2)
+        got = []
+
+        def receiver():
+            while True:
+                msg = yield from ep_dst.recv()
+                got.append(msg.payload)
+
+        plat.spawn(receiver(), name="receiver", node=dst)
+        old = ep_src.post(dst.node_id, "stale", 64, tag="m")
+        plat.sim.schedule_callback(lambda: ep_src.cancel_peer(dst.node_id), delay=0.05)
+        plat.sim.schedule_callback(lambda: ep_src.revive_peer(dst.node_id), delay=0.3)
+        plat.sim.schedule_callback(
+            lambda: ep_src.post(dst.node_id, "fresh", 64, tag="m"), delay=0.4
+        )
+        plat.sim.run(until=2.0)
+        assert got == ["fresh"]  # delivery resumed for post-revive traffic
+        assert old.cancelled  # the pre-expulsion transfer stayed dead
